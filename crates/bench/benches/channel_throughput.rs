@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the beeping-channel substrate: raw
+//! round throughput per noise regime and executor scaling in `n`.
+
+use beeps_channel::{run_noiseless, Channel, NoiseModel, Protocol, StochasticChannel};
+use beeps_protocols::InputSet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_channel_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_rounds");
+    for (name, model) in [
+        ("noiseless", NoiseModel::Noiseless),
+        ("correlated", NoiseModel::Correlated { epsilon: 1.0 / 3.0 }),
+        (
+            "one_sided_up",
+            NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 },
+        ),
+        (
+            "independent",
+            NoiseModel::Independent { epsilon: 1.0 / 3.0 },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut ch = StochasticChannel::new(64, model, 7);
+            let mut bit = false;
+            b.iter(|| {
+                bit = !bit;
+                black_box(ch.transmit(black_box(bit)));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_noiseless_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noiseless_input_set");
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = InputSet::new(n);
+            let inputs: Vec<usize> = (0..n).map(|i| (7 * i) % (2 * n)).collect();
+            b.iter(|| black_box(run_noiseless(&p, black_box(&inputs))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_beep_evaluation(c: &mut Criterion) {
+    // Cost of one broadcast-function evaluation (the inner loop of every
+    // simulator) for a representative protocol.
+    let p = InputSet::new(128);
+    let transcript = vec![false; 100];
+    c.bench_function("beep_eval_input_set", |b| {
+        b.iter(|| black_box(p.beep(black_box(3), black_box(&77), black_box(&transcript))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_channel_rounds,
+    bench_noiseless_execution,
+    bench_protocol_beep_evaluation
+);
+criterion_main!(benches);

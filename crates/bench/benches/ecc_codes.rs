@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the error-correcting-code substrate:
+//! the owners phase spends its rounds on codeword encode/decode, so these
+//! costs bound the wall-clock of every chunk iteration.
+
+use beeps_ecc::GfField;
+use beeps_ecc::{BitMetric, ConcatenatedCode, Hadamard, RandomCode, ReedSolomon, SymbolCode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_random_code(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_code_decode");
+    for q in [17usize, 65, 257] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            let code = RandomCode::new(q, 12, 5);
+            let word = code.encode(q / 2);
+            b.iter(|| black_box(code.decode(black_box(&word), BitMetric::Hamming)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_code_z_metric(c: &mut Criterion) {
+    let code = RandomCode::new(65, 12, 5);
+    let word = code.encode(33);
+    c.bench_function("random_code_decode_zup", |b| {
+        b.iter(|| black_box(code.decode(black_box(&word), BitMetric::ZUp)));
+    });
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let rs = ReedSolomon::new(GfField::new(8), 255, 223);
+    let msg: Vec<u16> = (0..223).map(|i| (i * 7 % 256) as u16).collect();
+    let clean = rs.encode(&msg);
+    let mut noisy = clean.clone();
+    for i in 0..16 {
+        noisy[i * 15] ^= 0x55;
+    }
+    c.bench_function("rs_255_223_encode", |b| {
+        b.iter(|| black_box(rs.encode(black_box(&msg))));
+    });
+    c.bench_function("rs_255_223_decode_16_errors", |b| {
+        b.iter(|| black_box(rs.decode(black_box(&noisy)).unwrap()));
+    });
+}
+
+fn bench_hadamard(c: &mut Criterion) {
+    let code = Hadamard::new(8);
+    let word = code.encode(100);
+    c.bench_function("hadamard_256_decode", |b| {
+        b.iter(|| black_box(code.decode(black_box(&word), BitMetric::Hamming)));
+    });
+}
+
+fn bench_concatenated(c: &mut Criterion) {
+    let code = ConcatenatedCode::for_alphabet(513, 4);
+    let word = code.encode(300);
+    c.bench_function("concat_rs_hadamard_decode", |b| {
+        b.iter(|| black_box(code.decode(black_box(&word), BitMetric::Hamming)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_random_code,
+    bench_random_code_z_metric,
+    bench_reed_solomon,
+    bench_hadamard,
+    bench_concatenated
+);
+criterion_main!(benches);

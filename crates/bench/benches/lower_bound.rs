@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the lower-bound machinery: the exact ζ
+//! analysis is the computational core of experiments E5/E7.
+
+use beeps_channel::{run_protocol, NoiseModel};
+use beeps_lowerbound::{min_repetitions_exact, ZetaAnalyzer};
+use beeps_protocols::InputSet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_zeta_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zeta_analyze");
+    group.sample_size(20);
+    let eps = 1.0 / 3.0;
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = InputSet::new(n);
+            let inputs: Vec<usize> = (0..n).map(|i| (3 * i) % (2 * n)).collect();
+            let exec = run_protocol(
+                &p,
+                &inputs,
+                NoiseModel::OneSidedZeroToOne { epsilon: eps },
+                42,
+            );
+            let pi = exec.views().shared().unwrap().to_vec();
+            let analyzer = ZetaAnalyzer::new(&p, eps);
+            b.iter(|| black_box(analyzer.analyze(black_box(&inputs), black_box(&pi))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_crossover_search(c: &mut Criterion) {
+    c.bench_function("min_repetitions_exact_n256", |b| {
+        b.iter(|| black_box(min_repetitions_exact(black_box(256), 1.0 / 3.0, 0.9)));
+    });
+}
+
+criterion_group!(benches, bench_zeta_analysis, bench_crossover_search);
+criterion_main!(benches);

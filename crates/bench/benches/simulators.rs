@@ -1,0 +1,146 @@
+//! Criterion end-to-end benchmarks of the three coding schemes — one
+//! complete simulation per iteration, wall-clock per simulated protocol
+//! round being the figure of merit.
+
+use beeps_channel::NoiseModel;
+use beeps_core::{
+    run_owners_phase, HierarchicalSimulator, OneToZeroSimulator, OwnedRoundsSimulator,
+    RepetitionSimulator, RewindSimulator, SimulatorConfig,
+};
+use beeps_protocols::{InputSet, RollCall};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn inputs_for(n: usize) -> Vec<usize> {
+    (0..n).map(|i| (5 * i + 1) % (2 * n)).collect()
+}
+
+fn bench_repetition_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repetition_simulator");
+    group.sample_size(20);
+    let model = NoiseModel::Correlated { epsilon: 0.1 };
+    for n in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = InputSet::new(n);
+            let inputs = inputs_for(n);
+            let sim = RepetitionSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sim.simulate(black_box(&inputs), model, seed).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rewind_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewind_simulator");
+    group.sample_size(10);
+    let model = NoiseModel::Correlated { epsilon: 0.1 };
+    for n in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = InputSet::new(n);
+            let inputs = inputs_for(n);
+            let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sim.simulate(black_box(&inputs), model, seed).ok());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_one_to_zero_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_to_zero_simulator");
+    group.sample_size(20);
+    let model = NoiseModel::OneSidedOneToZero { epsilon: 1.0 / 3.0 };
+    for n in [8usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = InputSet::new(n);
+            let inputs = inputs_for(n);
+            let sim = OneToZeroSimulator::new(&p, 2, 32.0);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sim.simulate(black_box(&inputs), model, seed).ok());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_owners_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("owners_phase");
+    group.sample_size(20);
+    for n in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let bits: Vec<Vec<bool>> = (0..n)
+                .map(|i| (0..n).map(|j| (i + j) % 4 == 0).collect())
+                .collect();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_owners_phase(
+                    black_box(&bits),
+                    NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 },
+                    48,
+                    7,
+                    seed,
+                ));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchical_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchical_simulator");
+    group.sample_size(10);
+    let model = NoiseModel::Correlated { epsilon: 0.1 };
+    for n in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = InputSet::new(n);
+            let inputs = inputs_for(n);
+            let sim = HierarchicalSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sim.simulate(black_box(&inputs), model, seed).ok());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_owned_rounds_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("owned_rounds_simulator");
+    group.sample_size(20);
+    let model = NoiseModel::Correlated { epsilon: 0.1 };
+    for n in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = RollCall::new(n);
+            let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            let sim = OwnedRoundsSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(sim.simulate(black_box(&inputs), model, seed).ok());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_repetition_simulator,
+    bench_rewind_simulator,
+    bench_hierarchical_simulator,
+    bench_owned_rounds_simulator,
+    bench_one_to_zero_simulator,
+    bench_owners_phase
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! **Experiment E2 / Figure 2 — Theorem 1.1 (lower bound).**
+//!
+//! The empirical face of `Ω(log n)`: the minimum per-round overhead the
+//! trivial `InputSet_n` protocol needs to reach 90% success over the
+//! one-sided `ε = 1/3` channel, both exactly (binomial tails) and as
+//! measured through the actual simulator. The series grows log-linearly
+//! in `n` — reducing the overhead below `Θ(log n)` is impossible for any
+//! scheme by Theorem C.1.
+
+use beeps_bench::{f3, linear_fit, Table};
+use beeps_lowerbound::{measured_success_rate, min_repetitions_exact};
+
+pub fn main() {
+    let eps = 1.0 / 3.0;
+    let target = 0.9;
+    let mut table = Table::new(
+        &format!(
+            "E2: minimum repetition overhead for InputSet_n, one-sided eps=1/3, target {target}"
+        ),
+        &[
+            "n",
+            "min reps (exact)",
+            "predicted success",
+            "measured success",
+            "reps/log2(n)",
+        ],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+
+    for n in [4usize, 8, 16, 32, 64, 128, 256, 512] {
+        let point = min_repetitions_exact(n, eps, target);
+        // Monte Carlo through the real simulator for moderate n.
+        let measured = if n <= 64 {
+            f3(measured_success_rate(
+                n,
+                point.min_repetitions,
+                eps,
+                100,
+                0xF162 + n as u64,
+            ))
+        } else {
+            "-".to_owned()
+        };
+        let log_n = (n as f64).log2();
+        table.row(&[
+            &n,
+            &point.min_repetitions,
+            &f3(point.success),
+            &measured,
+            &f3(point.min_repetitions as f64 / log_n),
+        ]);
+        xs.push(log_n);
+        ys.push(point.min_repetitions as f64);
+    }
+    table.print();
+    let (a, b, r2) = linear_fit(&xs, &ys);
+    println!("fit: min reps ~= {a:.2} * log2(n) + {b:.2}   (r^2 = {r2:.3})");
+    println!("paper: Theorem 1.1/C.1 — Omega(log n) overhead is necessary for InputSet_n.");
+}

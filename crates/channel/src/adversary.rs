@@ -1,0 +1,183 @@
+//! The correcting adversary of subsection A.1.2 (second remark).
+//!
+//! The paper offers a second lens on why one-sided noise dominates
+//! two-sided noise: take the two-sided ε-noisy channel and add an
+//! *adversary* that may **correct** bits the channel flipped (but can
+//! never introduce fresh errors). A protocol facing this adversary cannot
+//! rely on the noise being "exactly" two-sided; and an adversary that
+//! corrects precisely the `1→0` flips turns the two-sided channel into
+//! the one-sided `0→1` channel — so one-sided lower bounds carry over.
+
+use crate::channel::Channel;
+use crate::noise::{Delivery, NoiseModel};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// What the adversary chooses to correct.
+///
+/// The adversary observes, per round, the true OR and the channel's
+/// proposed (possibly flipped) delivery, and may restore the true value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorrectionPolicy {
+    /// Correct every `1→0` flip (erasures of beeps). The resulting channel
+    /// is exactly the one-sided `0→1` channel — the reduction the paper
+    /// uses.
+    DownFlips,
+    /// Correct every `0→1` flip (fabricated beeps), yielding the one-sided
+    /// `1→0` channel — the *benign* regime of §2.
+    UpFlips,
+    /// Correct everything: a noiseless channel in disguise.
+    All,
+    /// Correct nothing: the plain two-sided channel.
+    Nothing,
+}
+
+/// A correlated two-sided ε-noisy channel composed with a correcting
+/// adversary.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::{Channel, CorrectingAdversaryChannel, CorrectionPolicy};
+///
+/// // Two-sided noise + an adversary fixing all 1->0 flips: beeps are
+/// // never erased.
+/// let mut ch = CorrectingAdversaryChannel::new(4, 0.4, CorrectionPolicy::DownFlips, 7);
+/// for _ in 0..100 {
+///     assert_eq!(ch.transmit(true).shared(), Some(true));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct CorrectingAdversaryChannel {
+    n: usize,
+    epsilon: f64,
+    policy: CorrectionPolicy,
+    rng: StdRng,
+    rounds: usize,
+    corrupted: usize,
+    corrections: usize,
+}
+
+impl CorrectingAdversaryChannel {
+    /// A channel for `n` parties with two-sided flip probability
+    /// `epsilon` and the given adversary policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `epsilon` is outside `[0, 1)`.
+    pub fn new(n: usize, epsilon: f64, policy: CorrectionPolicy, seed: u64) -> Self {
+        assert!(n > 0, "channel needs at least one party");
+        NoiseModel::Correlated { epsilon }
+            .validate()
+            .expect("invalid noise parameter");
+        Self {
+            n,
+            epsilon,
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+            rounds: 0,
+            corrupted: 0,
+            corrections: 0,
+        }
+    }
+
+    /// Number of flips the adversary has corrected so far.
+    pub fn corrections(&self) -> usize {
+        self.corrections
+    }
+}
+
+impl Channel for CorrectingAdversaryChannel {
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn transmit(&mut self, true_or: bool) -> Delivery {
+        self.rounds += 1;
+        let flipped = self.rng.gen_bool(self.epsilon);
+        let proposed = true_or ^ flipped;
+        let corrected = if flipped {
+            let fix = match self.policy {
+                CorrectionPolicy::DownFlips => true_or, // 1->0 means OR was 1
+                CorrectionPolicy::UpFlips => !true_or,
+                CorrectionPolicy::All => true,
+                CorrectionPolicy::Nothing => false,
+            };
+            if fix {
+                self.corrections += 1;
+                true_or
+            } else {
+                proposed
+            }
+        } else {
+            proposed
+        };
+        if corrected != true_or {
+            self.corrupted += 1;
+        }
+        Delivery::Shared(corrected)
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn corrupted_rounds(&self) -> usize {
+        self.corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flip_rate(policy: CorrectionPolicy, true_or: bool, seed: u64) -> f64 {
+        let trials = 100_000u32;
+        let mut ch = CorrectingAdversaryChannel::new(2, 1.0 / 3.0, policy, seed);
+        let mut flips = 0u32;
+        for _ in 0..trials {
+            if ch.transmit(true_or).shared() != Some(true_or) {
+                flips += 1;
+            }
+        }
+        f64::from(flips) / f64::from(trials)
+    }
+
+    #[test]
+    fn down_policy_yields_one_sided_up_channel() {
+        // 1s are always protected; 0s still flip at rate eps.
+        assert_eq!(flip_rate(CorrectionPolicy::DownFlips, true, 1), 0.0);
+        let r0 = flip_rate(CorrectionPolicy::DownFlips, false, 2);
+        assert!((r0 - 1.0 / 3.0).abs() < 0.01, "0->1 rate {r0}");
+    }
+
+    #[test]
+    fn up_policy_yields_one_sided_down_channel() {
+        assert_eq!(flip_rate(CorrectionPolicy::UpFlips, false, 3), 0.0);
+        let r1 = flip_rate(CorrectionPolicy::UpFlips, true, 4);
+        assert!((r1 - 1.0 / 3.0).abs() < 0.01, "1->0 rate {r1}");
+    }
+
+    #[test]
+    fn all_policy_is_noiseless() {
+        assert_eq!(flip_rate(CorrectionPolicy::All, true, 5), 0.0);
+        assert_eq!(flip_rate(CorrectionPolicy::All, false, 6), 0.0);
+    }
+
+    #[test]
+    fn nothing_policy_is_plain_two_sided() {
+        let r1 = flip_rate(CorrectionPolicy::Nothing, true, 7);
+        let r0 = flip_rate(CorrectionPolicy::Nothing, false, 8);
+        assert!((r1 - 1.0 / 3.0).abs() < 0.01);
+        assert!((r0 - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn corrections_are_counted() {
+        let mut ch = CorrectingAdversaryChannel::new(2, 0.5, CorrectionPolicy::All, 9);
+        for _ in 0..1_000 {
+            ch.transmit(true);
+        }
+        assert!(ch.corrections() > 300, "got {}", ch.corrections());
+        assert_eq!(ch.corrupted_rounds(), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Bursty (Markov-modulated) noise — a robustness model beyond the
+//! paper's i.i.d. assumption.
+//!
+//! The paper's channels flip each round independently. Real interference
+//! (the "global network problems due to weather" of §1.2) comes in
+//! bursts. The Gilbert–Elliott channel switches between a *good* and a
+//! *bad* state by a two-state Markov chain and flips the OR with a
+//! state-dependent probability; the rewind-based schemes should survive
+//! it (a burst ruins one chunk, which is re-simulated), and the
+//! `extensions` integration tests confirm they do.
+
+use crate::channel::Channel;
+use crate::noise::Delivery;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A correlated-output Gilbert–Elliott beeping channel.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::{BurstNoiseChannel, Channel};
+///
+/// let mut ch = BurstNoiseChannel::new(4, 0.01, 0.45, 0.05, 0.2, 7);
+/// let _ = ch.transmit(true);
+/// assert_eq!(ch.rounds(), 1);
+/// ```
+#[derive(Debug)]
+pub struct BurstNoiseChannel {
+    n: usize,
+    good_eps: f64,
+    bad_eps: f64,
+    /// P[good → bad] per round.
+    p_enter_burst: f64,
+    /// P[bad → good] per round.
+    p_exit_burst: f64,
+    in_burst: bool,
+    rng: StdRng,
+    rounds: usize,
+    corrupted: usize,
+    burst_rounds: usize,
+}
+
+impl BurstNoiseChannel {
+    /// A channel for `n` parties flipping with probability `good_eps`
+    /// outside bursts and `bad_eps` inside, entering bursts with
+    /// probability `p_enter_burst` and leaving with `p_exit_burst` per
+    /// round. Starts in the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or any probability is outside `[0, 1)` (burst
+    /// transition probabilities may be 1.0 at most exclusive too).
+    pub fn new(
+        n: usize,
+        good_eps: f64,
+        bad_eps: f64,
+        p_enter_burst: f64,
+        p_exit_burst: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0, "channel needs at least one party");
+        for (name, p) in [
+            ("good_eps", good_eps),
+            ("bad_eps", bad_eps),
+            ("p_enter_burst", p_enter_burst),
+            ("p_exit_burst", p_exit_burst),
+        ] {
+            assert!(
+                p.is_finite() && (0.0..1.0).contains(&p),
+                "{name} must be in [0, 1), got {p}"
+            );
+        }
+        Self {
+            n,
+            good_eps,
+            bad_eps,
+            p_enter_burst,
+            p_exit_burst,
+            in_burst: false,
+            rng: StdRng::seed_from_u64(seed),
+            rounds: 0,
+            corrupted: 0,
+            burst_rounds: 0,
+        }
+    }
+
+    /// Rounds spent inside a burst so far.
+    pub fn burst_rounds(&self) -> usize {
+        self.burst_rounds
+    }
+
+    /// The stationary per-round flip probability of the chain.
+    pub fn stationary_flip_rate(&self) -> f64 {
+        let denom = self.p_enter_burst + self.p_exit_burst;
+        if denom == 0.0 {
+            return self.good_eps;
+        }
+        let pi_bad = self.p_enter_burst / denom;
+        pi_bad * self.bad_eps + (1.0 - pi_bad) * self.good_eps
+    }
+}
+
+impl Channel for BurstNoiseChannel {
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn transmit(&mut self, true_or: bool) -> Delivery {
+        self.rounds += 1;
+        // State transition, then emission.
+        let switch = if self.in_burst {
+            self.rng.gen_bool(self.p_exit_burst)
+        } else {
+            self.rng.gen_bool(self.p_enter_burst)
+        };
+        if switch {
+            self.in_burst = !self.in_burst;
+        }
+        let eps = if self.in_burst {
+            self.burst_rounds += 1;
+            self.bad_eps
+        } else {
+            self.good_eps
+        };
+        let heard = true_or ^ self.rng.gen_bool(eps);
+        if heard != true_or {
+            self.corrupted += 1;
+        }
+        Delivery::Shared(heard)
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn corrupted_rounds(&self) -> usize {
+        self.corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_rate_matches_stationary_prediction() {
+        let mut ch = BurstNoiseChannel::new(2, 0.02, 0.4, 0.05, 0.15, 3);
+        let trials = 300_000u32;
+        let mut flips = 0u32;
+        for _ in 0..trials {
+            if ch.transmit(false).shared() == Some(true) {
+                flips += 1;
+            }
+        }
+        let rate = f64::from(flips) / f64::from(trials);
+        let predicted = ch.stationary_flip_rate();
+        assert!(
+            (rate - predicted).abs() < 0.01,
+            "measured {rate} vs stationary {predicted}"
+        );
+    }
+
+    #[test]
+    fn flips_are_bursty_not_iid() {
+        // Adjacent-round flip correlation: P[flip at t+1 | flip at t]
+        // must exceed the marginal flip rate.
+        let mut ch = BurstNoiseChannel::new(2, 0.01, 0.45, 0.02, 0.1, 9);
+        let rounds = 200_000;
+        let mut flips = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            flips.push(ch.transmit(false).shared() == Some(true));
+        }
+        let marginal = flips.iter().filter(|&&f| f).count() as f64 / rounds as f64;
+        let mut after_flip = 0u32;
+        let mut flip_pairs = 0u32;
+        for w in flips.windows(2) {
+            if w[0] {
+                flip_pairs += 1;
+                after_flip += u32::from(w[1]);
+            }
+        }
+        let conditional = f64::from(after_flip) / f64::from(flip_pairs.max(1));
+        assert!(
+            conditional > marginal * 2.0,
+            "conditional {conditional} should far exceed marginal {marginal}"
+        );
+    }
+
+    #[test]
+    fn zero_transition_channel_never_bursts() {
+        let mut ch = BurstNoiseChannel::new(2, 0.0, 0.9, 0.0, 0.0, 1);
+        for _ in 0..1_000 {
+            assert_eq!(ch.transmit(true).shared(), Some(true));
+        }
+        assert_eq!(ch.burst_rounds(), 0);
+        assert_eq!(ch.stationary_flip_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad_eps")]
+    fn invalid_probability_rejected() {
+        BurstNoiseChannel::new(2, 0.0, 1.5, 0.1, 0.1, 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Channel implementations: stochastic, scripted (failure injection), and
+//! the shared-randomness reduction of A.1.2.
+
+use crate::noise::{Delivery, NoiseModel};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A beeping channel: consumes the true OR of a round and produces what the
+/// parties hear.
+///
+/// Implementations are stateful (they own their randomness or script) so
+/// that executions are reproducible from a seed.
+pub trait Channel {
+    /// Number of parties attached to the channel.
+    fn num_parties(&self) -> usize;
+
+    /// Delivers one round: takes the true OR of the sent bits and returns
+    /// the (possibly corrupted) delivery.
+    fn transmit(&mut self, true_or: bool) -> Delivery;
+
+    /// Number of rounds delivered so far.
+    fn rounds(&self) -> usize;
+
+    /// Number of corrupted deliveries so far. For independent noise, a
+    /// round counts as corrupted if *any* party's copy differs from the
+    /// true OR.
+    fn corrupted_rounds(&self) -> usize;
+}
+
+/// The standard stochastic channel: applies a [`NoiseModel`] with a seeded
+/// RNG.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::{Channel, NoiseModel, StochasticChannel};
+///
+/// let mut ch = StochasticChannel::new(4, NoiseModel::Noiseless, 7);
+/// let d = ch.transmit(true);
+/// assert_eq!(d.shared(), Some(true));
+/// assert_eq!(ch.rounds(), 1);
+/// assert_eq!(ch.corrupted_rounds(), 0);
+/// ```
+#[derive(Debug)]
+pub struct StochasticChannel {
+    n: usize,
+    model: NoiseModel,
+    rng: StdRng,
+    rounds: usize,
+    corrupted: usize,
+}
+
+impl StochasticChannel {
+    /// Creates a channel for `n` parties under `model`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the model's ε is outside `[0, 1)`.
+    pub fn new(n: usize, model: NoiseModel, seed: u64) -> Self {
+        assert!(n > 0, "channel needs at least one party");
+        model.validate().expect("invalid noise parameter");
+        Self {
+            n,
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            rounds: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// The noise model this channel applies.
+    pub fn model(&self) -> NoiseModel {
+        self.model
+    }
+}
+
+impl Channel for StochasticChannel {
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn transmit(&mut self, true_or: bool) -> Delivery {
+        self.rounds += 1;
+        if self.model.is_shared() {
+            let heard = self.model.corrupt_shared(true_or, &mut self.rng);
+            if heard != true_or {
+                self.corrupted += 1;
+            }
+            Delivery::Shared(heard)
+        } else {
+            let bits = self.model.corrupt_per_party(true_or, self.n, &mut self.rng);
+            if bits.iter().any(|&b| b != true_or) {
+                self.corrupted += 1;
+            }
+            Delivery::PerParty(bits)
+        }
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn corrupted_rounds(&self) -> usize {
+        self.corrupted
+    }
+}
+
+/// A channel with a predetermined corruption script, used for failure
+/// injection in tests: round `m` is flipped iff `flips[m]` is true
+/// (rounds beyond the script are delivered noiselessly).
+///
+/// The flip is applied to the OR exactly like correlated noise, so every
+/// party hears the same (possibly wrong) bit.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::{Channel, ScriptedChannel};
+///
+/// let mut ch = ScriptedChannel::new(2, vec![true, false]);
+/// assert_eq!(ch.transmit(false).shared(), Some(true)); // flipped
+/// assert_eq!(ch.transmit(false).shared(), Some(false)); // clean
+/// ```
+#[derive(Debug)]
+pub struct ScriptedChannel {
+    n: usize,
+    flips: Vec<bool>,
+    rounds: usize,
+    corrupted: usize,
+}
+
+impl ScriptedChannel {
+    /// Creates a scripted channel for `n` parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, flips: Vec<bool>) -> Self {
+        assert!(n > 0, "channel needs at least one party");
+        Self {
+            n,
+            flips,
+            rounds: 0,
+            corrupted: 0,
+        }
+    }
+}
+
+impl Channel for ScriptedChannel {
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn transmit(&mut self, true_or: bool) -> Delivery {
+        let flip = self.flips.get(self.rounds).copied().unwrap_or(false);
+        self.rounds += 1;
+        if flip {
+            self.corrupted += 1;
+        }
+        Delivery::Shared(true_or ^ flip)
+    }
+
+    fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn corrupted_rounds(&self) -> usize {
+        self.corrupted
+    }
+}
+
+/// The shared-randomness reduction of subsection A.1.2: a two-sided
+/// `ε = 1/4` correlated channel built from a one-sided `0→1` channel with
+/// `ε = 1/3` plus a shared coin.
+///
+/// Parties run over the one-sided channel; whenever a 1 is received, the
+/// shared coin downgrades it to 0 with probability 1/4. The paper shows the
+/// composite behaves exactly like correlated noise with ε = 1/4:
+///
+/// * true OR = 1: the one-sided channel never erases it, the coin erases it
+///   with probability 1/4;
+/// * true OR = 0: the one-sided channel lifts it with probability 1/3, the
+///   coin keeps the lift with probability 3/4, so `1/3 · 3/4 = 1/4`.
+///
+/// This construction is what lets Theorem C.1 (one-sided lower bound) imply
+/// Theorem 1.1 (two-sided lower bound).
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::{Channel, ReducedTwoSidedChannel};
+///
+/// let mut ch = ReducedTwoSidedChannel::new(4, 99);
+/// let _ = ch.transmit(true);
+/// assert_eq!(ch.rounds(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ReducedTwoSidedChannel {
+    inner: StochasticChannel,
+    shared_coin: StdRng,
+    corrupted: usize,
+}
+
+impl ReducedTwoSidedChannel {
+    /// One-sided noise rate used by the reduction.
+    pub const ONE_SIDED_EPS: f64 = 1.0 / 3.0;
+    /// Downgrade probability applied by the shared coin.
+    pub const DOWNGRADE_PROB: f64 = 1.0 / 4.0;
+    /// Effective two-sided noise rate of the composite channel.
+    pub const EFFECTIVE_EPS: f64 = 1.0 / 4.0;
+
+    /// Creates the composite channel for `n` parties; `seed` derives both
+    /// the channel noise and the shared coin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        Self {
+            inner: StochasticChannel::new(
+                n,
+                NoiseModel::OneSidedZeroToOne {
+                    epsilon: Self::ONE_SIDED_EPS,
+                },
+                seed,
+            ),
+            // Derive a distinct stream for the shared coin.
+            shared_coin: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            corrupted: 0,
+        }
+    }
+}
+
+impl Channel for ReducedTwoSidedChannel {
+    fn num_parties(&self) -> usize {
+        self.inner.num_parties()
+    }
+
+    fn transmit(&mut self, true_or: bool) -> Delivery {
+        let heard = self
+            .inner
+            .transmit(true_or)
+            .shared()
+            .expect("one-sided channel is shared");
+        // The parties' post-processing with the shared coin: flip received
+        // 1s down with probability 1/4.
+        let processed = if heard && self.shared_coin.gen_bool(Self::DOWNGRADE_PROB) {
+            false
+        } else {
+            heard
+        };
+        if processed != true_or {
+            self.corrupted += 1;
+        }
+        Delivery::Shared(processed)
+    }
+
+    fn rounds(&self) -> usize {
+        self.inner.rounds()
+    }
+
+    fn corrupted_rounds(&self) -> usize {
+        self.corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stochastic_counts_corruptions() {
+        let mut ch = StochasticChannel::new(3, NoiseModel::Correlated { epsilon: 0.5 }, 0);
+        for _ in 0..1_000 {
+            ch.transmit(false);
+        }
+        assert_eq!(ch.rounds(), 1_000);
+        let rate = ch.corrupted_rounds() as f64 / 1_000.0;
+        assert!((rate - 0.5).abs() < 0.06, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_rejected() {
+        StochasticChannel::new(0, NoiseModel::Noiseless, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid noise")]
+    fn invalid_epsilon_rejected() {
+        StochasticChannel::new(2, NoiseModel::Correlated { epsilon: 2.0 }, 0);
+    }
+
+    #[test]
+    fn scripted_follows_script_then_clean() {
+        let mut ch = ScriptedChannel::new(2, vec![false, true]);
+        assert_eq!(ch.transmit(true).shared(), Some(true));
+        assert_eq!(ch.transmit(true).shared(), Some(false));
+        assert_eq!(ch.transmit(false).shared(), Some(false));
+        assert_eq!(ch.corrupted_rounds(), 1);
+    }
+
+    #[test]
+    fn reduction_matches_quarter_noise_both_directions() {
+        // A.1.2: the composite channel must flip with probability 1/4
+        // regardless of the true OR.
+        let trials = 200_000u32;
+        let mut ch = ReducedTwoSidedChannel::new(2, 0xAB);
+        let mut flips_of_one = 0u32;
+        for _ in 0..trials {
+            if ch.transmit(true).shared() == Some(false) {
+                flips_of_one += 1;
+            }
+        }
+        let mut ch = ReducedTwoSidedChannel::new(2, 0xCD);
+        let mut flips_of_zero = 0u32;
+        for _ in 0..trials {
+            if ch.transmit(false).shared() == Some(true) {
+                flips_of_zero += 1;
+            }
+        }
+        let r1 = f64::from(flips_of_one) / f64::from(trials);
+        let r0 = f64::from(flips_of_zero) / f64::from(trials);
+        assert!((r1 - 0.25).abs() < 0.005, "1->0 rate {r1} should be 1/4");
+        assert!((r0 - 0.25).abs() < 0.005, "0->1 rate {r0} should be 1/4");
+    }
+
+    #[test]
+    fn independent_channel_reports_per_party() {
+        let mut ch = StochasticChannel::new(8, NoiseModel::Independent { epsilon: 0.2 }, 1);
+        match ch.transmit(true) {
+            Delivery::PerParty(bits) => assert_eq!(bits.len(), 8),
+            Delivery::Shared(_) => panic!("independent noise must deliver per party"),
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Round-driven execution of stateful parties.
+//!
+//! The interactive-coding schemes of `beeps-core` are not fixed
+//! `(T, f, g)` tables: their behaviour interleaves chunk simulation,
+//! owner-finding, verification, and rewinds, with per-party mutable state.
+//! The [`Party`] trait models such a state machine and the [`Executor`]
+//! drives a set of them against any [`Channel`], collecting statistics.
+
+use crate::channel::Channel;
+
+/// A stateful participant in a beeping execution.
+///
+/// The executor calls [`Party::beep`] on every party, ORs the results,
+/// passes the OR through the channel, and then calls [`Party::hear`] with
+/// each party's (possibly corrupted) copy. Implementations keep their own
+/// round counters.
+pub trait Party {
+    /// The bit this party sends in the upcoming round.
+    fn beep(&mut self) -> bool;
+
+    /// Delivery of the channel output for the round just sent.
+    fn hear(&mut self, heard: bool);
+}
+
+/// Statistics of one executed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecutionStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total number of 1-bits sent across all parties and rounds — the
+    /// "energy" of the execution, a quantity of independent interest in the
+    /// beeping literature.
+    pub energy: usize,
+    /// Rounds in which at least one party heard a bit different from the
+    /// true OR.
+    pub corrupted_rounds: usize,
+}
+
+/// Drives a set of [`Party`] state machines over a [`Channel`].
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::{Executor, NoiseModel, Party, StochasticChannel};
+///
+/// /// Beeps once in round `when`, remembers everything it hears.
+/// struct Pulse { when: usize, round: usize, heard: Vec<bool> }
+/// impl Party for Pulse {
+///     fn beep(&mut self) -> bool { self.round == self.when }
+///     fn hear(&mut self, heard: bool) { self.round += 1; self.heard.push(heard); }
+/// }
+///
+/// let mut parties = vec![
+///     Pulse { when: 0, round: 0, heard: vec![] },
+///     Pulse { when: 2, round: 0, heard: vec![] },
+/// ];
+/// let mut channel = StochasticChannel::new(2, NoiseModel::Noiseless, 0);
+/// let stats = Executor::run(&mut parties, &mut channel, 3);
+/// assert_eq!(stats.rounds, 3);
+/// assert_eq!(parties[0].heard, vec![true, false, true]);
+/// ```
+#[derive(Debug)]
+pub struct Executor;
+
+impl Executor {
+    /// Runs `rounds` rounds of the beeping protocol defined by `parties`
+    /// over `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties.len() != channel.num_parties()` or the party
+    /// slice is empty.
+    pub fn run<P: Party>(
+        parties: &mut [P],
+        channel: &mut dyn Channel,
+        rounds: usize,
+    ) -> ExecutionStats {
+        assert!(!parties.is_empty(), "need at least one party");
+        assert_eq!(
+            parties.len(),
+            channel.num_parties(),
+            "channel sized for wrong number of parties"
+        );
+        let corrupted_before = channel.corrupted_rounds();
+        let mut energy = 0usize;
+        for _ in 0..rounds {
+            let mut or = false;
+            for party in parties.iter_mut() {
+                let b = party.beep();
+                energy += usize::from(b);
+                or |= b;
+            }
+            let delivery = channel.transmit(or);
+            for (i, party) in parties.iter_mut().enumerate() {
+                party.hear(delivery.heard_by(i));
+            }
+        }
+        ExecutionStats {
+            rounds,
+            energy,
+            corrupted_rounds: channel.corrupted_rounds() - corrupted_before,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{ScriptedChannel, StochasticChannel};
+    use crate::noise::NoiseModel;
+
+    /// Counts rounds; beeps on multiples of its stride.
+    struct Strider {
+        stride: usize,
+        round: usize,
+        heard: Vec<bool>,
+    }
+
+    impl Party for Strider {
+        fn beep(&mut self) -> bool {
+            self.round.is_multiple_of(self.stride)
+        }
+
+        fn hear(&mut self, heard: bool) {
+            self.round += 1;
+            self.heard.push(heard);
+        }
+    }
+
+    fn striders(strides: &[usize]) -> Vec<Strider> {
+        strides
+            .iter()
+            .map(|&stride| Strider {
+                stride,
+                round: 0,
+                heard: Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn executor_computes_or_per_round() {
+        let mut parties = striders(&[2, 3]);
+        let mut channel = StochasticChannel::new(2, NoiseModel::Noiseless, 0);
+        let stats = Executor::run(&mut parties, &mut channel, 6);
+        // Rounds:        0     1      2     3      4     5
+        // stride 2 beeps t     f      t     f      t     f
+        // stride 3 beeps t     f      f     t      f     f
+        let expect = vec![true, false, true, true, true, false];
+        assert_eq!(parties[0].heard, expect);
+        assert_eq!(parties[1].heard, expect);
+        assert_eq!(stats.rounds, 6);
+        assert_eq!(stats.energy, 3 + 2);
+        assert_eq!(stats.corrupted_rounds, 0);
+    }
+
+    #[test]
+    fn executor_reports_corruptions_from_script() {
+        let mut parties = striders(&[1]);
+        let mut channel = ScriptedChannel::new(1, vec![true, true, false]);
+        let stats = Executor::run(&mut parties, &mut channel, 3);
+        assert_eq!(stats.corrupted_rounds, 2);
+        assert_eq!(parties[0].heard, vec![false, false, true]);
+    }
+
+    #[test]
+    fn stats_accumulate_across_runs_on_same_channel() {
+        let mut channel = ScriptedChannel::new(1, vec![true, false, true]);
+        let mut parties = striders(&[1]);
+        let s1 = Executor::run(&mut parties, &mut channel, 2);
+        let s2 = Executor::run(&mut parties, &mut channel, 1);
+        assert_eq!(s1.corrupted_rounds, 1);
+        assert_eq!(s2.corrupted_rounds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of parties")]
+    fn size_mismatch_panics() {
+        let mut parties = striders(&[1, 1]);
+        let mut channel = StochasticChannel::new(3, NoiseModel::Noiseless, 0);
+        Executor::run(&mut parties, &mut channel, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn empty_parties_panics() {
+        let mut parties: Vec<Strider> = Vec::new();
+        let mut channel = StochasticChannel::new(1, NoiseModel::Noiseless, 0);
+        Executor::run(&mut parties, &mut channel, 1);
+    }
+
+    #[test]
+    fn zero_rounds_is_a_noop() {
+        let mut parties = striders(&[1]);
+        let mut channel = StochasticChannel::new(1, NoiseModel::Noiseless, 0);
+        let stats = Executor::run(&mut parties, &mut channel, 0);
+        assert_eq!(stats, ExecutionStats::default());
+    }
+}

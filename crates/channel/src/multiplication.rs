@@ -1,0 +1,156 @@
+//! Blackwell's binary multiplication channel — the two-party ancestor of
+//! the beeping model (§1 of the paper).
+//!
+//! In the multiplication channel, each of two parties sends a bit per
+//! round and both receive the **AND** of the two bits. The paper points
+//! out that the beeping model is its multi-party generalization: viewing
+//! a beep as sending 0 and silence as sending 1 (De Morgan), the OR of
+//! beeps becomes the AND of sent bits. This module makes that
+//! correspondence executable: a [`MultiplicationChannel`] implemented *on
+//! top of* any two-party beeping [`Channel`], so every noise regime (and
+//! every test double) of the beeping substrate is inherited.
+
+use crate::channel::{Channel, StochasticChannel};
+use crate::noise::NoiseModel;
+
+/// A two-party binary multiplication (AND) channel built over a beeping
+/// channel via De Morgan's identity `a ∧ b = ¬(¬a ∨ ¬b)`.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::{MultiplicationChannel, NoiseModel};
+///
+/// let mut ch = MultiplicationChannel::noiseless(7);
+/// assert!(ch.transmit(true, true));
+/// assert!(!ch.transmit(true, false));
+/// assert!(!ch.transmit(false, false));
+/// ```
+#[derive(Debug)]
+pub struct MultiplicationChannel<C = StochasticChannel> {
+    inner: C,
+}
+
+impl MultiplicationChannel<StochasticChannel> {
+    /// A noiseless multiplication channel.
+    pub fn noiseless(seed: u64) -> Self {
+        Self::over(StochasticChannel::new(2, NoiseModel::Noiseless, seed))
+    }
+
+    /// A multiplication channel whose underlying beeping channel applies
+    /// `model`.
+    ///
+    /// Note the noise acts on the *beeping* layer: a `0→1` beep flip
+    /// surfaces here as an `AND`-output `1→0` flip, and vice versa —
+    /// exactly the inversion the De Morgan view predicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the noise parameter is invalid.
+    pub fn noisy(model: NoiseModel, seed: u64) -> Self {
+        Self::over(StochasticChannel::new(2, model, seed))
+    }
+}
+
+impl<C: Channel> MultiplicationChannel<C> {
+    /// Wraps an arbitrary two-party beeping channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the channel was built for exactly two parties.
+    pub fn over(inner: C) -> Self {
+        assert_eq!(
+            inner.num_parties(),
+            2,
+            "the multiplication channel is a two-party object"
+        );
+        Self { inner }
+    }
+
+    /// One round: both parties send a bit, the AND comes back (possibly
+    /// corrupted by the underlying beeping noise).
+    pub fn transmit(&mut self, a: bool, b: bool) -> bool {
+        // a AND b == NOT (NOT a OR NOT b): send negated bits as beeps.
+        let or_of_negations = !a || !b;
+        let heard = self.inner.transmit(or_of_negations).heard_by(0);
+        !heard
+    }
+
+    /// Rounds used so far.
+    pub fn rounds(&self) -> usize {
+        self.inner.rounds()
+    }
+
+    /// Gives back the wrapped beeping channel.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ScriptedChannel;
+
+    #[test]
+    fn computes_and_noiselessly() {
+        let mut ch = MultiplicationChannel::noiseless(0);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(ch.transmit(a, b), a && b);
+        }
+        assert_eq!(ch.rounds(), 4);
+    }
+
+    #[test]
+    fn beeping_up_noise_becomes_and_down_noise() {
+        // 0->1 flips on the OR layer can only turn AND outputs 1 -> 0.
+        let mut ch =
+            MultiplicationChannel::noisy(NoiseModel::OneSidedZeroToOne { epsilon: 0.5 }, 3);
+        let mut dropped = 0u32;
+        for _ in 0..2_000 {
+            // true AND true = 1; noise may erase it.
+            if !ch.transmit(true, true) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 800, "expected ~half dropped, got {dropped}");
+        // ...but a true 0 output is never lifted to 1.
+        let mut lifted = 0u32;
+        for _ in 0..2_000 {
+            if ch.transmit(true, false) {
+                lifted += 1;
+            }
+        }
+        assert_eq!(lifted, 0);
+    }
+
+    #[test]
+    fn works_over_scripted_channels() {
+        // Round 1 flipped at the beeping layer: AND output inverts.
+        let inner = ScriptedChannel::new(2, vec![false, true]);
+        let mut ch = MultiplicationChannel::over(inner);
+        assert!(ch.transmit(true, true));
+        assert!(!ch.transmit(true, true)); // corrupted
+    }
+
+    #[test]
+    fn equality_testing_over_the_and_channel() {
+        // A classic multiplication-channel protocol: parties hold bits
+        // x, y and learn whether x == y using two rounds:
+        // round 1 computes x AND y, round 2 computes (!x) AND (!y);
+        // equality iff either round returns 1.
+        let mut ch = MultiplicationChannel::noiseless(5);
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            let both_one = ch.transmit(x, y);
+            let both_zero = ch.transmit(!x, !y);
+            assert_eq!(both_one || both_zero, x == y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two-party")]
+    fn rejects_wider_channels() {
+        let inner = ScriptedChannel::new(3, vec![]);
+        let _ = MultiplicationChannel::over(inner);
+    }
+}

@@ -1,0 +1,201 @@
+//! Execution tracing: record what crossed the channel and render it as a
+//! terminal timeline — the debugging view used by the `trace` example and
+//! by humans staring at rewind storms.
+
+use crate::channel::Channel;
+use crate::noise::Delivery;
+
+/// One traced round: the true OR that was sent and what came out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundTrace {
+    /// OR of the bits the parties sent.
+    pub sent_or: bool,
+    /// What the channel delivered.
+    pub delivery: Delivery,
+}
+
+impl RoundTrace {
+    /// Whether any party received a bit different from the true OR.
+    pub fn corrupted(&self) -> bool {
+        match &self.delivery {
+            Delivery::Shared(b) => *b != self.sent_or,
+            Delivery::PerParty(bits) => bits.iter().any(|&b| b != self.sent_or),
+        }
+    }
+}
+
+/// A channel wrapper that records every round.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::{Channel, NoiseModel, StochasticChannel, TracingChannel};
+///
+/// let inner = StochasticChannel::new(2, NoiseModel::Noiseless, 0);
+/// let mut ch = TracingChannel::new(inner);
+/// ch.transmit(true);
+/// ch.transmit(false);
+/// assert_eq!(ch.log().len(), 2);
+/// assert!(!ch.log()[0].corrupted());
+/// ```
+#[derive(Debug)]
+pub struct TracingChannel<C> {
+    inner: C,
+    log: Vec<RoundTrace>,
+}
+
+impl<C: Channel> TracingChannel<C> {
+    /// Wraps `inner`, recording every subsequent round.
+    pub fn new(inner: C) -> Self {
+        Self {
+            inner,
+            log: Vec::new(),
+        }
+    }
+
+    /// The rounds recorded so far.
+    pub fn log(&self) -> &[RoundTrace] {
+        &self.log
+    }
+
+    /// Gives back the wrapped channel, dropping the log.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// Renders the trace as a two-strip timeline (`#` beep, `.` silence),
+    /// with a third strip marking corrupted rounds (`X`), wrapped at
+    /// `width` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn render(&self, width: usize) -> String {
+        render_strips(&self.log, width)
+    }
+}
+
+impl<C: Channel> Channel for TracingChannel<C> {
+    fn num_parties(&self) -> usize {
+        self.inner.num_parties()
+    }
+
+    fn transmit(&mut self, true_or: bool) -> Delivery {
+        let delivery = self.inner.transmit(true_or);
+        self.log.push(RoundTrace {
+            sent_or: true_or,
+            delivery: delivery.clone(),
+        });
+        delivery
+    }
+
+    fn rounds(&self) -> usize {
+        self.inner.rounds()
+    }
+
+    fn corrupted_rounds(&self) -> usize {
+        self.inner.corrupted_rounds()
+    }
+}
+
+/// Renders a recorded trace; exposed for logs captured elsewhere.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn render_strips(log: &[RoundTrace], width: usize) -> String {
+    assert!(width > 0, "width must be positive");
+    let mut out = String::new();
+    for (block_idx, block) in log.chunks(width).enumerate() {
+        let offset = block_idx * width;
+        let sent: String = block
+            .iter()
+            .map(|r| if r.sent_or { '#' } else { '.' })
+            .collect();
+        let heard: String = block
+            .iter()
+            .map(|r| {
+                let bit = match &r.delivery {
+                    Delivery::Shared(b) => *b,
+                    Delivery::PerParty(bits) => {
+                        bits.iter().filter(|&&b| b).count() * 2 >= bits.len()
+                    }
+                };
+                if bit {
+                    '#'
+                } else {
+                    '.'
+                }
+            })
+            .collect();
+        let marks: String = block
+            .iter()
+            .map(|r| if r.corrupted() { 'X' } else { ' ' })
+            .collect();
+        out.push_str(&format!("round {offset:>6}  sent  {sent}\n"));
+        out.push_str(&format!("              heard {heard}\n"));
+        out.push_str(&format!("              noise {marks}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{ScriptedChannel, StochasticChannel};
+    use crate::noise::NoiseModel;
+
+    #[test]
+    fn records_rounds_and_corruption() {
+        let inner = ScriptedChannel::new(2, vec![false, true, false]);
+        let mut ch = TracingChannel::new(inner);
+        ch.transmit(true);
+        ch.transmit(true); // flipped to 0
+        ch.transmit(false);
+        assert_eq!(ch.log().len(), 3);
+        assert!(!ch.log()[0].corrupted());
+        assert!(ch.log()[1].corrupted());
+        assert_eq!(ch.corrupted_rounds(), 1);
+    }
+
+    #[test]
+    fn render_marks_flips() {
+        let inner = ScriptedChannel::new(2, vec![true]);
+        let mut ch = TracingChannel::new(inner);
+        ch.transmit(false);
+        let s = ch.render(16);
+        assert!(s.contains("sent  ."));
+        assert!(s.contains("heard #"));
+        assert!(s.contains('X'));
+    }
+
+    #[test]
+    fn render_wraps_long_traces() {
+        let inner = StochasticChannel::new(2, NoiseModel::Noiseless, 0);
+        let mut ch = TracingChannel::new(inner);
+        for i in 0..70 {
+            ch.transmit(i % 3 == 0);
+        }
+        let s = ch.render(32);
+        // 70 rounds at width 32 -> 3 blocks of 3 lines.
+        assert_eq!(s.lines().count(), 9);
+        assert!(s.contains("round     32"));
+        assert!(s.contains("round     64"));
+    }
+
+    #[test]
+    fn per_party_delivery_renders_majority() {
+        let trace = vec![RoundTrace {
+            sent_or: true,
+            delivery: Delivery::PerParty(vec![true, true, false]),
+        }];
+        let s = render_strips(&trace, 8);
+        assert!(s.contains("heard #"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        render_strips(&[], 0);
+    }
+}

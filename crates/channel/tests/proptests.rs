@@ -1,0 +1,173 @@
+//! Property-based tests for the channel substrate: model invariants that
+//! must hold for arbitrary beep sequences, not just curated ones.
+
+use beeps_channel::{
+    run_noiseless, Channel, CorrectingAdversaryChannel, CorrectionPolicy, Delivery,
+    MultiplicationChannel, NoiseModel, Protocol, ReducedTwoSidedChannel, ScriptedChannel,
+    StochasticChannel,
+};
+use proptest::prelude::*;
+
+/// A protocol defined by an explicit per-party beep schedule.
+struct Table {
+    n: usize,
+    t: usize,
+}
+
+impl Protocol for Table {
+    type Input = Vec<bool>;
+    type Output = Vec<bool>;
+
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn length(&self) -> usize {
+        self.t
+    }
+
+    fn beep(&self, _party: usize, input: &Vec<bool>, transcript: &[bool]) -> bool {
+        input[transcript.len()]
+    }
+
+    fn output(&self, _party: usize, _input: &Vec<bool>, transcript: &[bool]) -> Vec<bool> {
+        transcript.to_vec()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Noiseless transcript = round-wise OR of the schedules, always.
+    #[test]
+    fn noiseless_transcript_is_roundwise_or(
+        schedules in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), 6),
+            1..5,
+        ),
+    ) {
+        let n = schedules.len();
+        let p = Table { n, t: 6 };
+        let exec = run_noiseless(&p, &schedules);
+        for m in 0..6 {
+            let or = schedules.iter().any(|s| s[m]);
+            prop_assert_eq!(exec.transcript()[m], or);
+        }
+    }
+
+    /// The one-sided 0->1 channel never erases a true 1; the 1->0 channel
+    /// never fabricates one — for arbitrary input sequences and seeds.
+    #[test]
+    fn one_sided_channels_respect_their_direction(
+        bits in prop::collection::vec(any::<bool>(), 1..64),
+        seed in any::<u64>(),
+    ) {
+        let mut up = StochasticChannel::new(
+            3,
+            NoiseModel::OneSidedZeroToOne { epsilon: 0.5 },
+            seed,
+        );
+        let mut down = StochasticChannel::new(
+            3,
+            NoiseModel::OneSidedOneToZero { epsilon: 0.5 },
+            seed,
+        );
+        for &b in &bits {
+            let heard_up = up.transmit(b).shared().unwrap();
+            if b {
+                prop_assert!(heard_up, "0->1 channel erased a beep");
+            }
+            let heard_down = down.transmit(b).shared().unwrap();
+            if !b {
+                prop_assert!(!heard_down, "1->0 channel fabricated a beep");
+            }
+        }
+    }
+
+    /// A scripted channel applies exactly its script.
+    #[test]
+    fn scripted_channel_applies_script(
+        sent in prop::collection::vec(any::<bool>(), 1..32),
+        flips in prop::collection::vec(any::<bool>(), 1..32),
+    ) {
+        let mut ch = ScriptedChannel::new(2, flips.clone());
+        for (i, &b) in sent.iter().enumerate() {
+            let expect = b ^ flips.get(i).copied().unwrap_or(false);
+            prop_assert_eq!(ch.transmit(b).shared(), Some(expect));
+        }
+        let expected_corrupted = flips
+            .iter()
+            .take(sent.len())
+            .filter(|&&f| f)
+            .count();
+        prop_assert_eq!(ch.corrupted_rounds(), expected_corrupted);
+    }
+
+    /// Per-party deliveries always carry exactly n bits and shared
+    /// regimes always produce Shared deliveries.
+    #[test]
+    fn delivery_shapes(seed in any::<u64>(), n in 1usize..10, or in any::<bool>()) {
+        let mut shared = StochasticChannel::new(
+            n,
+            NoiseModel::Correlated { epsilon: 0.3 },
+            seed,
+        );
+        prop_assert!(matches!(shared.transmit(or), Delivery::Shared(_)));
+        let mut indep = StochasticChannel::new(
+            n,
+            NoiseModel::Independent { epsilon: 0.3 },
+            seed,
+        );
+        match indep.transmit(or) {
+            Delivery::PerParty(bits) => prop_assert_eq!(bits.len(), n),
+            Delivery::Shared(_) => prop_assert!(false, "independent must be per-party"),
+        }
+    }
+
+    /// The correcting adversary with the `DownFlips` policy is
+    /// trace-equivalent to a one-sided 0->1 channel: beeps always arrive.
+    #[test]
+    fn adversary_down_policy_protects_beeps(
+        bits in prop::collection::vec(any::<bool>(), 1..64),
+        seed in any::<u64>(),
+    ) {
+        let mut ch = CorrectingAdversaryChannel::new(
+            2,
+            0.45,
+            CorrectionPolicy::DownFlips,
+            seed,
+        );
+        for &b in &bits {
+            let heard = ch.transmit(b).shared().unwrap();
+            if b {
+                prop_assert!(heard);
+            }
+        }
+    }
+
+    /// De Morgan: the multiplication channel computes AND noiselessly for
+    /// every bit pair sequence.
+    #[test]
+    fn multiplication_channel_is_and(
+        pairs in prop::collection::vec((any::<bool>(), any::<bool>()), 1..32),
+        seed in any::<u64>(),
+    ) {
+        let mut ch = MultiplicationChannel::noiseless(seed);
+        for &(a, b) in &pairs {
+            prop_assert_eq!(ch.transmit(a, b), a && b);
+        }
+    }
+
+    /// Determinism: same seed, same channel behaviour.
+    #[test]
+    fn channels_are_seed_deterministic(
+        bits in prop::collection::vec(any::<bool>(), 1..48),
+        seed in any::<u64>(),
+    ) {
+        let mut a = ReducedTwoSidedChannel::new(2, seed);
+        let mut b = ReducedTwoSidedChannel::new(2, seed);
+        for &bit in &bits {
+            prop_assert_eq!(a.transmit(bit), b.transmit(bit));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Internal round loop for simulator parties with termination detection.
+
+use beeps_channel::{Channel, Delivery};
+
+/// A simulator party: a [`beeps_channel::Party`]-shaped state machine that
+/// additionally knows when it has finished.
+pub(crate) trait SimParty {
+    fn beep(&mut self) -> bool;
+    fn hear(&mut self, heard: bool);
+    fn is_done(&self) -> bool;
+}
+
+/// Result of driving parties to completion (or budget exhaustion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DriveResult {
+    pub rounds: usize,
+    pub energy: usize,
+    pub all_done: bool,
+}
+
+/// Runs the parties over the channel until every party reports done or the
+/// round budget runs out. Done parties keep being polled (they idle with
+/// silent beeps) so the lockstep round structure is preserved when parties
+/// finish at different times under independent noise.
+pub(crate) fn drive<P: SimParty>(
+    parties: &mut [P],
+    channel: &mut dyn Channel,
+    budget: usize,
+) -> DriveResult {
+    assert!(!parties.is_empty(), "need at least one party");
+    assert_eq!(
+        parties.len(),
+        channel.num_parties(),
+        "channel sized for wrong number of parties"
+    );
+    let mut rounds = 0usize;
+    let mut energy = 0usize;
+    while rounds < budget && parties.iter().any(|p| !p.is_done()) {
+        let mut or = false;
+        for party in parties.iter_mut() {
+            let b = party.beep();
+            energy += usize::from(b);
+            or |= b;
+        }
+        let delivery: Delivery = channel.transmit(or);
+        for (i, party) in parties.iter_mut().enumerate() {
+            party.hear(delivery.heard_by(i));
+        }
+        rounds += 1;
+    }
+    DriveResult {
+        rounds,
+        energy,
+        all_done: parties.iter().all(|p| p.is_done()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beeps_channel::{NoiseModel, StochasticChannel};
+
+    struct CountDown {
+        left: usize,
+    }
+
+    impl SimParty for CountDown {
+        fn beep(&mut self) -> bool {
+            self.left > 0
+        }
+
+        fn hear(&mut self, _heard: bool) {
+            self.left = self.left.saturating_sub(1);
+        }
+
+        fn is_done(&self) -> bool {
+            self.left == 0
+        }
+    }
+
+    #[test]
+    fn stops_when_all_done() {
+        let mut parties = vec![CountDown { left: 3 }, CountDown { left: 5 }];
+        let mut ch = StochasticChannel::new(2, NoiseModel::Noiseless, 0);
+        let result = drive(&mut parties, &mut ch, 100);
+        assert_eq!(result.rounds, 5);
+        assert!(result.all_done);
+        // Energy: party 0 beeps 3 rounds, party 1 beeps 5.
+        assert_eq!(result.energy, 8);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut parties = vec![CountDown { left: 50 }];
+        let mut ch = StochasticChannel::new(1, NoiseModel::Noiseless, 0);
+        let result = drive(&mut parties, &mut ch, 10);
+        assert_eq!(result.rounds, 10);
+        assert!(!result.all_done);
+    }
+}

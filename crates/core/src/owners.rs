@@ -1,0 +1,460 @@
+//! Algorithm 1's *finding owners* phase (Appendix D.1, Theorem D.1).
+//!
+//! After a chunk has been simulated into a shared transcript `π`, the
+//! parties must compute, for every round `j` with `π_j = 1`, an **owner**:
+//! a party that actually beeped 1 in round `j`. Owners make 1s verifiable —
+//! in the later verification phase the owner of a round vouches for its 1,
+//! which is the idea that makes the rewind-if-error discipline work over
+//! the beeping channel (subsection 2.1 of the paper).
+//!
+//! The phase proceeds in turn order: the party whose turn it is transmits
+//! either the codeword `C(j)` of a round it can own (one it beeped 1 in,
+//! not yet claimed) or `C(Next)` to pass the turn; everyone decodes each
+//! codeword and updates the same bookkeeping (`T^i`, `turn^i`, `o^i_j`).
+//! Over shared-noise channels all parties decode identically, so the
+//! bookkeeping *always* agrees; decoding errors can only make an owner
+//! invalid, which the verification phase then catches.
+//!
+//! Deviations from the paper's Algorithm 1, documented for fidelity:
+//!
+//! * iterations: the paper fixes `2n` (chunks of length `n`); we use
+//!   `L + n` for chunks of length `L` — the same bound by the same
+//!   argument (≤ `L` claims plus ≤ `n` `Next`s);
+//! * a party only claims rounds with `π_j = 1` (claims of `π_j = 0` rounds
+//!   would be flagged in verification anyway);
+//! * once every party has passed (`turn = n`), the remaining iterations
+//!   idle instead of decoding silence into garbage.
+
+use crate::driver::{drive, SimParty};
+use beeps_channel::{NoiseModel, StochasticChannel};
+use beeps_ecc::{BitMetric, RandomCode, SymbolCode};
+
+/// The shared symbol code used by the owners phase.
+pub type SharedCode = std::sync::Arc<dyn SymbolCode + Send + Sync>;
+use std::sync::Arc;
+
+/// Per-party state machine for one owners phase. Embedded by the rewind
+/// simulator and by the standalone [`run_owners_phase`] driver.
+#[derive(Debug, Clone)]
+pub(crate) struct OwnersState {
+    me: usize,
+    n: usize,
+    /// The shared chunk transcript `π` (length `L_c`).
+    pi: Vec<bool>,
+    /// The bits this party beeped in the chunk (length `L_c`).
+    my_bits: Vec<bool>,
+    code: SharedCode,
+    metric: BitMetric,
+    /// The `Next` symbol is the last one in the code's alphabet.
+    next_symbol: usize,
+    iterations: usize,
+    iter: usize,
+    bit_idx: usize,
+    word: Vec<bool>,
+    sending: Option<Vec<bool>>,
+    /// `T^i`: rounds already claimed by some owner.
+    claimed: Vec<bool>,
+    /// `turn^i`.
+    turn: usize,
+    /// `o^i_j`.
+    owners: Vec<Option<usize>>,
+}
+
+impl OwnersState {
+    /// `pi` and `my_bits` must have equal length `L_c ≤ code alphabet − 1`.
+    pub(crate) fn new(
+        me: usize,
+        n: usize,
+        pi: Vec<bool>,
+        my_bits: Vec<bool>,
+        code: SharedCode,
+        metric: BitMetric,
+    ) -> Self {
+        assert_eq!(pi.len(), my_bits.len(), "transcript/bits length mismatch");
+        assert!(
+            pi.len() < code.alphabet_size(),
+            "chunk of {} rounds needs an alphabet of at least {} symbols",
+            pi.len(),
+            pi.len() + 1
+        );
+        let len = pi.len();
+        let next_symbol = code.alphabet_size() - 1;
+        let mut state = Self {
+            me,
+            n,
+            pi,
+            my_bits,
+            code,
+            metric,
+            next_symbol,
+            // L + n iterations: every claim consumes a round, every pass a
+            // party.
+            iterations: len + n,
+            iter: 0,
+            bit_idx: 0,
+            word: Vec::new(),
+            sending: None,
+            claimed: vec![false; len],
+            turn: 0,
+            owners: vec![None; len],
+        };
+        state.prepare_word();
+        state
+    }
+
+    /// Whether all iterations have completed.
+    pub(crate) fn finished(&self) -> bool {
+        self.iter >= self.iterations
+    }
+
+    /// The computed owner of each chunk round (None for 0-rounds and for
+    /// unowned 1s, which verification flags).
+    pub(crate) fn owners(&self) -> &[Option<usize>] {
+        &self.owners
+    }
+
+    /// The chunk transcript `π` this phase was run for.
+    pub(crate) fn pi_bits(&self) -> &[bool] {
+        &self.pi
+    }
+
+    /// Rounds one owners phase occupies on the channel.
+    pub(crate) fn channel_rounds(chunk_len: usize, n: usize, code_len: usize) -> usize {
+        (chunk_len + n) * code_len
+    }
+
+    /// Chooses what to transmit this iteration (if this party holds the
+    /// turn): the smallest unclaimed 1-round it beeped in, else `Next`.
+    fn prepare_word(&mut self) {
+        self.sending = if self.turn == self.me && self.turn < self.n {
+            let claim =
+                (0..self.pi.len()).find(|&j| self.pi[j] && self.my_bits[j] && !self.claimed[j]);
+            let symbol = claim.unwrap_or(self.next_symbol);
+            Some(self.code.encode(symbol))
+        } else {
+            None
+        };
+    }
+
+    pub(crate) fn beep(&mut self) -> bool {
+        if self.finished() {
+            return false;
+        }
+        match &self.sending {
+            Some(word) => word[self.bit_idx],
+            None => false,
+        }
+    }
+
+    pub(crate) fn hear(&mut self, heard: bool) {
+        if self.finished() {
+            return;
+        }
+        self.word.push(heard);
+        self.bit_idx += 1;
+        if self.bit_idx < self.code.codeword_len() {
+            return;
+        }
+        // Iteration complete: decode and update the shared bookkeeping.
+        if self.turn < self.n {
+            let symbol = self.code.decode(&self.word, self.metric);
+            if symbol == self.next_symbol {
+                self.turn += 1;
+            } else if symbol < self.pi.len() {
+                self.claimed[symbol] = true;
+                self.owners[symbol] = Some(self.turn);
+            }
+            // A decoded symbol in [L_c, next) names no round of this chunk
+            // (possible in tail chunks or under decode errors): ignore it,
+            // keeping all parties' bookkeeping in lockstep.
+        }
+        self.word.clear();
+        self.bit_idx = 0;
+        self.iter += 1;
+        if !self.finished() {
+            self.prepare_word();
+        }
+    }
+}
+
+/// Result of a standalone owners phase (experiment E4 / Theorem D.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnersOutcome {
+    /// `owners[i][j]`: party `i`'s belief about the owner of round `j`.
+    pub owners: Vec<Vec<Option<usize>>>,
+    /// Channel rounds consumed.
+    pub channel_rounds: usize,
+}
+
+impl OwnersOutcome {
+    /// Theorem D.1's guarantee, checked: for every round `j` with
+    /// `π_j = 1`, all parties agree on an owner `o_j` and `b_j^{o_j} = 1`.
+    pub fn valid_for(&self, bits: &[Vec<bool>]) -> bool {
+        let n = self.owners.len();
+        if n == 0 {
+            return false;
+        }
+        let len = self.owners[0].len();
+        for j in 0..len {
+            let pi_j = (0..n).any(|i| bits[i][j]);
+            if !pi_j {
+                continue;
+            }
+            let first = self.owners[0][j];
+            if self.owners.iter().any(|o| o[j] != first) {
+                return false;
+            }
+            match first {
+                Some(owner) => {
+                    if !bits[owner][j] {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Runs *only* the finding-owners phase of Algorithm 1, as in the premise
+/// of Theorem D.1: party `i` holds bits `b^i_j` and everyone shares the
+/// (correct) transcript `π_j = ⋁_i b^i_j`.
+///
+/// `code_len` is the codeword length in bits; sensible values come from
+/// [`beeps_info::tail::random_code_length`]. Returns every party's owner
+/// table so tests can check both agreement and validity.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty or ragged, or the noise parameter is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::NoiseModel;
+/// use beeps_core::run_owners_phase;
+///
+/// // Party 0 beeped in round 1; party 2 beeped in rounds 0 and 1.
+/// let bits = vec![
+///     vec![false, true, false],
+///     vec![false, false, false],
+///     vec![true, true, false],
+/// ];
+/// let out = run_owners_phase(&bits, NoiseModel::Noiseless, 64, 7, 1);
+/// assert!(out.valid_for(&bits));
+/// // Round 0 can only be owned by party 2.
+/// assert_eq!(out.owners[0][0], Some(2));
+/// ```
+pub fn run_owners_phase(
+    bits: &[Vec<bool>],
+    model: NoiseModel,
+    code_len: usize,
+    code_seed: u64,
+    channel_seed: u64,
+) -> OwnersOutcome {
+    let n = bits.len();
+    assert!(n > 0, "need at least one party");
+    let len = bits[0].len();
+    assert!(
+        bits.iter().all(|b| b.len() == len),
+        "all parties need bits for every round"
+    );
+    model.validate().expect("invalid noise parameter");
+
+    let pi: Vec<bool> = (0..len).map(|j| bits.iter().any(|b| b[j])).collect();
+    let code: SharedCode = Arc::new(RandomCode::with_length(len + 1, code_len, code_seed));
+    let metric = metric_for(model);
+
+    let mut parties: Vec<OwnersOnlyParty> = (0..n)
+        .map(|i| OwnersOnlyParty {
+            state: OwnersState::new(i, n, pi.clone(), bits[i].clone(), Arc::clone(&code), metric),
+        })
+        .collect();
+    let mut channel = StochasticChannel::new(n, model, channel_seed);
+    let budget = OwnersState::channel_rounds(len, n, code.codeword_len());
+    let result = drive(&mut parties, &mut channel, budget);
+    debug_assert!(result.all_done);
+
+    OwnersOutcome {
+        owners: parties
+            .into_iter()
+            .map(|p| p.state.owners().to_vec())
+            .collect(),
+        channel_rounds: result.rounds,
+    }
+}
+
+/// The decoding metric matched to a noise model (shared with the rewind
+/// simulator).
+pub(crate) fn metric_for(model: NoiseModel) -> BitMetric {
+    match model {
+        NoiseModel::OneSidedZeroToOne { .. } => BitMetric::ZUp,
+        NoiseModel::OneSidedOneToZero { .. } => BitMetric::ZDown,
+        _ => BitMetric::Hamming,
+    }
+}
+
+struct OwnersOnlyParty {
+    state: OwnersState,
+}
+
+impl SimParty for OwnersOnlyParty {
+    fn beep(&mut self) -> bool {
+        self.state.beep()
+    }
+
+    fn hear(&mut self, heard: bool) {
+        self.state.hear(heard);
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.finished()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn noiseless_owners_are_valid_and_first_claimant_wins() {
+        let bits = vec![
+            vec![true, false, true, false],
+            vec![true, true, false, false],
+        ];
+        let out = run_owners_phase(&bits, NoiseModel::Noiseless, 48, 1, 2);
+        assert!(out.valid_for(&bits));
+        // Round 0: both beeped; party 0 claims first (turn order).
+        assert_eq!(out.owners[0][0], Some(0));
+        // Round 1: only party 1.
+        assert_eq!(out.owners[0][1], Some(1));
+        // Round 2: only party 0.
+        assert_eq!(out.owners[0][2], Some(0));
+        // Round 3: silent, no owner.
+        assert_eq!(out.owners[0][3], None);
+    }
+
+    #[test]
+    fn all_silent_chunk_has_no_owners() {
+        let bits = vec![vec![false; 5]; 3];
+        let out = run_owners_phase(&bits, NoiseModel::Noiseless, 48, 1, 2);
+        assert!(out.valid_for(&bits));
+        assert!(out.owners.iter().flatten().all(|o| o.is_none()));
+    }
+
+    #[test]
+    fn single_party_owns_everything_it_beeped() {
+        let bits = vec![vec![true, true, false, true]];
+        let out = run_owners_phase(&bits, NoiseModel::Noiseless, 32, 3, 4);
+        assert!(out.valid_for(&bits));
+        assert_eq!(out.owners[0][0], Some(0));
+        assert_eq!(out.owners[0][3], Some(0));
+    }
+
+    #[test]
+    fn owners_valid_under_one_sided_noise_with_sized_code() {
+        let mut rng = StdRng::seed_from_u64(0xD1);
+        let n = 6;
+        let len = 8;
+        let eps = 1.0 / 3.0;
+        let code_len = beeps_info::tail::random_code_length(
+            len + 1,
+            beeps_info::tail::cutoff_rate_z(eps),
+            0.001,
+        );
+        let mut valid = 0;
+        let trials = 30;
+        for t in 0..trials {
+            let bits: Vec<Vec<bool>> = (0..n)
+                .map(|_| (0..len).map(|_| rng.gen_bool(0.3)).collect())
+                .collect();
+            let out = run_owners_phase(
+                &bits,
+                NoiseModel::OneSidedZeroToOne { epsilon: eps },
+                code_len,
+                t,
+                1000 + t,
+            );
+            if out.valid_for(&bits) {
+                valid += 1;
+            }
+        }
+        assert!(valid >= trials - 1, "only {valid}/{trials} valid phases");
+    }
+
+    #[test]
+    fn owners_valid_under_correlated_noise_with_sized_code() {
+        let mut rng = StdRng::seed_from_u64(0xD2);
+        let n = 4;
+        let len = 6;
+        let eps = 0.1;
+        let code_len = beeps_info::tail::random_code_length(
+            len + 1,
+            beeps_info::tail::cutoff_rate_bsc(eps),
+            0.001,
+        );
+        let mut valid = 0;
+        let trials = 30;
+        for t in 0..trials {
+            let bits: Vec<Vec<bool>> = (0..n)
+                .map(|_| (0..len).map(|_| rng.gen_bool(0.4)).collect())
+                .collect();
+            let out = run_owners_phase(
+                &bits,
+                NoiseModel::Correlated { epsilon: eps },
+                code_len,
+                t,
+                2000 + t,
+            );
+            if out.valid_for(&bits) {
+                valid += 1;
+            }
+        }
+        assert!(valid >= trials - 1, "only {valid}/{trials} valid phases");
+    }
+
+    #[test]
+    fn parties_always_agree_under_shared_noise_even_when_wrong() {
+        // Even with an absurdly short code (frequent decode errors), the
+        // shared channel forces identical bookkeeping.
+        let mut rng = StdRng::seed_from_u64(0xD3);
+        for t in 0..20 {
+            let bits: Vec<Vec<bool>> = (0..5)
+                .map(|_| (0..6).map(|_| rng.gen_bool(0.5)).collect())
+                .collect();
+            let out = run_owners_phase(
+                &bits,
+                NoiseModel::Correlated { epsilon: 0.4 },
+                8, // deliberately hopeless
+                t,
+                t,
+            );
+            let first = &out.owners[0];
+            assert!(
+                out.owners.iter().all(|o| o == first),
+                "owner tables diverged under shared noise"
+            );
+        }
+    }
+
+    #[test]
+    fn round_budget_matches_formula() {
+        let bits = vec![vec![true, false]; 3];
+        let out = run_owners_phase(&bits, NoiseModel::Noiseless, 16, 0, 0);
+        assert_eq!(out.channel_rounds, OwnersState::channel_rounds(2, 3, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "bits for every round")]
+    fn ragged_bits_rejected() {
+        run_owners_phase(
+            &[vec![true], vec![true, false]],
+            NoiseModel::Noiseless,
+            16,
+            0,
+            0,
+        );
+    }
+}

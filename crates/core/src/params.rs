@@ -1,0 +1,283 @@
+//! Simulation parameters and their resolution against a noise model.
+//!
+//! The paper's schemes are parameterized by "sufficiently large constants";
+//! here those constants are *computed* from the target error via the tail
+//! bounds of `beeps-info`:
+//!
+//! * repetition counts from exact binomial tails
+//!   ([`beeps_info::tail::repetitions_for_error`]),
+//! * codeword lengths from the random-coding union bound at the channel's
+//!   cutoff rate ([`beeps_info::tail::random_code_length`]).
+
+use beeps_channel::NoiseModel;
+use beeps_ecc::BitMetric;
+use beeps_info::tail;
+
+/// Tunable parameters of the chunked simulators.
+///
+/// Use [`SimulatorConfig::for_parties`] (paper defaults: `ε = 1/3`,
+/// chunk length `n`) or [`SimulatorConfig::for_channel`] (parameters sized
+/// for a specific noise model), then override fields as needed.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::NoiseModel;
+/// use beeps_core::SimulatorConfig;
+///
+/// let mild = SimulatorConfig::for_channel(16, NoiseModel::Correlated { epsilon: 0.05 });
+/// let harsh = SimulatorConfig::for_channel(16, NoiseModel::Correlated { epsilon: 1.0 / 3.0 });
+/// // Harsher channels need more repetitions and longer codewords.
+/// assert!(harsh.repetitions > mild.repetitions);
+/// assert!(harsh.code_len > mild.code_len);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatorConfig {
+    /// Chunk length `L` in protocol rounds (the paper uses `L = n`).
+    pub chunk_len: usize,
+    /// Repetitions `R` per simulated round in the chunk-simulation phase
+    /// (and the whole-protocol repetition scheme).
+    pub repetitions: usize,
+    /// Codeword length in bits for the owners-phase symbol code.
+    pub code_len: usize,
+    /// Rounds `V` of the verification-flag OR.
+    pub verify_repetitions: usize,
+    /// The channel-round budget is `budget_factor ×` the ideal (rewind-free)
+    /// cost; exceeding it aborts with `SimError::BudgetExhausted`.
+    pub budget_factor: f64,
+    /// Seed from which all parties derive the (shared, public) symbol code.
+    pub code_seed: u64,
+    /// When set, the owners phase uses a constant-weight code of this
+    /// Hamming weight instead of the default random code — roughly
+    /// `code_len / (2·weight)` times less beeping energy, best suited to
+    /// the one-sided `0→1` (Z) channel. `None` = random code.
+    pub code_weight: Option<usize>,
+    /// Per-decision failure probability the parameters were sized for.
+    pub target_error: f64,
+}
+
+impl SimulatorConfig {
+    /// Paper defaults for `n` parties: parameters sized for the correlated
+    /// two-sided channel at the paper's exposition noise rate `ε = 1/3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn for_parties(n: usize) -> Self {
+        Self::for_channel(n, NoiseModel::Correlated { epsilon: 1.0 / 3.0 })
+    }
+
+    /// Parameters sized for `n` parties over a specific noise model, with
+    /// a per-decision error target of `1 / (20 · L · log₂ n)`-ish — enough
+    /// for the rewind mechanism to make steady progress. Tighten
+    /// [`SimulatorConfig::target_error`]-driven sizing by calling
+    /// [`SimulatorConfig::with_target_error`] afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the model's ε is invalid.
+    pub fn for_channel(n: usize, model: NoiseModel) -> Self {
+        assert!(n > 0, "need at least one party");
+        model.validate().expect("invalid noise parameter");
+        let chunk_len = n.max(4);
+        // Per-decision target: each chunk makes ~ L + (L + n) + 1 decisions
+        // (L repetition decodes, L+n codeword decodes, 1 verification OR);
+        // aim for a clean chunk with probability ~0.85 so rewinds are rare.
+        // Under independent noise every party decodes from its own view and
+        // any single divergence desynchronizes the lockstep control flow,
+        // so the budget is split across all n parties' decisions.
+        let per_party = (3 * chunk_len + n + 1) as f64;
+        let decisions = match model {
+            NoiseModel::Independent { .. } => per_party * n as f64,
+            _ => per_party,
+        };
+        let target = (0.15 / decisions).clamp(1e-9, 0.25);
+        Self::sized(n, chunk_len, model, target)
+    }
+
+    /// Re-sizes repetition counts and codeword lengths for a custom
+    /// per-decision error target (e.g. `n^{-10}` to match Theorem D.1's
+    /// statement exactly, at a correspondingly higher constant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not in `(0, 1)`.
+    pub fn with_target_error(mut self, n: usize, model: NoiseModel, target: f64) -> Self {
+        assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+        let sized = Self::sized(n, self.chunk_len, model, target);
+        self.repetitions = sized.repetitions;
+        self.code_len = sized.code_len;
+        self.verify_repetitions = sized.verify_repetitions;
+        self.target_error = target;
+        self
+    }
+
+    fn sized(_n: usize, chunk_len: usize, model: NoiseModel, target: f64) -> Self {
+        let eps = model.epsilon();
+        let q = chunk_len + 1; // symbols [L] plus Next
+        let (repetitions, code_len, verify_repetitions): (usize, usize, usize) = match model {
+            NoiseModel::Noiseless => (1, tail::random_code_length(q, 1.0, target), 1),
+            NoiseModel::Correlated { .. } | NoiseModel::Independent { .. } => {
+                let r = tail::repetitions_for_error(eps, 0.5, target) as usize;
+                let len = tail::random_code_length(q, tail::cutoff_rate_bsc(eps), target);
+                (r, len, r)
+            }
+            NoiseModel::OneSidedZeroToOne { .. } => {
+                let thr = (1.0 + eps) / 2.0;
+                let r = tail::repetitions_for_error_one_sided(eps, thr, target) as usize;
+                let len = tail::random_code_length(q, tail::cutoff_rate_z(eps), target);
+                (r, len, r)
+            }
+            NoiseModel::OneSidedOneToZero { .. } => {
+                // Decode 1 iff any copy is 1; a true 1 is missed w.p. ε^R.
+                let r = if eps == 0.0 {
+                    1
+                } else {
+                    (target.ln() / eps.ln()).ceil().max(1.0) as usize
+                };
+                let len = tail::random_code_length(q, tail::cutoff_rate_z(eps), target);
+                (r, len, r)
+            }
+        };
+        Self {
+            chunk_len,
+            repetitions,
+            code_len,
+            verify_repetitions,
+            budget_factor: 8.0,
+            code_seed: 0x0B_EE_50_0D,
+            code_weight: None,
+            target_error: target,
+        }
+    }
+
+    /// Builds the owners-phase symbol code this configuration describes:
+    /// a seeded random code, or a constant-weight code when
+    /// [`SimulatorConfig::code_weight`] is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code_weight` is incompatible with `code_len`.
+    pub fn build_code(&self) -> crate::owners::SharedCode {
+        use std::sync::Arc;
+        match self.code_weight {
+            Some(w) => Arc::new(beeps_ecc::ConstantWeightCode::new(
+                self.chunk_len + 1,
+                self.code_len,
+                w,
+                self.code_seed,
+            )),
+            None => Arc::new(beeps_ecc::RandomCode::with_length(
+                self.chunk_len + 1,
+                self.code_len,
+                self.code_seed,
+            )),
+        }
+    }
+
+    /// Resolves decode thresholds and the decoding metric for the channel
+    /// the simulation will actually run over.
+    pub fn resolve(&self, model: NoiseModel) -> ResolvedParams {
+        let eps = model.epsilon();
+        let (rep_ones, verify_ones, metric) = match model {
+            NoiseModel::Noiseless => (1, 1, BitMetric::Hamming),
+            NoiseModel::Correlated { .. } | NoiseModel::Independent { .. } => (
+                self.repetitions / 2 + 1,
+                self.verify_repetitions / 2 + 1,
+                BitMetric::Hamming,
+            ),
+            NoiseModel::OneSidedZeroToOne { .. } => {
+                let thr = (1.0 + eps) / 2.0;
+                (
+                    biased_threshold(self.repetitions, thr),
+                    biased_threshold(self.verify_repetitions, thr),
+                    BitMetric::ZUp,
+                )
+            }
+            NoiseModel::OneSidedOneToZero { .. } => (1, 1, BitMetric::ZDown),
+        };
+        ResolvedParams {
+            rep_ones,
+            verify_ones,
+            metric,
+        }
+    }
+}
+
+/// `⌈thr · r⌉` clamped into `1..=r`.
+fn biased_threshold(r: usize, thr: f64) -> usize {
+    ((thr * r as f64).ceil() as usize).clamp(1, r)
+}
+
+/// Thresholds and decoding metric resolved against a concrete channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedParams {
+    /// Heard-ones needed (out of `repetitions`) to decode a simulated
+    /// round as 1.
+    pub rep_ones: usize,
+    /// Heard-ones needed (out of `verify_repetitions`) to treat the
+    /// verification flag OR as raised.
+    pub verify_ones: usize,
+    /// Metric for decoding owners-phase codewords.
+    pub metric: BitMetric,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_scale_with_n() {
+        let small = SimulatorConfig::for_parties(4);
+        let large = SimulatorConfig::for_parties(256);
+        assert!(large.code_len > small.code_len);
+        assert!(large.chunk_len > small.chunk_len);
+        // Codeword length grows like log n: going 4 -> 256 parties
+        // (64x) should much less than 64x the code length.
+        assert!(large.code_len < 8 * small.code_len);
+    }
+
+    #[test]
+    fn one_sided_up_cheaper_than_two_sided() {
+        let two = SimulatorConfig::for_channel(32, NoiseModel::Correlated { epsilon: 1.0 / 3.0 });
+        let one =
+            SimulatorConfig::for_channel(32, NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 });
+        assert!(one.code_len < two.code_len, "Z-channel codes are shorter");
+    }
+
+    #[test]
+    fn resolve_thresholds_by_model() {
+        let cfg = SimulatorConfig::for_parties(8);
+        let two = cfg.resolve(NoiseModel::Correlated { epsilon: 1.0 / 3.0 });
+        assert_eq!(two.rep_ones, cfg.repetitions / 2 + 1);
+        assert_eq!(two.metric, BitMetric::Hamming);
+
+        let up = cfg.resolve(NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 });
+        assert!(up.rep_ones > two.rep_ones, "ZUp threshold is biased high");
+        assert_eq!(up.metric, BitMetric::ZUp);
+
+        let down = cfg.resolve(NoiseModel::OneSidedOneToZero { epsilon: 1.0 / 3.0 });
+        assert_eq!(down.rep_ones, 1, "any heard 1 proves a true 1");
+        assert_eq!(down.metric, BitMetric::ZDown);
+
+        let clean = cfg.resolve(NoiseModel::Noiseless);
+        assert_eq!(clean.rep_ones, 1);
+    }
+
+    #[test]
+    fn tighter_target_grows_parameters() {
+        let base = SimulatorConfig::for_parties(16);
+        let tight =
+            base.clone()
+                .with_target_error(16, NoiseModel::Correlated { epsilon: 1.0 / 3.0 }, 1e-8);
+        assert!(tight.repetitions > base.repetitions);
+        assert!(tight.code_len > base.code_len);
+        assert_eq!(tight.chunk_len, base.chunk_len);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_rejected() {
+        SimulatorConfig::for_parties(0);
+    }
+}

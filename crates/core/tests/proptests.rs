@@ -1,0 +1,90 @@
+//! Property-based tests for the coding schemes: invariants that must hold
+//! for arbitrary inputs, not just curated scenarios.
+
+use beeps_channel::{NoiseModel, Protocol};
+use beeps_core::{run_owners_phase, RewindSimulator, SimulatorConfig};
+use beeps_protocols::InputSet;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Over a noiseless channel, Algorithm 1's owners phase is valid for
+    /// every bit matrix: agreed owners who really beeped.
+    #[test]
+    fn owners_phase_valid_noiselessly(
+        bits in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), 5),
+            1..6,
+        ),
+        code_seed in any::<u64>(),
+    ) {
+        let out = run_owners_phase(&bits, NoiseModel::Noiseless, 24, code_seed, 0);
+        prop_assert!(out.valid_for(&bits));
+    }
+
+    /// First-claimant-in-turn-order: the owner of every 1-round is the
+    /// lowest-indexed party that beeped there, when the phase is clean.
+    #[test]
+    fn owners_are_lowest_beepers_noiselessly(
+        bits in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), 4),
+            1..5,
+        ),
+    ) {
+        let out = run_owners_phase(&bits, NoiseModel::Noiseless, 24, 7, 0);
+        for j in 0..4 {
+            let lowest = (0..bits.len()).find(|&i| bits[i][j]);
+            prop_assert_eq!(out.owners[0][j], lowest);
+        }
+    }
+
+    /// Config sizing is monotone: more noise never shrinks any parameter.
+    #[test]
+    fn config_monotone_in_eps(n in 1usize..64, step in 1usize..5) {
+        let lo = 0.05 * step as f64;
+        let hi = (lo + 0.1).min(0.45);
+        let a = SimulatorConfig::for_channel(n, NoiseModel::Correlated { epsilon: lo });
+        let b = SimulatorConfig::for_channel(n, NoiseModel::Correlated { epsilon: hi });
+        prop_assert!(b.repetitions >= a.repetitions);
+        prop_assert!(b.code_len >= a.code_len);
+        prop_assert!(b.verify_repetitions >= a.verify_repetitions);
+    }
+
+    /// Phase-round accounting partitions the run for arbitrary instances.
+    #[test]
+    fn phase_rounds_partition_channel_rounds(
+        n in 2usize..7,
+        seed in any::<u64>(),
+        input_seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let p = InputSet::new(n);
+        let mut rng = StdRng::seed_from_u64(input_seed);
+        let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
+        let model = NoiseModel::Correlated { epsilon: 0.1 };
+        let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+        if let Ok(out) = sim.simulate(&inputs, model, seed) {
+            let ph = out.stats().phase_rounds;
+            prop_assert_eq!(
+                ph.chunk + ph.owners + ph.verify,
+                out.stats().channel_rounds
+            );
+            prop_assert!(out.stats().agreement);
+            prop_assert_eq!(out.transcript().len(), p.length());
+        }
+    }
+
+    /// Single-party simulations work for any input (degenerate owners
+    /// phase, trivial verification).
+    #[test]
+    fn single_party_simulation(input in 0usize..2, seed in any::<u64>()) {
+        let p = InputSet::new(1);
+        let model = NoiseModel::Correlated { epsilon: 0.1 };
+        let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(1, model));
+        if let Ok(out) = sim.simulate(&[input], model, seed) {
+            let truth = beeps_channel::run_noiseless(&p, &[input]);
+            prop_assert_eq!(out.transcript(), truth.transcript());
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Constant-weight codes: every codeword carries exactly `w` ones.
+//!
+//! Two reasons to care in the beeping world:
+//!
+//! * **Energy.** A beep costs energy; a codeword's weight *is* its energy.
+//!   Random codes beep on half their bits; a constant-weight code at
+//!   `w ≪ len/2` cuts the owners phase's energy proportionally.
+//! * **The Z-channel.** Over one-sided `0→1` noise the 1s of a codeword
+//!   are never erased, so what distinguishes codewords is where their 1s
+//!   *aren't* — superimposed-code territory, where low-weight codes with
+//!   small pairwise support intersections excel.
+//!
+//! Codewords are random distinct `w`-subsets of the positions, drawn from
+//! a seed like [`crate::RandomCode`]; decoding is maximum likelihood under
+//! the caller's [`BitMetric`].
+
+use crate::bits::{BitMetric, PackedBits};
+use crate::SymbolCode;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A code of `q` codewords of length `len`, each of Hamming weight
+/// exactly `weight`.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_ecc::{BitMetric, ConstantWeightCode, SymbolCode};
+///
+/// let code = ConstantWeightCode::new(17, 48, 6, 0xC0DE);
+/// let w = code.encode(11);
+/// assert_eq!(w.iter().filter(|&&b| b).count(), 6);
+/// assert_eq!(code.decode(&w, BitMetric::ZUp), 11);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConstantWeightCode {
+    q: usize,
+    len: usize,
+    weight: usize,
+    codewords: Vec<PackedBits>,
+}
+
+impl ConstantWeightCode {
+    /// Builds the code from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet_size < 2`, `weight` is 0 or ≥ `len`, or
+    /// distinct supports cannot be drawn (alphabet too large for
+    /// `C(len, weight)`).
+    pub fn new(alphabet_size: usize, len: usize, weight: usize, seed: u64) -> Self {
+        assert!(alphabet_size >= 2, "alphabet must have at least 2 symbols");
+        assert!(
+            weight >= 1 && weight < len,
+            "weight must be in 1..len, got {weight} of {len}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut codewords: Vec<PackedBits> = Vec::with_capacity(alphabet_size);
+        let mut attempts = 0usize;
+        while codewords.len() < alphabet_size {
+            // Partial Fisher–Yates draw of a w-subset.
+            let mut positions: Vec<usize> = (0..len).collect();
+            for i in 0..weight {
+                let j = rng.gen_range(i..len);
+                positions.swap(i, j);
+            }
+            let mut bits = vec![false; len];
+            for &p in &positions[..weight] {
+                bits[p] = true;
+            }
+            let cw = PackedBits::from_bools(&bits);
+            if codewords.contains(&cw) {
+                attempts += 1;
+                assert!(
+                    attempts < 10_000,
+                    "could not draw distinct supports; increase len or weight"
+                );
+                continue;
+            }
+            codewords.push(cw);
+        }
+        Self {
+            q: alphabet_size,
+            len,
+            weight,
+            codewords,
+        }
+    }
+
+    /// The common Hamming weight of every codeword.
+    pub fn weight(&self) -> usize {
+        self.weight
+    }
+
+    /// Largest pairwise support intersection (O(q²); for analysis).
+    pub fn max_support_overlap(&self) -> u32 {
+        let mut worst = 0;
+        for i in 0..self.q {
+            for j in (i + 1)..self.q {
+                let d = self.codewords[i].hamming(&self.codewords[j]);
+                // |A ∩ B| = w − d/2 for equal-weight words.
+                let overlap = self.weight as u32 - d / 2;
+                worst = worst.max(overlap);
+            }
+        }
+        worst
+    }
+}
+
+impl SymbolCode for ConstantWeightCode {
+    fn alphabet_size(&self) -> usize {
+        self.q
+    }
+
+    fn codeword_len(&self) -> usize {
+        self.len
+    }
+
+    fn encode(&self, symbol: usize) -> Vec<bool> {
+        assert!(
+            symbol < self.q,
+            "symbol {symbol} outside alphabet of {}",
+            self.q
+        );
+        self.codewords[symbol].to_bools()
+    }
+
+    fn decode(&self, received: &[bool], metric: BitMetric) -> usize {
+        assert_eq!(received.len(), self.len, "wrong word length");
+        let packed = PackedBits::from_bools(received);
+        let mut best = 0usize;
+        let mut best_cost = u64::MAX;
+        for (sym, cw) in self.codewords.iter().enumerate() {
+            let cost = metric.cost(cw, &packed);
+            if cost < best_cost {
+                best_cost = cost;
+                best = sym;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_codeword_has_the_declared_weight() {
+        let code = ConstantWeightCode::new(33, 60, 8, 1);
+        for s in 0..33 {
+            assert_eq!(code.encode(s).iter().filter(|&&b| b).count(), 8);
+        }
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = ConstantWeightCode::new(65, 80, 10, 2);
+        for s in 0..65 {
+            assert_eq!(code.decode(&code.encode(s), BitMetric::ZUp), s);
+            assert_eq!(code.decode(&code.encode(s), BitMetric::Hamming), s);
+        }
+    }
+
+    #[test]
+    fn z_channel_resilience_at_paper_rate() {
+        // One-sided 0->1 at eps = 1/3: ones survive, zeros lift.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let code = ConstantWeightCode::new(33, 72, 9, 3);
+        let mut rng = StdRng::seed_from_u64(0x2EE);
+        let mut failures = 0u32;
+        let trials = 400;
+        for t in 0..trials {
+            let sym = t as usize % 33;
+            let mut w = code.encode(sym);
+            for b in w.iter_mut() {
+                if !*b && rng.gen_bool(1.0 / 3.0) {
+                    *b = true;
+                }
+            }
+            if code.decode(&w, BitMetric::ZUp) != sym {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures <= trials / 20,
+            "Z decode failed {failures}/{trials}"
+        );
+    }
+
+    #[test]
+    fn lighter_than_random_codes_at_same_length() {
+        use crate::RandomCode;
+        let len = 72;
+        let cw = ConstantWeightCode::new(33, len, 9, 4);
+        let rc = RandomCode::with_length(33, len, 4);
+        let cw_energy: usize = (0..33)
+            .map(|s| cw.encode(s).iter().filter(|&&b| b).count())
+            .sum();
+        let rc_energy: usize = (0..33)
+            .map(|s| rc.encode(s).iter().filter(|&&b| b).count())
+            .sum();
+        assert!(
+            cw_energy * 2 < rc_energy,
+            "constant-weight {cw_energy} vs random {rc_energy}"
+        );
+    }
+
+    #[test]
+    fn support_overlap_is_small_for_sparse_codes() {
+        let code = ConstantWeightCode::new(17, 96, 8, 5);
+        // Random 8-of-96 supports rarely share more than a few positions.
+        assert!(
+            code.max_support_overlap() <= 4,
+            "{}",
+            code.max_support_overlap()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ConstantWeightCode::new(9, 32, 5, 7);
+        let b = ConstantWeightCode::new(9, 32, 5, 7);
+        for s in 0..9 {
+            assert_eq!(a.encode(s), b.encode(s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be in 1..len")]
+    fn full_weight_rejected() {
+        ConstantWeightCode::new(4, 8, 8, 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Arithmetic in the finite fields `GF(2^m)`, `3 ≤ m ≤ 12`, via
+//! log/antilog tables over a primitive element.
+//!
+//! This is the base layer of the Reed–Solomon substrate ([`crate::rs`]).
+
+use std::fmt;
+
+/// Primitive polynomials (with the leading `x^m` term included) indexed by
+/// `m`; entry `m - 3` is used for `GF(2^m)`.
+const PRIMITIVE_POLYS: [u32; 10] = [
+    0b1011,             // m = 3:  x^3 + x + 1
+    0b1_0011,           // m = 4:  x^4 + x + 1
+    0b10_0101,          // m = 5:  x^5 + x^2 + 1
+    0b100_0011,         // m = 6:  x^6 + x + 1
+    0b1000_1001,        // m = 7:  x^7 + x^3 + 1
+    0b1_0001_1101,      // m = 8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b10_0001_0001,     // m = 9:  x^9 + x^4 + 1
+    0b100_0000_1001,    // m = 10: x^10 + x^3 + 1
+    0b1000_0000_0101,   // m = 11: x^11 + x^2 + 1
+    0b1_0000_0101_0011, // m = 12: x^12 + x^6 + x^4 + x + 1
+];
+
+/// The field `GF(2^m)` with precomputed exponential and logarithm tables.
+///
+/// Elements are represented as `u16` bit patterns of their polynomial
+/// coefficients. Addition is XOR; multiplication goes through the tables.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_ecc::GfField;
+///
+/// let f = GfField::new(8);
+/// let a = 0x53;
+/// let b = 0xCA;
+/// // Multiplication distributes over addition (XOR).
+/// let c = 0x0F;
+/// let lhs = f.mul(a, f.add(b, c));
+/// let rhs = f.add(f.mul(a, b), f.mul(a, c));
+/// assert_eq!(lhs, rhs);
+/// ```
+#[derive(Clone)]
+pub struct GfField {
+    m: u32,
+    size: usize,
+    exp: Vec<u16>,
+    log: Vec<u16>,
+}
+
+impl fmt::Debug for GfField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GfField").field("m", &self.m).finish()
+    }
+}
+
+impl GfField {
+    /// Constructs `GF(2^m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3 <= m <= 12`.
+    pub fn new(m: u32) -> Self {
+        assert!(
+            (3..=12).contains(&m),
+            "supported fields are GF(2^3)..GF(2^12)"
+        );
+        let poly = PRIMITIVE_POLYS[(m - 3) as usize];
+        let size = 1usize << m;
+        let mut exp = vec![0u16; 2 * (size - 1)];
+        let mut log = vec![0u16; size];
+        let mut x: u32 = 1;
+        #[allow(clippy::needless_range_loop)] // i indexes exp while x walks log
+        for i in 0..(size - 1) {
+            exp[i] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        // Duplicate the table so exp[i + j] never needs a modulo.
+        for i in 0..(size - 1) {
+            exp[size - 1 + i] = exp[i];
+        }
+        Self { m, size, exp, log }
+    }
+
+    /// The extension degree `m`.
+    pub fn degree(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of field elements `2^m`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The multiplicative order `2^m − 1` of the primitive element.
+    pub fn order(&self) -> usize {
+        self.size - 1
+    }
+
+    /// The primitive element `α` (always the polynomial `x`).
+    pub fn alpha(&self) -> u16 {
+        2
+    }
+
+    /// Field addition (XOR). Inherent so call sites read algebraically.
+    pub fn add(&self, a: u16, b: u16) -> u16 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if an operand is outside the field.
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        debug_assert!((a as usize) < self.size && (b as usize) < self.size);
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let la = self.log[a as usize] as usize;
+        let lb = self.log[b as usize] as usize;
+        self.exp[la + lb]
+    }
+
+    /// `α^k` for any non-negative exponent.
+    pub fn alpha_pow(&self, k: usize) -> u16 {
+        self.exp[k % self.order()]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    pub fn inv(&self, a: u16) -> u16 {
+        assert!(a != 0, "zero has no inverse");
+        let la = self.log[a as usize] as usize;
+        self.exp[self.order() - la]
+    }
+
+    /// Division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn div(&self, a: u16, b: u16) -> u16 {
+        self.mul(a, self.inv(b))
+    }
+
+    /// `a^k` by repeated table lookups.
+    pub fn pow(&self, a: u16, k: usize) -> u16 {
+        if a == 0 {
+            return u16::from(k == 0);
+        }
+        let la = self.log[a as usize] as usize;
+        self.exp[(la * k) % self.order()]
+    }
+
+    /// Evaluates the polynomial `poly` (coefficients low-to-high) at `x`
+    /// by Horner's rule.
+    pub fn poly_eval(&self, poly: &[u16], x: u16) -> u16 {
+        let mut acc = 0u16;
+        for &c in poly.iter().rev() {
+            acc = self.add(self.mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Multiplies two polynomials over the field (coefficients low-to-high).
+    pub fn poly_mul(&self, a: &[u16], b: &[u16]) -> Vec<u16> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u16; a.len() + b.len() - 1];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            for (j, &bj) in b.iter().enumerate() {
+                out[i + j] = self.add(out[i + j], self.mul(ai, bj));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent_for_all_fields() {
+        for m in 3..=12 {
+            let f = GfField::new(m);
+            // alpha has full multiplicative order.
+            let mut seen = vec![false; f.size()];
+            for k in 0..f.order() {
+                let v = f.alpha_pow(k) as usize;
+                assert!(v != 0 && !seen[v], "GF(2^{m}): alpha not primitive at {k}");
+                seen[v] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold_exhaustively_in_gf16() {
+        let f = GfField::new(4);
+        let n = f.size() as u16;
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for c in 0..n {
+                    assert_eq!(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+                    assert_eq!(
+                        f.mul(a, f.add(b, c)),
+                        f.add(f.mul(a, b), f.mul(a, c)),
+                        "distributivity failed at {a} {b} {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_in_gf256() {
+        let f = GfField::new(8);
+        for a in 1..f.size() as u16 {
+            assert_eq!(f.mul(a, f.inv(a)), 1, "inverse of {a}");
+            assert_eq!(f.div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let f = GfField::new(5);
+        for a in 0..f.size() as u16 {
+            let mut acc = 1u16;
+            for k in 0..10 {
+                assert_eq!(f.pow(a, k), acc, "{a}^{k}");
+                acc = f.mul(acc, a);
+            }
+        }
+        assert_eq!(f.pow(0, 0), 1);
+        assert_eq!(f.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let f = GfField::new(4);
+        // p(x) = 3 + 2x + x^2 at x = alpha: evaluate manually.
+        let p = [3u16, 2, 1];
+        let x = f.alpha();
+        let manual = f.add(f.add(3, f.mul(2, x)), f.mul(x, x));
+        assert_eq!(f.poly_eval(&p, x), manual);
+        // Constant and empty polynomials.
+        assert_eq!(f.poly_eval(&[7], x), 7);
+        assert_eq!(f.poly_eval(&[], x), 0);
+    }
+
+    #[test]
+    fn poly_mul_matches_eval() {
+        let f = GfField::new(6);
+        let a = [1u16, 5, 0, 9];
+        let b = [3u16, 0, 7];
+        let prod = f.poly_mul(&a, &b);
+        for k in 0..f.order().min(20) {
+            let x = f.alpha_pow(k);
+            assert_eq!(
+                f.poly_eval(&prod, x),
+                f.mul(f.poly_eval(&a, x), f.poly_eval(&b, x)),
+                "product evaluation at alpha^{k}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no inverse")]
+    fn zero_inverse_panics() {
+        GfField::new(4).inv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "supported fields")]
+    fn unsupported_degree_panics() {
+        GfField::new(2);
+    }
+}

@@ -1,0 +1,170 @@
+//! The Walsh–Hadamard code: `k` message bits → `2^k` codeword bits, with
+//! relative distance exactly 1/2 — the inner code of
+//! [`crate::concat::ConcatenatedCode`].
+
+use crate::bits::{BitMetric, PackedBits};
+use crate::SymbolCode;
+
+/// The Hadamard code of dimension `k`: message `x ∈ {0,1}^k` maps to the
+/// codeword whose bit at position `y` is `⟨x, y⟩ mod 2`.
+///
+/// Any two distinct codewords differ in exactly `2^{k-1}` positions.
+/// Decoding is brute-force maximum likelihood over all `2^k` codewords,
+/// which is exact and fast for the `k ≤ 12` dimensions used here.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_ecc::{BitMetric, Hadamard, SymbolCode};
+///
+/// let code = Hadamard::new(4);
+/// assert_eq!(code.codeword_len(), 16);
+/// let mut word = code.encode(9);
+/// word[3] ^= true; // three errors out of 16 stay inside half the distance
+/// word[7] ^= true;
+/// word[12] ^= true;
+/// assert_eq!(code.decode(&word, BitMetric::Hamming), 9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hadamard {
+    k: u32,
+    codewords: Vec<PackedBits>,
+}
+
+impl Hadamard {
+    /// Builds the Hadamard code of dimension `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= 14` (codewords of `2^14` bits are the
+    /// practical ceiling for brute-force decoding).
+    pub fn new(k: u32) -> Self {
+        assert!((1..=14).contains(&k), "supported dimensions are 1..=14");
+        let q = 1usize << k;
+        let codewords = (0..q)
+            .map(|x| {
+                let bits: Vec<bool> = (0..q).map(|y| ((x & y).count_ones() & 1) == 1).collect();
+                PackedBits::from_bools(&bits)
+            })
+            .collect();
+        Self { k, codewords }
+    }
+
+    /// Message dimension `k`.
+    pub fn dimension(&self) -> u32 {
+        self.k
+    }
+
+    /// Decodes directly from packed bits (used by the concatenated code to
+    /// avoid repacking).
+    pub(crate) fn decode_packed(&self, received: &PackedBits, metric: BitMetric) -> usize {
+        assert_eq!(
+            received.len(),
+            self.codeword_len(),
+            "received word has wrong length"
+        );
+        let mut best = 0usize;
+        let mut best_cost = u64::MAX;
+        for (sym, cw) in self.codewords.iter().enumerate() {
+            let cost = metric.cost(cw, received);
+            if cost < best_cost {
+                best_cost = cost;
+                best = sym;
+            }
+        }
+        best
+    }
+}
+
+impl SymbolCode for Hadamard {
+    fn alphabet_size(&self) -> usize {
+        1usize << self.k
+    }
+
+    fn codeword_len(&self) -> usize {
+        1usize << self.k
+    }
+
+    fn encode(&self, symbol: usize) -> Vec<bool> {
+        assert!(
+            symbol < self.alphabet_size(),
+            "symbol {symbol} outside alphabet of {}",
+            self.alphabet_size()
+        );
+        self.codewords[symbol].to_bools()
+    }
+
+    fn decode(&self, received: &[bool], metric: BitMetric) -> usize {
+        self.decode_packed(&PackedBits::from_bools(received), metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_distance_is_exactly_half() {
+        let code = Hadamard::new(5);
+        for a in 0..code.alphabet_size() {
+            for b in (a + 1)..code.alphabet_size() {
+                let d = code.codewords[a].hamming(&code.codewords[b]);
+                assert_eq!(d, 16, "distance between {a} and {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_message_gives_zero_codeword() {
+        let code = Hadamard::new(3);
+        assert!(code.encode(0).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn clean_roundtrip_all_symbols() {
+        let code = Hadamard::new(6);
+        for s in 0..code.alphabet_size() {
+            let w = code.encode(s);
+            assert_eq!(code.decode(&w, BitMetric::Hamming), s);
+        }
+    }
+
+    #[test]
+    fn corrects_below_quarter_of_length() {
+        // Unique decoding radius is d/2 - 1 = 2^{k-2} - 1 errors.
+        let code = Hadamard::new(6); // 64 bits, distance 32, corrects 15
+        let mut w = code.encode(37);
+        for i in 0..15 {
+            w[i * 4] ^= true;
+        }
+        assert_eq!(code.decode(&w, BitMetric::Hamming), 37);
+    }
+
+    #[test]
+    fn zup_metric_decodes_covered_words() {
+        // One-sided up channel: received = codeword OR noise.
+        let code = Hadamard::new(5);
+        let mut w = code.encode(19);
+        // Flip up a third of the zero positions.
+        let mut flipped = 0;
+        for b in w.iter_mut() {
+            if !*b && flipped < 10 {
+                *b = true;
+                flipped += 1;
+            }
+        }
+        assert_eq!(code.decode(&w, BitMetric::ZUp), 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn encode_out_of_range_panics() {
+        Hadamard::new(3).encode(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn decode_wrong_length_panics() {
+        Hadamard::new(3).decode(&[false; 7], BitMetric::Hamming);
+    }
+}

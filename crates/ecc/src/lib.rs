@@ -1,0 +1,96 @@
+//! Error-correcting-code substrate for the `noisy-beeps` reproduction.
+//!
+//! Algorithm 1 of the paper (the *finding owners* phase) has each party in
+//! turn transmit a codeword `C(j)` or `C(Next)` over the noisy beeping
+//! channel, where `C : [n] ∪ {Next} → {0,1}^{Θ(log n)}` is a
+//! "constant rate error correcting code" that all parties decode. This
+//! crate builds that substrate from scratch:
+//!
+//! * [`gf`] — arithmetic in `GF(2^m)` via log/antilog tables;
+//! * [`rs`] — Reed–Solomon codes over `GF(2^m)` with
+//!   Berlekamp–Massey / Chien / Forney decoding;
+//! * [`hadamard`] — the Walsh–Hadamard binary code (relative distance 1/2),
+//!   used as the inner code of concatenations;
+//! * [`repetition`] — bitwise repetition with (biased) majority decoding;
+//! * [`mod@concat`] — concatenated RS ∘ Hadamard binary codes;
+//! * [`random_code`] — seeded random codes with maximum-likelihood
+//!   (nearest-codeword) decoding, the default for Algorithm 1;
+//! * [`constant_weight`] — fixed-weight codes for energy-frugal beeping
+//!   and the Z-channel;
+//! * [`bits`] — packed bit-vectors and the channel-aware distance metrics.
+//!
+//! ## Why random codes are the default
+//!
+//! The paper fixes the noise rate at `ε = 1/3`. No binary code of more than
+//! a few codewords has relative distance above 1/2 (Plotkin bound), so
+//! *bounded-distance* decoding cannot tolerate a 1/3 expected fraction of
+//! flipped bits. Maximum-likelihood decoding of random codes, however,
+//! succeeds at any rate below the channel capacity `1 − h(1/3) ≈ 0.082`,
+//! and the alphabets here are small (`q = O(n)` symbols), so brute-force
+//! nearest-codeword decoding over packed 64-bit words is cheap. This is the
+//! substitution documented in `DESIGN.md`. Over the one-sided `0→1` channel
+//! the decoder switches to the Z-channel metric: codeword 1s can never have
+//! been erased.
+//!
+//! # Examples
+//!
+//! ```
+//! use beeps_ecc::{BitMetric, RandomCode, SymbolCode};
+//!
+//! // A code for 17 symbols with 6x length expansion.
+//! let code = RandomCode::new(17, 6, 0xC0DE);
+//! let word = code.encode(11);
+//! assert_eq!(word.len(), code.codeword_len());
+//! assert_eq!(code.decode(&word, BitMetric::Hamming), 11);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod concat;
+pub mod constant_weight;
+pub mod gf;
+pub mod hadamard;
+pub mod random_code;
+pub mod repetition;
+pub mod rs;
+
+pub use bits::BitMetric;
+pub use concat::ConcatenatedCode;
+pub use constant_weight::ConstantWeightCode;
+pub use gf::GfField;
+pub use hadamard::Hadamard;
+pub use random_code::RandomCode;
+pub use repetition::RepetitionCode;
+pub use rs::{ReedSolomon, RsError};
+
+/// A code over a finite symbol alphabet `0..alphabet_size`, mapping each
+/// symbol to a binary codeword of fixed length — the interface Algorithm 1
+/// consumes.
+///
+/// Decoders are total: they always return *some* symbol (maximum-likelihood
+/// style), because the owners phase must make progress every iteration;
+/// reliability is quantified by experiment E4 rather than signalled
+/// per-call.
+pub trait SymbolCode: std::fmt::Debug {
+    /// Number of encodable symbols `q`.
+    fn alphabet_size(&self) -> usize;
+
+    /// Length of every codeword in bits.
+    fn codeword_len(&self) -> usize;
+
+    /// Encodes `symbol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol >= self.alphabet_size()`.
+    fn encode(&self, symbol: usize) -> Vec<bool>;
+
+    /// Decodes `received` to the most likely symbol under `metric`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len() != self.codeword_len()`.
+    fn decode(&self, received: &[bool], metric: BitMetric) -> usize;
+}

@@ -1,0 +1,230 @@
+//! Seeded random codes with maximum-likelihood decoding — the default
+//! code `C` for Algorithm 1's owners phase.
+//!
+//! See the crate-level docs for why ML-decoded random codes (rather than
+//! bounded-distance algebraic codes) are the right substrate at the
+//! paper's `ε = 1/3` noise rate.
+
+use crate::bits::{BitMetric, PackedBits};
+use crate::SymbolCode;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A code of `q` pseudorandom codewords of length
+/// `expansion · max(⌈log₂ q⌉, 1)` bits, drawn i.i.d. uniform from a seed
+/// (with rejection of duplicate codewords).
+///
+/// All parties construct the same code from the same seed — in protocol
+/// terms the code is part of the (shared, public) protocol description.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_ecc::{BitMetric, RandomCode, SymbolCode};
+///
+/// let code = RandomCode::new(65, 8, 1234);
+/// assert_eq!(code.codeword_len(), 7 * 8);
+/// let w = code.encode(64);
+/// assert_eq!(code.decode(&w, BitMetric::Hamming), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomCode {
+    q: usize,
+    len: usize,
+    codewords: Vec<PackedBits>,
+}
+
+impl RandomCode {
+    /// Builds a code for `alphabet_size` symbols with the given length
+    /// `expansion` factor over the binary representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet_size < 2`, `expansion == 0`, or (pathological)
+    /// the alphabet cannot be given distinct codewords at this length.
+    pub fn new(alphabet_size: usize, expansion: usize, seed: u64) -> Self {
+        assert!(expansion > 0, "expansion factor must be positive");
+        let bits = if alphabet_size >= 2 {
+            (usize::BITS as usize - (alphabet_size - 1).leading_zeros() as usize).max(1)
+        } else {
+            1
+        };
+        Self::with_length(alphabet_size, bits * expansion, seed)
+    }
+
+    /// Builds a code for `alphabet_size` symbols with an explicit codeword
+    /// length in bits (e.g. from
+    /// `beeps_info::tail::random_code_length`).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`RandomCode::new`].
+    pub fn with_length(alphabet_size: usize, len: usize, seed: u64) -> Self {
+        assert!(alphabet_size >= 2, "alphabet must have at least 2 symbols");
+        assert!(len > 0, "codeword length must be positive");
+        assert!(
+            len >= 64 || alphabet_size as u128 <= (1u128 << len),
+            "alphabet does not fit at this codeword length"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut codewords: Vec<PackedBits> = Vec::with_capacity(alphabet_size);
+        let mut attempts = 0usize;
+        while codewords.len() < alphabet_size {
+            let bits_vec: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+            let cw = PackedBits::from_bools(&bits_vec);
+            if codewords.contains(&cw) {
+                attempts += 1;
+                assert!(
+                    attempts < 10_000,
+                    "could not draw distinct codewords; increase expansion"
+                );
+                continue;
+            }
+            codewords.push(cw);
+        }
+        Self {
+            q: alphabet_size,
+            len,
+            codewords,
+        }
+    }
+
+    /// Minimum pairwise Hamming distance of the code (O(q²) scan; intended
+    /// for tests and experiment reporting, not hot paths).
+    pub fn min_distance(&self) -> u32 {
+        let mut best = u32::MAX;
+        for i in 0..self.q {
+            for j in (i + 1)..self.q {
+                best = best.min(self.codewords[i].hamming(&self.codewords[j]));
+            }
+        }
+        best
+    }
+}
+
+impl SymbolCode for RandomCode {
+    fn alphabet_size(&self) -> usize {
+        self.q
+    }
+
+    fn codeword_len(&self) -> usize {
+        self.len
+    }
+
+    fn encode(&self, symbol: usize) -> Vec<bool> {
+        assert!(
+            symbol < self.q,
+            "symbol {symbol} outside alphabet of {}",
+            self.q
+        );
+        self.codewords[symbol].to_bools()
+    }
+
+    fn decode(&self, received: &[bool], metric: BitMetric) -> usize {
+        assert_eq!(received.len(), self.len, "wrong word length");
+        let packed = PackedBits::from_bools(received);
+        let mut best = 0usize;
+        let mut best_cost = u64::MAX;
+        for (sym, cw) in self.codewords.iter().enumerate() {
+            let cost = metric.cost(cw, &packed);
+            if cost < best_cost {
+                best_cost = cost;
+                best = sym;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_code() {
+        let a = RandomCode::new(20, 6, 99);
+        let b = RandomCode::new(20, 6, 99);
+        for s in 0..20 {
+            assert_eq!(a.encode(s), b.encode(s));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RandomCode::new(20, 6, 1);
+        let b = RandomCode::new(20, 6, 2);
+        assert!((0..20).any(|s| a.encode(s) != b.encode(s)));
+    }
+
+    #[test]
+    fn clean_roundtrip_whole_alphabet() {
+        let code = RandomCode::new(129, 8, 5);
+        for s in 0..129 {
+            assert_eq!(code.decode(&code.encode(s), BitMetric::Hamming), s);
+        }
+    }
+
+    #[test]
+    fn survives_bsc_noise_below_capacity_margin() {
+        // Empirical check that ML decoding of the random code handles the
+        // paper's eps = 1/3 with a generous expansion factor.
+        let code = RandomCode::new(33, 24, 7);
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        let mut failures = 0u32;
+        let trials = 400;
+        for t in 0..trials {
+            let sym = t as usize % 33;
+            let mut w = code.encode(sym);
+            for b in w.iter_mut() {
+                if rng.gen_bool(1.0 / 3.0) {
+                    *b = !*b;
+                }
+            }
+            if code.decode(&w, BitMetric::Hamming) != sym {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures <= trials / 10,
+            "ML decode failed {failures}/{trials} times at eps=1/3"
+        );
+    }
+
+    #[test]
+    fn survives_z_channel_at_high_rate() {
+        // One-sided 0->1 noise at eps = 1/3 with the ZUp metric.
+        let code = RandomCode::new(33, 12, 8);
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let mut failures = 0u32;
+        let trials = 400;
+        for t in 0..trials {
+            let sym = t as usize % 33;
+            let mut w = code.encode(sym);
+            for b in w.iter_mut() {
+                if !*b && rng.gen_bool(1.0 / 3.0) {
+                    *b = true;
+                }
+            }
+            if code.decode(&w, BitMetric::ZUp) != sym {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures <= trials / 20,
+            "Z-channel decode failed {failures}/{trials} times"
+        );
+    }
+
+    #[test]
+    fn min_distance_positive() {
+        let code = RandomCode::new(16, 10, 3);
+        assert!(code.min_distance() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong word length")]
+    fn decode_length_mismatch_panics() {
+        let code = RandomCode::new(4, 4, 0);
+        code.decode(&[true; 3], BitMetric::Hamming);
+    }
+}

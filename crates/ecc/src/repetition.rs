@@ -1,0 +1,214 @@
+//! Bitwise repetition coding — the scheme behind footnote 1 of the paper
+//! ("repeat every round `O(log n)` times and take the majority").
+
+use crate::bits::{BitMetric, PackedBits};
+use crate::SymbolCode;
+
+/// A repetition code over a symbol alphabet: the symbol's binary
+/// representation (`⌈log₂ q⌉` bits) is sent with every bit repeated `r`
+/// times.
+///
+/// Decoding is maximum likelihood over all `q` codewords by default, with a
+/// classic per-bit threshold-majority decoder also available
+/// ([`RepetitionCode::decode_bitwise`]) for the experiments that study the
+/// repetition scheme in isolation.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_ecc::{BitMetric, RepetitionCode, SymbolCode};
+///
+/// let code = RepetitionCode::new(10, 5);
+/// assert_eq!(code.codeword_len(), 4 * 5); // ceil(log2 10) = 4 bits
+/// let mut w = code.encode(7);
+/// w[0] ^= true; // one flipped copy out of five
+/// w[6] ^= true;
+/// assert_eq!(code.decode(&w, BitMetric::Hamming), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RepetitionCode {
+    q: usize,
+    bits: usize,
+    r: usize,
+    codewords: Vec<PackedBits>,
+}
+
+impl RepetitionCode {
+    /// A code for `alphabet_size` symbols with `repetitions` copies of each
+    /// bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet_size < 2` or `repetitions == 0`.
+    pub fn new(alphabet_size: usize, repetitions: usize) -> Self {
+        assert!(alphabet_size >= 2, "alphabet must have at least 2 symbols");
+        assert!(repetitions > 0, "need at least one repetition");
+        let bits = usize::BITS as usize - (alphabet_size - 1).leading_zeros() as usize;
+        let bits = bits.max(1);
+        let codewords = (0..alphabet_size)
+            .map(|s| PackedBits::from_bools(&Self::expand(s, bits, repetitions)))
+            .collect();
+        Self {
+            q: alphabet_size,
+            bits,
+            r: repetitions,
+            codewords,
+        }
+    }
+
+    /// Number of copies of each bit.
+    pub fn repetitions(&self) -> usize {
+        self.r
+    }
+
+    /// Bits in the unrepeated symbol representation.
+    pub fn symbol_bits(&self) -> usize {
+        self.bits
+    }
+
+    fn expand(symbol: usize, bits: usize, r: usize) -> Vec<bool> {
+        let mut out = Vec::with_capacity(bits * r);
+        for b in 0..bits {
+            let bit = (symbol >> b) & 1 == 1;
+            out.extend(std::iter::repeat_n(bit, r));
+        }
+        out
+    }
+
+    /// Per-bit threshold decoding: bit `b` decodes to 1 iff at least
+    /// `ones_needed` of its `r` copies read 1. The classic majority decoder
+    /// uses `ones_needed = r / 2 + 1`; one-sided `0→1` channels want a
+    /// higher threshold (e.g. `⌈r · (1 + ε) / 2⌉`).
+    ///
+    /// Returns the decoded symbol, clamped into the alphabet by ML fallback
+    /// if the raw bit pattern exceeds it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len()` differs from the codeword length or
+    /// `ones_needed` is 0 or exceeds `r`.
+    pub fn decode_bitwise(&self, received: &[bool], ones_needed: usize) -> usize {
+        assert_eq!(received.len(), self.codeword_len(), "wrong word length");
+        assert!(
+            ones_needed >= 1 && ones_needed <= self.r,
+            "threshold must be within 1..=r"
+        );
+        let mut symbol = 0usize;
+        for b in 0..self.bits {
+            let ones = received[b * self.r..(b + 1) * self.r]
+                .iter()
+                .filter(|&&x| x)
+                .count();
+            if ones >= ones_needed {
+                symbol |= 1 << b;
+            }
+        }
+        if symbol < self.q {
+            symbol
+        } else {
+            // The bit pattern names no symbol; fall back to ML.
+            self.decode(received, BitMetric::Hamming)
+        }
+    }
+}
+
+impl SymbolCode for RepetitionCode {
+    fn alphabet_size(&self) -> usize {
+        self.q
+    }
+
+    fn codeword_len(&self) -> usize {
+        self.bits * self.r
+    }
+
+    fn encode(&self, symbol: usize) -> Vec<bool> {
+        assert!(
+            symbol < self.q,
+            "symbol {symbol} outside alphabet of {}",
+            self.q
+        );
+        self.codewords[symbol].to_bools()
+    }
+
+    fn decode(&self, received: &[bool], metric: BitMetric) -> usize {
+        assert_eq!(received.len(), self.codeword_len(), "wrong word length");
+        let packed = PackedBits::from_bools(received);
+        let mut best = 0usize;
+        let mut best_cost = u64::MAX;
+        for (sym, cw) in self.codewords.iter().enumerate() {
+            let cost = metric.cost(cw, &packed);
+            if cost < best_cost {
+                best_cost = cost;
+                best = sym;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = RepetitionCode::new(33, 3);
+        for s in 0..33 {
+            let w = code.encode(s);
+            assert_eq!(code.decode(&w, BitMetric::Hamming), s);
+            assert_eq!(code.decode_bitwise(&w, 2), s);
+        }
+    }
+
+    #[test]
+    fn binary_alphabet_uses_one_bit() {
+        let code = RepetitionCode::new(2, 7);
+        assert_eq!(code.symbol_bits(), 1);
+        assert_eq!(code.codeword_len(), 7);
+    }
+
+    #[test]
+    fn majority_corrects_minority_flips() {
+        let code = RepetitionCode::new(4, 5);
+        let mut w = code.encode(2);
+        w[0] ^= true; // 2 of 5 copies of bit 0 flipped
+        w[1] ^= true;
+        w[5] ^= true; // 1 of 5 copies of bit 1 flipped
+        assert_eq!(code.decode_bitwise(&w, 3), 2);
+        assert_eq!(code.decode(&w, BitMetric::Hamming), 2);
+    }
+
+    #[test]
+    fn biased_threshold_resists_up_flips() {
+        // One-sided up channel on a true 0 bit: 2 of 5 copies flip up.
+        let code = RepetitionCode::new(2, 5);
+        let mut w = code.encode(0);
+        w[0] = true;
+        w[1] = true;
+        // Plain majority (3 of 5) survives here, but threshold 4 gives margin.
+        assert_eq!(code.decode_bitwise(&w, 4), 0);
+        assert_eq!(code.decode(&w, BitMetric::ZUp), 0);
+    }
+
+    #[test]
+    fn bitwise_falls_back_to_ml_outside_alphabet() {
+        // Alphabet of 3 symbols uses 2 bits; the pattern `11` is invalid.
+        let code = RepetitionCode::new(3, 1);
+        let w = vec![true, true];
+        let s = code.decode_bitwise(&w, 1);
+        assert!(s < 3, "fallback must return an in-alphabet symbol");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 symbols")]
+    fn tiny_alphabet_rejected() {
+        RepetitionCode::new(1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "within 1..=r")]
+    fn zero_threshold_rejected() {
+        let code = RepetitionCode::new(4, 3);
+        code.decode_bitwise(&vec![false; code.codeword_len()], 0);
+    }
+}

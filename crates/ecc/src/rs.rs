@@ -1,0 +1,589 @@
+//! Reed–Solomon codes over `GF(2^m)` with algebraic decoding
+//! (syndromes → Berlekamp–Massey → Chien search → Forney).
+//!
+//! Used as the outer code of [`crate::concat::ConcatenatedCode`]; also a
+//! standalone substrate for low-noise codeword exchanges.
+
+use crate::gf::GfField;
+use std::fmt;
+
+/// Decoding failure of a Reed–Solomon word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsError {
+    /// More errors occurred than `(n - k) / 2`; the decoder detected it.
+    TooManyErrors,
+    /// More than `n - k` positions were declared erased.
+    TooManyErasures,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::TooManyErrors => write!(f, "more errors than the code can correct"),
+            RsError::TooManyErasures => write!(f, "more erasures than parity symbols"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// A systematic `[n, k]` Reed–Solomon code over `GF(2^m)`.
+///
+/// Corrects up to `⌊(n − k) / 2⌋` symbol errors. Codewords are
+/// `message ‖ parity` with symbols as `u16` field elements.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_ecc::{GfField, ReedSolomon};
+///
+/// let rs = ReedSolomon::new(GfField::new(4), 15, 7);
+/// let msg = vec![1u16, 2, 3, 4, 5, 6, 7];
+/// let mut cw = rs.encode(&msg);
+/// // Corrupt up to 4 symbols; the code corrects them.
+/// cw[0] ^= 9; cw[5] ^= 3; cw[10] ^= 1; cw[14] ^= 7;
+/// assert_eq!(rs.decode(&cw).unwrap(), msg);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    field: GfField,
+    n: usize,
+    k: usize,
+    /// Generator polynomial `∏_{i=1}^{n-k} (x − α^i)`, low-to-high.
+    generator: Vec<u16>,
+}
+
+impl ReedSolomon {
+    /// Builds the `[n, k]` code over `field`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < n ≤ 2^m − 1`.
+    pub fn new(field: GfField, n: usize, k: usize) -> Self {
+        assert!(k > 0 && k < n, "need 0 < k < n, got k={k} n={n}");
+        assert!(
+            n <= field.order(),
+            "n={n} exceeds field order {}",
+            field.order()
+        );
+        let mut generator = vec![1u16];
+        for i in 1..=(n - k) {
+            // Multiply by (x + α^i); over GF(2), −α^i = α^i.
+            generator = field.poly_mul(&generator, &[field.alpha_pow(i), 1]);
+        }
+        Self {
+            field,
+            n,
+            k,
+            generator,
+        }
+    }
+
+    /// Codeword length in symbols.
+    pub fn codeword_symbols(&self) -> usize {
+        self.n
+    }
+
+    /// Message length in symbols.
+    pub fn message_symbols(&self) -> usize {
+        self.k
+    }
+
+    /// Maximum number of correctable symbol errors `⌊(n − k)/2⌋`.
+    pub fn correctable(&self) -> usize {
+        (self.n - self.k) / 2
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &GfField {
+        &self.field
+    }
+
+    /// Systematically encodes `message` (length `k`) into a codeword of
+    /// length `n`: `message ‖ parity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != k` or a symbol is outside the field.
+    pub fn encode(&self, message: &[u16]) -> Vec<u16> {
+        assert_eq!(message.len(), self.k, "message must have k symbols");
+        for &s in message {
+            assert!(
+                (s as usize) < self.field.size(),
+                "symbol {s} outside GF(2^{})",
+                self.field.degree()
+            );
+        }
+        let parity_len = self.n - self.k;
+        // Compute message(x) * x^{n-k} mod generator(x).
+        // Work with the polynomial low-to-high; codeword layout is
+        // [message symbols..., parity symbols...].
+        let mut remainder = vec![0u16; parity_len];
+        // Synthetic long division, feeding message symbols high-to-low.
+        for &m in message.iter().rev() {
+            let feedback = self.field.add(m, remainder[parity_len - 1]);
+            // Shift remainder up by one.
+            for idx in (1..parity_len).rev() {
+                let delta = self.field.mul(feedback, self.generator[idx]);
+                remainder[idx] = self.field.add(remainder[idx - 1], delta);
+            }
+            remainder[0] = self.field.mul(feedback, self.generator[0]);
+        }
+        let mut codeword = Vec::with_capacity(self.n);
+        codeword.extend_from_slice(message);
+        codeword.extend_from_slice(&remainder);
+        codeword
+    }
+
+    /// Polynomial view of a codeword: coefficient of `x^j` is
+    /// `codeword_poly[j]`. The systematic layout `message ‖ parity` maps to
+    /// `c(x) = m(x)·x^{n-k} + r(x)` with message symbol `i` at degree
+    /// `n - k + i` and parity symbol `j` at degree `j`.
+    fn to_poly(&self, codeword: &[u16]) -> Vec<u16> {
+        let parity_len = self.n - self.k;
+        let mut poly = vec![0u16; self.n];
+        poly[..parity_len].copy_from_slice(&codeword[self.k..]);
+        poly[parity_len..].copy_from_slice(&codeword[..self.k]);
+        poly
+    }
+
+    fn poly_to_codeword(&self, poly: &[u16]) -> Vec<u16> {
+        let parity_len = self.n - self.k;
+        let mut codeword = vec![0u16; self.n];
+        codeword[..self.k].copy_from_slice(&poly[parity_len..]);
+        codeword[self.k..].copy_from_slice(&poly[..parity_len]);
+        codeword
+    }
+
+    /// Decodes `received` (length `n`), correcting up to
+    /// [`ReedSolomon::correctable`] symbol errors, and returns the message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::TooManyErrors`] when the error pattern is beyond
+    /// the code's correction radius *and* detectable. (Like every bounded-
+    /// distance decoder, patterns that land inside another codeword's
+    /// radius miscorrect silently; callers that need stronger guarantees
+    /// wrap this in the ML decoding of [`crate::random_code`].)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len() != n`.
+    pub fn decode(&self, received: &[u16]) -> Result<Vec<u16>, RsError> {
+        self.decode_with_erasures(received, &[])
+    }
+
+    /// Errors-and-erasures decoding: corrects `e` symbol errors and `f`
+    /// caller-declared erasures whenever `2e + f ≤ n − k` (twice the
+    /// budget of error-only decoding per known-bad symbol). Over the
+    /// beeping channel this matters for the one-sided regimes, where some
+    /// corruption locations are *known*: a party that beeped into a round
+    /// heard as silence can mark that symbol as erased.
+    ///
+    /// `erasures` are codeword indices (`0..n`, systematic layout);
+    /// duplicates are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::TooManyErrors`] as for [`ReedSolomon::decode`],
+    /// or [`RsError::TooManyErasures`] when more than `n − k` positions
+    /// are declared erased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len() != n` or an erasure index is out of
+    /// range.
+    pub fn decode_with_erasures(
+        &self,
+        received: &[u16],
+        erasures: &[usize],
+    ) -> Result<Vec<u16>, RsError> {
+        assert_eq!(received.len(), self.n, "received word must have n symbols");
+        let f = &self.field;
+        let poly = self.to_poly(received);
+        let parity_len = self.n - self.k;
+
+        let mut erasure_degrees: Vec<usize> = erasures
+            .iter()
+            .map(|&i| {
+                assert!(i < self.n, "erasure index {i} out of range");
+                self.codeword_index_to_degree(i)
+            })
+            .collect();
+        erasure_degrees.sort_unstable();
+        erasure_degrees.dedup();
+        let num_erasures = erasure_degrees.len();
+        if num_erasures > parity_len {
+            return Err(RsError::TooManyErasures);
+        }
+
+        // Syndromes S_i = r(α^i) for i = 1..=n-k.
+        let syndromes: Vec<u16> = (1..=parity_len)
+            .map(|i| f.poly_eval(&poly, f.alpha_pow(i)))
+            .collect();
+        if syndromes.iter().all(|&s| s == 0) {
+            return Ok(self.poly_to_codeword(&poly)[..self.k].to_vec());
+        }
+
+        // Erasure locator Γ(x) = ∏ (1 + X_j x) for erasure locators
+        // X_j = α^{degree}.
+        let mut gamma = vec![1u16];
+        for &deg in &erasure_degrees {
+            gamma = f.poly_mul(&gamma, &[1, f.alpha_pow(deg % f.order())]);
+        }
+
+        // Forney syndromes: Ξ(x) = S(x)·Γ(x) mod x^{2t}; the tail
+        // Ξ_f, …, Ξ_{2t−1} is an LFSR sequence generated by the *error*
+        // locator alone.
+        let mut xi = f.poly_mul(&syndromes, &gamma);
+        xi.truncate(parity_len);
+        xi.resize(parity_len, 0);
+        let modified: Vec<u16> = xi[num_erasures..].to_vec();
+
+        // Berlekamp–Massey on the modified sequence gives sigma(x).
+        let (sigma, num_errors) = berlekamp_massey(f, &modified);
+        if 2 * num_errors + num_erasures > parity_len {
+            return Err(RsError::TooManyErrors);
+        }
+
+        // Full locator ψ = σ·Γ covers errors and erasures alike.
+        let psi = f.poly_mul(&sigma, &gamma);
+
+        // Chien search: roots of psi are α^{-j} for corrupt degrees j.
+        let mut corrupt_degrees = Vec::new();
+        for j in 0..self.n {
+            let x_inv = f.alpha_pow((f.order() - j % f.order()) % f.order());
+            if f.poly_eval(&psi, x_inv) == 0 {
+                corrupt_degrees.push(j);
+            }
+        }
+        if corrupt_degrees.len() != num_errors + num_erasures {
+            return Err(RsError::TooManyErrors);
+        }
+
+        // Forney: omega(x) = [S(x)·psi(x)] mod x^{n-k}.
+        let mut omega = f.poly_mul(&syndromes, &psi);
+        omega.truncate(parity_len);
+
+        let mut corrected = poly;
+        for &j in &corrupt_degrees {
+            let x_inv = f.alpha_pow((f.order() - j % f.order()) % f.order());
+            let omega_val = f.poly_eval(&omega, x_inv);
+            // psi'(x): formal derivative (over GF(2): odd-degree terms).
+            let psi_deriv: u16 = {
+                let mut acc = 0u16;
+                let mut idx = 1;
+                while idx < psi.len() {
+                    acc = f.add(acc, f.mul(psi[idx], f.pow(x_inv, idx - 1)));
+                    idx += 2;
+                }
+                acc
+            };
+            if psi_deriv == 0 {
+                return Err(RsError::TooManyErrors);
+            }
+            // Magnitude = omega(x_inv) / psi'(x_inv); syndromes start at
+            // α^1, so no extra X_j factor (single-error check: with
+            // S(x) = Σ_{i>=1} S_i x^{i-1}, an error of value e at locator
+            // X gives omega(x) = e·X and psi'(x) = X).
+            let magnitude = f.div(omega_val, psi_deriv);
+            corrected[j] = f.add(corrected[j], magnitude);
+        }
+
+        // Verify: all syndromes of the corrected word must vanish.
+        for i in 1..=parity_len {
+            if f.poly_eval(&corrected, f.alpha_pow(i)) != 0 {
+                return Err(RsError::TooManyErrors);
+            }
+        }
+        Ok(self.poly_to_codeword(&corrected)[..self.k].to_vec())
+    }
+
+    /// Polynomial degree carrying codeword index `i` in the systematic
+    /// layout (`message ‖ parity`).
+    fn codeword_index_to_degree(&self, i: usize) -> usize {
+        let parity_len = self.n - self.k;
+        if i < self.k {
+            parity_len + i
+        } else {
+            i - self.k
+        }
+    }
+}
+
+/// Berlekamp–Massey over `GF(2^m)`: the minimal LFSR (connection
+/// polynomial, low-to-high, constant term 1) generating `seq`, together
+/// with its length `L`.
+fn berlekamp_massey(f: &GfField, seq: &[u16]) -> (Vec<u16>, usize) {
+    let mut sigma = vec![1u16];
+    let mut prev_sigma = vec![1u16];
+    let mut l = 0usize;
+    let mut m = 1usize;
+    let mut prev_discrepancy = 1u16;
+    for n_iter in 0..seq.len() {
+        let mut d = seq[n_iter];
+        for i in 1..=l.min(sigma.len() - 1) {
+            d = f.add(d, f.mul(sigma[i], seq[n_iter - i]));
+        }
+        if d == 0 {
+            m += 1;
+        } else if 2 * l <= n_iter {
+            let tmp = sigma.clone();
+            let coeff = f.div(d, prev_discrepancy);
+            sigma = poly_sub_shifted(f, &sigma, &prev_sigma, coeff, m);
+            prev_sigma = tmp;
+            l = n_iter + 1 - l;
+            prev_discrepancy = d;
+            m = 1;
+        } else {
+            let coeff = f.div(d, prev_discrepancy);
+            sigma = poly_sub_shifted(f, &sigma, &prev_sigma, coeff, m);
+            m += 1;
+        }
+    }
+    (sigma, l)
+}
+
+/// `a(x) + coeff · x^shift · b(x)` over GF(2^m) (subtraction = addition).
+fn poly_sub_shifted(f: &GfField, a: &[u16], b: &[u16], coeff: u16, shift: usize) -> Vec<u16> {
+    let len = a.len().max(b.len() + shift);
+    let mut out = vec![0u16; len];
+    out[..a.len()].copy_from_slice(a);
+    for (i, &bi) in b.iter().enumerate() {
+        out[i + shift] = f.add(out[i + shift], f.mul(coeff, bi));
+    }
+    // Trim trailing zeros but keep at least the constant term.
+    while out.len() > 1 && *out.last().unwrap() == 0 {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn rs15_7() -> ReedSolomon {
+        ReedSolomon::new(GfField::new(4), 15, 7)
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let rs = rs15_7();
+        let msg: Vec<u16> = (1..=7).collect();
+        let cw = rs.encode(&msg);
+        assert_eq!(&cw[..7], msg.as_slice());
+        assert_eq!(cw.len(), 15);
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let rs = rs15_7();
+        let msg: Vec<u16> = vec![0, 15, 7, 7, 1, 0, 9];
+        assert_eq!(rs.decode(&rs.encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn codeword_evaluates_to_zero_at_generator_roots() {
+        let rs = rs15_7();
+        let msg: Vec<u16> = vec![3, 1, 4, 1, 5, 9, 2];
+        let cw = rs.encode(&msg);
+        let poly = rs.to_poly(&cw);
+        for i in 1..=8 {
+            assert_eq!(
+                rs.field().poly_eval(&poly, rs.field().alpha_pow(i)),
+                0,
+                "codeword must vanish at alpha^{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors_everywhere() {
+        let rs = rs15_7();
+        let mut rng = StdRng::seed_from_u64(0x55);
+        for trial in 0..300 {
+            let msg: Vec<u16> = (0..7).map(|_| rng.gen_range(0..16)).collect();
+            let mut cw = rs.encode(&msg);
+            let errors = rng.gen_range(0..=rs.correctable());
+            let mut positions: Vec<usize> = (0..15).collect();
+            // Partial shuffle for distinct positions.
+            for i in 0..errors {
+                let j = rng.gen_range(i..15);
+                positions.swap(i, j);
+            }
+            for &p in &positions[..errors] {
+                let e = rng.gen_range(1..16) as u16;
+                cw[p] ^= e;
+            }
+            assert_eq!(
+                rs.decode(&cw).unwrap(),
+                msg,
+                "trial {trial}: {errors} errors must be corrected"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_excess_errors_usually() {
+        // With > t errors the decoder must not return the original message
+        // silently claiming success; it either errs or miscorrects to a
+        // *different* valid codeword. We check it never returns the true
+        // message while reporting success on a heavily corrupted word
+        // whose corruption touched the message part.
+        let rs = rs15_7();
+        let msg: Vec<u16> = vec![1, 2, 3, 4, 5, 6, 7];
+        let cw = rs.encode(&msg);
+        let mut corrupted = cw;
+        for item in corrupted.iter_mut().take(11) {
+            *item ^= 0xF;
+        }
+        match rs.decode(&corrupted) {
+            Err(_) => {}
+            Ok(decoded) => assert_ne!(
+                decoded, msg,
+                "silent success with wrong content is the acceptable failure mode"
+            ),
+        }
+    }
+
+    #[test]
+    fn works_over_larger_fields() {
+        let rs = ReedSolomon::new(GfField::new(8), 255, 223);
+        let mut rng = StdRng::seed_from_u64(0x77);
+        let msg: Vec<u16> = (0..223).map(|_| rng.gen_range(0..256)).collect();
+        let mut cw = rs.encode(&msg);
+        for i in 0..16 {
+            cw[i * 15] ^= rng.gen_range(1..256) as u16;
+        }
+        assert_eq!(rs.decode(&cw).unwrap(), msg);
+    }
+
+    #[test]
+    fn single_error_in_parity_corrected() {
+        let rs = rs15_7();
+        let msg: Vec<u16> = vec![9; 7];
+        let mut cw = rs.encode(&msg);
+        cw[14] ^= 1;
+        assert_eq!(rs.decode(&cw).unwrap(), msg);
+    }
+
+    #[test]
+    fn pure_erasures_up_to_parity_count() {
+        // f erasures, zero errors: correctable up to n - k = 8.
+        let rs = rs15_7();
+        let msg: Vec<u16> = vec![4, 8, 15, 1, 6, 2, 3];
+        let cw = rs.encode(&msg);
+        let mut corrupted = cw.clone();
+        let erased: Vec<usize> = vec![0, 2, 5, 8, 9, 11, 13, 14];
+        for &i in &erased {
+            corrupted[i] = 0; // decoder only uses the positions, not values
+        }
+        assert_eq!(rs.decode_with_erasures(&corrupted, &erased).unwrap(), msg);
+        // Error-only decoding could never fix 8 corruptions (t = 4).
+        if corrupted != cw {
+            assert!(rs.decode(&corrupted).is_err() || rs.decode(&corrupted).unwrap() != msg);
+        }
+    }
+
+    #[test]
+    fn mixed_errors_and_erasures_within_budget() {
+        // 2e + f <= 8: try e = 2 errors plus f = 4 erasures.
+        let rs = rs15_7();
+        let mut rng = StdRng::seed_from_u64(0xEE);
+        for trial in 0..200 {
+            let msg: Vec<u16> = (0..7).map(|_| rng.gen_range(0..16)).collect();
+            let mut cw = rs.encode(&msg);
+            let mut positions: Vec<usize> = (0..15).collect();
+            for i in 0..6 {
+                let j = rng.gen_range(i..15);
+                positions.swap(i, j);
+            }
+            let erased = &positions[..4];
+            let errored = &positions[4..6];
+            for &i in erased {
+                cw[i] = rng.gen_range(0..16);
+            }
+            for &i in errored {
+                cw[i] ^= rng.gen_range(1..16) as u16;
+            }
+            assert_eq!(
+                rs.decode_with_erasures(&cw, erased).unwrap(),
+                msg,
+                "trial {trial} failed"
+            );
+        }
+    }
+
+    #[test]
+    fn erasures_double_the_budget() {
+        // 5 corruptions at known positions decode fine (5 <= 8), while
+        // the same 5 at unknown positions exceed t = 4.
+        let rs = rs15_7();
+        let msg: Vec<u16> = vec![7; 7];
+        let cw = rs.encode(&msg);
+        let mut corrupted = cw;
+        let positions = [1usize, 3, 6, 10, 12];
+        for &i in &positions {
+            corrupted[i] ^= 5;
+        }
+        assert_eq!(
+            rs.decode_with_erasures(&corrupted, &positions).unwrap(),
+            msg
+        );
+        match rs.decode(&corrupted) {
+            Err(RsError::TooManyErrors) => {}
+            Ok(decoded) => assert_ne!(decoded, msg),
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn erased_but_intact_positions_are_harmless() {
+        // Declaring healthy symbols erased must not corrupt anything.
+        let rs = rs15_7();
+        let msg: Vec<u16> = vec![1, 2, 3, 4, 5, 6, 7];
+        let mut cw = rs.encode(&msg);
+        cw[4] ^= 9; // one real error on top
+        assert_eq!(rs.decode_with_erasures(&cw, &[0, 10, 14]).unwrap(), msg);
+    }
+
+    #[test]
+    fn too_many_erasures_reported() {
+        let rs = rs15_7();
+        let cw = rs.encode(&[0; 7]);
+        let erased: Vec<usize> = (0..9).collect();
+        assert_eq!(
+            rs.decode_with_erasures(&cw, &erased),
+            Err(RsError::TooManyErasures)
+        );
+    }
+
+    #[test]
+    fn duplicate_erasures_are_deduplicated() {
+        let rs = rs15_7();
+        let msg: Vec<u16> = vec![9, 9, 9, 0, 0, 0, 1];
+        let mut cw = rs.encode(&msg);
+        cw[2] ^= 3;
+        assert_eq!(rs.decode_with_erasures(&cw, &[2, 2, 2, 2]).unwrap(), msg);
+    }
+
+    #[test]
+    #[should_panic(expected = "k symbols")]
+    fn wrong_message_length_panics() {
+        rs15_7().encode(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < k < n")]
+    fn degenerate_dimensions_rejected() {
+        ReedSolomon::new(GfField::new(4), 15, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds field order")]
+    fn oversized_n_rejected() {
+        ReedSolomon::new(GfField::new(4), 16, 4);
+    }
+}

@@ -1,0 +1,407 @@
+//! Entropy, conditional entropy, and mutual information
+//! (Definitions B.1–B.3 of the paper).
+//!
+//! All logarithms are to base 2, matching the paper's convention
+//! (subsection B.1). Distributions are finite and explicit; the
+//! lower-bound experiments in `beeps-lowerbound` build them from either
+//! exact probability computations or empirical counts.
+
+use std::fmt;
+
+/// Error returned when constructing a [`Distribution`] from invalid weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistributionError {
+    /// The weight slice was empty.
+    Empty,
+    /// A weight was negative, NaN, or infinite.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// All weights were zero, so the distribution cannot be normalized.
+    ZeroMass,
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistributionError::Empty => write!(f, "weight slice was empty"),
+            DistributionError::InvalidWeight { index } => {
+                write!(f, "weight at index {index} was negative or non-finite")
+            }
+            DistributionError::ZeroMass => write!(f, "all weights were zero"),
+        }
+    }
+}
+
+impl std::error::Error for DistributionError {}
+
+/// A finite discrete probability distribution over `0..len`.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_info::entropy::Distribution;
+///
+/// let d = Distribution::from_weights(&[3.0, 1.0]).unwrap();
+/// assert!((d.prob(0) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    probs: Vec<f64>,
+}
+
+impl Distribution {
+    /// Builds a distribution by normalizing non-negative `weights`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if `weights` is empty, contains a
+    /// negative or non-finite entry, or sums to zero.
+    pub fn from_weights(weights: &[f64]) -> Result<Self, DistributionError> {
+        if weights.is_empty() {
+            return Err(DistributionError::Empty);
+        }
+        for (index, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(DistributionError::InvalidWeight { index });
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(DistributionError::ZeroMass);
+        }
+        Ok(Self {
+            probs: weights.iter().map(|w| w / total).collect(),
+        })
+    }
+
+    /// Builds the uniform distribution over a support of size `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn uniform(len: usize) -> Self {
+        assert!(len > 0, "uniform distribution needs non-empty support");
+        Self {
+            probs: vec![1.0 / len as f64; len],
+        }
+    }
+
+    /// Builds an empirical distribution from occurrence counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::ZeroMass`] when every count is zero and
+    /// [`DistributionError::Empty`] when `counts` is empty.
+    pub fn from_counts(counts: &[u64]) -> Result<Self, DistributionError> {
+        let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        Self::from_weights(&weights)
+    }
+
+    /// Number of outcomes (including zero-probability ones).
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Whether the support vector is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Probability of outcome `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// The probabilities as a slice.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Shannon entropy `H(X) = Σ p log(1/p)` in bits (Definition B.1).
+    ///
+    /// Zero-probability outcomes contribute nothing, following the usual
+    /// `0 log 0 = 0` convention.
+    pub fn entropy(&self) -> f64 {
+        entropy_of(&self.probs)
+    }
+
+    /// Support size: the number of outcomes with strictly positive mass.
+    pub fn support_size(&self) -> usize {
+        self.probs.iter().filter(|&&p| p > 0.0).count()
+    }
+}
+
+/// Entropy (bits) of an unnormalized-but-assumed-normalized probability
+/// slice; shared by [`Distribution`] and [`JointDistribution`].
+fn entropy_of(probs: &[f64]) -> f64 {
+    probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| -p * p.log2())
+        .sum()
+}
+
+/// The binary entropy function `h(p) = -p log p - (1-p) log (1-p)`.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_info::entropy::binary_entropy;
+/// assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+/// assert_eq!(binary_entropy(0.0), 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn binary_entropy(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut h = 0.0;
+    if p > 0.0 {
+        h -= p * p.log2();
+    }
+    if p < 1.0 {
+        h -= (1.0 - p) * (1.0 - p).log2();
+    }
+    h
+}
+
+/// A joint distribution over pairs `(x, y)` with `x in 0..nx`, `y in 0..ny`,
+/// stored densely in row-major order.
+///
+/// Provides the conditional-entropy and mutual-information quantities of
+/// Definitions B.2 and B.3, which Lemma C.5 of the paper uses to argue that
+/// short transcripts leave the input distribution with high entropy.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_info::entropy::JointDistribution;
+///
+/// // Perfectly correlated bits: I(X:Y) = 1 bit.
+/// let j = JointDistribution::from_weights(2, 2, &[1.0, 0.0, 0.0, 1.0]).unwrap();
+/// assert!((j.mutual_information() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointDistribution {
+    nx: usize,
+    ny: usize,
+    probs: Vec<f64>,
+}
+
+impl JointDistribution {
+    /// Builds a joint distribution by normalizing the `nx * ny` weight matrix
+    /// given in row-major order (`weights[x * ny + y]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError`] if the matrix shape is wrong
+    /// (reported as [`DistributionError::Empty`]), a weight is invalid, or
+    /// the total mass is zero.
+    pub fn from_weights(nx: usize, ny: usize, weights: &[f64]) -> Result<Self, DistributionError> {
+        if nx == 0 || ny == 0 || weights.len() != nx * ny {
+            return Err(DistributionError::Empty);
+        }
+        let flat = Distribution::from_weights(weights)?;
+        Ok(Self {
+            nx,
+            ny,
+            probs: flat.probs,
+        })
+    }
+
+    /// Builds an empirical joint distribution from a pair-count matrix in
+    /// row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`JointDistribution::from_weights`].
+    pub fn from_counts(nx: usize, ny: usize, counts: &[u64]) -> Result<Self, DistributionError> {
+        let weights: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        Self::from_weights(nx, ny, &weights)
+    }
+
+    /// Probability of the pair `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= nx` or `y >= ny`.
+    pub fn prob(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.nx && y < self.ny, "index out of bounds");
+        self.probs[x * self.ny + y]
+    }
+
+    /// Marginal distribution of `X`.
+    pub fn marginal_x(&self) -> Distribution {
+        let probs = self
+            .probs
+            .chunks(self.ny)
+            .map(|row| row.iter().sum())
+            .collect();
+        Distribution { probs }
+    }
+
+    /// Marginal distribution of `Y`.
+    pub fn marginal_y(&self) -> Distribution {
+        let mut probs = vec![0.0; self.ny];
+        for row in self.probs.chunks(self.ny) {
+            for (p, &v) in probs.iter_mut().zip(row) {
+                *p += v;
+            }
+        }
+        Distribution { probs }
+    }
+
+    /// Joint entropy `H(X, Y)` in bits.
+    pub fn joint_entropy(&self) -> f64 {
+        entropy_of(&self.probs)
+    }
+
+    /// Conditional entropy `H(X | Y) = H(X, Y) - H(Y)` (Definition B.2).
+    pub fn conditional_entropy_x_given_y(&self) -> f64 {
+        self.joint_entropy() - self.marginal_y().entropy()
+    }
+
+    /// Conditional entropy `H(Y | X) = H(X, Y) - H(X)`.
+    pub fn conditional_entropy_y_given_x(&self) -> f64 {
+        self.joint_entropy() - self.marginal_x().entropy()
+    }
+
+    /// Mutual information `I(X : Y) = H(X) - H(X | Y)` (Definition B.3).
+    ///
+    /// Clamped at zero to absorb floating-point jitter: Fact B.5 guarantees
+    /// non-negativity mathematically.
+    pub fn mutual_information(&self) -> f64 {
+        let i = self.marginal_x().entropy() - self.conditional_entropy_x_given_y();
+        i.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_entropy_is_log_support() {
+        for len in [1usize, 2, 4, 8, 100] {
+            let d = Distribution::uniform(len);
+            assert!(
+                (d.entropy() - (len as f64).log2()).abs() < 1e-10,
+                "uniform({len}) entropy should be log2({len})"
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_support_fact_b4() {
+        // Fact B.4: 0 <= H(X) <= log |Omega|.
+        let d = Distribution::from_weights(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert!(d.entropy() >= 0.0);
+        assert!(d.entropy() <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn point_mass_has_zero_entropy() {
+        let d = Distribution::from_weights(&[0.0, 1.0, 0.0]).unwrap();
+        assert_eq!(d.entropy(), 0.0);
+        assert_eq!(d.support_size(), 1);
+    }
+
+    #[test]
+    fn from_weights_rejects_bad_input() {
+        assert_eq!(
+            Distribution::from_weights(&[]),
+            Err(DistributionError::Empty)
+        );
+        assert_eq!(
+            Distribution::from_weights(&[1.0, -0.5]),
+            Err(DistributionError::InvalidWeight { index: 1 })
+        );
+        assert_eq!(
+            Distribution::from_weights(&[1.0, f64::NAN]),
+            Err(DistributionError::InvalidWeight { index: 1 })
+        );
+        assert_eq!(
+            Distribution::from_weights(&[0.0, 0.0]),
+            Err(DistributionError::ZeroMass)
+        );
+    }
+
+    #[test]
+    fn from_counts_normalizes() {
+        let d = Distribution::from_counts(&[2, 6]).unwrap();
+        assert!((d.prob(0) - 0.25).abs() < 1e-12);
+        assert!((d.prob(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_entropy_endpoints_and_symmetry() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        for p in [0.1, 0.25, 0.4] {
+            assert!((binary_entropy(p) - binary_entropy(1.0 - p)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn binary_entropy_rejects_out_of_range() {
+        binary_entropy(1.5);
+    }
+
+    #[test]
+    fn independent_joint_has_zero_mutual_information() {
+        // X uniform on {0,1}, Y uniform on {0,1,2}, independent.
+        let w: Vec<f64> = vec![1.0; 6];
+        let j = JointDistribution::from_weights(2, 3, &w).unwrap();
+        assert!(j.mutual_information().abs() < 1e-12);
+        // Fact B.6 equality case: H(XY) = H(X) + H(Y).
+        let sum = j.marginal_x().entropy() + j.marginal_y().entropy();
+        assert!((j.joint_entropy() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_joint_mutual_information() {
+        let j = JointDistribution::from_weights(2, 2, &[1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert!((j.mutual_information() - 1.0).abs() < 1e-12);
+        assert!(j.conditional_entropy_x_given_y().abs() < 1e-12);
+    }
+
+    #[test]
+    fn subadditivity_of_entropy_fact_b6() {
+        // A skewed, dependent joint distribution.
+        let j = JointDistribution::from_weights(2, 2, &[4.0, 1.0, 1.0, 2.0]).unwrap();
+        let joint = j.joint_entropy();
+        let sum = j.marginal_x().entropy() + j.marginal_y().entropy();
+        assert!(joint <= sum + 1e-12, "H(XY) <= H(X) + H(Y)");
+    }
+
+    #[test]
+    fn conditioning_reduces_entropy_fact_b5() {
+        let j = JointDistribution::from_weights(2, 2, &[4.0, 1.0, 1.0, 2.0]).unwrap();
+        assert!(j.conditional_entropy_x_given_y() <= j.marginal_x().entropy() + 1e-12);
+        assert!(j.mutual_information() >= 0.0);
+        assert!(j.mutual_information() <= j.marginal_x().entropy() + 1e-12);
+    }
+
+    #[test]
+    fn joint_marginals_sum_to_one() {
+        let j = JointDistribution::from_weights(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let sx: f64 = j.marginal_x().probs().iter().sum();
+        let sy: f64 = j.marginal_y().probs().iter().sum();
+        assert!((sx - 1.0).abs() < 1e-12);
+        assert!((sy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_rejects_shape_mismatch() {
+        assert!(JointDistribution::from_weights(2, 2, &[1.0, 2.0]).is_err());
+        assert!(JointDistribution::from_weights(0, 2, &[]).is_err());
+    }
+}

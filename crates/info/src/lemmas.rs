@@ -1,0 +1,175 @@
+//! Lemmas B.7 and B.8 of the paper, as executable functions.
+//!
+//! * [`cauchy_schwarz_ratio`] computes both sides of Lemma B.7:
+//!   `(Σ a_i)² / (Σ b_i) ≤ Σ a_i² / b_i` for positive sequences. The
+//!   lower-bound proof (Theorem C.3) uses it to pass from a sum of `ζ`
+//!   values to a ratio of aggregated probabilities.
+//! * [`unique_indices`] and [`lemma_b8_bound`] implement Lemma B.8: among
+//!   `k` i.i.d. uniform samples from a set of size `|S|`, the number of
+//!   *unique* samples is at least `k/3` except with probability
+//!   `(3/2)(1 − e^{−k/|S|})`. The set `G_1(x)` of players with unique
+//!   inputs (subsection C.2) is exactly this quantity.
+
+/// Both sides of Lemma B.7 for positive sequences `a`, `b`:
+/// returns `(lhs, rhs)` where `lhs = (Σ a)² / Σ b` and `rhs = Σ a²/b`.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_info::lemmas::cauchy_schwarz_ratio;
+/// let (lhs, rhs) = cauchy_schwarz_ratio(&[1.0, 2.0], &[1.0, 1.0]).unwrap();
+/// assert!(lhs <= rhs + 1e-12);
+/// ```
+///
+/// # Errors
+///
+/// Returns `Err` with a description if the slices are empty, have different
+/// lengths, or contain non-positive or non-finite entries.
+pub fn cauchy_schwarz_ratio(a: &[f64], b: &[f64]) -> Result<(f64, f64), String> {
+    if a.is_empty() || a.len() != b.len() {
+        return Err(format!(
+            "need equal-length non-empty slices, got {} and {}",
+            a.len(),
+            b.len()
+        ));
+    }
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        if !(x.is_finite() && y.is_finite() && x > 0.0 && y > 0.0) {
+            return Err(format!(
+                "entries must be positive and finite, bad pair at {i}"
+            ));
+        }
+    }
+    let sa: f64 = a.iter().sum();
+    let sb: f64 = b.iter().sum();
+    let lhs = sa * sa / sb;
+    let rhs: f64 = a.iter().zip(b).map(|(&x, &y)| x * x / y).sum();
+    Ok((lhs, rhs))
+}
+
+/// Indices `i` such that `samples[i]` occurs exactly once in `samples`
+/// — the set `I` of Lemma B.8 and the set `G_1(x)` of unique-input players
+/// in subsection C.2 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_info::lemmas::unique_indices;
+/// assert_eq!(unique_indices(&[3, 1, 3, 7]), vec![1, 3]);
+/// ```
+pub fn unique_indices(samples: &[usize]) -> Vec<usize> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for &s in samples {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    samples
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| counts[s] == 1)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The Lemma B.8 bound: `Pr[|I| <= k/3] <= (3/2)(1 − e^{−k/|S|})` for `k`
+/// uniform samples from a set of size `set_size`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `set_size == 0`, or `k >= set_size` (the lemma's
+/// hypothesis is `k < |S|`).
+pub fn lemma_b8_bound(k: u64, set_size: u64) -> f64 {
+    assert!(k > 0 && set_size > 0, "k and |S| must be positive");
+    assert!(k < set_size, "Lemma B.8 requires k < |S|");
+    1.5 * (1.0 - (-(k as f64) / set_size as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn lemma_b7_simple_cases() {
+        let (lhs, rhs) = cauchy_schwarz_ratio(&[1.0], &[2.0]).unwrap();
+        assert!((lhs - 0.5).abs() < 1e-12);
+        assert!((rhs - 0.5).abs() < 1e-12);
+
+        // Equality holds iff a_i / b_i is constant.
+        let (lhs, rhs) = cauchy_schwarz_ratio(&[2.0, 4.0], &[1.0, 2.0]).unwrap();
+        assert!((lhs - rhs).abs() < 1e-12);
+
+        // Strict inequality otherwise.
+        let (lhs, rhs) = cauchy_schwarz_ratio(&[1.0, 4.0], &[1.0, 1.0]).unwrap();
+        assert!(lhs < rhs);
+    }
+
+    #[test]
+    fn lemma_b7_rejects_bad_input() {
+        assert!(cauchy_schwarz_ratio(&[], &[]).is_err());
+        assert!(cauchy_schwarz_ratio(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(cauchy_schwarz_ratio(&[0.0], &[1.0]).is_err());
+        assert!(cauchy_schwarz_ratio(&[1.0], &[-1.0]).is_err());
+        assert!(cauchy_schwarz_ratio(&[f64::INFINITY], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn lemma_b7_holds_on_random_sequences() {
+        let mut rng = StdRng::seed_from_u64(0xB7);
+        for _ in 0..200 {
+            let len = rng.gen_range(1..20);
+            let a: Vec<f64> = (0..len).map(|_| rng.gen_range(0.01..10.0)).collect();
+            let b: Vec<f64> = (0..len).map(|_| rng.gen_range(0.01..10.0)).collect();
+            let (lhs, rhs) = cauchy_schwarz_ratio(&a, &b).unwrap();
+            assert!(
+                lhs <= rhs * (1.0 + 1e-12),
+                "Lemma B.7 violated: {lhs} > {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn unique_indices_edge_cases() {
+        assert_eq!(unique_indices(&[]), Vec::<usize>::new());
+        assert_eq!(unique_indices(&[5]), vec![0]);
+        assert_eq!(unique_indices(&[5, 5]), Vec::<usize>::new());
+        assert_eq!(unique_indices(&[1, 2, 3]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lemma_b8_empirically_valid() {
+        // n parties sample uniformly from [2n] (the InputSet distribution):
+        // check Pr[|I| <= k/3] against the bound by Monte Carlo.
+        let mut rng = StdRng::seed_from_u64(0xB8);
+        for &k in &[8usize, 16, 64] {
+            let set_size = 2 * k;
+            let trials = 2_000;
+            let mut bad = 0u32;
+            for _ in 0..trials {
+                let samples: Vec<usize> = (0..k).map(|_| rng.gen_range(0..set_size)).collect();
+                if unique_indices(&samples).len() * 3 <= k {
+                    bad += 1;
+                }
+            }
+            let freq = f64::from(bad) / f64::from(trials);
+            let bound = lemma_b8_bound(k as u64, set_size as u64);
+            assert!(
+                freq <= bound + 0.02,
+                "k={k}: empirical {freq} exceeds Lemma B.8 bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_b8_bound_range() {
+        // For k = |S|/2 the bound is (3/2)(1 - e^{-1/2}) ≈ 0.59.
+        let b = lemma_b8_bound(10, 20);
+        assert!(b > 0.58 && b < 0.60);
+    }
+
+    #[test]
+    #[should_panic(expected = "k < |S|")]
+    fn lemma_b8_requires_small_k() {
+        lemma_b8_bound(20, 20);
+    }
+}

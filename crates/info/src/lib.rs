@@ -1,0 +1,36 @@
+//! Information-theoretic substrate for the `noisy-beeps` reproduction.
+//!
+//! This crate implements Appendix B of *Noisy Beeps* (Efremenko, Kol,
+//! Saxena; PODC 2020) as executable, tested code:
+//!
+//! * [`entropy`] — binary entropy, conditional entropy, and mutual
+//!   information of empirical discrete distributions
+//!   (Definitions B.1–B.3 and Facts B.4–B.6);
+//! * [`tail`] — binomial tail probabilities and Chernoff/Hoeffding bounds,
+//!   used throughout `beeps-core` to *choose* repetition counts that hit the
+//!   `n^{-c}`-style failure targets the paper's proofs require;
+//! * [`lemmas`] — Lemma B.7 (a Cauchy–Schwarz ratio inequality) and
+//!   Lemma B.8 (how many of `k` uniform samples are unique) as checked
+//!   functions with property tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use beeps_info::entropy::Distribution;
+//!
+//! // A fair coin has one bit of entropy.
+//! let coin = Distribution::from_weights(&[1.0, 1.0]).unwrap();
+//! assert!((coin.entropy() - 1.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod entropy;
+pub mod lemmas;
+pub mod stats;
+pub mod tail;
+
+pub use entropy::{Distribution, DistributionError, JointDistribution};
+pub use stats::{chi_square_homogeneity, kl_divergence, total_variation, ChiSquare};
+pub use tail::{binomial_tail_ge, binomial_tail_le, hoeffding_tail};

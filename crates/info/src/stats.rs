@@ -1,0 +1,232 @@
+//! Statistical comparison tools for the channel-equivalence experiments.
+//!
+//! Experiment E6 claims the A.1.2 reduction channel is *distributionally*
+//! equal to a native `ε = 1/4` channel; eyeballing flip rates is not a
+//! test. This module provides Pearson's chi-square homogeneity statistic
+//! (with a conservative threshold table), KL divergence, and total
+//! variation distance over finite distributions.
+
+use crate::entropy::Distribution;
+
+/// Kullback–Leibler divergence `D(P ‖ Q)` in bits.
+///
+/// Returns `f64::INFINITY` when `P` puts mass where `Q` has none.
+///
+/// # Panics
+///
+/// Panics if the distributions have different support sizes.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_info::entropy::Distribution;
+/// use beeps_info::stats::kl_divergence;
+///
+/// let p = Distribution::from_weights(&[1.0, 1.0]).unwrap();
+/// let q = Distribution::from_weights(&[3.0, 1.0]).unwrap();
+/// assert!(kl_divergence(&p, &p) < 1e-12);
+/// assert!(kl_divergence(&p, &q) > 0.0);
+/// ```
+pub fn kl_divergence(p: &Distribution, q: &Distribution) -> f64 {
+    assert_eq!(p.len(), q.len(), "support size mismatch");
+    let mut total = 0.0;
+    for i in 0..p.len() {
+        let pi = p.prob(i);
+        if pi == 0.0 {
+            continue;
+        }
+        let qi = q.prob(i);
+        if qi == 0.0 {
+            return f64::INFINITY;
+        }
+        total += pi * (pi / qi).log2();
+    }
+    total.max(0.0)
+}
+
+/// Total variation distance `½ Σ |p_i − q_i|`.
+///
+/// # Panics
+///
+/// Panics if the distributions have different support sizes.
+pub fn total_variation(p: &Distribution, q: &Distribution) -> f64 {
+    assert_eq!(p.len(), q.len(), "support size mismatch");
+    0.5 * (0..p.len())
+        .map(|i| (p.prob(i) - q.prob(i)).abs())
+        .sum::<f64>()
+}
+
+/// Result of a chi-square two-sample homogeneity test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    /// The Pearson statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (`categories − 1`).
+    pub dof: usize,
+    /// Whether the statistic stays below the 99.9% quantile of the
+    /// chi-square distribution with `dof` degrees of freedom — i.e., the
+    /// samples are *consistent* with a common distribution.
+    pub consistent_at_999: bool,
+}
+
+/// Pearson chi-square homogeneity test for two count vectors over the
+/// same categories: are both samples drawn from one distribution?
+///
+/// Categories where both samples have zero counts are ignored. The
+/// 99.9% threshold is exact for small `dof` (table) and approximated by
+/// the Wilson–Hilferty transform beyond it.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or a sample has zero
+/// total count.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_info::stats::chi_square_homogeneity;
+///
+/// // Same coin, two samples.
+/// let r = chi_square_homogeneity(&[4980, 5020], &[5051, 4949]);
+/// assert!(r.consistent_at_999);
+/// // A fair coin vs a 2:1 coin.
+/// let r = chi_square_homogeneity(&[5000, 5000], &[6667, 3333]);
+/// assert!(!r.consistent_at_999);
+/// ```
+pub fn chi_square_homogeneity(a: &[u64], b: &[u64]) -> ChiSquare {
+    assert_eq!(a.len(), b.len(), "category count mismatch");
+    assert!(!a.is_empty(), "need at least one category");
+    let na: u64 = a.iter().sum();
+    let nb: u64 = b.iter().sum();
+    assert!(na > 0 && nb > 0, "each sample needs observations");
+    let na_f = na as f64;
+    let nb_f = nb as f64;
+    let total = na_f + nb_f;
+
+    let mut statistic = 0.0;
+    let mut used = 0usize;
+    for i in 0..a.len() {
+        let row = a[i] as f64 + b[i] as f64;
+        if row == 0.0 {
+            continue;
+        }
+        used += 1;
+        let ea = row * na_f / total;
+        let eb = row * nb_f / total;
+        statistic += (a[i] as f64 - ea).powi(2) / ea;
+        statistic += (b[i] as f64 - eb).powi(2) / eb;
+    }
+    let dof = used.saturating_sub(1).max(1);
+    ChiSquare {
+        statistic,
+        dof,
+        consistent_at_999: statistic <= chi_square_quantile_999(dof),
+    }
+}
+
+/// 99.9% quantile of the chi-square distribution with `dof` degrees of
+/// freedom.
+fn chi_square_quantile_999(dof: usize) -> f64 {
+    // Exact values for the small dof the experiments use.
+    const TABLE: [f64; 10] = [
+        10.828, 13.816, 16.266, 18.467, 20.515, 22.458, 24.322, 26.124, 27.877, 29.588,
+    ];
+    if dof <= TABLE.len() {
+        return TABLE[dof - 1];
+    }
+    // Wilson–Hilferty: chi2_q(k) ~= k (1 - 2/(9k) + z sqrt(2/(9k)))^3,
+    // z_{0.999} = 3.0902.
+    let k = dof as f64;
+    let z = 3.0902;
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t.powi(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        let p = Distribution::from_weights(&[0.2, 0.3, 0.5]).unwrap();
+        assert!(kl_divergence(&p, &p).abs() < 1e-12);
+        let q = Distribution::from_weights(&[0.5, 0.3, 0.2]).unwrap();
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_infinite_on_support_mismatch() {
+        let p = Distribution::from_weights(&[0.5, 0.5]).unwrap();
+        let q = Distribution::from_weights(&[1.0, 0.0]).unwrap();
+        assert_eq!(kl_divergence(&p, &q), f64::INFINITY);
+        // ...but not the other way around.
+        assert!(kl_divergence(&q, &p).is_finite());
+    }
+
+    #[test]
+    fn tv_distance_bounds() {
+        let p = Distribution::from_weights(&[1.0, 0.0]).unwrap();
+        let q = Distribution::from_weights(&[0.0, 1.0]).unwrap();
+        assert!((total_variation(&p, &q) - 1.0).abs() < 1e-12);
+        assert_eq!(total_variation(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn chi_square_accepts_same_source() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut accepted = 0;
+        for _ in 0..20 {
+            let mut a = [0u64; 4];
+            let mut b = [0u64; 4];
+            for _ in 0..10_000 {
+                a[rng.gen_range(0..4)] += 1;
+                b[rng.gen_range(0..4)] += 1;
+            }
+            if chi_square_homogeneity(&a, &b).consistent_at_999 {
+                accepted += 1;
+            }
+        }
+        // At the 99.9% level essentially all same-source pairs pass.
+        assert!(accepted >= 19, "only {accepted}/20 accepted");
+    }
+
+    #[test]
+    fn chi_square_rejects_different_sources() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a = [0u64; 2];
+        let mut b = [0u64; 2];
+        for _ in 0..20_000 {
+            a[usize::from(rng.gen_bool(0.50))] += 1;
+            b[usize::from(rng.gen_bool(0.55))] += 1;
+        }
+        let r = chi_square_homogeneity(&a, &b);
+        assert!(!r.consistent_at_999, "statistic {}", r.statistic);
+    }
+
+    #[test]
+    fn chi_square_ignores_empty_categories() {
+        let r = chi_square_homogeneity(&[100, 100, 0], &[110, 90, 0]);
+        assert_eq!(r.dof, 1);
+    }
+
+    #[test]
+    fn quantile_table_monotone_and_continuous() {
+        let mut prev = 0.0;
+        for dof in 1..=20 {
+            let q = chi_square_quantile_999(dof);
+            assert!(q > prev, "quantile must grow with dof");
+            prev = q;
+        }
+        // Wilson-Hilferty continuation is close to the last table entry.
+        let table_10 = chi_square_quantile_999(10);
+        let approx_11 = chi_square_quantile_999(11);
+        assert!(approx_11 > table_10 && approx_11 < table_10 + 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "category count mismatch")]
+    fn chi_square_length_mismatch_panics() {
+        chi_square_homogeneity(&[1], &[1, 2]);
+    }
+}

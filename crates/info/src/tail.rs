@@ -1,0 +1,467 @@
+//! Binomial tails and Chernoff/Hoeffding bounds.
+//!
+//! The simulation schemes of `beeps-core` repeat every beep `r` times and
+//! decode by (possibly biased) majority. The proofs of Theorem 1.2 and
+//! Theorem D.1 need per-step failure probabilities that are polynomially
+//! small in `n`; this module provides both the *exact* binomial tails (used
+//! in tests and experiments) and the closed-form bounds (used to pick `r`
+//! at runtime without iterating).
+
+/// Exact probability that `Binomial(n, p) >= k`.
+///
+/// Computed by summing the PMF with a numerically stable multiplicative
+/// recurrence; exact enough for the `n <= 10^4` range used here.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_info::tail::binomial_tail_ge;
+/// // A fair coin lands heads at least 0 times with certainty.
+/// assert_eq!(binomial_tail_ge(10, 0.5, 0), 1.0);
+/// // P[X >= 6] + P[X <= 5] = 1.
+/// let hi = binomial_tail_ge(10, 0.5, 6);
+/// let lo = beeps_info::tail::binomial_tail_le(10, 0.5, 5);
+/// assert!((hi + lo - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn binomial_tail_ge(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    // Sum PMF terms from k..=n. Start from the log-PMF at k to avoid
+    // underflow, then use the recurrence
+    //   pmf(i+1) = pmf(i) * (n - i) / (i + 1) * p / (1 - p).
+    let log_pmf_k = log_binomial_pmf(n, p, k);
+    let mut term = log_pmf_k.exp();
+    let mut sum = term;
+    let odds = p / (1.0 - p);
+    for i in k..n {
+        term *= (n - i) as f64 / (i + 1) as f64 * odds;
+        sum += term;
+        if term < 1e-320 {
+            break;
+        }
+    }
+    sum.min(1.0)
+}
+
+/// Exact probability that `Binomial(n, p) <= k`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn binomial_tail_le(n: u64, p: f64, k: u64) -> f64 {
+    if k >= n {
+        return 1.0;
+    }
+    1.0 - binomial_tail_ge(n, p, k + 1)
+}
+
+/// Natural log of the binomial PMF at `k`, via `ln_gamma`.
+fn log_binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    let n_f = n as f64;
+    let k_f = k as f64;
+    ln_choose(n, k) + k_f * p.ln() + (n_f - k_f) * (1.0 - p).ln()
+}
+
+/// Natural log of `n choose k` using Stirling-free `ln_gamma` (Lanczos).
+fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`; absolute error below
+/// `1e-10` on the range used here.
+fn ln_gamma(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0);
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Hoeffding bound: `P[X - np >= t*n] <= exp(-2 t^2 n)` for
+/// `X ~ Binomial(n, p)`.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_info::tail::hoeffding_tail;
+/// let bound = hoeffding_tail(100, 0.1);
+/// assert!(bound < 0.14);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `t` is negative.
+pub fn hoeffding_tail(n: u64, t: f64) -> f64 {
+    assert!(t >= 0.0, "deviation must be non-negative, got {t}");
+    (-2.0 * t * t * n as f64).exp()
+}
+
+/// Smallest repetition count `r` such that a biased-majority decode of `r`
+/// independent ε-noisy copies errs with probability at most `target`.
+///
+/// The decode rule declares 1 when at least `ceil(threshold * r)` copies
+/// read 1. For the symmetric two-sided channel use `threshold = 0.5`; for
+/// the one-sided `0→1` channel (where a true 1 is never corrupted) any
+/// `threshold` strictly between ε and 1 works, and the caller picks the
+/// midpoint `(1 + ε) / 2`.
+///
+/// Returns the exact smallest `r` by scanning with the exact binomial tail;
+/// `r` is capped at `4096` which is far beyond anything the experiments
+/// need (the cap is asserted in debug builds).
+///
+/// # Examples
+///
+/// ```
+/// use beeps_info::tail::repetitions_for_error;
+/// // Decoding a bit across an epsilon = 1/3 two-sided channel to 1e-3.
+/// let r = repetitions_for_error(1.0 / 3.0, 0.5, 1e-3);
+/// assert!(r >= 10 && r < 200);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `eps` is not in `[0, 0.5]` for `threshold == 0.5`, if
+/// `threshold` is not in `(eps, 1)`, or if `target` is not in `(0, 1)`.
+pub fn repetitions_for_error(eps: f64, threshold: f64, target: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&eps), "eps must be a probability");
+    assert!(
+        threshold > eps && threshold < 1.0,
+        "threshold must be in (eps, 1), got {threshold} with eps {eps}"
+    );
+    assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+    if eps == 0.0 {
+        return 1;
+    }
+    for r in 1..=4096u64 {
+        if decode_error_at(eps, threshold, r) <= target {
+            return r;
+        }
+    }
+    debug_assert!(false, "repetition count exceeded cap for target {target}");
+    4096
+}
+
+/// Smallest repetition count `r` such that a threshold decode of `r` copies
+/// sent over the one-sided `0→1` channel (a Z-channel: true 1s are never
+/// corrupted) errs with probability at most `target`.
+///
+/// Only a true 0 can be misread, so unlike [`repetitions_for_error`] the
+/// threshold may sit anywhere in `(eps, 1]`-exclusive, and convergence is
+/// guaranteed for every `eps < threshold`.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_info::tail::{decode_error_one_sided_up, repetitions_for_error_one_sided};
+/// let eps = 1.0 / 3.0;
+/// let thr = (1.0 + eps) / 2.0;
+/// let r = repetitions_for_error_one_sided(eps, thr, 1e-6);
+/// assert!(decode_error_one_sided_up(eps, thr, r) <= 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`repetitions_for_error`].
+pub fn repetitions_for_error_one_sided(eps: f64, threshold: f64, target: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&eps), "eps must be a probability");
+    assert!(
+        threshold > eps && threshold < 1.0,
+        "threshold must be in (eps, 1), got {threshold} with eps {eps}"
+    );
+    assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+    if eps == 0.0 {
+        return 1;
+    }
+    for r in 1..=4096u64 {
+        if decode_error_one_sided_up(eps, threshold, r) <= target {
+            return r;
+        }
+    }
+    debug_assert!(false, "repetition count exceeded cap for target {target}");
+    4096
+}
+
+/// Probability that a biased-majority decode of `r` copies errs, in the
+/// worst case over the transmitted bit, for a channel that flips each copy
+/// independently with probability `eps`.
+///
+/// A true 0 is misread when at least `ceil(threshold * r)` copies flip to 1;
+/// a true 1 is misread when fewer than that many copies stay 1 (i.e. more
+/// than `r - k` of them flip). The function returns the max of the two.
+pub fn decode_error_at(eps: f64, threshold: f64, r: u64) -> f64 {
+    let k = (threshold * r as f64).ceil() as u64;
+    let k = k.clamp(1, r);
+    // True 0: each copy reads 1 w.p. eps; error iff #ones >= k.
+    let err0 = binomial_tail_ge(r, eps, k);
+    // True 1: each copy reads 0 w.p. eps; error iff #ones <= k - 1,
+    // i.e. #zeros >= r - k + 1.
+    let err1 = binomial_tail_ge(r, eps, r - k + 1);
+    err0.max(err1)
+}
+
+/// Probability that a biased-majority decode of `r` copies errs over the
+/// one-sided `0→1` channel: a true 1 is never corrupted, so only a true 0
+/// can be misread (when ≥ `ceil(threshold * r)` copies flip up).
+pub fn decode_error_one_sided_up(eps: f64, threshold: f64, r: u64) -> f64 {
+    let k = ((threshold * r as f64).ceil() as u64).clamp(1, r);
+    binomial_tail_ge(r, eps, k)
+}
+
+/// Cutoff rate `R₀ = 1 − log₂(1 + 2√(ε(1−ε)))` of the binary symmetric
+/// channel — the exponent of the random-coding union bound
+/// `P_err ≤ q · 2^{−len·R₀}` for maximum-likelihood decoding of a random
+/// code with `q` codewords.
+///
+/// `beeps-core` uses this to size the Algorithm 1 codewords: the bound is
+/// loose but safe, and (crucially) positive for every `ε < 1/2`, unlike
+/// bounded-distance decoding which dies at `ε = 1/4` (see the `beeps-ecc`
+/// crate docs).
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ ε < 0.5`.
+pub fn cutoff_rate_bsc(eps: f64) -> f64 {
+    assert!(
+        (0.0..0.5).contains(&eps),
+        "BSC cutoff rate needs eps in [0, 0.5)"
+    );
+    1.0 - (1.0 + 2.0 * (eps * (1.0 - eps)).sqrt()).log2()
+}
+
+/// Cutoff rate `R₀ = 1 − log₂(1 + √ε)` of the Z-channel with crossover
+/// `ε` (only `0→1` flips) — via the Bhattacharyya parameter `√ε`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ ε < 1`.
+pub fn cutoff_rate_z(eps: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&eps),
+        "Z cutoff rate needs eps in [0, 1)"
+    );
+    1.0 - (1.0 + eps.sqrt()).log2()
+}
+
+/// Codeword length for which the random-coding union bound
+/// `q · 2^{−len·r0}` drops below `target`, given a channel cutoff rate
+/// `r0`.
+///
+/// # Panics
+///
+/// Panics if `q < 2`, `r0 <= 0`, or `target` is not in `(0, 1)`.
+pub fn random_code_length(q: usize, r0: f64, target: f64) -> usize {
+    assert!(q >= 2, "need at least two codewords");
+    assert!(r0 > 0.0, "cutoff rate must be positive");
+    assert!(target > 0.0 && target < 1.0, "target must be in (0, 1)");
+    let needed = ((q as f64).log2() + (1.0 / target).log2()) / r0;
+    needed.ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force binomial tail by full PMF enumeration with f64 binomials.
+    fn naive_tail_ge(n: u64, p: f64, k: u64) -> f64 {
+        let mut total = 0.0;
+        for i in k..=n {
+            let mut c = 1.0;
+            for j in 0..i {
+                c = c * (n - j) as f64 / (j + 1) as f64;
+            }
+            total += c * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32);
+        }
+        total
+    }
+
+    #[test]
+    fn tail_matches_naive_enumeration() {
+        for &(n, p) in &[
+            (1u64, 0.3f64),
+            (5, 0.5),
+            (10, 0.1),
+            (20, 0.9),
+            (30, 1.0 / 3.0),
+        ] {
+            for k in 0..=n {
+                let fast = binomial_tail_ge(n, p, k);
+                let slow = naive_tail_ge(n, p, k);
+                assert!(
+                    (fast - slow).abs() < 1e-9,
+                    "tail mismatch at n={n} p={p} k={k}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tail_edge_cases() {
+        assert_eq!(binomial_tail_ge(10, 0.5, 0), 1.0);
+        assert_eq!(binomial_tail_ge(10, 0.5, 11), 0.0);
+        assert_eq!(binomial_tail_ge(10, 0.0, 1), 0.0);
+        assert_eq!(binomial_tail_ge(10, 1.0, 10), 1.0);
+        assert_eq!(binomial_tail_le(10, 0.5, 10), 1.0);
+    }
+
+    #[test]
+    fn tail_is_monotone_in_k() {
+        let n = 50;
+        let p = 1.0 / 3.0;
+        let mut prev = 1.0;
+        for k in 0..=n {
+            let t = binomial_tail_ge(n, p, k);
+            assert!(t <= prev + 1e-12, "tail must decrease in k");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1u64..=20 {
+            fact *= n as f64;
+            assert!(
+                (ln_gamma(n as f64 + 1.0) - fact.ln()).abs() < 1e-8,
+                "ln_gamma({}) should be ln({n}!)",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn hoeffding_dominates_exact_tail() {
+        // Chernoff-Hoeffding is an upper bound on the deviation probability.
+        let n = 200u64;
+        let p = 1.0 / 3.0;
+        for t10 in 1..=5u32 {
+            let t = t10 as f64 / 10.0;
+            let k = ((p + t) * n as f64).ceil() as u64;
+            if k > n {
+                continue;
+            }
+            let exact = binomial_tail_ge(n, p, k);
+            let bound = hoeffding_tail(n, t);
+            assert!(
+                exact <= bound + 1e-12,
+                "t={t}: exact {exact} > bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn repetitions_hit_target() {
+        for &target in &[1e-2, 1e-4, 1e-8] {
+            let r = repetitions_for_error(1.0 / 3.0, 0.5, target);
+            assert!(decode_error_at(1.0 / 3.0, 0.5, r) <= target);
+            if r > 1 {
+                assert!(
+                    decode_error_at(1.0 / 3.0, 0.5, r - 1) > target,
+                    "r should be minimal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repetitions_scale_logarithmically() {
+        // Doubling the exponent of the target should roughly double r:
+        // the defining property of the O(log n) repetition scheme.
+        let r1 = repetitions_for_error(1.0 / 3.0, 0.5, 1e-3);
+        let r2 = repetitions_for_error(1.0 / 3.0, 0.5, 1e-6);
+        let r4 = repetitions_for_error(1.0 / 3.0, 0.5, 1e-12);
+        assert!(r2 > r1 && r4 > r2);
+        let ratio = (r4 - r2) as f64 / (r2 - r1) as f64;
+        assert!(
+            ratio > 0.5 && ratio < 2.5,
+            "growth should be ~linear in log(1/target)"
+        );
+    }
+
+    #[test]
+    fn one_sided_threshold_allows_higher_noise() {
+        // With one-sided 0->1 noise at eps=1/3 and threshold (1+eps)/2,
+        // a true 1 is never misread; only the 0-error matters.
+        let eps = 1.0 / 3.0;
+        let thr = (1.0 + eps) / 2.0;
+        let r = repetitions_for_error_one_sided(eps, thr, 1e-6);
+        assert!(decode_error_one_sided_up(eps, thr, r) <= 1e-6);
+        // The one-sided decode needs no more repetitions than the symmetric
+        // majority decode at the same noise level.
+        let r_two_sided = repetitions_for_error(eps, 0.5, 1e-6);
+        assert!(r <= r_two_sided);
+    }
+
+    #[test]
+    fn zero_noise_needs_one_repetition() {
+        assert_eq!(repetitions_for_error(0.0, 0.5, 1e-9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_below_eps_rejected() {
+        repetitions_for_error(0.4, 0.3, 1e-3);
+    }
+
+    #[test]
+    fn cutoff_rates_sane() {
+        // Noiseless channels have rate 1.
+        assert!((cutoff_rate_bsc(0.0) - 1.0).abs() < 1e-12);
+        assert!((cutoff_rate_z(0.0) - 1.0).abs() < 1e-12);
+        // The Z-channel is strictly friendlier at the same eps.
+        for eps in [0.05, 0.1, 1.0 / 3.0, 0.45] {
+            assert!(cutoff_rate_z(eps) > cutoff_rate_bsc(eps));
+            assert!(cutoff_rate_bsc(eps) > 0.0);
+        }
+        // Monotone decreasing in eps.
+        assert!(cutoff_rate_bsc(0.1) > cutoff_rate_bsc(0.3));
+    }
+
+    #[test]
+    fn random_code_length_scales_logarithmically() {
+        let r0 = cutoff_rate_bsc(0.1);
+        let l1 = random_code_length(16, r0, 1e-3);
+        let l2 = random_code_length(256, r0, 1e-3);
+        // Quadrupling log q adds (not multiplies) length.
+        assert!(l2 > l1 && l2 < 3 * l1);
+        // Tighter target means longer code.
+        assert!(random_code_length(16, r0, 1e-9) > l1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff rate must be positive")]
+    fn random_code_length_rejects_dead_channel() {
+        random_code_length(4, 0.0, 0.1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the information-theoretic substrate: the
+//! textbook inequalities of Appendix B must hold for arbitrary
+//! distributions.
+
+use beeps_info::entropy::{binary_entropy, Distribution, JointDistribution};
+use beeps_info::stats::{kl_divergence, total_variation};
+use beeps_info::tail::{
+    binomial_tail_ge, cutoff_rate_bsc, cutoff_rate_z, decode_error_at, random_code_length,
+};
+use proptest::prelude::*;
+
+fn weights(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fact B.4: 0 <= H(X) <= log |Omega|.
+    #[test]
+    fn entropy_bounds(ws in (2usize..12).prop_flat_map(weights)) {
+        let d = Distribution::from_weights(&ws).unwrap();
+        prop_assert!(d.entropy() >= 0.0);
+        prop_assert!(d.entropy() <= (ws.len() as f64).log2() + 1e-9);
+    }
+
+    /// Fact B.6 (subadditivity) and Fact B.5 (conditioning reduces
+    /// entropy), for arbitrary joints.
+    #[test]
+    fn joint_entropy_inequalities(
+        ws in (2usize..5).prop_flat_map(|nx| {
+            (2usize..5).prop_flat_map(move |ny| {
+                weights(nx * ny).prop_map(move |w| (nx, ny, w))
+            })
+        }),
+    ) {
+        let (nx, ny, w) = ws;
+        let j = JointDistribution::from_weights(nx, ny, &w).unwrap();
+        let hx = j.marginal_x().entropy();
+        let hy = j.marginal_y().entropy();
+        prop_assert!(j.joint_entropy() <= hx + hy + 1e-9);
+        prop_assert!(j.conditional_entropy_x_given_y() <= hx + 1e-9);
+        prop_assert!(j.mutual_information() >= -1e-12);
+        prop_assert!(j.mutual_information() <= hx.min(hy) + 1e-9);
+    }
+
+    /// Binary entropy is concave-shaped: maximal at 1/2, symmetric.
+    #[test]
+    fn binary_entropy_shape(p in 0.0f64..=1.0) {
+        let h = binary_entropy(p);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+        prop_assert!((h - binary_entropy(1.0 - p)).abs() < 1e-9);
+        prop_assert!(h <= binary_entropy(0.5) + 1e-12);
+    }
+
+    /// KL is non-negative (Gibbs) and TV is a metric-range quantity.
+    #[test]
+    fn divergences_behave(
+        wp in (2usize..8).prop_flat_map(weights),
+        scale in 0.5f64..2.0,
+    ) {
+        let p = Distribution::from_weights(&wp).unwrap();
+        let wq: Vec<f64> = wp.iter().enumerate()
+            .map(|(i, &w)| if i % 2 == 0 { w * scale } else { w })
+            .collect();
+        let q = Distribution::from_weights(&wq).unwrap();
+        prop_assert!(kl_divergence(&p, &q) >= -1e-12);
+        let tv = total_variation(&p, &q);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&tv));
+        // Pinsker (bits): KL >= 2 TV^2 / ln 2.
+        prop_assert!(
+            kl_divergence(&p, &q) + 1e-9 >= 2.0 * tv * tv / std::f64::consts::LN_2
+        );
+    }
+
+    /// Binomial tails are monotone in k (down) and p (up).
+    #[test]
+    fn binomial_tail_monotonicity(n in 1u64..60, p in 0.05f64..0.95, k in 0u64..60) {
+        let k = k.min(n);
+        let t = binomial_tail_ge(n, p, k);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&t));
+        if k < n {
+            prop_assert!(binomial_tail_ge(n, p, k + 1) <= t + 1e-12);
+        }
+        let p2 = (p + 0.04).min(0.99);
+        prop_assert!(binomial_tail_ge(n, p2, k) + 1e-12 >= t);
+    }
+
+    /// Decode error decreases with more repetitions (odd counts, majority).
+    #[test]
+    fn decode_error_improves_with_r(eps in 0.01f64..0.45, r in 1u64..40) {
+        let e1 = decode_error_at(eps, 0.5, 2 * r - 1);
+        let e2 = decode_error_at(eps, 0.5, 2 * r + 1);
+        prop_assert!(e2 <= e1 + 1e-12, "r {} -> {}: {e1} -> {e2}", 2*r-1, 2*r+1);
+    }
+
+    /// Cutoff rates: in (0, 1], Z dominates BSC, both shrink with eps.
+    #[test]
+    fn cutoff_rate_ordering(eps in 0.01f64..0.49) {
+        let bsc = cutoff_rate_bsc(eps);
+        let z = cutoff_rate_z(eps);
+        prop_assert!(bsc > 0.0 && bsc <= 1.0);
+        prop_assert!(z > bsc);
+        prop_assert!(cutoff_rate_bsc(eps / 2.0) > bsc);
+    }
+
+    /// Sized code lengths are monotone in q and in 1/target.
+    #[test]
+    fn code_length_monotonicity(q in 2usize..512, expo in 1i32..12) {
+        let r0 = cutoff_rate_bsc(0.2);
+        let target = 10f64.powi(-expo);
+        let len = random_code_length(q, r0, target);
+        prop_assert!(len >= 1);
+        prop_assert!(random_code_length(q * 2, r0, target) >= len);
+        prop_assert!(random_code_length(q, r0, target / 10.0) >= len);
+    }
+}

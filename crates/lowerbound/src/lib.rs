@@ -1,0 +1,51 @@
+//! Executable machinery of the paper's Ω(log n) lower bound
+//! (Theorem 1.1 / Theorem C.1, Appendix C).
+//!
+//! The proof of Theorem C.1 is a potential argument built from concrete,
+//! computable objects; this crate computes all of them **exactly** on real
+//! executions so the experiments can watch the proof work:
+//!
+//! * transcript probabilities `Pr(x, π)` over the one-sided `0→1` channel
+//!   (the chain-rule product from the proof of Theorem C.2);
+//! * **feasible sets** `S^i(π)` — the inputs of party `i` that beep 0 in
+//!   every round where `π` shows a 0 (subsection C.2);
+//! * **good players** `G(x, π) = G_1(x) ∩ G_2(π)` — unique-input parties
+//!   whose feasible sets stay larger than `√n`, and the event
+//!   `𝒢 ≡ |G| ≥ n/4`;
+//! * the **progress measure** `Z(x, π)` and
+//!   `ζ(x, π) = Pr(x, π) / Z(x, π)`, with Theorem C.2's ceiling
+//!   `ζ ≤ (4/n) · (1/ε)^{4T/n}`;
+//! * the **overhead crossover** of experiment E2: the minimum per-round
+//!   repetition count that makes the trivial `InputSet_n` protocol succeed
+//!   — measured to grow like `log n`, the empirical face of the
+//!   `Ω(log n)` bound.
+//!
+//! # Examples
+//!
+//! ```
+//! use beeps_channel::{run_noiseless, Protocol};
+//! use beeps_lowerbound::ZetaAnalyzer;
+//! use beeps_protocols::InputSet;
+//!
+//! let protocol = InputSet::new(4);
+//! let inputs = vec![1usize, 3, 5, 7];
+//! let pi = run_noiseless(&protocol, &inputs).transcript().to_vec();
+//!
+//! let analyzer = ZetaAnalyzer::new(&protocol, 1.0 / 3.0);
+//! let report = analyzer.analyze(&inputs, &pi).expect("possible transcript");
+//! // The noiseless transcript of distinct inputs makes everyone good...
+//! assert_eq!(report.good_players.len(), 4);
+//! // ...and zeta respects Theorem C.2's ceiling.
+//! assert!(report.zeta <= analyzer.theorem_c2_bound(protocol.length()) + 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crossover;
+pub mod theorem_c3;
+pub mod zeta;
+
+pub use crossover::{measured_success_rate, min_repetitions_exact, CrossoverPoint};
+pub use theorem_c3::{audit as theorem_c3_audit, C3Audit};
+pub use zeta::{ZetaAnalyzer, ZetaReport};

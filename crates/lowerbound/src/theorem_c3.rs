@@ -1,0 +1,181 @@
+//! Empirical audit of Theorem C.3: *correct protocols have large ζ*.
+//!
+//! Theorem C.3 lower-bounds the conditional expectation of the progress
+//! measure for any protocol that is usually correct:
+//!
+//! ```text
+//! E[ζ | 𝒢]  ≥  (Pr(C) − Pr(¬𝒢))² / Σ_{(x,π)∈C} Z(x,π)
+//!           ≥  (Pr(C) − Pr(¬𝒢))² / √n,
+//! ```
+//!
+//! using Lemma B.7 and the claim that each term `Pr(x', π)` repeats at
+//! most `n` times across the double sum (the "at most one way to fix a
+//! mismatch per player" argument), which gives `Σ_C Z ≤ √n` via the
+//! `|S^i(π)| > √n` bound on good players.
+//!
+//! [`audit`] measures every quantity on sampled executions and checks the
+//! final inequality — so the statement can be watched holding on real
+//! protocols of varying length and correctness.
+
+use crate::zeta::ZetaAnalyzer;
+use beeps_channel::{run_protocol, EnumerableInputs, NoiseModel};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Everything [`audit`] measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct C3Audit {
+    /// Monte Carlo estimate of `Pr(C)` — the protocol answering correctly
+    /// from the transcript alone.
+    pub pr_correct: f64,
+    /// Monte Carlo estimate of `Pr(¬𝒢)`.
+    pub pr_not_g: f64,
+    /// Monte Carlo estimate of `E[ζ | 𝒢]`.
+    pub mean_zeta_given_g: f64,
+    /// The bound's right-hand side `(Pr(C) − Pr(¬𝒢))² / √n` (0 when the
+    /// difference is negative).
+    pub rhs: f64,
+    /// Whether the measured inequality `E[ζ|𝒢] ≥ rhs` holds.
+    pub holds: bool,
+    /// Samples contributing to the conditional mean.
+    pub g_samples: u32,
+}
+
+/// Samples `samples` executions of `protocol` over the one-sided
+/// `ε`-noisy channel with inputs drawn by `draw`, grading correctness
+/// with `expected`, and audits Theorem C.3's inequality.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or ε is outside `(0, 1)`.
+pub fn audit<P, D, E>(
+    protocol: &P,
+    epsilon: f64,
+    samples: u32,
+    seed: u64,
+    mut draw: D,
+    expected: E,
+) -> C3Audit
+where
+    P: EnumerableInputs,
+    P::Input: PartialEq,
+    D: FnMut(&mut StdRng) -> Vec<P::Input>,
+    E: Fn(&[P::Input]) -> P::Output,
+{
+    assert!(samples > 0, "need at least one sample");
+    let analyzer = ZetaAnalyzer::new(protocol, epsilon);
+    let n = protocol.num_parties();
+    let model = NoiseModel::OneSidedZeroToOne { epsilon };
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut correct = 0u32;
+    let mut not_g = 0u32;
+    let mut zeta_sum = 0.0f64;
+    let mut g_samples = 0u32;
+
+    for s in 0..samples {
+        let inputs = draw(&mut rng);
+        let exec = run_protocol(protocol, &inputs, model, seed ^ (u64::from(s) << 24));
+        let pi = exec.views().shared().expect("one-sided noise is shared");
+        // Correctness graded on party 0's transcript-determined output.
+        if exec.outputs()[0] == expected(&inputs) {
+            correct += 1;
+        }
+        match analyzer.analyze(&inputs, pi) {
+            Some(report) if report.event_g => {
+                g_samples += 1;
+                zeta_sum += report.zeta;
+            }
+            _ => not_g += 1,
+        }
+    }
+
+    let pr_correct = f64::from(correct) / f64::from(samples);
+    let pr_not_g = f64::from(not_g) / f64::from(samples);
+    let mean = if g_samples > 0 {
+        zeta_sum / f64::from(g_samples)
+    } else {
+        0.0
+    };
+    let diff = (pr_correct - pr_not_g).max(0.0);
+    let rhs = diff * diff / (n as f64).sqrt();
+    C3Audit {
+        pr_correct,
+        pr_not_g,
+        mean_zeta_given_g: mean,
+        rhs,
+        holds: mean + 1e-12 >= rhs,
+        g_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beeps_protocols::{InputSet, RepeatedInputSet};
+    use rand::Rng;
+
+    const EPS: f64 = 1.0 / 3.0;
+
+    fn draw_inputs(n: usize) -> impl FnMut(&mut StdRng) -> Vec<usize> {
+        move |rng| (0..n).map(|_| rng.gen_range(0..2 * n)).collect()
+    }
+
+    #[test]
+    fn inequality_holds_for_the_short_protocol() {
+        // The naive protocol is rarely correct under noise: Pr(C) is tiny,
+        // the RHS collapses, and the inequality holds trivially — which is
+        // exactly how Theorem C.1 escapes contradiction for short
+        // protocols.
+        let n = 8;
+        let p = InputSet::new(n);
+        let audit = audit(&p, EPS, 150, 0xC3A, draw_inputs(n), |xs| p.answer(xs));
+        assert!(
+            audit.pr_correct < 0.1,
+            "naive protocol should fail: {audit:?}"
+        );
+        assert!(audit.holds, "{audit:?}");
+    }
+
+    #[test]
+    fn inequality_holds_for_a_correct_protocol_with_substance() {
+        // A long repetition-coded protocol is usually correct, so the RHS
+        // is meaningfully positive — and the measured E[zeta | G] clears
+        // it, as Theorem C.3 demands.
+        let n = 8;
+        let r = 20;
+        let thr = ((r as f64) * (1.0 + EPS) / 2.0).ceil() as usize;
+        let p = RepeatedInputSet::new(n, r, thr);
+        let expected = InputSet::new(n);
+        let audit = audit(&p, EPS, 100, 0xC3B, draw_inputs(n), |xs| {
+            expected.answer(xs)
+        });
+        assert!(
+            audit.pr_correct > 0.7,
+            "repetition protocol should mostly succeed: {audit:?}"
+        );
+        assert!(audit.rhs > 0.0, "{audit:?}");
+        assert!(audit.holds, "Theorem C.3 violated empirically: {audit:?}");
+    }
+
+    #[test]
+    fn mean_zeta_grows_with_correctness() {
+        // Across protocol lengths, E[zeta | G] and Pr(C) rise together —
+        // the correlation at the heart of the proof.
+        let n = 8;
+        let expected = InputSet::new(n);
+        let mut last_zeta = 0.0;
+        let mut last_correct = 0.0;
+        for r in [1usize, 8, 24] {
+            let thr = (((r as f64) * (1.0 + EPS) / 2.0).ceil() as usize).clamp(1, r);
+            let p = RepeatedInputSet::new(n, r, thr);
+            let a = audit(&p, EPS, 80, 0xC3C + r as u64, draw_inputs(n), |xs| {
+                expected.answer(xs)
+            });
+            assert!(a.pr_correct + 1e-9 >= last_correct * 0.8, "{a:?}");
+            assert!(a.mean_zeta_given_g + 0.2 >= last_zeta, "{a:?}");
+            last_zeta = a.mean_zeta_given_g;
+            last_correct = a.pr_correct;
+        }
+        assert!(last_correct > 0.9);
+    }
+}

@@ -1,0 +1,348 @@
+//! The progress measure `ζ` of subsection C.2 and Theorem C.2's ceiling.
+//!
+//! All quantities are computed exactly (no sampling) for a given input
+//! vector `x` and transcript `π`, exploiting the structure noted in the
+//! proof of Theorem C.2: given a *fixed* transcript, each party's beeps
+//! depend only on its own input, so `Pr(x^{i=y}, π) / Pr(x, π)` needs only
+//! party `i`'s beep row to be recomputed.
+
+use beeps_channel::EnumerableInputs;
+
+/// Exact analysis of one `(x, π)` pair over the one-sided `0→1` channel.
+///
+/// The analyzer borrows a protocol whose input domains are enumerable
+/// (needed for the feasible sets).
+#[derive(Debug)]
+pub struct ZetaAnalyzer<'a, P> {
+    protocol: &'a P,
+    epsilon: f64,
+}
+
+/// Everything the lower-bound proof computes for one `(x, π)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZetaReport {
+    /// `log₂ Pr(π | x)` over the one-sided channel (input prior excluded —
+    /// uniform priors cancel from every ratio in the proof).
+    pub log2_prob: f64,
+    /// Size of each party's feasible set `|S^i(π)|`.
+    pub feasible_sizes: Vec<usize>,
+    /// The good players `G(x, π) = G_1(x) ∩ G_2(π)`.
+    pub good_players: Vec<usize>,
+    /// Whether the event `𝒢 ≡ |G(x, π)| ≥ n/4` holds.
+    pub event_g: bool,
+    /// The normalized progress measure
+    /// `Z(x, π) / Pr(x, π) = Σ_{i∈G} E_{y∼S^i(π)}[Pr(x^{i=y}, π) / Pr(x, π)]`.
+    pub z_ratio: f64,
+    /// `ζ(x, π) = Pr(x, π) / Z(x, π) = 1 / z_ratio`.
+    pub zeta: f64,
+}
+
+impl<'a, P> ZetaAnalyzer<'a, P>
+where
+    P: EnumerableInputs,
+    P::Input: PartialEq,
+{
+    /// Analyzer for the `ε`-noisy one-sided `0→1` channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ε < 1` (the ratios in `ζ` divide by both `ε`
+    /// and `1 − ε`).
+    pub fn new(protocol: &'a P, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "zeta analysis needs eps in (0, 1), got {epsilon}"
+        );
+        Self { protocol, epsilon }
+    }
+
+    /// The beep row of one party against a fixed transcript:
+    /// `row[m] = f^i_m(input, π_{<m})`.
+    fn beep_row(&self, party: usize, input: &P::Input, pi: &[bool]) -> Vec<bool> {
+        (0..pi.len())
+            .map(|m| self.protocol.beep(party, input, &pi[..m]))
+            .collect()
+    }
+
+    /// `log₂ Pr(π | x)` over the one-sided channel, or `None` when the
+    /// pair is impossible (`π` shows a 0 in a round somebody beeped).
+    pub fn log2_prob(&self, inputs: &[P::Input], pi: &[bool]) -> Option<f64> {
+        let n = self.protocol.num_parties();
+        assert_eq!(inputs.len(), n, "need one input per party");
+        let rows: Vec<Vec<bool>> = (0..n).map(|i| self.beep_row(i, &inputs[i], pi)).collect();
+        let mut log2 = 0.0f64;
+        for m in 0..pi.len() {
+            let true_or = rows.iter().any(|row| row[m]);
+            log2 += self.round_log2(true_or, pi[m])?;
+        }
+        Some(log2)
+    }
+
+    /// `log₂` contribution of one round; `None` when impossible.
+    fn round_log2(&self, true_or: bool, heard: bool) -> Option<f64> {
+        match (true_or, heard) {
+            (true, true) => Some(0.0),
+            (true, false) => None, // one-sided noise never erases a beep
+            (false, true) => Some(self.epsilon.log2()),
+            (false, false) => Some((1.0 - self.epsilon).log2()),
+        }
+    }
+
+    /// The feasible set `S^i(π)`: inputs of party `i` that beep 0 in every
+    /// round where `π_m = 0` (subsection C.2). The actual input of a
+    /// possible execution is always a member.
+    pub fn feasible_set(&self, party: usize, pi: &[bool]) -> Vec<P::Input> {
+        self.protocol
+            .input_domain(party)
+            .into_iter()
+            .filter(|y| (0..pi.len()).all(|m| pi[m] || !self.protocol.beep(party, y, &pi[..m])))
+            .collect()
+    }
+
+    /// `G_1(x)`: parties whose input is unique in `x`.
+    pub fn unique_input_players(&self, inputs: &[P::Input]) -> Vec<usize> {
+        (0..inputs.len())
+            .filter(|&i| {
+                inputs
+                    .iter()
+                    .enumerate()
+                    .all(|(j, xj)| j == i || *xj != inputs[i])
+            })
+            .collect()
+    }
+
+    /// Theorem C.2's ceiling `(4/n) · (1/ε)^{4T/n}` on `ζ` under the event
+    /// `𝒢` (the paper states it for `ε = 1/3`, where `1/ε = 3`).
+    pub fn theorem_c2_bound(&self, t: usize) -> f64 {
+        let n = self.protocol.num_parties() as f64;
+        (4.0 / n) * (1.0 / self.epsilon).powf(4.0 * t as f64 / n)
+    }
+
+    /// Full analysis of one `(x, π)` pair; `None` when `Pr(x, π) = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n`.
+    pub fn analyze(&self, inputs: &[P::Input], pi: &[bool]) -> Option<ZetaReport> {
+        let n = self.protocol.num_parties();
+        assert_eq!(inputs.len(), n, "need one input per party");
+        let log2_prob = self.log2_prob(inputs, pi)?;
+
+        // Precompute everyone's beep rows and the per-round beeper counts,
+        // so substituting one party's input only touches one row.
+        let rows: Vec<Vec<bool>> = (0..n).map(|i| self.beep_row(i, &inputs[i], pi)).collect();
+        let counts: Vec<usize> = (0..pi.len())
+            .map(|m| rows.iter().filter(|row| row[m]).count())
+            .collect();
+
+        let feasible: Vec<Vec<P::Input>> = (0..n).map(|i| self.feasible_set(i, pi)).collect();
+        let feasible_sizes: Vec<usize> = feasible.iter().map(Vec::len).collect();
+
+        let sqrt_n = (n as f64).sqrt();
+        let g1 = self.unique_input_players(inputs);
+        let good_players: Vec<usize> = g1
+            .into_iter()
+            .filter(|&i| feasible_sizes[i] as f64 > sqrt_n)
+            .collect();
+        let event_g = good_players.len() * 4 >= n;
+
+        // z_ratio = sum over good players of the mean likelihood ratio of
+        // substituting each feasible input.
+        let mut z_ratio = 0.0f64;
+        for &i in &good_players {
+            let mut mean = 0.0f64;
+            for y in &feasible[i] {
+                let y_row = self.beep_row(i, y, pi);
+                let mut delta = 0.0f64;
+                let mut possible = true;
+                for m in 0..pi.len() {
+                    let others = counts[m] - usize::from(rows[i][m]);
+                    let or_x = counts[m] > 0;
+                    let or_y = others > 0 || y_row[m];
+                    if or_x == or_y {
+                        continue;
+                    }
+                    let (Some(a), Some(b)) =
+                        (self.round_log2(or_y, pi[m]), self.round_log2(or_x, pi[m]))
+                    else {
+                        possible = false;
+                        break;
+                    };
+                    delta += a - b;
+                }
+                if possible {
+                    mean += delta.exp2();
+                }
+            }
+            // E_{y ~ S^i}: uniform over the feasible set (non-empty: the
+            // actual input always qualifies).
+            z_ratio += mean / feasible[i].len() as f64;
+        }
+
+        let zeta = if z_ratio > 0.0 { 1.0 / z_ratio } else { 0.0 };
+        Some(ZetaReport {
+            log2_prob,
+            feasible_sizes,
+            good_players,
+            event_g,
+            z_ratio,
+            zeta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beeps_channel::{run_noiseless, run_protocol, NoiseModel, Protocol};
+    use beeps_protocols::InputSet;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    const EPS: f64 = 1.0 / 3.0;
+
+    fn noiseless_pair(n: usize, inputs: &[usize]) -> (InputSet, Vec<bool>) {
+        let p = InputSet::new(n);
+        let pi = run_noiseless(&p, inputs).transcript().to_vec();
+        (p, pi)
+    }
+
+    #[test]
+    fn probability_of_noiseless_transcript() {
+        // For the naive protocol, the noiseless transcript has
+        // probability (1-eps)^{#zero rounds}.
+        let inputs = vec![0usize, 2, 4, 6];
+        let (p, pi) = noiseless_pair(4, &inputs);
+        let analyzer = ZetaAnalyzer::new(&p, EPS);
+        let zeros = pi.iter().filter(|&&b| !b).count();
+        let expect = (1.0f64 - EPS).log2() * zeros as f64;
+        let got = analyzer.log2_prob(&inputs, &pi).unwrap();
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn impossible_transcript_has_no_probability() {
+        // pi showing 0 where somebody beeps is impossible one-sidedly.
+        let inputs = vec![0usize, 1];
+        let p = InputSet::new(2);
+        let pi = vec![false, true, false, false]; // party 0 beeped round 0
+        assert!(ZetaAnalyzer::new(&p, EPS).log2_prob(&inputs, &pi).is_none());
+    }
+
+    #[test]
+    fn feasible_set_excludes_contradicted_inputs() {
+        // pi = [0, 1, 0, 0]: inputs 0, 2, 3 would beep into a zero round.
+        let p = InputSet::new(2);
+        let pi = vec![false, true, false, false];
+        let analyzer = ZetaAnalyzer::new(&p, EPS);
+        assert_eq!(analyzer.feasible_set(0, &pi), vec![1]);
+    }
+
+    #[test]
+    fn all_ones_transcript_leaves_everything_feasible() {
+        let p = InputSet::new(3);
+        let pi = vec![true; 6];
+        let analyzer = ZetaAnalyzer::new(&p, EPS);
+        assert_eq!(analyzer.feasible_set(1, &pi).len(), 6);
+    }
+
+    #[test]
+    fn unique_input_players_matches_definition() {
+        let p = InputSet::new(5);
+        let analyzer = ZetaAnalyzer::new(&p, EPS);
+        let g1 = analyzer.unique_input_players(&[3, 7, 3, 1, 9]);
+        assert_eq!(g1, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn zeta_respects_theorem_c2_on_noisy_executions() {
+        // Theorem C.2: for every possible (x, pi) where the event G holds,
+        // zeta <= (4/n) (1/eps)^{4T/n}. Check on real noisy executions.
+        let n = 8;
+        let p = InputSet::new(n);
+        let analyzer = ZetaAnalyzer::new(&p, EPS);
+        let bound = analyzer.theorem_c2_bound(p.length());
+        let mut rng = StdRng::seed_from_u64(0xC2);
+        let mut checked = 0;
+        for seed in 0..60 {
+            let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
+            let exec = run_protocol(
+                &p,
+                &inputs,
+                NoiseModel::OneSidedZeroToOne { epsilon: EPS },
+                seed,
+            );
+            let pi = exec.views().shared().unwrap().to_vec();
+            let report = analyzer
+                .analyze(&inputs, &pi)
+                .expect("executed transcripts are possible");
+            if report.event_g {
+                checked += 1;
+                assert!(
+                    report.zeta <= bound + 1e-9,
+                    "zeta {} above bound {bound}",
+                    report.zeta
+                );
+            }
+        }
+        assert!(checked > 20, "event G should hold often, got {checked}");
+    }
+
+    #[test]
+    fn actual_input_is_always_feasible() {
+        let n = 6;
+        let p = InputSet::new(n);
+        let analyzer = ZetaAnalyzer::new(&p, EPS);
+        let mut rng = StdRng::seed_from_u64(0xFE);
+        for seed in 0..20 {
+            let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
+            let exec = run_protocol(
+                &p,
+                &inputs,
+                NoiseModel::OneSidedZeroToOne { epsilon: EPS },
+                seed,
+            );
+            let pi = exec.views().shared().unwrap();
+            for (i, input) in inputs.iter().enumerate() {
+                assert!(
+                    analyzer.feasible_set(i, pi).contains(input),
+                    "actual input excluded from its own feasible set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn longer_transcripts_allow_larger_zeta() {
+        // The ceiling grows with T: the mechanism behind "longer protocols
+        // can extract more information".
+        let p = InputSet::new(8);
+        let analyzer = ZetaAnalyzer::new(&p, EPS);
+        assert!(analyzer.theorem_c2_bound(64) > analyzer.theorem_c2_bound(16));
+    }
+
+    #[test]
+    fn zeta_larger_when_inputs_distinguishable() {
+        // An all-ones transcript (everything feasible, no information)
+        // versus the noiseless transcript (feasible sets collapse):
+        // zeta must be larger for the informative transcript.
+        let n = 4;
+        let inputs = vec![0usize, 2, 4, 6];
+        let (p, pi_clean) = noiseless_pair(n, &inputs);
+        let analyzer = ZetaAnalyzer::new(&p, EPS);
+        let clean = analyzer.analyze(&inputs, &pi_clean).unwrap();
+        let blank = analyzer.analyze(&inputs, &vec![true; 2 * n]).unwrap();
+        assert!(
+            clean.zeta > blank.zeta,
+            "informative transcript should score higher: {} vs {}",
+            clean.zeta,
+            blank.zeta
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "eps in (0, 1)")]
+    fn zero_eps_rejected() {
+        let p = InputSet::new(2);
+        let _ = ZetaAnalyzer::new(&p, 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Randomized network-size estimation by geometric beeping — the
+//! single-hop counterpart of the size-approximation protocols the paper
+//! cites (Brandes–Kardas–Klonowski–Pajak–Wattenhofer).
+
+use beeps_channel::Protocol;
+use rand::Rng;
+
+/// `Census`: estimate the number of participating parties within a
+/// constant factor.
+///
+/// The protocol has `phases` rounds. In round `j` each party beeps with
+/// probability `2^{-(j+1)}`; the estimate is `2^{j*+1}` where `j*` is the
+/// first silent round (or `2^phases` if none is silent). With `n` parties,
+/// rounds with `2^{j+1} ≪ n` are almost surely noisy and rounds with
+/// `2^{j+1} ≫ n` almost surely silent, so the estimate lands within a
+/// constant factor of `n` with constant probability.
+///
+/// Randomized protocols are distributions over deterministic ones
+/// (Appendix A.1.1), so the coin flips are part of the *input*: each
+/// party's input is its pre-sampled beep schedule, produced by
+/// [`Census::sample_input`].
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::run_noiseless;
+/// use beeps_protocols::Census;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let n = 64;
+/// let p = Census::new(n, 12);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let inputs: Vec<_> = (0..n).map(|_| p.sample_input(&mut rng)).collect();
+/// let estimate = run_noiseless(&p, &inputs).outputs()[0];
+/// assert!(estimate >= 8 && estimate <= 1024, "estimate {estimate}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Census {
+    n: usize,
+    phases: usize,
+}
+
+impl Census {
+    /// A census among `n` parties probing `phases` geometric levels
+    /// (resolving sizes up to `2^phases`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `phases` is 0 or exceeds 48.
+    pub fn new(n: usize, phases: usize) -> Self {
+        assert!(n > 0, "need at least one party");
+        assert!((1..=48).contains(&phases), "phases must be 1..=48");
+        Self { n, phases }
+    }
+
+    /// Samples one party's beep schedule: entry `j` is a coin with heads
+    /// probability `2^{-(j+1)}`.
+    pub fn sample_input<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<bool> {
+        (0..self.phases)
+            .map(|j| rng.gen_bool(0.5f64.powi(j as i32 + 1)))
+            .collect()
+    }
+}
+
+impl Protocol for Census {
+    type Input = Vec<bool>;
+    type Output = usize;
+
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn length(&self) -> usize {
+        self.phases
+    }
+
+    fn beep(&self, _party: usize, input: &Vec<bool>, transcript: &[bool]) -> bool {
+        assert_eq!(input.len(), self.phases, "schedule must cover all phases");
+        input[transcript.len()]
+    }
+
+    fn output(&self, _party: usize, _input: &Vec<bool>, transcript: &[bool]) -> usize {
+        match transcript.iter().position(|&b| !b) {
+            Some(j) => 1usize << (j + 1),
+            None => 1usize << self.phases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beeps_channel::{run_noiseless, run_protocol, NoiseModel};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn estimate_is_constant_factor_most_of_the_time() {
+        let n = 128;
+        let p = Census::new(n, 14);
+        let mut rng = StdRng::seed_from_u64(0xCE);
+        let mut good = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let inputs: Vec<_> = (0..n).map(|_| p.sample_input(&mut rng)).collect();
+            let est = run_noiseless(&p, &inputs).outputs()[0] as f64;
+            if est >= n as f64 / 16.0 && est <= n as f64 * 16.0 {
+                good += 1;
+            }
+        }
+        assert!(
+            good >= trials * 7 / 10,
+            "only {good}/{trials} within a factor of 16"
+        );
+    }
+
+    #[test]
+    fn single_party_estimates_small() {
+        let p = Census::new(1, 10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut total = 0usize;
+        for _ in 0..50 {
+            let inputs = vec![p.sample_input(&mut rng)];
+            total += run_noiseless(&p, &inputs).outputs()[0];
+        }
+        // Average estimate for one party should be small.
+        assert!(total / 50 <= 16, "average estimate {}", total / 50);
+    }
+
+    #[test]
+    fn all_silent_schedule_estimates_two() {
+        let p = Census::new(4, 8);
+        let inputs = vec![vec![false; 8]; 4];
+        assert_eq!(run_noiseless(&p, &inputs).outputs()[0], 2);
+    }
+
+    #[test]
+    fn all_beeping_schedule_saturates() {
+        let p = Census::new(2, 6);
+        let inputs = vec![vec![true; 6]; 2];
+        assert_eq!(run_noiseless(&p, &inputs).outputs()[0], 64);
+    }
+
+    #[test]
+    fn one_sided_noise_inflates_estimates() {
+        // 0->1 noise keeps "busy" rounds going, inflating the estimate —
+        // the motivating failure for noise-resilient census.
+        let n = 4;
+        let p = Census::new(n, 20);
+        let mut rng = StdRng::seed_from_u64(0xAB);
+        let mut inflated = 0;
+        let trials = 60;
+        for t in 0..trials {
+            let inputs: Vec<_> = (0..n).map(|_| p.sample_input(&mut rng)).collect();
+            let clean = run_noiseless(&p, &inputs).outputs()[0];
+            let noisy = run_protocol(
+                &p,
+                &inputs,
+                NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 },
+                t as u64,
+            )
+            .outputs()[0];
+            if noisy > clean {
+                inflated += 1;
+            }
+        }
+        // The estimate inflates at least when the first silent round flips
+        // (probability 1/3), so a quarter of trials is a safe floor.
+        assert!(inflated > trials / 4, "inflated only {inflated}/{trials}");
+    }
+}

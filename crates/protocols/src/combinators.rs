@@ -1,0 +1,314 @@
+//! Protocol combinators: build larger beeping protocols from smaller ones.
+//!
+//! Real beeping applications chain phases — discover, elect, announce —
+//! where a later phase's behaviour depends on an earlier phase's *output*.
+//! In the paper's `(T, f, g)` formalism that is still one protocol: the
+//! later broadcast functions read the earlier rounds of the transcript.
+//! [`Chained`] packages that pattern; [`ParallelRepeat`] runs a protocol
+//! `k` times in a row on the same input (the error-amplification shape
+//! used by the repetition arguments).
+
+use beeps_channel::Protocol;
+
+/// Sequential composition with data flow: runs `first`, then runs
+/// `second` with each party's second-phase input *derived* from its own
+/// first-phase input and the first phase's (party-local) output.
+///
+/// The derivation is re-evaluated from the transcript prefix on every
+/// beep, so the composite stays a pure `(T, f, g)` protocol — which means
+/// the noise-resilient simulators protect the whole pipeline end to end,
+/// including the hand-off.
+///
+/// # Examples
+///
+/// Elect a leader, then have *the leader* (not a statically chosen party)
+/// broadcast a payload derived from its id:
+///
+/// ```
+/// use beeps_channel::{run_noiseless, Protocol};
+/// use beeps_protocols::combinators::Chained;
+/// use beeps_protocols::LeaderElection;
+///
+/// /// Second phase: whoever holds `Some(payload)` beeps it (4 bits).
+/// struct Announce;
+/// impl Protocol for Announce {
+///     type Input = Option<usize>;
+///     type Output = usize;
+///     fn num_parties(&self) -> usize { 3 }
+///     fn length(&self) -> usize { 4 }
+///     fn beep(&self, _i: usize, input: &Option<usize>, t: &[bool]) -> bool {
+///         input.is_some_and(|m| (m >> (3 - t.len())) & 1 == 1)
+///     }
+///     fn output(&self, _i: usize, _x: &Option<usize>, t: &[bool]) -> usize {
+///         t.iter().fold(0, |acc, &b| (acc << 1) | usize::from(b))
+///     }
+/// }
+///
+/// let pipeline = Chained::new(LeaderElection::new(3, 4), Announce, |id, leader| {
+///     (*id == leader).then_some(id % 16)
+/// });
+/// let exec = run_noiseless(&pipeline, &[9, 14, 3]);
+/// // Leader is 14; everyone learns (14, 14 % 16).
+/// assert_eq!(exec.outputs(), &[(14, 14), (14, 14), (14, 14)]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Chained<P1, P2, F> {
+    first: P1,
+    second: P2,
+    derive: F,
+}
+
+impl<P1, P2, F> Chained<P1, P2, F>
+where
+    P1: Protocol,
+    P2: Protocol,
+    F: Fn(&P1::Input, P1::Output) -> P2::Input,
+{
+    /// Chains `first` then `second`; `derive(input₁, output₁)` produces
+    /// each party's second-phase input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocols disagree on the number of parties.
+    pub fn new(first: P1, second: P2, derive: F) -> Self {
+        assert_eq!(
+            first.num_parties(),
+            second.num_parties(),
+            "chained protocols must share the party set"
+        );
+        Self {
+            first,
+            second,
+            derive,
+        }
+    }
+
+    fn second_input(&self, party: usize, input: &P1::Input, transcript: &[bool]) -> P2::Input {
+        let t1 = self.first.length();
+        let out1 = self.first.output(party, input, &transcript[..t1]);
+        (self.derive)(input, out1)
+    }
+}
+
+impl<P1, P2, F> Protocol for Chained<P1, P2, F>
+where
+    P1: Protocol,
+    P2: Protocol,
+    F: Fn(&P1::Input, P1::Output) -> P2::Input,
+{
+    type Input = P1::Input;
+    type Output = (P1::Output, P2::Output);
+
+    fn num_parties(&self) -> usize {
+        self.first.num_parties()
+    }
+
+    fn length(&self) -> usize {
+        self.first.length() + self.second.length()
+    }
+
+    fn beep(&self, party: usize, input: &P1::Input, transcript: &[bool]) -> bool {
+        let t1 = self.first.length();
+        if transcript.len() < t1 {
+            self.first.beep(party, input, transcript)
+        } else {
+            let input2 = self.second_input(party, input, transcript);
+            self.second.beep(party, &input2, &transcript[t1..])
+        }
+    }
+
+    fn output(&self, party: usize, input: &P1::Input, transcript: &[bool]) -> Self::Output {
+        let t1 = self.first.length();
+        let out1 = self.first.output(party, input, &transcript[..t1]);
+        let input2 = self.second_input(party, input, transcript);
+        let out2 = self.second.output(party, &input2, &transcript[t1..]);
+        (out1, out2)
+    }
+}
+
+/// Runs a protocol `k` times back-to-back on the same input, outputting
+/// all `k` per-run outputs — the parallel-repetition shape used to
+/// amplify success probabilities (and to study whether repetition helps a
+/// *noisy* run, cf. footnote 1 of the paper, where the repetition is
+/// per-round instead).
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::{run_noiseless, Protocol};
+/// use beeps_protocols::combinators::ParallelRepeat;
+/// use beeps_protocols::RollCall;
+///
+/// let p = ParallelRepeat::new(RollCall::new(3), 2);
+/// let exec = run_noiseless(&p, &[true, false, true]);
+/// assert_eq!(exec.outputs()[0], vec![2, 2]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRepeat<P> {
+    inner: P,
+    times: usize,
+}
+
+impl<P: Protocol> ParallelRepeat<P> {
+    /// Repeats `inner` `times` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times == 0`.
+    pub fn new(inner: P, times: usize) -> Self {
+        assert!(times > 0, "need at least one repetition");
+        Self { inner, times }
+    }
+}
+
+impl<P: Protocol> Protocol for ParallelRepeat<P> {
+    type Input = P::Input;
+    type Output = Vec<P::Output>;
+
+    fn num_parties(&self) -> usize {
+        self.inner.num_parties()
+    }
+
+    fn length(&self) -> usize {
+        self.inner.length() * self.times
+    }
+
+    fn beep(&self, party: usize, input: &P::Input, transcript: &[bool]) -> bool {
+        let t = self.inner.length();
+        let within = transcript.len() % t;
+        let start = transcript.len() - within;
+        self.inner
+            .beep(party, input, &transcript[start..start + within])
+    }
+
+    fn output(&self, party: usize, input: &P::Input, transcript: &[bool]) -> Vec<P::Output> {
+        let t = self.inner.length();
+        (0..self.times)
+            .map(|k| {
+                self.inner
+                    .output(party, input, &transcript[k * t..(k + 1) * t])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InputSet, LeaderElection, RollCall};
+    use beeps_channel::{run_noiseless, run_protocol, NoiseModel};
+
+    #[test]
+    fn chained_lengths_add() {
+        let p = Chained::new(RollCall::new(3), InputSet::new(3), |_, count| count % 6);
+        assert_eq!(p.length(), 3 + 6);
+    }
+
+    #[test]
+    fn chained_data_flow() {
+        // Phase 1: roll call; phase 2: every party uses the attendance
+        // count as its InputSet input — so the final set is a singleton
+        // {count}.
+        let p = Chained::new(RollCall::new(4), InputSet::new(4), |_, count| count % 8);
+        let exec = run_noiseless(&p, &[true, true, false, true]);
+        let (count, set) = &exec.outputs()[0];
+        assert_eq!(*count, 3);
+        assert_eq!(set.iter().copied().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn chained_second_phase_depends_on_first_under_noise() {
+        // Under noise the first phase's (possibly wrong) output feeds the
+        // second phase *consistently*: outputs stay internally coherent.
+        let p = Chained::new(RollCall::new(4), InputSet::new(4), |_, count| count % 8);
+        let mut coherent = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let exec = run_protocol(
+                &p,
+                &[true, false, true, false],
+                NoiseModel::Correlated { epsilon: 0.2 },
+                seed,
+            );
+            let (count, set) = &exec.outputs()[0];
+            // The second phase echoes whatever count phase 1 produced; its
+            // own round can still be flipped, so coherence is frequent, not
+            // certain (the count's indicator round survives w.p. 1 - eps).
+            coherent += u32::from(set.contains(&(count % 8)));
+        }
+        assert!(
+            u64::from(coherent) >= trials / 2,
+            "only {coherent}/{trials} coherent"
+        );
+    }
+
+    #[test]
+    fn leader_then_announce_pipeline() {
+        struct Announce;
+        impl Protocol for Announce {
+            type Input = Option<usize>;
+            type Output = usize;
+            fn num_parties(&self) -> usize {
+                4
+            }
+            fn length(&self) -> usize {
+                6
+            }
+            fn beep(&self, _i: usize, input: &Option<usize>, t: &[bool]) -> bool {
+                input.is_some_and(|m| (m >> (5 - t.len())) & 1 == 1)
+            }
+            fn output(&self, _i: usize, _x: &Option<usize>, t: &[bool]) -> usize {
+                t.iter().fold(0, |acc, &b| (acc << 1) | usize::from(b))
+            }
+        }
+        let p = Chained::new(LeaderElection::new(4, 6), Announce, |id, leader| {
+            (*id == leader).then_some(id ^ 0x15)
+        });
+        let ids = [9, 40, 3, 22];
+        let exec = run_noiseless(&p, &ids);
+        for (leader, payload) in exec.outputs() {
+            assert_eq!(*leader, 40);
+            assert_eq!(*payload, 40 ^ 0x15);
+        }
+    }
+
+    #[test]
+    fn parallel_repeat_outputs_every_run() {
+        let p = ParallelRepeat::new(InputSet::new(2), 3);
+        let exec = run_noiseless(&p, &[1, 3]);
+        assert_eq!(exec.outputs()[0].len(), 3);
+        for out in &exec.outputs()[0] {
+            assert!(out.contains(&1) && out.contains(&3));
+        }
+    }
+
+    #[test]
+    fn parallel_repeat_runs_are_noise_independent() {
+        // Under noise, separate runs fail independently: majority voting
+        // over run outputs recovers the answer more often than one run.
+        let p1 = InputSet::new(6);
+        let p3 = ParallelRepeat::new(InputSet::new(6), 5);
+        let inputs = [0usize, 2, 4, 6, 8, 10];
+        let expect = run_noiseless(&p1, &inputs).outputs()[0].clone();
+        let model = NoiseModel::Correlated { epsilon: 0.05 };
+        let mut single_ok = 0;
+        let mut voted_ok = 0;
+        for seed in 0..40 {
+            let single = run_protocol(&p1, &inputs, model, seed);
+            single_ok += u32::from(single.outputs()[0] == expect);
+            let multi = run_protocol(&p3, &inputs, model, 1_000 + seed);
+            let hits = multi.outputs()[0].iter().filter(|o| **o == expect).count();
+            voted_ok += u32::from(hits >= 3);
+        }
+        assert!(
+            voted_ok >= single_ok,
+            "majority of 5 runs ({voted_ok}) should beat one run ({single_ok})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "share the party set")]
+    fn chained_party_mismatch_rejected() {
+        let _ = Chained::new(RollCall::new(2), InputSet::new(3), |_, c| c);
+    }
+}

@@ -1,0 +1,174 @@
+//! Firefly-style phase synchronization — the biological motivation of the
+//! beeping model (fireflies reacting to flashes; cf. the paper's
+//! introduction and Afek–Alon–Barad–Hornstein–Barkai–Bar-Joseph).
+
+use beeps_channel::Protocol;
+
+/// `FireflySync`: parties with arbitrary phase offsets converge to beeping
+/// in unison.
+///
+/// Each party has an offset in `0..period` and initially intends to beep
+/// whenever `(round − offset) ≡ 0 (mod period)`. The synchronization rule
+/// is *adopt the last flash*: once any beep is heard, a party re-anchors
+/// its phase to that round. Over the shared (noiseless) channel everyone
+/// hears the same first flash, so the network is fully synchronized after
+/// at most `period` rounds and flashes together every `period` rounds
+/// thereafter.
+///
+/// Under noise the flashes wander: a fabricated beep re-anchors everyone,
+/// an erased beep splits nothing (the channel is still shared) but delays
+/// convergence checks — which is precisely why a noise-resilient simulation
+/// is interesting for this workload.
+///
+/// The output is the synchronized phase: the last heard flash round mod
+/// `period` (or the party's own offset if no flash was ever heard, which
+/// cannot happen noiselessly).
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::run_noiseless;
+/// use beeps_protocols::FireflySync;
+///
+/// let p = FireflySync::new(3, 8);
+/// let exec = run_noiseless(&p, &[5, 2, 7]);
+/// // Everyone adopts the earliest flash (offset 2).
+/// assert!(exec.outputs().iter().all(|&phase| phase == 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FireflySync {
+    n: usize,
+    period: usize,
+}
+
+impl FireflySync {
+    /// A synchronization instance for `n` parties with the given flash
+    /// `period`; runs for `2 · period` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `period == 0`.
+    pub fn new(n: usize, period: usize) -> Self {
+        assert!(n > 0, "need at least one party");
+        assert!(period > 0, "period must be positive");
+        Self { n, period }
+    }
+
+    /// The flash period.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    fn last_flash(transcript: &[bool]) -> Option<usize> {
+        transcript.iter().rposition(|&b| b)
+    }
+}
+
+impl Protocol for FireflySync {
+    type Input = usize;
+    type Output = usize;
+
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn length(&self) -> usize {
+        2 * self.period
+    }
+
+    fn beep(&self, _party: usize, input: &usize, transcript: &[bool]) -> bool {
+        assert!(*input < self.period, "offset {input} outside period");
+        let round = transcript.len();
+        match Self::last_flash(transcript) {
+            // Re-anchored: flash exactly `period` after the last heard one.
+            Some(anchor) => (round - anchor).is_multiple_of(self.period),
+            // Free-running on our own offset.
+            None => round % self.period == *input % self.period,
+        }
+    }
+
+    fn output(&self, _party: usize, input: &usize, transcript: &[bool]) -> usize {
+        match Self::last_flash(transcript) {
+            Some(anchor) => anchor % self.period,
+            None => *input,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beeps_channel::{run_noiseless, run_protocol, NoiseModel, PartyViews};
+
+    #[test]
+    fn synchronizes_to_earliest_offset() {
+        let p = FireflySync::new(4, 10);
+        let exec = run_noiseless(&p, &[9, 4, 6, 8]);
+        assert!(exec.outputs().iter().all(|&phase| phase == 4));
+    }
+
+    #[test]
+    fn flashes_are_periodic_after_sync() {
+        let p = FireflySync::new(3, 5);
+        let exec = run_noiseless(&p, &[3, 3, 4]);
+        let t = exec.transcript();
+        // First flash at round 3, then every 5 rounds: 3, 8.
+        let flashes: Vec<usize> = t
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(flashes, vec![3, 8]);
+    }
+
+    #[test]
+    fn offset_zero_flashes_immediately() {
+        let p = FireflySync::new(2, 4);
+        let exec = run_noiseless(&p, &[0, 3]);
+        assert!(exec.transcript()[0]);
+        assert_eq!(exec.outputs(), &[0, 0]);
+    }
+
+    #[test]
+    fn already_synchronized_network_stays_synchronized() {
+        let p = FireflySync::new(5, 6);
+        let exec = run_noiseless(&p, &[2; 5]);
+        assert!(exec.outputs().iter().all(|&phase| phase == 2));
+        assert_eq!(exec.transcript().iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn correlated_noise_keeps_agreement_but_moves_phase() {
+        // The correlated channel keeps all parties agreeing on the phase
+        // (shared transcript) even when noise shifts it.
+        let p = FireflySync::new(4, 8);
+        for seed in 0..20 {
+            let exec = run_protocol(
+                &p,
+                &[1, 5, 6, 2],
+                NoiseModel::Correlated { epsilon: 0.2 },
+                seed,
+            );
+            let first = exec.outputs()[0];
+            assert!(exec.outputs().iter().all(|&o| o == first));
+        }
+    }
+
+    #[test]
+    fn independent_noise_can_break_agreement() {
+        let p = FireflySync::new(16, 16);
+        let inputs: Vec<usize> = (0..16).collect();
+        let mut disagreements = 0;
+        for seed in 0..30 {
+            let exec = run_protocol(&p, &inputs, NoiseModel::Independent { epsilon: 0.25 }, seed);
+            if let PartyViews::PerParty(_) = exec.views() {
+                let first = exec.outputs()[0];
+                if exec.outputs().iter().any(|&o| o != first) {
+                    disagreements += 1;
+                }
+            }
+        }
+        assert!(disagreements > 0, "independent noise should desynchronize");
+    }
+}

@@ -1,0 +1,180 @@
+//! Deterministic beeping leader election by bitwise maximum — the classic
+//! single-hop construction (cf. the leader-election line of work the paper
+//! cites: Förster–Seidel–Wattenhofer, Dufoulon–Burman–Beauquier).
+
+use beeps_channel::{EnumerableInputs, Protocol};
+
+/// Leader election / maximum finding over a single-hop beeping network.
+///
+/// Every party holds a distinct identifier below `2^bits`. The protocol
+/// runs one round per identifier bit, most significant first. A party stays
+/// a *candidate* while its own identifier agrees with every bit announced
+/// so far; in round `b` the candidates whose bit `b` is 1 beep. The
+/// transcript spells out the maximum identifier — the elected leader — and
+/// is fully **adaptive**: each beep decision depends on the transcript
+/// prefix, which makes this protocol a good stress test for the simulation
+/// schemes (their verification phases must recompute would-be beeps from
+/// committed prefixes).
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::run_noiseless;
+/// use beeps_protocols::LeaderElection;
+///
+/// let p = LeaderElection::new(3, 4); // 3 parties, 4-bit ids
+/// let exec = run_noiseless(&p, &[5, 12, 9]);
+/// assert_eq!(exec.outputs(), &[12, 12, 12]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaderElection {
+    n: usize,
+    bits: usize,
+}
+
+impl LeaderElection {
+    /// An election among `n` parties with identifiers in `0..2^bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `bits == 0`, or `bits > 32`.
+    pub fn new(n: usize, bits: usize) -> Self {
+        assert!(n > 0, "need at least one party");
+        assert!((1..=32).contains(&bits), "identifier width must be 1..=32");
+        Self { n, bits }
+    }
+
+    /// Identifier width in bits (also the protocol length).
+    pub fn id_bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether `id` still matches the transcript prefix (is a candidate).
+    fn is_candidate(&self, id: usize, transcript: &[bool]) -> bool {
+        transcript.iter().enumerate().all(|(round, &heard)| {
+            let bit = self.id_bit(id, round);
+            // A candidate dropped out iff it had a 0 where a 1 was heard.
+            // (A 1 where 0 was heard cannot happen noiselessly, but under
+            // direct noisy execution it can; such a party *stays* a
+            // candidate only if its bit matches, keeping behaviour total.)
+            bit == heard
+        })
+    }
+
+    /// Bit `round` (MSB first) of `id`.
+    fn id_bit(&self, id: usize, round: usize) -> bool {
+        (id >> (self.bits - 1 - round)) & 1 == 1
+    }
+}
+
+impl Protocol for LeaderElection {
+    type Input = usize;
+    type Output = usize;
+
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn length(&self) -> usize {
+        self.bits
+    }
+
+    fn beep(&self, _party: usize, input: &usize, transcript: &[bool]) -> bool {
+        assert!(
+            *input < (1usize << self.bits),
+            "identifier {input} exceeds {} bits",
+            self.bits
+        );
+        let round = transcript.len();
+        self.is_candidate(*input, transcript) && self.id_bit(*input, round)
+    }
+
+    fn output(&self, _party: usize, _input: &usize, transcript: &[bool]) -> usize {
+        transcript
+            .iter()
+            .fold(0usize, |acc, &b| (acc << 1) | usize::from(b))
+    }
+}
+
+impl EnumerableInputs for LeaderElection {
+    fn input_domain(&self, _party: usize) -> Vec<usize> {
+        assert!(
+            self.bits <= 16,
+            "enumerating 2^{} ids is unreasonable",
+            self.bits
+        );
+        (0..(1usize << self.bits)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beeps_channel::{run_noiseless, run_protocol, NoiseModel};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn elects_the_maximum_id() {
+        let p = LeaderElection::new(4, 6);
+        let exec = run_noiseless(&p, &[11, 47, 2, 33]);
+        assert_eq!(exec.outputs(), &[47, 47, 47, 47]);
+    }
+
+    #[test]
+    fn single_party_elects_itself() {
+        let p = LeaderElection::new(1, 5);
+        assert_eq!(run_noiseless(&p, &[19]).outputs(), &[19]);
+    }
+
+    #[test]
+    fn random_elections_match_max() {
+        let mut rng = StdRng::seed_from_u64(0xE1);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..10);
+            let bits = rng.gen_range(1..10);
+            let p = LeaderElection::new(n, bits);
+            let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..(1 << bits))).collect();
+            let max = *inputs.iter().max().unwrap();
+            assert_eq!(run_noiseless(&p, &inputs).outputs()[0], max);
+        }
+    }
+
+    #[test]
+    fn zero_ids_produce_silent_election() {
+        let p = LeaderElection::new(3, 4);
+        let exec = run_noiseless(&p, &[0, 0, 0]);
+        assert!(exec.transcript().iter().all(|&b| !b));
+        assert_eq!(exec.outputs()[0], 0);
+    }
+
+    #[test]
+    fn noise_can_elect_a_phantom_leader() {
+        // With one-sided 0->1 noise the transcript can spell an id nobody
+        // holds — the failure mode the coding schemes must prevent.
+        let p = LeaderElection::new(2, 10);
+        let mut phantom = 0;
+        for seed in 0..40 {
+            let exec = run_protocol(
+                &p,
+                &[1, 2],
+                NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 },
+                seed,
+            );
+            if exec.outputs()[0] > 2 {
+                phantom += 1;
+            }
+        }
+        assert!(phantom > 0, "expected at least one phantom election");
+    }
+
+    #[test]
+    fn adaptivity_matters() {
+        // 12 = 1100, 10 = 1010: party with 10 must drop out after round 1
+        // even though its bit 2 is 1.
+        let p = LeaderElection::new(2, 4);
+        // After transcript [1, 1] (led by 12), party 10 is no candidate.
+        assert!(!p.beep(1, &10, &[true, true]));
+        // But before hearing anything contradictory it beeps its MSB.
+        assert!(p.beep(1, &10, &[]));
+    }
+}

@@ -1,0 +1,208 @@
+//! Adaptive membership resolution by interval search — a single-hop
+//! variant of the conflict-resolution/membership problems studied for
+//! beeping channels (Huang–Moscibroda).
+
+use beeps_channel::Protocol;
+
+/// `Membership`: a subset of parties is *active*, each holding a distinct
+/// identifier in `0..id_space`; everyone must learn the set of active
+/// identifiers.
+///
+/// The protocol runs a depth-first interval search driven entirely by the
+/// transcript: each round queries the interval on top of a stack (initially
+/// the whole id space); active parties whose id lies in the queried
+/// interval beep; a heard beep splits the interval (or reports an id when
+/// it is a singleton), silence prunes it. Every beep decision depends on
+/// the full transcript prefix, making this the most aggressively
+/// *adaptive* workload in the library.
+///
+/// Length is fixed at `2·id_space − 1` rounds (the worst-case number of
+/// queried intervals); once the stack empties the remaining rounds are
+/// idle.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::run_noiseless;
+/// use beeps_protocols::Membership;
+///
+/// let p = Membership::new(4, 8);
+/// let inputs = vec![Some(5), None, Some(1), None];
+/// let exec = run_noiseless(&p, &inputs);
+/// assert_eq!(exec.outputs()[0], vec![1, 5]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Membership {
+    n: usize,
+    id_space: usize,
+}
+
+/// Replayed search state: the interval stack and the ids found so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SearchState {
+    /// Half-open intervals `[lo, hi)`, top of stack last.
+    stack: Vec<(usize, usize)>,
+    found: Vec<usize>,
+}
+
+impl Membership {
+    /// A membership instance for `n` parties over identifiers
+    /// `0..id_space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `id_space` is not a power of two in
+    /// `2..=4096`.
+    pub fn new(n: usize, id_space: usize) -> Self {
+        assert!(n > 0, "need at least one party");
+        assert!(
+            id_space.is_power_of_two() && (2..=4096).contains(&id_space),
+            "id space must be a power of two in 2..=4096"
+        );
+        Self { n, id_space }
+    }
+
+    /// Replays the transcript to reconstruct the search state *before* the
+    /// next round.
+    fn replay(&self, transcript: &[bool]) -> SearchState {
+        let mut state = SearchState {
+            stack: vec![(0, self.id_space)],
+            found: Vec::new(),
+        };
+        for &heard in transcript {
+            let Some((lo, hi)) = state.stack.pop() else {
+                break; // idle rounds after the search completed
+            };
+            if heard {
+                if hi - lo == 1 {
+                    state.found.push(lo);
+                } else {
+                    let mid = lo + (hi - lo) / 2;
+                    // Push right first so the left half is queried next.
+                    state.stack.push((mid, hi));
+                    state.stack.push((lo, mid));
+                }
+            }
+        }
+        state
+    }
+}
+
+impl Protocol for Membership {
+    type Input = Option<usize>;
+    type Output = Vec<usize>;
+
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn length(&self) -> usize {
+        2 * self.id_space - 1
+    }
+
+    fn beep(&self, _party: usize, input: &Option<usize>, transcript: &[bool]) -> bool {
+        let Some(id) = *input else { return false };
+        assert!(id < self.id_space, "id {id} outside id space");
+        let state = self.replay(transcript);
+        match state.stack.last() {
+            Some(&(lo, hi)) => id >= lo && id < hi,
+            None => false,
+        }
+    }
+
+    fn output(&self, _party: usize, _input: &Option<usize>, transcript: &[bool]) -> Vec<usize> {
+        let mut found = self.replay(transcript).found;
+        found.sort_unstable();
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beeps_channel::{run_noiseless, run_protocol, NoiseModel};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn finds_all_active_ids() {
+        let p = Membership::new(5, 16);
+        let inputs = vec![Some(0), Some(15), Some(7), None, None];
+        let exec = run_noiseless(&p, &inputs);
+        assert_eq!(exec.outputs()[0], vec![0, 7, 15]);
+    }
+
+    #[test]
+    fn empty_membership_finds_nothing() {
+        let p = Membership::new(3, 8);
+        let inputs = vec![None, None, None];
+        let exec = run_noiseless(&p, &inputs);
+        assert!(exec.outputs()[0].is_empty());
+        // One query of the root interval, then silence forever.
+        assert!(exec.transcript().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn full_occupancy_uses_whole_budget() {
+        let p = Membership::new(8, 8);
+        let inputs: Vec<_> = (0..8).map(Some).collect();
+        let exec = run_noiseless(&p, &inputs);
+        assert_eq!(exec.outputs()[0], (0..8).collect::<Vec<_>>());
+        // All 2*8-1 = 15 tree nodes beeped.
+        assert_eq!(exec.transcript().iter().filter(|&&b| b).count(), 15);
+    }
+
+    #[test]
+    fn random_instances_resolve() {
+        let mut rng = StdRng::seed_from_u64(0x3E);
+        for _ in 0..30 {
+            let id_space = 1usize << rng.gen_range(1..7);
+            let n = rng.gen_range(1..8);
+            let p = Membership::new(n, id_space);
+            let mut ids: Vec<usize> = (0..id_space).collect();
+            // Distinct ids for active parties.
+            for i in 0..n.min(id_space) {
+                let j = rng.gen_range(i..id_space);
+                ids.swap(i, j);
+            }
+            let inputs: Vec<Option<usize>> = (0..n)
+                .map(|i| {
+                    if i < id_space && rng.gen_bool(0.6) {
+                        Some(ids[i])
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let mut expect: Vec<usize> = inputs.iter().flatten().copied().collect();
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(run_noiseless(&p, &inputs).outputs()[0], expect);
+        }
+    }
+
+    #[test]
+    fn one_sided_noise_fabricates_members() {
+        let p = Membership::new(2, 32);
+        let inputs = vec![Some(3), None];
+        let mut fabricated = 0;
+        for seed in 0..40 {
+            let exec = run_protocol(
+                &p,
+                &inputs,
+                NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 },
+                seed,
+            );
+            let out = &exec.outputs()[0];
+            if out.iter().any(|&id| id != 3) {
+                fabricated += 1;
+            }
+        }
+        assert!(fabricated > 20, "only {fabricated}/40 runs fabricated ids");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_id_space_rejected() {
+        Membership::new(2, 12);
+    }
+}

@@ -1,0 +1,126 @@
+//! The unrestricted form of the lower-bound task (subsection 2.2): every
+//! party holds a bit for every round, and the parties must compute the
+//! round-wise OR.
+
+use beeps_channel::{EnumerableInputs, Protocol};
+
+/// `MultiOr`: party `i` holds bits `b^i_1 ⋯ b^i_T`; the goal is the vector
+/// `π_m = ⋁_i b^i_m` for all `m`.
+///
+/// Subsection 2.2 of the paper introduces this as the transcript-
+/// computation task from which `InputSet_n` is carved out (by the promise
+/// that each party's bit vector is an indicator of a single position).
+/// The trivial noiseless protocol beeps `b^i_m` in round `m`.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::run_noiseless;
+/// use beeps_protocols::MultiOr;
+///
+/// let p = MultiOr::new(2, 3);
+/// let exec = run_noiseless(&p, &[vec![true, false, false], vec![false, false, true]]);
+/// assert_eq!(exec.outputs()[0], vec![true, false, true]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiOr {
+    n: usize,
+    t: usize,
+}
+
+impl MultiOr {
+    /// The task for `n` parties over `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `rounds == 0`.
+    pub fn new(n: usize, rounds: usize) -> Self {
+        assert!(n > 0, "need at least one party");
+        assert!(rounds > 0, "need at least one round");
+        Self { n, t: rounds }
+    }
+}
+
+impl Protocol for MultiOr {
+    type Input = Vec<bool>;
+    type Output = Vec<bool>;
+
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn length(&self) -> usize {
+        self.t
+    }
+
+    fn beep(&self, _party: usize, input: &Vec<bool>, transcript: &[bool]) -> bool {
+        assert_eq!(input.len(), self.t, "input must have one bit per round");
+        input[transcript.len()]
+    }
+
+    fn output(&self, _party: usize, _input: &Vec<bool>, transcript: &[bool]) -> Vec<bool> {
+        transcript.to_vec()
+    }
+}
+
+impl EnumerableInputs for MultiOr {
+    /// All `2^T` bit vectors; only sensible for small `rounds` (≤ 16).
+    fn input_domain(&self, _party: usize) -> Vec<Vec<bool>> {
+        assert!(
+            self.t <= 16,
+            "enumerating 2^{} inputs is unreasonable",
+            self.t
+        );
+        (0..(1usize << self.t))
+            .map(|mask| (0..self.t).map(|b| (mask >> b) & 1 == 1).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beeps_channel::run_noiseless;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn computes_roundwise_or() {
+        let p = MultiOr::new(3, 4);
+        let inputs = vec![
+            vec![true, false, false, false],
+            vec![true, true, false, false],
+            vec![false, false, false, true],
+        ];
+        let exec = run_noiseless(&p, &inputs);
+        assert_eq!(exec.outputs()[0], vec![true, true, false, true]);
+    }
+
+    #[test]
+    fn random_or_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..8);
+            let t = rng.gen_range(1..12);
+            let p = MultiOr::new(n, t);
+            let inputs: Vec<Vec<bool>> = (0..n)
+                .map(|_| (0..t).map(|_| rng.gen_bool(0.3)).collect())
+                .collect();
+            let expect: Vec<bool> = (0..t)
+                .map(|m| inputs.iter().any(|input| input[m]))
+                .collect();
+            assert_eq!(run_noiseless(&p, &inputs).outputs()[0], expect);
+        }
+    }
+
+    #[test]
+    fn domain_size_is_two_to_t() {
+        assert_eq!(MultiOr::new(2, 5).input_domain(0).len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bit per round")]
+    fn wrong_input_length_panics() {
+        let p = MultiOr::new(1, 3);
+        run_noiseless(&p, &[vec![true]]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Pointer chasing over the beeping channel — the paper's candidate
+//! (§1.2) for separating independent from correlated noise, and the most
+//! *sequential* workload in the library: every phase depends on the
+//! previous phase's announced value, so no part of the transcript can be
+//! anticipated.
+
+use beeps_channel::{EnumerableInputs, Protocol, UniquelyOwned};
+
+/// `PointerChase`: each party holds a pointer table `f_i : [w] → [w]`;
+/// starting from pointer 0, phase `t` has party `t mod n` announce
+/// `f_{t mod n}(p_t)` bit-by-bit (`⌈log₂ w⌉` rounds, MSB first), and
+/// `p_{t+1}` is the announced value. All parties output the final pointer.
+///
+/// The beep decision in any round requires replaying the entire chase so
+/// far from the transcript, which makes this protocol maximally adaptive
+/// and strictly sequential — a stress test for chunked simulation, where
+/// a single corrupted phase derails everything after it.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::run_noiseless;
+/// use beeps_protocols::PointerChase;
+///
+/// // Two parties, width 4, chase depth 3.
+/// let p = PointerChase::new(2, 4, 3);
+/// let tables = vec![vec![2, 0, 3, 1], vec![1, 3, 0, 2]];
+/// // p0=0 -> f_0(0)=2 -> f_1(2)=0 -> f_0(0)=2.
+/// let exec = run_noiseless(&p, &tables);
+/// assert_eq!(exec.outputs(), &[2, 2]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointerChase {
+    n: usize,
+    width: usize,
+    bits: usize,
+    depth: usize,
+}
+
+impl PointerChase {
+    /// A chase among `n` parties over pointer domain `0..width` for
+    /// `depth` phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `width` is not a power of two in `2..=256`, or
+    /// `depth == 0`.
+    pub fn new(n: usize, width: usize, depth: usize) -> Self {
+        assert!(n > 0, "need at least one party");
+        assert!(
+            width.is_power_of_two() && (2..=256).contains(&width),
+            "pointer domain must be a power of two in 2..=256"
+        );
+        assert!(depth > 0, "need at least one phase");
+        let bits = width.trailing_zeros() as usize;
+        Self {
+            n,
+            width,
+            bits,
+            depth,
+        }
+    }
+
+    /// Replays the chase up to (not including) the phase containing the
+    /// next round, returning `(current_pointer, phase, bit_in_phase)`.
+    fn replay(&self, transcript: &[bool]) -> (usize, usize, usize) {
+        let phase = transcript.len() / self.bits;
+        let bit = transcript.len() % self.bits;
+        let mut pointer = 0usize;
+        for t in 0..phase {
+            let mut value = 0usize;
+            for b in 0..self.bits {
+                value = (value << 1) | usize::from(transcript[t * self.bits + b]);
+            }
+            pointer = value;
+        }
+        (pointer, phase, bit)
+    }
+}
+
+impl Protocol for PointerChase {
+    type Input = Vec<usize>;
+    type Output = usize;
+
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn length(&self) -> usize {
+        self.depth * self.bits
+    }
+
+    fn beep(&self, party: usize, input: &Vec<usize>, transcript: &[bool]) -> bool {
+        assert_eq!(input.len(), self.width, "pointer table must cover [w]");
+        let (pointer, phase, bit) = self.replay(transcript);
+        if phase % self.n != party {
+            return false;
+        }
+        let value = input[pointer];
+        assert!(value < self.width, "pointer table entry out of range");
+        (value >> (self.bits - 1 - bit)) & 1 == 1
+    }
+
+    fn output(&self, _party: usize, _input: &Vec<usize>, transcript: &[bool]) -> usize {
+        let (pointer, _, _) = self.replay(&transcript[..self.depth * self.bits]);
+        pointer
+    }
+}
+
+impl UniquelyOwned for PointerChase {
+    fn round_owner(&self, m: usize) -> usize {
+        (m / self.bits) % self.n
+    }
+}
+
+impl EnumerableInputs for PointerChase {
+    /// All `w^w` pointer tables — only tractable for `width ≤ 4`; larger
+    /// widths panic rather than explode.
+    fn input_domain(&self, _party: usize) -> Vec<Vec<usize>> {
+        assert!(
+            self.width <= 4,
+            "enumerating {}^{} pointer tables is unreasonable",
+            self.width,
+            self.width
+        );
+        let mut domain = Vec::new();
+        let count = self.width.pow(self.width as u32);
+        for mut id in 0..count {
+            let mut table = Vec::with_capacity(self.width);
+            for _ in 0..self.width {
+                table.push(id % self.width);
+                id /= self.width;
+            }
+            domain.push(table);
+        }
+        domain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beeps_channel::{run_noiseless, run_protocol, NoiseModel};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Reference chase, straight from the tables.
+    fn chase(tables: &[Vec<usize>], depth: usize) -> usize {
+        let mut p = 0usize;
+        for t in 0..depth {
+            p = tables[t % tables.len()][p];
+        }
+        p
+    }
+
+    #[test]
+    fn random_chases_match_reference() {
+        let mut rng = StdRng::seed_from_u64(0xC4A5E);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..5);
+            let width = 1usize << rng.gen_range(1..5);
+            let depth = rng.gen_range(1..10);
+            let p = PointerChase::new(n, width, depth);
+            let tables: Vec<Vec<usize>> = (0..n)
+                .map(|_| (0..width).map(|_| rng.gen_range(0..width)).collect())
+                .collect();
+            let exec = run_noiseless(&p, &tables);
+            assert_eq!(exec.outputs()[0], chase(&tables, depth));
+        }
+    }
+
+    #[test]
+    fn identity_tables_stay_at_zero() {
+        let p = PointerChase::new(3, 8, 6);
+        let identity: Vec<usize> = (0..8).collect();
+        let exec = run_noiseless(&p, &[identity.clone(), identity.clone(), identity]);
+        assert_eq!(exec.outputs()[0], 0);
+        assert!(exec.transcript().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn single_corruption_derails_the_whole_chase() {
+        // Sequentiality: flipping one early bit usually changes the final
+        // pointer — the property that makes this protocol hard to protect
+        // piecemeal.
+        let p = PointerChase::new(2, 16, 8);
+        let mut rng = StdRng::seed_from_u64(0xDE7A11);
+        let tables: Vec<Vec<usize>> = (0..2)
+            .map(|_| (0..16).map(|_| rng.gen_range(0..16)).collect())
+            .collect();
+        let clean = run_noiseless(&p, &tables).outputs()[0];
+        let mut derailed = 0;
+        for seed in 0..40 {
+            let out = run_protocol(&p, &tables, NoiseModel::Correlated { epsilon: 0.1 }, seed);
+            if out.outputs()[0] != clean {
+                derailed += 1;
+            }
+        }
+        assert!(derailed > 20, "only {derailed}/40 runs derailed");
+    }
+
+    #[test]
+    fn domain_enumeration_small_width() {
+        let p = PointerChase::new(2, 2, 2);
+        assert_eq!(p.input_domain(0).len(), 4); // 2^2 tables
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_width_rejected() {
+        PointerChase::new(2, 6, 2);
+    }
+}

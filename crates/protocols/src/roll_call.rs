@@ -1,0 +1,128 @@
+//! Roll call: the simplest *non-adaptive, uniquely-owned* protocol —
+//! round `i` belongs to party `i`, the turn structure \[EKS18\] assumes
+//! (subsection 2.1 of the paper: "each party 'owns' a disjoint set of
+//! bits in the transcript").
+
+use beeps_channel::{EnumerableInputs, Protocol, UniquelyOwned};
+
+/// `RollCall`: party `i` beeps in round `i` iff its attendance bit is
+/// set; everyone outputs the attendance count (and the transcript is the
+/// full attendance vector).
+///
+/// Because every round has exactly one legal speaker, this is the workload
+/// where the paper's owners machinery is *unnecessary* — a mismatch in
+/// round `i` is detectable by party `i` alone, as in \[EKS18\] — making it
+/// the natural baseline against the `InputSet` task, where ownership must
+/// be computed.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::run_noiseless;
+/// use beeps_protocols::RollCall;
+///
+/// let p = RollCall::new(4);
+/// let exec = run_noiseless(&p, &[true, false, true, true]);
+/// assert_eq!(exec.outputs(), &[3, 3, 3, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RollCall {
+    n: usize,
+}
+
+impl RollCall {
+    /// A roll call among `n` parties (one round each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one party");
+        Self { n }
+    }
+}
+
+impl Protocol for RollCall {
+    type Input = bool;
+    type Output = usize;
+
+    fn num_parties(&self) -> usize {
+        self.n
+    }
+
+    fn length(&self) -> usize {
+        self.n
+    }
+
+    fn beep(&self, party: usize, input: &bool, transcript: &[bool]) -> bool {
+        *input && transcript.len() == party
+    }
+
+    fn output(&self, _party: usize, _input: &bool, transcript: &[bool]) -> usize {
+        transcript.iter().filter(|&&b| b).count()
+    }
+}
+
+impl UniquelyOwned for RollCall {
+    fn round_owner(&self, m: usize) -> usize {
+        m
+    }
+}
+
+impl EnumerableInputs for RollCall {
+    fn input_domain(&self, _party: usize) -> Vec<bool> {
+        vec![false, true]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beeps_channel::{run_noiseless, run_protocol, NoiseModel};
+
+    #[test]
+    fn counts_attendance() {
+        let p = RollCall::new(5);
+        let exec = run_noiseless(&p, &[true, true, false, false, true]);
+        assert_eq!(exec.outputs()[0], 3);
+        assert_eq!(exec.transcript(), &[true, true, false, false, true]);
+    }
+
+    #[test]
+    fn empty_roll_call_is_silent() {
+        let p = RollCall::new(3);
+        let exec = run_noiseless(&p, &[false, false, false]);
+        assert_eq!(exec.outputs()[0], 0);
+    }
+
+    #[test]
+    fn noise_miscounts() {
+        let p = RollCall::new(16);
+        let inputs = vec![false; 16];
+        let mut wrong = 0;
+        for seed in 0..30 {
+            let out = run_protocol(
+                &p,
+                &inputs,
+                NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 },
+                seed,
+            );
+            if out.outputs()[0] != 0 {
+                wrong += 1;
+            }
+        }
+        assert!(wrong >= 29, "phantom attendees should appear almost always");
+    }
+
+    #[test]
+    fn each_round_has_a_unique_possible_speaker() {
+        let p = RollCall::new(4);
+        for round in 0..4 {
+            let transcript = vec![false; round];
+            for party in 0..4 {
+                let can_beep = p.beep(party, &true, &transcript);
+                assert_eq!(can_beep, party == round);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Algorithm 1's finding-owners phase, step by step: the heart of the
+//! paper's upper bound, run standalone.
+//!
+//! ```text
+//! cargo run --release --example owners_phase
+//! ```
+
+use noisy_beeps::channel::NoiseModel;
+use noisy_beeps::core::run_owners_phase;
+use noisy_beeps::info::tail;
+
+fn main() {
+    // Three parties beeped through a 6-round chunk:
+    //
+    //            round:  0  1  2  3  4  5
+    let bits = vec![
+        vec![true, false, true, false, false, false], // party 0
+        vec![true, true, false, false, false, false], // party 1
+        vec![false, true, true, false, true, false],  // party 2
+    ];
+    let pi: Vec<bool> = (0..6).map(|j| bits.iter().any(|b| b[j])).collect();
+
+    println!("== Algorithm 1: finding owners for a 6-round chunk ==");
+    println!("per-party beeps:");
+    for (i, b) in bits.iter().enumerate() {
+        let strip: String = b.iter().map(|&x| if x { '#' } else { '.' }).collect();
+        println!("  party {i}:  {strip}");
+    }
+    let strip: String = pi.iter().map(|&x| if x { '#' } else { '.' }).collect();
+    println!("  pi (OR):  {strip}");
+    println!();
+
+    // Codeword length sized by the Z-channel cutoff rate, as the
+    // simulators do it.
+    let eps = 1.0 / 3.0;
+    let code_len = tail::random_code_length(7, tail::cutoff_rate_z(eps), 1e-4);
+    println!("code: C : [6] u {{Next}} -> {{0,1}}^{code_len} (sized for eps=1/3, target 1e-4)");
+
+    let out = run_owners_phase(
+        &bits,
+        NoiseModel::OneSidedZeroToOne { epsilon: eps },
+        code_len,
+        7,
+        42,
+    );
+    println!(
+        "phase took {} noisy channel rounds ((L + n) = 9 codeword slots)\n",
+        out.channel_rounds
+    );
+    println!("computed owners (per round):");
+    for (j, owner) in out.owners[0].iter().enumerate() {
+        match owner {
+            Some(o) => println!("  round {j}: owned by party {o} (beeped: {})", bits[*o][j]),
+            None => println!("  round {j}: no owner (silent round)"),
+        }
+    }
+    println!();
+    println!(
+        "Theorem D.1 check — all parties agree, every owner beeped: {}",
+        out.valid_for(&bits)
+    );
+    println!();
+    println!("In the full scheme these owners make the 1s of the transcript");
+    println!("verifiable: each owner vouches for its rounds during the");
+    println!("verification phase, enabling rewind-if-error (Appendix D.2).");
+}

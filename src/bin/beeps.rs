@@ -1,0 +1,40 @@
+//! `beeps` — run noisy-beeping scenarios from the command line.
+//!
+//! ```text
+//! cargo run --release --bin beeps -- run --protocol leader --n 8 \
+//!     --noise correlated --eps 0.2 --scheme rewind --trials 5
+//! ```
+
+use noisy_beeps::cli;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario = match cli::parse(&args) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "protocol {:?}, n = {}, noise {}, scheme {:?}, {} trials",
+        scenario.protocol, scenario.n, scenario.noise, scenario.scheme, scenario.trials
+    );
+    match cli::run(&scenario) {
+        Ok(report) => {
+            for line in &report.lines {
+                println!("  {line}");
+            }
+            println!(
+                "exact {}/{}  mean overhead {:.1}x",
+                report.exact, report.trials, report.mean_overhead
+            );
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! Command-line driver: parse a scenario description, run it, report.
+//!
+//! The `beeps` binary (`src/bin/beeps.rs`) is a thin wrapper over this
+//! module so the parsing and dispatch logic is unit-testable.
+//!
+//! ```text
+//! beeps run --protocol input-set --n 8 --noise correlated --eps 0.1 \
+//!           --scheme rewind --seed 42 --trials 5
+//! ```
+
+use beeps_channel::{run_noiseless, NoiseModel, Protocol};
+use beeps_core::{
+    HierarchicalSimulator, OneToZeroSimulator, RepetitionSimulator, RewindSimulator,
+    SimulatorConfig,
+};
+use beeps_protocols::{Broadcast, InputSet, LeaderElection, Membership, PointerChase, RollCall};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::fmt;
+
+/// Workloads runnable from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// The paper's `InputSet_n` task.
+    InputSet,
+    /// Bitwise-maximum leader election.
+    Leader,
+    /// Interval-search membership resolution.
+    Membership,
+    /// One-round-per-party attendance count.
+    RollCall,
+    /// Single-speaker broadcast (party 0 speaks).
+    Broadcast,
+    /// Sequential pointer chasing.
+    PointerChase,
+}
+
+/// Coding schemes runnable from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// No coding: the noiseless protocol run naked over the noisy channel.
+    Naked,
+    /// Footnote 1: per-round repetition with threshold majority.
+    Repetition,
+    /// Theorem 1.2: chunk/owners/verify with rewind.
+    Rewind,
+    /// Appendix D.2 verbatim: hierarchical binary-search progress checks.
+    Hierarchical,
+    /// §2: the constant-overhead scheme (requires `1→0`-only noise).
+    OneToZero,
+    /// \[EKS18\]-style owned-rounds scheme (uniquely-owned protocols:
+    /// roll-call, broadcast, pointer-chase).
+    Owned,
+}
+
+/// A fully parsed scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Which workload to run.
+    pub protocol: ProtocolKind,
+    /// Number of parties.
+    pub n: usize,
+    /// Channel model.
+    pub noise: NoiseModel,
+    /// Which coding scheme protects the run.
+    pub scheme: SchemeKind,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Independent trials to run.
+    pub trials: u64,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text for the binary.
+pub const USAGE: &str = "\
+usage: beeps run [options]
+
+options:
+  --protocol input-set|leader|membership|roll-call|broadcast|pointer-chase
+                                                     (default input-set)
+  --n <parties>                                      (default 8)
+  --noise noiseless|correlated|up|down|independent   (default correlated)
+  --eps <0..1>                                       (default 0.333)
+  --scheme naked|repetition|rewind|hierarchical|one-to-zero|owned
+                                                     (default rewind)
+  --seed <u64>                                       (default 1)
+  --trials <count>                                   (default 5)
+";
+
+/// Parses `args` (without the program name) into a [`Scenario`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a human-readable message on unknown
+/// commands, flags, or malformed values.
+pub fn parse(args: &[String]) -> Result<Scenario, ParseError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("run") => {}
+        Some(other) => return Err(ParseError(format!("unknown command `{other}`"))),
+        None => return Err(ParseError("missing command".into())),
+    }
+
+    let mut protocol = ProtocolKind::InputSet;
+    let mut n = 8usize;
+    let mut noise_kind = "correlated".to_owned();
+    let mut eps = 1.0 / 3.0;
+    let mut scheme = SchemeKind::Rewind;
+    let mut seed = 1u64;
+    let mut trials = 5u64;
+
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| ParseError(format!("flag {flag} needs a value")))?;
+        match flag.as_str() {
+            "--protocol" => {
+                protocol = match value.as_str() {
+                    "input-set" => ProtocolKind::InputSet,
+                    "leader" => ProtocolKind::Leader,
+                    "membership" => ProtocolKind::Membership,
+                    "roll-call" => ProtocolKind::RollCall,
+                    "broadcast" => ProtocolKind::Broadcast,
+                    "pointer-chase" => ProtocolKind::PointerChase,
+                    other => return Err(ParseError(format!("unknown protocol `{other}`"))),
+                };
+            }
+            "--n" => {
+                n = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad party count `{value}`")))?;
+                if n == 0 {
+                    return Err(ParseError("party count must be positive".into()));
+                }
+            }
+            "--noise" => noise_kind = value.clone(),
+            "--eps" => {
+                eps = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad eps `{value}`")))?;
+            }
+            "--scheme" => {
+                scheme = match value.as_str() {
+                    "naked" => SchemeKind::Naked,
+                    "repetition" => SchemeKind::Repetition,
+                    "rewind" => SchemeKind::Rewind,
+                    "hierarchical" => SchemeKind::Hierarchical,
+                    "one-to-zero" => SchemeKind::OneToZero,
+                    "owned" => SchemeKind::Owned,
+                    other => return Err(ParseError(format!("unknown scheme `{other}`"))),
+                };
+            }
+            "--seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad seed `{value}`")))?;
+            }
+            "--trials" => {
+                trials = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad trial count `{value}`")))?;
+                if trials == 0 {
+                    return Err(ParseError("need at least one trial".into()));
+                }
+            }
+            other => return Err(ParseError(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    let noise = match noise_kind.as_str() {
+        "noiseless" => NoiseModel::Noiseless,
+        "correlated" => NoiseModel::Correlated { epsilon: eps },
+        "up" => NoiseModel::OneSidedZeroToOne { epsilon: eps },
+        "down" => NoiseModel::OneSidedOneToZero { epsilon: eps },
+        "independent" => NoiseModel::Independent { epsilon: eps },
+        other => return Err(ParseError(format!("unknown noise model `{other}`"))),
+    };
+    noise
+        .validate()
+        .map_err(|e| ParseError(format!("invalid noise: {e}")))?;
+
+    Ok(Scenario {
+        protocol,
+        n,
+        noise,
+        scheme,
+        seed,
+        trials,
+    })
+}
+
+/// Result of running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Trials whose simulated transcript matched the noiseless one.
+    pub exact: u64,
+    /// Trials attempted.
+    pub trials: u64,
+    /// Mean channel-round overhead across completed trials.
+    pub mean_overhead: f64,
+    /// Human-readable lines for the terminal.
+    pub lines: Vec<String>,
+}
+
+/// Runs a scenario and collects a [`Report`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] when the scheme/noise combination is invalid
+/// (e.g. `one-to-zero` over two-sided noise).
+pub fn run(scenario: &Scenario) -> Result<Report, ParseError> {
+    match scenario.protocol {
+        ProtocolKind::InputSet => {
+            let p = InputSet::new(scenario.n);
+            let gen = |rng: &mut StdRng| -> Vec<usize> {
+                (0..scenario.n)
+                    .map(|_| rng.gen_range(0..2 * scenario.n))
+                    .collect()
+            };
+            drive(scenario, &p, gen)
+        }
+        ProtocolKind::Leader => {
+            let p = LeaderElection::new(scenario.n, 10);
+            let gen = |rng: &mut StdRng| -> Vec<usize> {
+                (0..scenario.n).map(|_| rng.gen_range(0..1024)).collect()
+            };
+            drive(scenario, &p, gen)
+        }
+        ProtocolKind::Membership => {
+            let id_space = (2 * scenario.n).next_power_of_two().max(2);
+            let p = Membership::new(scenario.n, id_space);
+            let gen = |rng: &mut StdRng| -> Vec<Option<usize>> {
+                (0..scenario.n)
+                    .map(|i| rng.gen_bool(0.5).then_some((i * 3) % id_space))
+                    .collect()
+            };
+            drive(scenario, &p, gen)
+        }
+        ProtocolKind::RollCall => {
+            let p = RollCall::new(scenario.n);
+            let gen = |rng: &mut StdRng| -> Vec<bool> {
+                (0..scenario.n).map(|_| rng.gen_bool(0.5)).collect()
+            };
+            drive_owned(scenario, &p, gen)
+        }
+        ProtocolKind::Broadcast => {
+            let p = Broadcast::new(scenario.n, 0, 12);
+            let gen = |rng: &mut StdRng| -> Vec<usize> {
+                let mut inputs = vec![0usize; scenario.n];
+                inputs[0] = rng.gen_range(0..4096);
+                inputs
+            };
+            drive_owned(scenario, &p, gen)
+        }
+        ProtocolKind::PointerChase => {
+            let width = 8;
+            let p = PointerChase::new(scenario.n, width, 2 * scenario.n);
+            let gen = move |rng: &mut StdRng| -> Vec<Vec<usize>> {
+                (0..scenario.n)
+                    .map(|_| (0..width).map(|_| rng.gen_range(0..width)).collect())
+                    .collect()
+            };
+            drive_owned(scenario, &p, gen)
+        }
+    }
+}
+
+/// Like [`drive`] but for uniquely-owned protocols, enabling `--scheme
+/// owned` on top of the generic schemes.
+fn drive_owned<P, G>(scenario: &Scenario, protocol: &P, gen: G) -> Result<Report, ParseError>
+where
+    P: beeps_channel::UniquelyOwned,
+    G: FnMut(&mut StdRng) -> Vec<P::Input>,
+{
+    if scenario.scheme == SchemeKind::Owned {
+        let mut gen = gen;
+        let mut rng = StdRng::seed_from_u64(scenario.seed);
+        let config = SimulatorConfig::for_channel(scenario.n, scenario.noise);
+        let sim = beeps_core::OwnedRoundsSimulator::new(protocol, config);
+        let mut exact = 0u64;
+        let mut overhead_sum = 0.0;
+        let mut completed = 0u64;
+        let mut lines = Vec::new();
+        for t in 0..scenario.trials {
+            let inputs = gen(&mut rng);
+            let truth = run_noiseless(protocol, &inputs);
+            let seed = scenario.seed.wrapping_add(t.wrapping_mul(0x9E37_79B9));
+            match sim.simulate(&inputs, scenario.noise, seed) {
+                Ok(o) => {
+                    completed += 1;
+                    overhead_sum += o.stats().overhead();
+                    let ok = o.transcript() == truth.transcript();
+                    exact += u64::from(ok);
+                    lines.push(format!(
+                        "trial {t}: {} (overhead {:.1}x)",
+                        if ok { "exact" } else { "WRONG" },
+                        o.stats().overhead()
+                    ));
+                }
+                Err(e) => lines.push(format!("trial {t}: {e}")),
+            }
+        }
+        return Ok(Report {
+            exact,
+            trials: scenario.trials,
+            mean_overhead: if completed > 0 {
+                overhead_sum / completed as f64
+            } else {
+                f64::NAN
+            },
+            lines,
+        });
+    }
+    drive(scenario, protocol, gen)
+}
+
+/// Shared trial loop, generic over protocols.
+fn drive<P, G>(scenario: &Scenario, protocol: &P, mut gen: G) -> Result<Report, ParseError>
+where
+    P: Protocol,
+    G: FnMut(&mut StdRng) -> Vec<P::Input>,
+{
+    let mut rng = StdRng::seed_from_u64(scenario.seed);
+    let config = SimulatorConfig::for_channel(scenario.n, scenario.noise);
+    let mut exact = 0u64;
+    let mut overhead_sum = 0.0f64;
+    let mut completed = 0u64;
+    let mut lines = Vec::new();
+
+    for t in 0..scenario.trials {
+        let inputs = gen(&mut rng);
+        let truth = run_noiseless(protocol, &inputs);
+        let seed = scenario.seed.wrapping_add(t.wrapping_mul(0x9E37_79B9));
+        let result: Option<(Vec<bool>, f64)> = match scenario.scheme {
+            SchemeKind::Naked => {
+                let out = beeps_channel::run_protocol(protocol, &inputs, scenario.noise, seed);
+                Some((out.views().view(0).to_vec(), 1.0))
+            }
+            SchemeKind::Repetition => RepetitionSimulator::new(protocol, config.clone())
+                .simulate(&inputs, scenario.noise, seed)
+                .ok()
+                .map(|o| (o.transcript().to_vec(), o.stats().overhead())),
+            SchemeKind::Rewind => RewindSimulator::new(protocol, config.clone())
+                .simulate(&inputs, scenario.noise, seed)
+                .ok()
+                .map(|o| (o.transcript().to_vec(), o.stats().overhead())),
+            SchemeKind::Hierarchical => HierarchicalSimulator::new(protocol, config.clone())
+                .simulate(&inputs, scenario.noise, seed)
+                .ok()
+                .map(|o| (o.transcript().to_vec(), o.stats().overhead())),
+            SchemeKind::Owned => {
+                return Err(ParseError(
+                    "--scheme owned needs a uniquely-owned protocol \
+                     (roll-call, broadcast, pointer-chase)"
+                        .into(),
+                ))
+            }
+            SchemeKind::OneToZero => {
+                match OneToZeroSimulator::new(protocol, 2, 32.0).simulate(
+                    &inputs,
+                    scenario.noise,
+                    seed,
+                ) {
+                    Ok(o) => Some((o.transcript().to_vec(), o.stats().overhead())),
+                    Err(beeps_core::SimError::UnsupportedNoise { reason }) => {
+                        return Err(ParseError(format!("scheme/noise mismatch: {reason}")))
+                    }
+                    Err(_) => None,
+                }
+            }
+        };
+        match result {
+            Some((transcript, overhead)) => {
+                completed += 1;
+                overhead_sum += overhead;
+                let ok = transcript == truth.transcript();
+                exact += u64::from(ok);
+                lines.push(format!(
+                    "trial {t}: {} (overhead {overhead:.1}x)",
+                    if ok { "exact" } else { "WRONG" }
+                ));
+            }
+            None => lines.push(format!("trial {t}: budget exhausted")),
+        }
+    }
+
+    Ok(Report {
+        exact,
+        trials: scenario.trials,
+        mean_overhead: if completed > 0 {
+            overhead_sum / completed as f64
+        } else {
+            f64::NAN
+        },
+        lines,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let s = parse(&args("run")).unwrap();
+        assert_eq!(s.protocol, ProtocolKind::InputSet);
+        assert_eq!(s.n, 8);
+        assert_eq!(s.scheme, SchemeKind::Rewind);
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let s = parse(&args(
+            "run --protocol leader --n 6 --noise up --eps 0.25 --scheme hierarchical --seed 9 --trials 3",
+        ))
+        .unwrap();
+        assert_eq!(s.protocol, ProtocolKind::Leader);
+        assert_eq!(s.n, 6);
+        assert_eq!(s.noise, NoiseModel::OneSidedZeroToOne { epsilon: 0.25 });
+        assert_eq!(s.scheme, SchemeKind::Hierarchical);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.trials, 3);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("run --protocol nope")).is_err());
+        assert!(parse(&args("run --n 0")).is_err());
+        assert!(parse(&args("run --eps 1.5")).is_err());
+        assert!(parse(&args("run --scheme")).is_err());
+        assert!(parse(&args("run --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn runs_a_small_scenario_end_to_end() {
+        let s = parse(&args(
+            "run --protocol input-set --n 4 --noise correlated --eps 0.1 --scheme rewind --trials 3",
+        ))
+        .unwrap();
+        let report = run(&s).unwrap();
+        assert_eq!(report.trials, 3);
+        assert!(report.exact >= 2, "report: {report:?}");
+        assert!(report.mean_overhead > 1.0);
+    }
+
+    #[test]
+    fn naked_scheme_reports_failures_under_noise() {
+        let s = parse(&args(
+            "run --protocol input-set --n 16 --noise correlated --eps 0.333 --scheme naked --trials 4",
+        ))
+        .unwrap();
+        let report = run(&s).unwrap();
+        assert!(report.exact <= 1, "naked runs should fail: {report:?}");
+    }
+
+    #[test]
+    fn scheme_noise_mismatch_is_an_error() {
+        let s = parse(&args(
+            "run --scheme one-to-zero --noise correlated --trials 1 --n 4",
+        ))
+        .unwrap();
+        assert!(run(&s).is_err());
+    }
+
+    #[test]
+    fn all_protocols_run_under_the_rewind_scheme() {
+        for proto in ["input-set", "leader", "membership", "roll-call"] {
+            let s = parse(&args(&format!(
+                "run --protocol {proto} --n 4 --noise correlated --eps 0.05 --trials 2"
+            )))
+            .unwrap();
+            let report = run(&s).unwrap();
+            assert!(report.exact >= 1, "{proto}: {report:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod owned_scheme_tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn owned_scheme_runs_on_owned_protocols() {
+        for proto in ["roll-call", "broadcast", "pointer-chase"] {
+            let s = parse(&args(&format!(
+                "run --protocol {proto} --n 4 --noise correlated --eps 0.1 --scheme owned --trials 2"
+            )))
+            .unwrap();
+            let report = run(&s).unwrap();
+            assert!(report.exact >= 1, "{proto}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn owned_scheme_rejected_for_unowned_protocols() {
+        let s = parse(&args(
+            "run --protocol input-set --scheme owned --trials 1 --n 4",
+        ))
+        .unwrap();
+        assert!(run(&s).is_err());
+    }
+
+    #[test]
+    fn new_protocols_run_under_generic_schemes() {
+        for proto in ["broadcast", "pointer-chase"] {
+            let s = parse(&args(&format!(
+                "run --protocol {proto} --n 3 --noise correlated --eps 0.05 --scheme rewind --trials 2"
+            )))
+            .unwrap();
+            let report = run(&s).unwrap();
+            assert!(report.exact >= 1, "{proto}: {report:?}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Statistical validation of Theorem D.1: the finding-owners phase of
+//! Algorithm 1 ends, except with small probability, with all parties
+//! agreeing on an owner for every 1-round, and every owner actually beeped.
+
+use noisy_beeps::channel::NoiseModel;
+use noisy_beeps::core::run_owners_phase;
+use noisy_beeps::info::tail;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_bits(n: usize, len: usize, density: f64, rng: &mut StdRng) -> Vec<Vec<bool>> {
+    (0..n)
+        .map(|_| (0..len).map(|_| rng.gen_bool(density)).collect())
+        .collect()
+}
+
+#[test]
+fn theorem_d1_holds_at_the_papers_noise_rate() {
+    // eps = 1/3, one-sided (the lower-bound channel); the code is sized by
+    // the Z-channel cutoff-rate bound for a 1e-3 per-word target.
+    let n = 8;
+    let len = 8;
+    let eps = 1.0 / 3.0;
+    let code_len = tail::random_code_length(len + 1, tail::cutoff_rate_z(eps), 1e-3);
+    let mut rng = StdRng::seed_from_u64(0xD1D1);
+    let trials = 60;
+    let mut valid = 0;
+    for t in 0..trials {
+        let bits = random_bits(n, len, 0.25, &mut rng);
+        let out = run_owners_phase(
+            &bits,
+            NoiseModel::OneSidedZeroToOne { epsilon: eps },
+            code_len,
+            t,
+            9000 + t,
+        );
+        if out.valid_for(&bits) {
+            valid += 1;
+        }
+    }
+    assert!(
+        valid >= trials - 2,
+        "owners phase valid in only {valid}/{trials} runs"
+    );
+}
+
+#[test]
+fn theorem_d1_holds_under_two_sided_noise() {
+    let n = 6;
+    let len = 6;
+    let eps = 0.15;
+    let code_len = tail::random_code_length(len + 1, tail::cutoff_rate_bsc(eps), 1e-3);
+    let mut rng = StdRng::seed_from_u64(0xD1D2);
+    let trials = 60;
+    let mut valid = 0;
+    for t in 0..trials {
+        let bits = random_bits(n, len, 0.3, &mut rng);
+        let out = run_owners_phase(
+            &bits,
+            NoiseModel::Correlated { epsilon: eps },
+            code_len,
+            t,
+            7000 + t,
+        );
+        if out.valid_for(&bits) {
+            valid += 1;
+        }
+    }
+    assert!(
+        valid >= trials - 2,
+        "owners phase valid in only {valid}/{trials} runs"
+    );
+}
+
+#[test]
+fn owner_is_first_claimant_in_turn_order() {
+    // Determinism check mirroring Algorithm 1's schedule: with everyone
+    // beeping everywhere, party 0 owns the earliest rounds, and later
+    // parties only own what earlier ones left unclaimed (nothing).
+    let n = 3;
+    let len = 3;
+    let bits = vec![vec![true; len]; n];
+    let out = run_owners_phase(&bits, NoiseModel::Noiseless, 32, 5, 6);
+    assert!(out.valid_for(&bits));
+    // Party 0 claims rounds 0, 1, 2 across its turns... Algorithm 1 lets
+    // the turn holder keep claiming until it sends Next, so party 0 owns
+    // everything.
+    assert_eq!(out.owners[0], vec![Some(0), Some(0), Some(0)]);
+}
+
+#[test]
+fn undersized_codes_degrade_but_never_break_agreement() {
+    // Failure injection: an 8-bit code at eps=1/3 is hopeless, yet under
+    // correlated noise all parties must still agree on the (wrong) owners.
+    let mut rng = StdRng::seed_from_u64(0xBAD);
+    for t in 0..20 {
+        let bits = random_bits(5, 6, 0.4, &mut rng);
+        let out = run_owners_phase(
+            &bits,
+            NoiseModel::Correlated { epsilon: 1.0 / 3.0 },
+            8,
+            t,
+            t,
+        );
+        let first = &out.owners[0];
+        assert!(out.owners.iter().all(|o| o == first), "agreement broke");
+    }
+}
+
+#[test]
+fn validity_rate_improves_with_code_length() {
+    // Experiment E4 in miniature: longer codewords, fewer failures.
+    let n = 6;
+    let len = 6;
+    let eps = 1.0 / 3.0;
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    let mut rates = Vec::new();
+    for &code_len in &[6usize, 18, 60] {
+        let mut valid = 0;
+        let trials = 40;
+        for t in 0..trials {
+            let bits = random_bits(n, len, 0.3, &mut rng);
+            let out = run_owners_phase(
+                &bits,
+                NoiseModel::OneSidedZeroToOne { epsilon: eps },
+                code_len,
+                t,
+                500 + t,
+            );
+            if out.valid_for(&bits) {
+                valid += 1;
+            }
+        }
+        rates.push(valid);
+    }
+    assert!(
+        rates[2] > rates[0],
+        "validity should improve with code length: {rates:?}"
+    );
+    assert!(
+        rates[2] >= 38,
+        "long code should almost always work: {rates:?}"
+    );
+}
