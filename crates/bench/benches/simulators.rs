@@ -23,7 +23,8 @@ fn bench_repetition_simulator(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let p = InputSet::new(n);
             let inputs = inputs_for(n);
-            let sim = RepetitionSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+            let sim =
+                RepetitionSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
@@ -42,7 +43,7 @@ fn bench_rewind_simulator(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let p = InputSet::new(n);
             let inputs = inputs_for(n);
-            let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+            let sim = RewindSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
@@ -104,7 +105,8 @@ fn bench_hierarchical_simulator(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let p = InputSet::new(n);
             let inputs = inputs_for(n);
-            let sim = HierarchicalSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+            let sim =
+                HierarchicalSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
@@ -123,7 +125,8 @@ fn bench_owned_rounds_simulator(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let p = RollCall::new(n);
             let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
-            let sim = OwnedRoundsSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+            let sim =
+                OwnedRoundsSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;

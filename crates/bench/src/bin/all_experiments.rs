@@ -5,8 +5,11 @@
 //! cargo run --release -p beeps-bench --bin all_experiments
 //! ```
 //!
-//! Expect a few minutes of wall-clock in release mode; each experiment's
-//! table matches its standalone binary exactly (same seeds).
+//! Pass `--threads N` (or set `BEEPS_THREADS`) to fan trials out across
+//! workers; output is bitwise identical at any thread count. Expect
+//! ~15 s of wall-clock in release mode on one core; each experiment's
+//! table matches its standalone binary exactly (same seeds) and is also
+//! written to `target/experiments/<id>.json`.
 
 #[path = "fig1_upper_bound_overhead.rs"]
 mod fig1;

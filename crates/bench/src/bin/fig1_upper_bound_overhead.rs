@@ -5,17 +5,24 @@
 //! overhead can be made `O(log n)`; the printed series should be fit well
 //! by `a·log₂ n + b` (reported at the end), with success probability near
 //! 1 throughout.
+//!
+//! Trials run on the shared [`TrialRunner`] (`--threads N` /
+//! `BEEPS_THREADS`); each trial's inputs and channel noise derive from
+//! its own `(base_seed, n, trial)` stream, so results are identical for
+//! any thread count.
 
-use beeps_bench::{f3, linear_fit, Table};
+use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
 use beeps_core::{RewindSimulator, SimulatorConfig};
 use beeps_protocols::InputSet;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::Rng;
 
 pub fn main() {
     let eps = 0.1;
     let model = NoiseModel::Correlated { epsilon: eps };
-    let trials = 10u64;
+    let trials = 32usize;
+    let base_seed = 0xF161u64;
+    let runner = TrialRunner::from_cli();
     let mut table = Table::new(
         &format!("E1: rewind-scheme overhead on InputSet_n, correlated eps={eps}"),
         &[
@@ -29,24 +36,28 @@ pub fn main() {
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    let mut rng = StdRng::seed_from_u64(0xF161);
 
     for n in [4usize, 8, 16, 32, 64, 128] {
         let protocol = InputSet::new(n);
-        let config = SimulatorConfig::for_channel(n, model);
+        let config = SimulatorConfig::builder(n).model(model).build();
         let sim = RewindSimulator::new(&protocol, config);
-        let mut rounds = 0usize;
-        let mut good = 0u32;
-        for seed in 0..trials {
-            let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
+        // Independent seed stream per sweep point; inputs are drawn
+        // from the trial's own sub-stream (not one sequential RNG), so
+        // trial t is the same regardless of sweep order or threads.
+        let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
+            let mut input_rng = trial.sub_rng(0);
+            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
             let truth = run_noiseless(&protocol, &inputs);
-            if let Ok(out) = sim.simulate(&inputs, model, seed) {
-                rounds += out.stats().channel_rounds;
-                if out.transcript() == truth.transcript() {
-                    good += 1;
-                }
+            match sim.simulate(&inputs, model, trial.seed) {
+                Ok(out) => (
+                    out.stats().channel_rounds,
+                    out.transcript() == truth.transcript(),
+                ),
+                Err(_) => (0, false),
             }
-        }
+        });
+        let rounds: usize = records.iter().map(|(r, _)| r).sum();
+        let good = records.iter().filter(|(_, ok)| *ok).count();
         let avg = rounds as f64 / trials as f64;
         let overhead = avg / protocol.length() as f64;
         let log_n = (n as f64).log2();
@@ -65,4 +76,14 @@ pub fn main() {
     let (a, b, r2) = linear_fit(&xs, &ys);
     println!("fit: overhead ~= {a:.2} * log2(n) + {b:.2}   (r^2 = {r2:.3})");
     println!("paper: Theorem 1.2 — O(log n) overhead suffices for every protocol.");
+
+    let mut log = ExperimentLog::new("fig1_upper_bound_overhead");
+    log.field("base_seed", base_seed)
+        .field("trials", trials)
+        .field("epsilon", eps)
+        .field("fit_slope", a)
+        .field("fit_intercept", b)
+        .field("fit_r2", r2)
+        .table(&table);
+    log.save();
 }

@@ -6,13 +6,21 @@
 //! measured through the actual simulator. The series grows log-linearly
 //! in `n` — reducing the overhead below `Θ(log n)` is impossible for any
 //! scheme by Theorem C.1.
+//!
+//! The Monte Carlo column runs on the shared [`TrialRunner`]
+//! (`--threads N` / `BEEPS_THREADS`); every trial draws its inputs and
+//! channel noise from its own `(base_seed, n, trial)` streams, so the
+//! measured rates are identical for any thread count.
 
-use beeps_bench::{f3, linear_fit, Table};
-use beeps_lowerbound::{measured_success_rate, min_repetitions_exact};
+use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_lowerbound::{min_repetitions_exact, MeasuredCrossover};
 
 pub fn main() {
     let eps = 1.0 / 3.0;
     let target = 0.9;
+    let trials = 100usize;
+    let base_seed = 0xF162u64;
+    let runner = TrialRunner::from_cli();
     let mut table = Table::new(
         &format!(
             "E2: minimum repetition overhead for InputSet_n, one-sided eps=1/3, target {target}"
@@ -32,13 +40,13 @@ pub fn main() {
         let point = min_repetitions_exact(n, eps, target);
         // Monte Carlo through the real simulator for moderate n.
         let measured = if n <= 64 {
-            f3(measured_success_rate(
-                n,
-                point.min_repetitions,
-                eps,
-                100,
-                0xF162 + n as u64,
-            ))
+            let experiment = MeasuredCrossover::new(n, point.min_repetitions, eps);
+            let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
+                let mut input_rng = trial.sub_rng(0);
+                experiment.trial(&mut input_rng, trial.seed)
+            });
+            let good = records.iter().filter(|&&ok| ok).count();
+            f3(good as f64 / trials as f64)
         } else {
             "-".to_owned()
         };
@@ -57,4 +65,15 @@ pub fn main() {
     let (a, b, r2) = linear_fit(&xs, &ys);
     println!("fit: min reps ~= {a:.2} * log2(n) + {b:.2}   (r^2 = {r2:.3})");
     println!("paper: Theorem 1.1/C.1 — Omega(log n) overhead is necessary for InputSet_n.");
+
+    let mut log = ExperimentLog::new("fig2_lower_bound_crossover");
+    log.field("base_seed", base_seed)
+        .field("trials", trials)
+        .field("epsilon", eps)
+        .field("target", target)
+        .field("fit_slope", a)
+        .field("fit_intercept", b)
+        .field("fit_r2", r2)
+        .table(&table);
+    log.save();
 }

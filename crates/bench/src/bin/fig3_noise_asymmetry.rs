@@ -7,16 +7,24 @@
 //!   in `n`;
 //! * `0→1`-only noise: the rewind scheme — grows with `log n`, and
 //!   cannot do better by Theorem 1.1.
+//!
+//! Trials run on the shared [`TrialRunner`] (`--threads N` /
+//! `BEEPS_THREADS`); both schemes see the *same* inputs within a trial
+//! (a paired comparison), and every trial's randomness derives from
+//! `(base_seed, n, trial)` alone, so results are thread-count
+//! independent.
 
-use beeps_bench::{f3, linear_fit, Table};
+use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
 use beeps_core::{OneToZeroSimulator, RewindSimulator, SimulatorConfig};
 use beeps_protocols::InputSet;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::Rng;
 
 pub fn main() {
     let eps = 1.0 / 3.0;
-    let trials = 8u64;
+    let trials = 8usize;
+    let base_seed = 0xF163u64;
+    let runner = TrialRunner::from_cli();
     let mut table = Table::new(
         "E3: overhead by noise direction at eps=1/3 (InputSet_n)",
         &[
@@ -30,7 +38,6 @@ pub fn main() {
     let mut xs = Vec::new();
     let mut down_y = Vec::new();
     let mut up_y = Vec::new();
-    let mut rng = StdRng::seed_from_u64(0xF163);
 
     for n in [4usize, 8, 16, 32, 64] {
         let protocol = InputSet::new(n);
@@ -38,35 +45,47 @@ pub fn main() {
         let up = NoiseModel::OneSidedZeroToOne { epsilon: eps };
 
         let z_sim = OneToZeroSimulator::new(&protocol, 2, 32.0);
-        let r_sim = RewindSimulator::new(&protocol, SimulatorConfig::for_channel(n, up));
+        let r_sim = RewindSimulator::new(&protocol, SimulatorConfig::builder(n).model(up).build());
+
+        let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
+            let mut input_rng = trial.sub_rng(0);
+            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+            let truth = run_noiseless(&protocol, &inputs);
+            let measure = |out: Result<_, _>| {
+                out.ok().map(|o: beeps_core::SimOutcome<_>| {
+                    (
+                        o.stats().channel_rounds,
+                        o.transcript() == truth.transcript(),
+                    )
+                })
+            };
+            (
+                measure(z_sim.simulate(&inputs, down, trial.seed)),
+                measure(r_sim.simulate(&inputs, up, trial.seed)),
+            )
+        });
 
         let mut z_rounds = 0usize;
         let mut z_good = 0u32;
+        let mut z_done = 0u32;
         let mut r_rounds = 0usize;
         let mut r_good = 0u32;
-        let mut z_done = 0u32;
         let mut r_done = 0u32;
-        for seed in 0..trials {
-            let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
-            let truth = run_noiseless(&protocol, &inputs);
-            if let Ok(out) = z_sim.simulate(&inputs, down, seed) {
+        for (z, r) in &records {
+            if let Some((rounds, ok)) = z {
                 z_done += 1;
-                z_rounds += out.stats().channel_rounds;
-                if out.transcript() == truth.transcript() {
-                    z_good += 1;
-                }
+                z_rounds += rounds;
+                z_good += u32::from(*ok);
             }
-            if let Ok(out) = r_sim.simulate(&inputs, up, seed) {
+            if let Some((rounds, ok)) = r {
                 r_done += 1;
-                r_rounds += out.stats().channel_rounds;
-                if out.transcript() == truth.transcript() {
-                    r_good += 1;
-                }
+                r_rounds += rounds;
+                r_good += u32::from(*ok);
             }
         }
         let t = protocol.length() as f64;
-        let z_oh = z_rounds as f64 / z_done.max(1) as f64 / t;
-        let r_oh = r_rounds as f64 / r_done.max(1) as f64 / t;
+        let z_oh = z_rounds as f64 / f64::from(z_done.max(1)) / t;
+        let r_oh = r_rounds as f64 / f64::from(r_done.max(1)) / t;
         table.row(&[
             &n,
             &f3(z_oh),
@@ -83,4 +102,13 @@ pub fn main() {
     let (a_up, _, _) = linear_fit(&xs, &up_y);
     println!("slope vs log2(n):  1->0 noise: {a_down:.2}   0->1 noise: {a_up:.2}");
     println!("paper: 1->0 admits O(1) overhead (flat slope); 0->1 forces Theta(log n).");
+
+    let mut log = ExperimentLog::new("fig3_noise_asymmetry");
+    log.field("base_seed", base_seed)
+        .field("trials", trials)
+        .field("epsilon", eps)
+        .field("slope_one_to_zero", a_down)
+        .field("slope_zero_to_one", a_up)
+        .table(&table);
+    log.save();
 }

@@ -10,18 +10,25 @@
 //! while Theorem C.3 shows a correct protocol needs
 //! `E[ζ | 𝒢] ≥ n^{-3/4}` — so correctness requires the ceiling, and hence
 //! `T`, to be large: `T = Ω(n log n)`.
+//!
+//! Sampling runs on the shared [`TrialRunner`] (`--threads N` /
+//! `BEEPS_THREADS`); each sample's inputs and channel noise derive from
+//! `(base_seed, r, sample)` alone, so the table is thread-count
+//! independent.
 
-use beeps_bench::{f3, Table};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_protocol, NoiseModel, Protocol};
 use beeps_lowerbound::ZetaAnalyzer;
 use beeps_protocols::RepeatedInputSet;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::Rng;
 
 pub fn main() {
     let eps = 1.0 / 3.0;
     let n = 8;
     let model = NoiseModel::OneSidedZeroToOne { epsilon: eps };
-    let samples = 120u64;
+    let samples = 120usize;
+    let base_seed = 0xF164u64;
+    let runner = TrialRunner::from_cli();
     let mut table = Table::new(
         &format!(
             "E5: zeta on sampled executions vs Theorem C.2 ceiling (n={n}, eps=1/3, {samples} samples)"
@@ -29,7 +36,6 @@ pub fn main() {
         &["r", "T", "max zeta | G", "mean zeta | G", "C.2 ceiling", "C.3 floor", "G freq"],
     );
     let needed = (n as f64).powf(-0.75);
-    let mut rng = StdRng::seed_from_u64(0xF164);
 
     for r in [1usize, 2, 4, 8, 16] {
         let thr = ((r as f64) * (1.0 + eps) / 2.0).ceil() as usize;
@@ -37,20 +43,25 @@ pub fn main() {
         let t_len = p.length();
         let analyzer = ZetaAnalyzer::new(&p, eps);
         let ceiling = analyzer.theorem_c2_bound(t_len);
+
+        let records = runner.run(trial_seed(base_seed, r as u64), samples, |trial| {
+            let mut input_rng = trial.sub_rng(0);
+            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+            let exec = run_protocol(&p, &inputs, model, trial.seed);
+            let pi = exec.views().shared().expect("one-sided noise is shared");
+            analyzer
+                .analyze(&inputs, pi)
+                .filter(|report| report.event_g)
+                .map(|report| report.zeta)
+        });
+
         let mut max_zeta: f64 = 0.0;
         let mut sum_zeta = 0.0f64;
         let mut g_count = 0u32;
-        for seed in 0..samples {
-            let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
-            let exec = run_protocol(&p, &inputs, model, seed);
-            let pi = exec.views().shared().expect("one-sided noise is shared");
-            if let Some(report) = analyzer.analyze(&inputs, pi) {
-                if report.event_g {
-                    g_count += 1;
-                    sum_zeta += report.zeta;
-                    max_zeta = max_zeta.max(report.zeta);
-                }
-            }
+        for zeta in records.into_iter().flatten() {
+            g_count += 1;
+            sum_zeta += zeta;
+            max_zeta = max_zeta.max(zeta);
         }
         let mean = if g_count > 0 {
             sum_zeta / f64::from(g_count)
@@ -103,4 +114,14 @@ pub fn main() {
     }
     audit_table.print();
     println!("Correctness and zeta rise together: the proof's central correlation.");
+
+    let mut log = ExperimentLog::new("fig4_zeta_progress_measure");
+    log.field("base_seed", base_seed)
+        .field("n", n)
+        .field("samples", samples)
+        .field("epsilon", eps)
+        .field("c3_floor", needed)
+        .table(&table)
+        .table(&audit_table);
+    log.save();
 }

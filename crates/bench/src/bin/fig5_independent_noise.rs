@@ -6,45 +6,56 @@
 //! the independent-noise channel and additionally reports the transcript-
 //! agreement rate — the quantity that is automatic under correlated noise
 //! but must be *earned* under independent noise.
+//!
+//! Trials run on the shared [`TrialRunner`] (`--threads N` /
+//! `BEEPS_THREADS`) with per-trial `(base_seed, n, trial)` seed streams,
+//! so results are thread-count independent.
 
-use beeps_bench::{f3, Table};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
 use beeps_core::{RewindSimulator, SimulatorConfig};
 use beeps_protocols::InputSet;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::Rng;
 
 pub fn main() {
     let eps = 0.1;
     let model = NoiseModel::Independent { epsilon: eps };
-    let trials = 10u64;
+    let trials = 10usize;
+    let base_seed = 0xF165u64;
+    let runner = TrialRunner::from_cli();
     let mut table = Table::new(
         &format!("E8: rewind scheme over independent noise (eps={eps})"),
         &["n", "overhead", "success", "agreement"],
     );
-    let mut rng = StdRng::seed_from_u64(0xF165);
 
     for n in [4usize, 8, 16, 32, 64] {
         let protocol = InputSet::new(n);
-        let sim = RewindSimulator::new(&protocol, SimulatorConfig::for_channel(n, model));
+        let sim = RewindSimulator::new(&protocol, SimulatorConfig::builder(n).model(model).build());
+
+        let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
+            let mut input_rng = trial.sub_rng(0);
+            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+            let truth = run_noiseless(&protocol, &inputs);
+            sim.simulate(&inputs, model, trial.seed).ok().map(|out| {
+                (
+                    out.stats().channel_rounds,
+                    out.transcript() == truth.transcript(),
+                    out.stats().agreement,
+                )
+            })
+        });
+
         let mut rounds = 0usize;
         let mut good = 0u32;
         let mut agree = 0u32;
         let mut done = 0u32;
-        for seed in 0..trials {
-            let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
-            let truth = run_noiseless(&protocol, &inputs);
-            if let Ok(out) = sim.simulate(&inputs, model, seed) {
-                done += 1;
-                rounds += out.stats().channel_rounds;
-                if out.transcript() == truth.transcript() {
-                    good += 1;
-                }
-                if out.stats().agreement {
-                    agree += 1;
-                }
-            }
+        for (r, ok, agreed) in records.into_iter().flatten() {
+            done += 1;
+            rounds += r;
+            good += u32::from(ok);
+            agree += u32::from(agreed);
         }
-        let overhead = rounds as f64 / done.max(1) as f64 / protocol.length() as f64;
+        let overhead = rounds as f64 / f64::from(done.max(1)) / protocol.length() as f64;
         table.row(&[
             &n,
             &f3(overhead),
@@ -55,4 +66,11 @@ pub fn main() {
     table.print();
     println!("paper: §1.2 — Theorem 1.2 holds for independent noise as well; whether");
     println!("Omega(log n) is also necessary there is the paper's main open problem.");
+
+    let mut log = ExperimentLog::new("fig5_independent_noise");
+    log.field("base_seed", base_seed)
+        .field("trials", trials)
+        .field("epsilon", eps)
+        .table(&table);
+    log.save();
 }

@@ -10,37 +10,52 @@
 //! Read together with E12 (which removes the owners phase on uniquely
 //! owned workloads), this locates the paper's `Θ(log n)` premium
 //! concretely in the owner-computation rounds.
+//!
+//! Trials run on the shared [`TrialRunner`] (`--threads N` /
+//! `BEEPS_THREADS`) with per-trial `(base_seed, n, trial)` seed streams,
+//! so the breakdown is thread-count independent.
 
-use beeps_bench::{f3, Table};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{NoiseModel, Protocol};
 use beeps_core::{RewindSimulator, SimulatorConfig};
 use beeps_protocols::InputSet;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::Rng;
 
 pub fn main() {
     let model = NoiseModel::Correlated { epsilon: 0.1 };
-    let trials = 6u64;
+    let trials = 6usize;
+    let base_seed = 0xE13u64;
+    let runner = TrialRunner::from_cli();
     let mut table = Table::new(
         "E13: rewind-scheme rounds by phase, InputSet_n at eps=0.1 (per protocol round)",
         &["n", "chunk sim", "owners", "verify", "owners share"],
     );
-    let mut rng = StdRng::seed_from_u64(0xE13);
 
     for n in [4usize, 8, 16, 32, 64] {
         let p = InputSet::new(n);
-        let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+        let sim = RewindSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
+
+        let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
+            let mut input_rng = trial.sub_rng(0);
+            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+            sim.simulate(&inputs, model, trial.seed).ok().map(|out| {
+                (
+                    out.stats().phase_rounds.chunk,
+                    out.stats().phase_rounds.owners,
+                    out.stats().phase_rounds.verify,
+                )
+            })
+        });
+
         let mut chunk = 0usize;
         let mut owners = 0usize;
         let mut verify = 0usize;
         let mut counted = 0u32;
-        for seed in 0..trials {
-            let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
-            if let Ok(out) = sim.simulate(&inputs, model, seed) {
-                counted += 1;
-                chunk += out.stats().phase_rounds.chunk;
-                owners += out.stats().phase_rounds.owners;
-                verify += out.stats().phase_rounds.verify;
-            }
+        for (c, o, v) in records.into_iter().flatten() {
+            counted += 1;
+            chunk += c;
+            owners += o;
+            verify += v;
         }
         let k = f64::from(counted) * p.length() as f64;
         let share = owners as f64 / (chunk + owners + verify) as f64;
@@ -56,4 +71,11 @@ pub fn main() {
     println!("The owners phase (Algorithm 1's codeword exchange) dominates the cost —");
     println!("the concrete home of the Theta(log n) premium that Theorem 1.1 proves");
     println!("unavoidable and experiment E12 shows disappearing on pre-owned workloads.");
+
+    let mut log = ExperimentLog::new("fig6_phase_breakdown");
+    log.field("base_seed", base_seed)
+        .field("trials", trials)
+        .field("epsilon", 0.1)
+        .table(&table);
+    log.save();
 }

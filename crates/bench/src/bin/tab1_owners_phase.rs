@@ -6,17 +6,24 @@
 //! for a suitable constant-rate code; the table shows failures dropping
 //! geometrically with codeword length (and the cutoff-rate-sized length
 //! marked in the last column).
+//!
+//! Trials run on the shared [`TrialRunner`] (`--threads N` /
+//! `BEEPS_THREADS`); each `(n, code_len)` cell gets its own base seed
+//! and each trial its own bit-matrix and channel streams, so the counts
+//! are thread-count independent.
 
-use beeps_bench::Table;
+use beeps_bench::{trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::NoiseModel;
 use beeps_core::run_owners_phase;
 use beeps_info::tail;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::Rng;
 
 pub fn main() {
     let eps = 1.0 / 3.0;
     let model = NoiseModel::OneSidedZeroToOne { epsilon: eps };
-    let trials = 200u64;
+    let trials = 200usize;
+    let base_seed = 0xAB1u64;
+    let runner = TrialRunner::from_cli();
     let mut table = Table::new(
         "E4: owners-phase failures / trials vs codeword length (one-sided eps=1/3)",
         &[
@@ -32,18 +39,17 @@ pub fn main() {
     for n in [4usize, 8, 16, 32] {
         let chunk = n; // the paper's chunk length
         let mut cells: Vec<String> = Vec::new();
-        let mut rng = StdRng::seed_from_u64(0xAB1 + n as u64);
         for &code_len in &[8usize, 16, 32, 64] {
-            let mut failures = 0u32;
-            for t in 0..trials {
+            let cell_seed = trial_seed(trial_seed(base_seed, n as u64), code_len as u64);
+            let records = runner.run(cell_seed, trials, |trial| {
+                let mut bit_rng = trial.sub_rng(0);
                 let bits: Vec<Vec<bool>> = (0..n)
-                    .map(|_| (0..chunk).map(|_| rng.gen_bool(0.25)).collect())
+                    .map(|_| (0..chunk).map(|_| bit_rng.gen_bool(0.25)).collect())
                     .collect();
-                let out = run_owners_phase(&bits, model, code_len, t, t * 31 + n as u64);
-                if !out.valid_for(&bits) {
-                    failures += 1;
-                }
-            }
+                let out = run_owners_phase(&bits, model, code_len, trial.index as u64, trial.seed);
+                !out.valid_for(&bits)
+            });
+            let failures = records.iter().filter(|&&failed| failed).count();
             cells.push(format!("{failures}/{trials}"));
         }
         let sized = tail::random_code_length(chunk + 1, tail::cutoff_rate_z(eps), 1e-4);
@@ -53,4 +59,11 @@ pub fn main() {
     println!("paper: Theorem D.1 — with a suitable constant-rate code the phase computes");
     println!("valid, agreed owners except with polynomially small probability; failures");
     println!("above drop geometrically in the codeword length as predicted.");
+
+    let mut log = ExperimentLog::new("tab1_owners_phase");
+    log.field("base_seed", base_seed)
+        .field("trials", trials)
+        .field("epsilon", eps)
+        .table(&table);
+    log.save();
 }

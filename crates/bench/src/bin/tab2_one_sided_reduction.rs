@@ -5,28 +5,51 @@
 //! native correlated `ε = 1/4` channel. The table reports the measured
 //! flip rates in both directions and the end-to-end failure rate of the
 //! naked `InputSet_n` protocol over both channels.
+//!
+//! The big sampling loops are sharded across the shared [`TrialRunner`]
+//! (`--threads N` / `BEEPS_THREADS`): each shard owns its own channel
+//! instance seeded from `(base_seed, shard)`, and shard counts are
+//! summed in index order — so every reported rate is thread-count
+//! independent.
 
-use beeps_bench::{f3, Table};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{
     run_noiseless, run_protocol, run_protocol_over, Channel, NoiseModel, Protocol,
     ReducedTwoSidedChannel, StochasticChannel,
 };
 use beeps_protocols::InputSet;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::Rng;
 
-fn flip_rate(mk: impl Fn(u64) -> Box<dyn Channel>, true_or: bool, trials: u32) -> f64 {
-    let mut ch = mk(42);
-    let mut flips = 0u32;
-    for _ in 0..trials {
-        if ch.transmit(true_or).shared() != Some(true_or) {
-            flips += 1;
-        }
-    }
-    f64::from(flips) / f64::from(trials)
+/// Transmissions per flip-rate shard; 80 shards × 5000 = 400k total.
+const FLIP_SHARDS: usize = 80;
+const FLIP_PER_SHARD: u32 = 5_000;
+
+fn flip_rate(
+    runner: &TrialRunner,
+    base_seed: u64,
+    mk: impl Fn(u64) -> Box<dyn Channel> + Sync,
+    true_or: bool,
+) -> f64 {
+    let flips: u32 = runner
+        .run(base_seed, FLIP_SHARDS, |trial| {
+            let mut ch = mk(trial.seed);
+            let mut flips = 0u32;
+            for _ in 0..FLIP_PER_SHARD {
+                if ch.transmit(true_or).shared() != Some(true_or) {
+                    flips += 1;
+                }
+            }
+            flips
+        })
+        .iter()
+        .sum();
+    f64::from(flips) / (FLIP_SHARDS as f64 * f64::from(FLIP_PER_SHARD))
 }
 
 pub fn main() {
-    let trials = 400_000u32;
+    let runner = TrialRunner::from_cli();
+    let base_seed = 0xE6u64;
+    let trials = FLIP_SHARDS * FLIP_PER_SHARD as usize;
     let mut table = Table::new(
         "E6: reduced channel (A.1.2) vs native eps=1/4 channel",
         &[
@@ -48,57 +71,75 @@ pub fn main() {
 
     table.row(&[
         &"P[flip | OR=1]",
-        &f3(flip_rate(reduced, true, trials)),
-        &f3(flip_rate(native, true, trials)),
+        &f3(flip_rate(&runner, trial_seed(base_seed, 1), reduced, true)),
+        &f3(flip_rate(&runner, trial_seed(base_seed, 2), native, true)),
         &"0.250",
     ]);
     table.row(&[
         &"P[flip | OR=0]",
-        &f3(flip_rate(reduced, false, trials)),
-        &f3(flip_rate(native, false, trials)),
+        &f3(flip_rate(&runner, trial_seed(base_seed, 3), reduced, false)),
+        &f3(flip_rate(&runner, trial_seed(base_seed, 4), native, false)),
         &"0.250",
     ]);
 
     // End-to-end: failure rates of the naked protocol over both channels.
     let n = 8;
     let p = InputSet::new(n);
-    let runs = 400u64;
-    let mut rng = StdRng::seed_from_u64(0xE6);
-    let mut wrong_reduced = 0u32;
-    let mut wrong_native = 0u32;
-    for seed in 0..runs {
-        let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
+    let runs = 400usize;
+    let records = runner.run(trial_seed(base_seed, 5), runs, |trial| {
+        let mut input_rng = trial.sub_rng(0);
+        let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
         let expect = run_noiseless(&p, &inputs).outputs()[0].clone();
-        let mut ch = ReducedTwoSidedChannel::new(n, seed);
-        if run_protocol_over(&p, &inputs, &mut ch).outputs()[0] != expect {
-            wrong_reduced += 1;
-        }
-        if run_protocol(&p, &inputs, NoiseModel::Correlated { epsilon: 0.25 }, seed).outputs()[0]
-            != expect
-        {
-            wrong_native += 1;
-        }
-    }
+        let mut ch = ReducedTwoSidedChannel::new(n, trial.seed);
+        let wrong_reduced = run_protocol_over(&p, &inputs, &mut ch).outputs()[0] != expect;
+        let wrong_native = run_protocol(
+            &p,
+            &inputs,
+            NoiseModel::Correlated { epsilon: 0.25 },
+            trial.seed,
+        )
+        .outputs()[0]
+            != expect;
+        (wrong_reduced, wrong_native)
+    });
+    let wrong_reduced = records.iter().filter(|(r, _)| *r).count();
+    let wrong_native = records.iter().filter(|(_, w)| *w).count();
     table.row(&[
         &format!("naked InputSet_{n} failure rate"),
-        &f3(f64::from(wrong_reduced) / runs as f64),
-        &f3(f64::from(wrong_native) / runs as f64),
+        &f3(wrong_reduced as f64 / runs as f64),
+        &f3(wrong_native as f64 / runs as f64),
         &"equal",
     ]);
 
     // Rigorous distributional check: chi-square homogeneity over the four
-    // (sent, received) outcome cells of each channel.
-    let cells = 200_000u32;
+    // (sent, received) outcome cells of each channel, sharded the same way.
+    let shards = 100usize;
+    let cells_per_shard = 2_000u32;
+    let shard_counts = runner.run(trial_seed(base_seed, 6), shards, |trial| {
+        let mut counts_reduced = [0u64; 4];
+        let mut counts_native = [0u64; 4];
+        let mut chr = ReducedTwoSidedChannel::new(2, trial_seed(trial.seed, 0));
+        let mut chn = StochasticChannel::new(
+            2,
+            NoiseModel::Correlated { epsilon: 0.25 },
+            trial_seed(trial.seed, 1),
+        );
+        for i in 0..cells_per_shard {
+            let sent = i % 2 == 0;
+            let hr = chr.transmit(sent).shared().unwrap();
+            let hn = chn.transmit(sent).shared().unwrap();
+            counts_reduced[usize::from(sent) * 2 + usize::from(hr)] += 1;
+            counts_native[usize::from(sent) * 2 + usize::from(hn)] += 1;
+        }
+        (counts_reduced, counts_native)
+    });
     let mut counts_reduced = [0u64; 4];
     let mut counts_native = [0u64; 4];
-    let mut chr = ReducedTwoSidedChannel::new(2, 0xC51);
-    let mut chn = StochasticChannel::new(2, NoiseModel::Correlated { epsilon: 0.25 }, 0xC52);
-    for i in 0..cells {
-        let sent = i % 2 == 0;
-        let hr = chr.transmit(sent).shared().unwrap();
-        let hn = chn.transmit(sent).shared().unwrap();
-        counts_reduced[usize::from(sent) * 2 + usize::from(hr)] += 1;
-        counts_native[usize::from(sent) * 2 + usize::from(hn)] += 1;
+    for (cr, cn) in &shard_counts {
+        for k in 0..4 {
+            counts_reduced[k] += cr[k];
+            counts_native[k] += cn[k];
+        }
     }
     let chi = beeps_info::stats::chi_square_homogeneity(&counts_reduced, &counts_native);
     table.row(&[
@@ -116,4 +157,14 @@ pub fn main() {
     println!("to the two-sided 1/4 channel because the parties can synthesize the");
     println!("latter from the former with shared randomness.");
     let _ = p.length();
+
+    let mut log = ExperimentLog::new("tab2_one_sided_reduction");
+    log.field("base_seed", base_seed)
+        .field("flip_transmissions", trials)
+        .field("end_to_end_runs", runs)
+        .field("chi_square_cells", shards * cells_per_shard as usize)
+        .field("chi_square_stat", chi.statistic)
+        .field("chi_square_consistent", chi.consistent_at_999)
+        .table(&table);
+    log.save();
 }

@@ -7,19 +7,25 @@
 //! (an upper bound on the residual input entropy, Observation C.4), the
 //! size of `G_2(π)`, and the frequency of `𝒢` — together with Lemma B.8's
 //! prediction for the unique-input count.
+//!
+//! Sampling runs on the shared [`TrialRunner`] (`--threads N` /
+//! `BEEPS_THREADS`) with per-sample `(base_seed, r, sample)` seed
+//! streams, so the averages are thread-count independent.
 
-use beeps_bench::{f3, Table};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_protocol, NoiseModel, Protocol};
 use beeps_info::lemmas;
 use beeps_lowerbound::ZetaAnalyzer;
 use beeps_protocols::RepeatedInputSet;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::Rng;
 
 pub fn main() {
     let eps = 1.0 / 3.0;
     let n = 12;
     let model = NoiseModel::OneSidedZeroToOne { epsilon: eps };
-    let samples = 150u64;
+    let samples = 150usize;
+    let base_seed = 0xE7u64;
+    let runner = TrialRunner::from_cli();
     let mut table = Table::new(
         &format!("E7: feasible sets and good players vs protocol length (n={n}, eps=1/3)"),
         &[
@@ -32,7 +38,6 @@ pub fn main() {
             "avg |G_1|",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(0xE7);
     let full_entropy = n as f64 * (2.0 * n as f64).log2();
 
     for r in [1usize, 2, 4, 8] {
@@ -40,30 +45,37 @@ pub fn main() {
         let p = RepeatedInputSet::new(n, r, thr);
         let analyzer = ZetaAnalyzer::new(&p, eps);
         let t_len = p.length();
-        let mut sum_log = 0.0f64;
-        let mut sum_g2 = 0usize;
-        let mut sum_g1 = 0usize;
-        let mut g_events = 0u32;
-        for seed in 0..samples {
-            let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
-            let exec = run_protocol(&p, &inputs, model, seed);
+
+        let records = runner.run(trial_seed(base_seed, r as u64), samples, |trial| {
+            let mut input_rng = trial.sub_rng(0);
+            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+            let exec = run_protocol(&p, &inputs, model, trial.seed);
             let pi = exec.views().shared().unwrap();
             let report = analyzer.analyze(&inputs, pi).expect("possible");
-            sum_log += report
+            let log_sum: f64 = report
                 .feasible_sizes
                 .iter()
                 .map(|&s| (s as f64).log2())
-                .sum::<f64>();
+                .sum();
             let sqrt_n = (n as f64).sqrt();
-            sum_g2 += report
+            let g2 = report
                 .feasible_sizes
                 .iter()
                 .filter(|&&s| s as f64 > sqrt_n)
                 .count();
-            sum_g1 += lemmas::unique_indices(&inputs).len();
-            if report.event_g {
-                g_events += 1;
-            }
+            let g1 = lemmas::unique_indices(&inputs).len();
+            (log_sum, g2, g1, report.event_g)
+        });
+
+        let mut sum_log = 0.0f64;
+        let mut sum_g2 = 0usize;
+        let mut sum_g1 = 0usize;
+        let mut g_events = 0u32;
+        for (log_sum, g2, g1, event_g) in records {
+            sum_log += log_sum;
+            sum_g2 += g2;
+            sum_g1 += g1;
+            g_events += u32::from(event_g);
         }
         // Lemma C.5's information floor: H(X | pi) >= n log(2n) - T, and
         // Observation C.4 bounds H(X | pi) by sum_i log2 |S^i(pi)|.
@@ -87,4 +99,13 @@ pub fn main() {
     );
     println!("paper: Lemma C.5 — short transcripts leave Sum_i log|S^i| large, so G_2");
     println!("stays near n and the event G keeps holding — the setting Theorem C.2 needs.");
+
+    let mut log = ExperimentLog::new("tab3_feasible_sets");
+    log.field("base_seed", base_seed)
+        .field("n", n)
+        .field("samples", samples)
+        .field("epsilon", eps)
+        .field("lemma_b8_bound", b8)
+        .table(&table);
+    log.save();
 }

@@ -6,50 +6,69 @@
 //! `T ≈ n²` and shows (i) success rates climbing to 1 as `r` passes
 //! `Θ(log T)`, and (ii) the longer protocol needing more repetitions —
 //! the union-bound dependence on `T` that the rewind scheme removes.
+//!
+//! Trials run on the shared [`TrialRunner`] (`--threads N` /
+//! `BEEPS_THREADS`). The trial seed stream depends only on the protocol
+//! length, so every `r` in a column sees the same inputs and channel
+//! seeds — a paired sweep — and the rates are thread-count independent.
 
-use beeps_bench::Table;
+use beeps_bench::{trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel};
 use beeps_core::{RepetitionSimulator, SimulatorConfig};
 use beeps_protocols::MultiOr;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::Rng;
 
-fn success_rate(n: usize, t_len: usize, r: usize, trials: u64, seed0: u64) -> f64 {
+fn success_rate(
+    runner: &TrialRunner,
+    n: usize,
+    t_len: usize,
+    r: usize,
+    trials: usize,
+    seed0: u64,
+) -> f64 {
     let model = NoiseModel::Correlated { epsilon: 1.0 / 3.0 };
     let p = MultiOr::new(n, t_len);
-    let mut config = SimulatorConfig::for_channel(n, model);
+    let mut config = SimulatorConfig::builder(n).model(model).build();
     config.repetitions = r;
     let sim = RepetitionSimulator::new(&p, config);
-    let mut rng = StdRng::seed_from_u64(seed0);
-    let mut good = 0u32;
-    for seed in 0..trials {
+    let records = runner.run(trial_seed(seed0, t_len as u64), trials, |trial| {
+        let mut input_rng = trial.sub_rng(0);
         let inputs: Vec<Vec<bool>> = (0..n)
-            .map(|_| (0..t_len).map(|_| rng.gen_bool(0.2)).collect())
+            .map(|_| (0..t_len).map(|_| input_rng.gen_bool(0.2)).collect())
             .collect();
         let truth = run_noiseless(&p, &inputs);
-        let out = sim.simulate(&inputs, model, seed0 + seed).unwrap();
-        if out.transcript() == truth.transcript() {
-            good += 1;
-        }
-    }
-    f64::from(good) / trials as f64
+        let out = sim.simulate(&inputs, model, trial.seed).unwrap();
+        out.transcript() == truth.transcript()
+    });
+    records.iter().filter(|&&ok| ok).count() as f64 / trials as f64
 }
 
 pub fn main() {
     let n = 16;
-    let trials = 40u64;
+    let trials = 40usize;
     let short = 2 * n;
     let long = n * n;
+    let runner = TrialRunner::from_cli();
     let mut table = Table::new(
         &format!("E9: repetition-scheme success vs r at eps=1/3 (n={n}; T={short} and T={long})"),
         &["r", "success (T=2n)", "success (T=n^2)"],
     );
     for r in [1usize, 9, 17, 25, 33, 41, 49, 57, 65, 73] {
-        let s_short = success_rate(n, short, r, trials, 0x7AB4);
-        let s_long = success_rate(n, long, r, trials, 0x7AB5);
+        let s_short = success_rate(&runner, n, short, r, trials, 0x7AB4);
+        let s_long = success_rate(&runner, n, long, r, trials, 0x7AB5);
         table.row(&[&r, &format!("{s_short:.2}"), &format!("{s_long:.2}")]);
     }
     table.print();
     println!("paper: footnote 1 — r = O(log n) repetitions suffice for poly(n)-length");
     println!("protocols; the needed r grows with log T, which is why the general");
     println!("Theorem 1.2 needs the chunk/owners/rewind machinery instead.");
+
+    let mut log = ExperimentLog::new("tab4_repetition_scheme");
+    log.field("n", n)
+        .field("trials", trials)
+        .field("epsilon", 1.0 / 3.0)
+        .field("base_seed_short", 0x7AB4u64)
+        .field("base_seed_long", 0x7AB5u64)
+        .table(&table);
+    log.save();
 }

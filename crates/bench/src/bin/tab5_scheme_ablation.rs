@@ -12,12 +12,17 @@
 //! table compares overhead, rewind/truncation counts, and success side by
 //! side across `n` and noise rates — the design-choice ablation called
 //! out in `DESIGN.md`.
+//!
+//! Trials run on the shared [`TrialRunner`] (`--threads N` /
+//! `BEEPS_THREADS`); both schemes see the same inputs and channel seed
+//! within a trial (a paired comparison), with all randomness derived
+//! from `(base_seed, n, eps, trial)` — thread-count independent.
 
-use beeps_bench::{f3, Table};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
 use beeps_core::{HierarchicalSimulator, RewindSimulator, SimulatorConfig};
 use beeps_protocols::InputSet;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::Rng;
 
 struct Cell {
     overhead: f64,
@@ -25,36 +30,28 @@ struct Cell {
     good: u32,
 }
 
-fn run_scheme<F>(n: usize, _model: NoiseModel, trials: u64, rng: &mut StdRng, mut sim: F) -> Cell
-where
-    F: FnMut(&[usize], u64) -> Option<(Vec<bool>, usize, usize)>,
-{
-    let protocol = InputSet::new(n);
+fn aggregate(records: &[Option<(bool, usize, usize)>], protocol_len: usize) -> Cell {
     let mut rounds = 0usize;
     let mut repairs = 0usize;
     let mut good = 0u32;
     let mut done = 0u32;
-    for seed in 0..trials {
-        let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
-        let truth = run_noiseless(&protocol, &inputs);
-        if let Some((transcript, channel_rounds, rewinds)) = sim(&inputs, seed) {
-            done += 1;
-            rounds += channel_rounds;
-            repairs += rewinds;
-            if transcript == truth.transcript() {
-                good += 1;
-            }
-        }
+    for (ok, channel_rounds, rewinds) in records.iter().flatten() {
+        done += 1;
+        rounds += channel_rounds;
+        repairs += rewinds;
+        good += u32::from(*ok);
     }
     Cell {
-        overhead: rounds as f64 / done.max(1) as f64 / protocol.length() as f64,
-        repairs: repairs as f64 / done.max(1) as f64,
+        overhead: rounds as f64 / f64::from(done.max(1)) / protocol_len as f64,
+        repairs: repairs as f64 / f64::from(done.max(1)),
         good,
     }
 }
 
 pub fn main() {
-    let trials = 8u64;
+    let trials = 8usize;
+    let base_seed = 0xAB7Au64;
+    let runner = TrialRunner::from_cli();
     let mut table = Table::new(
         "E10: rewind vs hierarchical (Appendix D.2) implementations of Theorem 1.2",
         &[
@@ -77,31 +74,35 @@ pub fn main() {
         (32, 0.1),
     ] {
         let model = NoiseModel::Correlated { epsilon: eps };
-        let config = SimulatorConfig::for_channel(n, model);
+        let config = SimulatorConfig::builder(n).model(model).build();
         let protocol = InputSet::new(n);
         let rewind = RewindSimulator::new(&protocol, config.clone());
         let hier = HierarchicalSimulator::new(&protocol, config);
 
-        let mut rng = StdRng::seed_from_u64(0xAB7A + n as u64);
-        let a = run_scheme(n, model, trials, &mut rng, |inputs, seed| {
-            rewind.simulate(inputs, model, seed).ok().map(|o| {
-                (
-                    o.transcript().to_vec(),
-                    o.stats().channel_rounds,
-                    o.stats().rewinds,
-                )
-            })
+        let sweep_key = n as u64 * 1000 + (eps * 100.0).round() as u64;
+        let records = runner.run(trial_seed(base_seed, sweep_key), trials, |trial| {
+            let mut input_rng = trial.sub_rng(0);
+            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+            let truth = run_noiseless(&protocol, &inputs);
+            let measure = |out: Result<beeps_core::SimOutcome<_>, _>| {
+                out.ok().map(|o| {
+                    (
+                        o.transcript() == truth.transcript(),
+                        o.stats().channel_rounds,
+                        o.stats().rewinds,
+                    )
+                })
+            };
+            (
+                measure(rewind.simulate(&inputs, model, trial.seed)),
+                measure(hier.simulate(&inputs, model, trial.seed)),
+            )
         });
-        let mut rng = StdRng::seed_from_u64(0xAB7A + n as u64);
-        let b = run_scheme(n, model, trials, &mut rng, |inputs, seed| {
-            hier.simulate(inputs, model, seed).ok().map(|o| {
-                (
-                    o.transcript().to_vec(),
-                    o.stats().channel_rounds,
-                    o.stats().rewinds,
-                )
-            })
-        });
+
+        let rewind_records: Vec<_> = records.iter().map(|(a, _)| *a).collect();
+        let hier_records: Vec<_> = records.iter().map(|(_, b)| *b).collect();
+        let a = aggregate(&rewind_records, protocol.length());
+        let b = aggregate(&hier_records, protocol.length());
 
         table.row(&[
             &n,
@@ -117,4 +118,10 @@ pub fn main() {
     table.print();
     println!("Both schemes realize Theorem 1.2; the hierarchical one is the paper's");
     println!("literal Appendix D.2 structure, the rewind one the simpler discipline.");
+
+    let mut log = ExperimentLog::new("tab5_scheme_ablation");
+    log.field("base_seed", base_seed)
+        .field("trials", trials)
+        .table(&table);
+    log.save();
 }

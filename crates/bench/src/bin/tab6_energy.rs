@@ -11,15 +11,22 @@
 //! whose codeword transmissions dominate its energy; the `1→0` scheme is
 //! near-free. (An energy *lower* bound under noise is, to our knowledge,
 //! open — this is the repository's "future work" measurement.)
+//!
+//! Trials run on the shared [`TrialRunner`] (`--threads N` /
+//! `BEEPS_THREADS`); all four schemes see the same inputs and channel
+//! seed within a trial, with randomness derived from
+//! `(base_seed, n, trial)` — thread-count independent.
 
-use beeps_bench::{f3, Table};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
 use beeps_core::{OneToZeroSimulator, RepetitionSimulator, RewindSimulator, SimulatorConfig};
 use beeps_protocols::InputSet;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::Rng;
 
 pub fn main() {
-    let trials = 6u64;
+    let trials = 6usize;
+    let base_seed = 0xE11Eu64;
+    let runner = TrialRunner::from_cli();
     let mut table = Table::new(
         "E11: energy (total beeps) per simulated protocol round, InputSet_n",
         &[
@@ -31,7 +38,6 @@ pub fn main() {
             "1->0 scheme (eps=1/3)",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(0xE11E);
 
     for n in [4usize, 8, 16, 32] {
         let protocol = InputSet::new(n);
@@ -39,45 +45,50 @@ pub fn main() {
         let two = NoiseModel::Correlated { epsilon: 0.1 };
         let up = NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 };
         let down = NoiseModel::OneSidedOneToZero { epsilon: 1.0 / 3.0 };
-        let config = SimulatorConfig::for_channel(n, two);
-        let mut frugal = SimulatorConfig::for_channel(n, up);
+        let config = SimulatorConfig::builder(n).model(two).build();
+        let mut frugal = SimulatorConfig::builder(n).model(up).build();
         frugal.code_weight = Some((frugal.code_len / 3).max(4));
+
+        let rep_sim = RepetitionSimulator::new(&protocol, config.clone());
+        let rew_sim = RewindSimulator::new(&protocol, config);
+        let cw_sim = RewindSimulator::new(&protocol, frugal);
+        let z_sim = OneToZeroSimulator::new(&protocol, 2, 32.0);
+
+        let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
+            let mut input_rng = trial.sub_rng(0);
+            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+            // Noiseless energy: each party beeps exactly once in InputSet.
+            let _ = run_noiseless(&protocol, &inputs);
+            let energy = |out: Result<beeps_core::SimOutcome<_>, _>| {
+                out.ok().map_or(0.0, |o| o.stats().energy as f64)
+            };
+            let rep = rep_sim
+                .simulate(&inputs, two, trial.seed)
+                .expect("fixed length")
+                .stats()
+                .energy as f64;
+            (
+                n as f64,
+                rep,
+                energy(rew_sim.simulate(&inputs, two, trial.seed)),
+                energy(cw_sim.simulate(&inputs, up, trial.seed)),
+                energy(z_sim.simulate(&inputs, down, trial.seed)),
+            )
+        });
 
         let mut base = 0.0;
         let mut rep = 0.0;
         let mut rew = 0.0;
         let mut cw = 0.0;
         let mut z = 0.0;
-        let mut counted = 0u32;
-        for seed in 0..trials {
-            let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
-            // Noiseless energy: each party beeps exactly once in InputSet.
-            let _ = run_noiseless(&protocol, &inputs);
-            base += n as f64;
-
-            let r = RepetitionSimulator::new(&protocol, config.clone())
-                .simulate(&inputs, two, seed)
-                .expect("fixed length");
-            rep += r.stats().energy as f64;
-
-            if let Ok(out) =
-                RewindSimulator::new(&protocol, config.clone()).simulate(&inputs, two, seed)
-            {
-                rew += out.stats().energy as f64;
-            }
-            if let Ok(out) =
-                RewindSimulator::new(&protocol, frugal.clone()).simulate(&inputs, up, seed)
-            {
-                cw += out.stats().energy as f64;
-            }
-            if let Ok(out) =
-                OneToZeroSimulator::new(&protocol, 2, 32.0).simulate(&inputs, down, seed)
-            {
-                z += out.stats().energy as f64;
-            }
-            counted += 1;
+        for (b, r, w, c, d) in &records {
+            base += b;
+            rep += r;
+            rew += w;
+            cw += c;
+            z += d;
         }
-        let k = f64::from(counted) * t;
+        let k = records.len() as f64 * t;
         table.row(&[
             &n,
             &f3(base / k),
@@ -92,4 +103,10 @@ pub fn main() {
     println!("the rewind scheme's owners-phase codewords dominate; a constant-weight");
     println!("owners code (over the Z channel) trims that cost; the 1->0 scheme stays");
     println!("within a small constant of the noiseless energy.");
+
+    let mut log = ExperimentLog::new("tab6_energy");
+    log.field("base_seed", base_seed)
+        .field("trials", trials)
+        .table(&table);
+    log.save();
 }

@@ -10,16 +10,23 @@
 //!
 //! The gap — entirely the owners phase — is the concrete cost of the
 //! beeping model's "anyone may beep anywhere" flexibility.
+//!
+//! Trials run on the shared [`TrialRunner`] (`--threads N` /
+//! `BEEPS_THREADS`); both simulators see the same inputs and channel
+//! seed within a trial, with randomness derived from
+//! `(base_seed, n, trial)` — thread-count independent.
 
-use beeps_bench::{f3, Table};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
 use beeps_core::{OwnedRoundsSimulator, RewindSimulator, SimulatorConfig};
 use beeps_protocols::RollCall;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::Rng;
 
 pub fn main() {
     let model = NoiseModel::Correlated { epsilon: 0.1 };
-    let trials = 8u64;
+    let trials = 8usize;
+    let base_seed = 0xE12u64;
+    let runner = TrialRunner::from_cli();
     let mut table = Table::new(
         "E12: owned-rounds (EKS18-style) vs general rewind scheme on RollCall_n (eps=0.1)",
         &[
@@ -31,32 +38,42 @@ pub fn main() {
             "owners-phase cost",
         ],
     );
-    let mut rng = StdRng::seed_from_u64(0xE12);
 
     for n in [4usize, 8, 16, 32, 64] {
         let p = RollCall::new(n);
-        let config = SimulatorConfig::for_channel(n, model);
+        let config = SimulatorConfig::builder(n).model(model).build();
         let owned_sim = OwnedRoundsSimulator::new(&p, config.clone());
         let general_sim = RewindSimulator::new(&p, config);
+
+        let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
+            let mut input_rng = trial.sub_rng(0);
+            let inputs: Vec<bool> = (0..n).map(|_| input_rng.gen_bool(0.5)).collect();
+            let truth = run_noiseless(&p, &inputs);
+            match (
+                owned_sim.simulate(&inputs, model, trial.seed),
+                general_sim.simulate(&inputs, model, trial.seed),
+            ) {
+                (Ok(a), Ok(b)) => Some((
+                    a.stats().channel_rounds,
+                    a.transcript() == truth.transcript(),
+                    b.stats().channel_rounds,
+                    b.transcript() == truth.transcript(),
+                )),
+                _ => None,
+            }
+        });
 
         let mut owned_rounds = 0usize;
         let mut owned_ok = 0u32;
         let mut general_rounds = 0usize;
         let mut general_ok = 0u32;
         let mut counted = 0u32;
-        for seed in 0..trials {
-            let inputs: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
-            let truth = run_noiseless(&p, &inputs);
-            if let (Ok(a), Ok(b)) = (
-                owned_sim.simulate(&inputs, model, seed),
-                general_sim.simulate(&inputs, model, seed),
-            ) {
-                counted += 1;
-                owned_rounds += a.stats().channel_rounds;
-                general_rounds += b.stats().channel_rounds;
-                owned_ok += u32::from(a.transcript() == truth.transcript());
-                general_ok += u32::from(b.transcript() == truth.transcript());
-            }
+        for (a_rounds, a_ok, b_rounds, b_ok) in records.into_iter().flatten() {
+            counted += 1;
+            owned_rounds += a_rounds;
+            general_rounds += b_rounds;
+            owned_ok += u32::from(a_ok);
+            general_ok += u32::from(b_ok);
         }
         let t = p.length() as f64 * f64::from(counted);
         let a = owned_rounds as f64 / t;
@@ -75,4 +92,11 @@ pub fn main() {
     println!("paper §2.1: computing owners is what the beeping model's flexibility");
     println!("costs — and Theorem 1.1 shows some such Theta(log n) cost is unavoidable");
     println!("for tasks (like InputSet) whose rounds have no pre-assigned owners.");
+
+    let mut log = ExperimentLog::new("tab7_owned_rounds");
+    log.field("base_seed", base_seed)
+        .field("trials", trials)
+        .field("epsilon", 0.1)
+        .table(&table);
+    log.save();
 }

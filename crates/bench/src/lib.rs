@@ -1,9 +1,19 @@
 //! Shared helpers for the experiment binaries (`src/bin/fig*_*.rs`,
 //! `src/bin/tab*_*.rs`) that regenerate every experiment in
 //! `EXPERIMENTS.md`, and for the Criterion micro-benchmarks in `benches/`.
+//!
+//! The experiment engine lives in [`runner`] (seed-deterministic
+//! parallel trial execution) and [`json`] (dependency-free experiment
+//! logs under `target/experiments/`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
+pub mod runner;
+
+pub use json::{ExperimentLog, Json};
+pub use runner::{trial_seed, Summary, Trial, TrialRecord, TrialRunner};
 
 use std::fmt::Display;
 
@@ -44,6 +54,21 @@ impl Table {
         assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
         self.rows
             .push(cells.iter().map(|c| format!("{c}")).collect());
+    }
+
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The formatted rows appended so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// Pretty-prints the table to stdout with aligned columns.

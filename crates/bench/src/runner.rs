@@ -1,0 +1,376 @@
+//! Seed-deterministic parallel trial execution.
+//!
+//! Every experiment in this repository is a Monte Carlo estimate over
+//! independent trials. [`TrialRunner`] shards those trials across a
+//! scoped worker pool while keeping results **bitwise identical for
+//! any thread count**: each trial's randomness is derived purely from
+//! `(base_seed, trial_index)` by [`trial_seed`], workers pick trials by
+//! index striding, and results are merged back into trial-index order.
+//! Nothing a trial computes can observe which worker ran it or when.
+//!
+//! Thread count comes from, in order: an explicit
+//! [`TrialRunner::new`], the `--threads N` CLI flag
+//! ([`TrialRunner::from_args`]), the `BEEPS_THREADS` environment
+//! variable, and finally [`std::thread::available_parallelism`].
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::json::Json;
+
+/// Derives the RNG seed for one trial from the experiment's base seed.
+///
+/// SplitMix64-style finalizer over a golden-ratio index stride: cheap,
+/// stateless, and well-mixed, so per-trial streams are independent and
+/// a trial's seed never depends on which worker thread claims it.
+#[must_use]
+pub fn trial_seed(base_seed: u64, trial_index: u64) -> u64 {
+    let mut z = base_seed.wrapping_add(
+        trial_index
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The per-trial context handed to the trial closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trial {
+    /// This trial's index in `0..trials`.
+    pub index: usize,
+    /// This trial's derived seed; see [`trial_seed`].
+    pub seed: u64,
+}
+
+impl Trial {
+    /// The context for trial `index` of an experiment at `base_seed`.
+    #[must_use]
+    pub fn new(base_seed: u64, index: usize) -> Self {
+        Self {
+            index,
+            seed: trial_seed(base_seed, index as u64),
+        }
+    }
+
+    /// A generator seeded for this trial.
+    #[must_use]
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// A generator for an independent named sub-stream of this trial
+    /// (e.g. separate input-sampling and channel-noise streams).
+    #[must_use]
+    pub fn sub_rng(&self, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(trial_seed(self.seed, stream))
+    }
+}
+
+/// Shards independent trials across a scoped thread pool.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_bench::TrialRunner;
+///
+/// let serial = TrialRunner::new(1).run(0xBEE, 8, |t| t.seed);
+/// let parallel = TrialRunner::new(4).run(0xBEE, 8, |t| t.seed);
+/// assert_eq!(serial, parallel);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TrialRunner {
+    threads: usize,
+}
+
+impl TrialRunner {
+    /// A runner with an explicit worker count (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runner sized from `BEEPS_THREADS`, falling back to
+    /// [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        if let Some(n) = std::env::var("BEEPS_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return Self::new(n);
+        }
+        Self::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// A runner sized from a `--threads N` argument in `args`, falling
+    /// back to [`TrialRunner::from_env`]. Both `--threads N` and
+    /// `--threads=N` are accepted; the experiment binaries pass
+    /// `std::env::args().skip(1)` straight through.
+    pub fn from_args<I, S>(args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let arg = arg.as_ref();
+            if arg == "--threads" {
+                if let Some(n) = args.next().and_then(|v| v.as_ref().parse::<usize>().ok()) {
+                    return Self::new(n);
+                }
+            } else if let Some(v) = arg.strip_prefix("--threads=") {
+                if let Ok(n) = v.parse::<usize>() {
+                    return Self::new(n);
+                }
+            }
+        }
+        Self::from_env()
+    }
+
+    /// A runner sized from this process's CLI arguments (then the
+    /// environment) — the one-liner the experiment binaries use.
+    #[must_use]
+    pub fn from_cli() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// The worker count this runner will use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `trials` independent trials of `trial_fn` and returns their
+    /// results in trial-index order.
+    ///
+    /// The closure sees only its [`Trial`] (index + derived seed), so
+    /// the returned vector is identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any trial closure.
+    pub fn run<R, F>(&self, base_seed: u64, trials: usize, trial_fn: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Trial) -> R + Sync,
+    {
+        let workers = self.threads.min(trials.max(1));
+        if workers <= 1 {
+            return (0..trials)
+                .map(|i| trial_fn(Trial::new(base_seed, i)))
+                .collect();
+        }
+
+        // Index-strided sharding: worker w takes trials w, w+W, w+2W, …
+        // Each worker returns (index, result) pairs; merging by index
+        // erases scheduling order from the output.
+        let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let trial_fn = &trial_fn;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        (w..trials)
+                            .step_by(workers)
+                            .map(|i| (i, trial_fn(Trial::new(base_seed, i))))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trial worker panicked"))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<R>> = (0..trials).map(|_| None).collect();
+        for (index, result) in shards.into_iter().flatten() {
+            debug_assert!(slots[index].is_none(), "trial {index} ran twice");
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("trial {i} produced no result")))
+            .collect()
+    }
+
+    /// [`TrialRunner::run`] for the common record shape: runs the
+    /// trials and aggregates the [`TrialRecord`]s into a [`Summary`].
+    pub fn run_records<F>(&self, base_seed: u64, trials: usize, trial_fn: F) -> Summary
+    where
+        F: Fn(Trial) -> TrialRecord + Sync,
+    {
+        Summary::of(&self.run(base_seed, trials, trial_fn))
+    }
+}
+
+/// What one trial of an experiment measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialRecord {
+    /// Channel rounds the trial consumed.
+    pub rounds: u64,
+    /// Total beeps emitted across all parties.
+    pub energy: u64,
+    /// Rounds where noise corrupted at least one listener.
+    pub corrupted_rounds: u64,
+    /// Whether the trial met its experiment's success criterion.
+    pub success: bool,
+}
+
+impl TrialRecord {
+    /// A record for a failed trial with no measurements (e.g. budget
+    /// exhaustion before any round completed).
+    #[must_use]
+    pub fn failure() -> Self {
+        Self {
+            rounds: 0,
+            energy: 0,
+            corrupted_rounds: 0,
+            success: false,
+        }
+    }
+}
+
+/// Aggregate statistics over a batch of [`TrialRecord`]s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of trials aggregated.
+    pub trials: usize,
+    /// Trials whose success criterion held.
+    pub successes: usize,
+    /// Mean channel rounds per trial.
+    pub mean_rounds: f64,
+    /// Mean energy (total beeps) per trial.
+    pub mean_energy: f64,
+    /// Mean corrupted rounds per trial.
+    pub mean_corrupted_rounds: f64,
+}
+
+impl Summary {
+    /// Aggregates `records` (empty input yields all-zero means).
+    #[must_use]
+    pub fn of(records: &[TrialRecord]) -> Self {
+        let trials = records.len();
+        let denom = trials.max(1) as f64;
+        Self {
+            trials,
+            successes: records.iter().filter(|r| r.success).count(),
+            mean_rounds: records.iter().map(|r| r.rounds as f64).sum::<f64>() / denom,
+            mean_energy: records.iter().map(|r| r.energy as f64).sum::<f64>() / denom,
+            mean_corrupted_rounds: records
+                .iter()
+                .map(|r| r.corrupted_rounds as f64)
+                .sum::<f64>()
+                / denom,
+        }
+    }
+
+    /// Fraction of trials that succeeded.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// This summary as an ordered JSON object for [`crate::ExperimentLog`].
+    #[must_use]
+    pub fn json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("trials", self.trials)
+            .set("successes", self.successes)
+            .set("success_rate", self.success_rate())
+            .set("mean_rounds", self.mean_rounds)
+            .set("mean_energy", self.mean_energy)
+            .set("mean_corrupted_rounds", self.mean_corrupted_rounds);
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_seeds_are_stable_and_distinct() {
+        let a = trial_seed(42, 0);
+        assert_eq!(a, trial_seed(42, 0));
+        let seeds: std::collections::BTreeSet<u64> = (0..1000).map(|i| trial_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000, "seed collision within one experiment");
+        assert_ne!(trial_seed(42, 5), trial_seed(43, 5));
+    }
+
+    #[test]
+    fn results_are_independent_of_thread_count() {
+        let work = |t: Trial| {
+            use rand::Rng;
+            let mut rng = t.rng();
+            (t.index, rng.gen_range(0u64..1_000_000), rng.gen_bool(0.5))
+        };
+        let baseline = TrialRunner::new(1).run(7, 33, work);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(TrialRunner::new(threads).run(7, 33, work), baseline);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_trials_is_fine() {
+        let out = TrialRunner::new(16).run(1, 3, |t| t.index);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_trials_yields_empty() {
+        assert!(TrialRunner::new(4).run(1, 0, |t| t.index).is_empty());
+    }
+
+    #[test]
+    fn args_parsing_prefers_explicit_threads() {
+        assert_eq!(TrialRunner::from_args(["--threads", "3"]).threads(), 3);
+        assert_eq!(TrialRunner::from_args(["--threads=5"]).threads(), 5);
+        assert!(TrialRunner::from_args(["--other"]).threads() >= 1);
+    }
+
+    #[test]
+    fn summary_aggregates_records() {
+        let records = [
+            TrialRecord {
+                rounds: 10,
+                energy: 4,
+                corrupted_rounds: 1,
+                success: true,
+            },
+            TrialRecord {
+                rounds: 20,
+                energy: 6,
+                corrupted_rounds: 3,
+                success: false,
+            },
+        ];
+        let s = Summary::of(&records);
+        assert_eq!(s.trials, 2);
+        assert_eq!(s.successes, 1);
+        assert!((s.success_rate() - 0.5).abs() < 1e-12);
+        assert!((s.mean_rounds - 15.0).abs() < 1e-12);
+        assert!((s.mean_energy - 5.0).abs() < 1e-12);
+        assert!((s.mean_corrupted_rounds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_rng_streams_differ() {
+        use rand::Rng;
+        let t = Trial::new(9, 0);
+        let a: u64 = t.sub_rng(0).gen_range(0..u64::MAX);
+        let b: u64 = t.sub_rng(1).gen_range(0..u64::MAX);
+        assert_ne!(a, b);
+    }
+}

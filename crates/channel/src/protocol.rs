@@ -216,6 +216,7 @@ pub struct NoisyExecution<O> {
     true_ors: Transcript,
     outputs: Vec<O>,
     corrupted_rounds: usize,
+    energy: usize,
 }
 
 impl<O> NoisyExecution<O> {
@@ -238,6 +239,16 @@ impl<O> NoisyExecution<O> {
     /// Number of rounds in which at least one party heard a corrupted bit.
     pub fn corrupted_rounds(&self) -> usize {
         self.corrupted_rounds
+    }
+
+    /// Total beeps sent by all parties across the run (channel energy).
+    pub fn energy(&self) -> usize {
+        self.energy
+    }
+
+    /// Consumes the execution, yielding every party's output.
+    pub fn into_outputs(self) -> Vec<O> {
+        self.outputs
     }
 }
 
@@ -286,12 +297,20 @@ pub fn run_protocol_over<P: Protocol, C: Channel>(
     let mut true_ors = Vec::with_capacity(t);
     let corrupted_before = channel.corrupted_rounds();
 
+    let mut energy = 0usize;
     for _ in 0..t {
-        // Each party beeps based on its own view so far.
-        let or = match (&shared, &per_party[..]) {
-            (Some(view), _) => (0..n).any(|i| protocol.beep(i, &inputs[i], view)),
-            (None, views) => (0..n).any(|i| protocol.beep(i, &inputs[i], &views[i])),
+        // Each party beeps based on its own view so far. Counting (not
+        // short-circuiting) also yields the run's total energy.
+        let beeps = match (&shared, &per_party[..]) {
+            (Some(view), _) => (0..n)
+                .filter(|&i| protocol.beep(i, &inputs[i], view))
+                .count(),
+            (None, views) => (0..n)
+                .filter(|&i| protocol.beep(i, &inputs[i], &views[i]))
+                .count(),
         };
+        energy += beeps;
+        let or = beeps > 0;
         true_ors.push(or);
         match channel.transmit(or) {
             Delivery::Shared(bit) => match &mut shared {
@@ -327,6 +346,7 @@ pub fn run_protocol_over<P: Protocol, C: Channel>(
         true_ors,
         outputs,
         corrupted_rounds: channel.corrupted_rounds() - corrupted_before,
+        energy,
     }
 }
 

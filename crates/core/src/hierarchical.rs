@@ -53,7 +53,7 @@ use std::sync::Arc;
 /// let model = NoiseModel::Correlated { epsilon: 0.1 };
 /// let sim = HierarchicalSimulator::new(
 ///     &protocol,
-///     SimulatorConfig::for_channel(4, model),
+///     SimulatorConfig::builder(4).model(model).build(),
 /// );
 /// let outcome = sim.simulate(&inputs, model, 5).expect("within budget");
 /// assert_eq!(
@@ -580,7 +580,9 @@ mod tests {
         min_good: u64,
     ) {
         let truth = run_noiseless(protocol, inputs);
-        let config = SimulatorConfig::for_channel(protocol.num_parties(), model);
+        let config = SimulatorConfig::builder(protocol.num_parties())
+            .model(model)
+            .build();
         let sim = HierarchicalSimulator::new(protocol, config);
         let mut good = 0;
         for seed in 0..trials {
@@ -651,7 +653,7 @@ mod tests {
     fn multi_chunk_protocols_commit_multiple_chunks() {
         let p = InputSet::new(8); // T = 16, chunk_len = 8 -> 2 chunks
         let model = NoiseModel::Correlated { epsilon: 0.1 };
-        let sim = HierarchicalSimulator::new(&p, SimulatorConfig::for_channel(8, model));
+        let sim = HierarchicalSimulator::new(&p, SimulatorConfig::builder(8).model(model).build());
         let out = sim
             .simulate(&[0, 2, 4, 6, 8, 10, 12, 14], model, 3)
             .unwrap();
@@ -677,7 +679,7 @@ mod tests {
         // still exact (the whole point of the progress checks).
         let p = InputSet::new(4);
         let model = NoiseModel::Correlated { epsilon: 0.25 };
-        let mut config = SimulatorConfig::for_channel(4, model);
+        let mut config = SimulatorConfig::builder(4).model(model).build();
         config.budget_factor = 32.0;
         let truth = run_noiseless(&p, &[1, 3, 5, 7]);
         let sim = HierarchicalSimulator::new(&p, config);

@@ -43,7 +43,7 @@
 //! let inputs = [11, 47, 2, 33];
 //! let truth = run_noiseless(&protocol, &inputs);
 //!
-//! let sim = RewindSimulator::new(&protocol, SimulatorConfig::for_parties(4));
+//! let sim = RewindSimulator::new(&protocol, SimulatorConfig::builder(4).build());
 //! let outcome = sim
 //!     .simulate(&inputs, NoiseModel::Correlated { epsilon: 0.1 }, 7)
 //!     .expect("within budget");
@@ -64,12 +64,14 @@ pub mod owners;
 pub mod params;
 pub mod repetition;
 pub mod rewind;
+pub mod simulator;
 
 pub use hierarchical::HierarchicalSimulator;
 pub use one_to_zero::OneToZeroSimulator;
 pub use outcome::{SimError, SimOutcome, SimStats};
 pub use owned_rounds::OwnedRoundsSimulator;
 pub use owners::{run_owners_phase, OwnersOutcome};
-pub use params::{ResolvedParams, SimulatorConfig};
+pub use params::{ResolvedParams, SimulatorConfig, SimulatorConfigBuilder};
 pub use repetition::RepetitionSimulator;
 pub use rewind::RewindSimulator;
+pub use simulator::{NakedSimulator, Simulator};

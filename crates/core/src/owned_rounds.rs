@@ -37,7 +37,7 @@ use beeps_channel::{NoiseModel, StochasticChannel, UniquelyOwned};
 /// let model = NoiseModel::Correlated { epsilon: 0.1 };
 /// let sim = OwnedRoundsSimulator::new(
 ///     &protocol,
-///     SimulatorConfig::for_channel(6, model),
+///     SimulatorConfig::builder(6).model(model).build(),
 /// );
 /// let outcome = sim.simulate(&inputs, model, 3).expect("within budget");
 /// assert_eq!(
@@ -331,7 +331,9 @@ mod tests {
         min_good: u64,
     ) {
         let truth = run_noiseless(protocol, inputs);
-        let config = SimulatorConfig::for_channel(protocol.num_parties(), model);
+        let config = SimulatorConfig::builder(protocol.num_parties())
+            .model(model)
+            .build();
         let sim = OwnedRoundsSimulator::new(protocol, config);
         let mut good = 0;
         for seed in 0..trials {
@@ -393,7 +395,7 @@ mod tests {
         let p = RollCall::new(16);
         let inputs = [true; 16];
         let model = NoiseModel::Correlated { epsilon: 0.1 };
-        let config = SimulatorConfig::for_channel(16, model);
+        let config = SimulatorConfig::builder(16).model(model).build();
         let owned = OwnedRoundsSimulator::new(&p, config.clone())
             .simulate(&inputs, model, 3)
             .unwrap();
@@ -415,7 +417,7 @@ mod tests {
         let p = RollCall::new(6);
         let inputs = [true, true, false, true, false, true];
         let model = NoiseModel::Correlated { epsilon: 0.3 };
-        let mut config = SimulatorConfig::for_channel(6, model);
+        let mut config = SimulatorConfig::builder(6).model(model).build();
         config.budget_factor = 32.0;
         let truth = run_noiseless(&p, &inputs);
         let sim = OwnedRoundsSimulator::new(&p, config);

@@ -15,9 +15,12 @@ use beeps_info::tail;
 
 /// Tunable parameters of the chunked simulators.
 ///
-/// Use [`SimulatorConfig::for_parties`] (paper defaults: `ε = 1/3`,
-/// chunk length `n`) or [`SimulatorConfig::for_channel`] (parameters sized
-/// for a specific noise model), then override fields as needed.
+/// Build one with [`SimulatorConfig::builder`]: pick the party count,
+/// optionally the channel the parameters should be sized for, and any
+/// overrides, then [`build`](SimulatorConfigBuilder::build). The former
+/// entry points [`SimulatorConfig::for_parties`] and
+/// [`SimulatorConfig::for_channel`] survive as thin deprecated wrappers
+/// over the builder.
 ///
 /// # Examples
 ///
@@ -25,8 +28,12 @@ use beeps_info::tail;
 /// use beeps_channel::NoiseModel;
 /// use beeps_core::SimulatorConfig;
 ///
-/// let mild = SimulatorConfig::for_channel(16, NoiseModel::Correlated { epsilon: 0.05 });
-/// let harsh = SimulatorConfig::for_channel(16, NoiseModel::Correlated { epsilon: 1.0 / 3.0 });
+/// let mild = SimulatorConfig::builder(16)
+///     .model(NoiseModel::Correlated { epsilon: 0.05 })
+///     .build();
+/// let harsh = SimulatorConfig::builder(16)
+///     .model(NoiseModel::Correlated { epsilon: 1.0 / 3.0 })
+///     .build();
 /// // Harsher channels need more repetitions and longer codewords.
 /// assert!(harsh.repetitions > mild.repetitions);
 /// assert!(harsh.code_len > mild.code_len);
@@ -56,48 +63,189 @@ pub struct SimulatorConfig {
     pub target_error: f64,
 }
 
+/// Staged construction of a [`SimulatorConfig`]; see
+/// [`SimulatorConfig::builder`].
+///
+/// Sizing happens once, in [`build`](SimulatorConfigBuilder::build):
+/// repetition counts and codeword lengths are derived from the noise
+/// model and the per-decision error target. An explicit
+/// [`target_error`](SimulatorConfigBuilder::target_error) **overrides**
+/// the automatic target (the builder-time equivalent of calling
+/// [`SimulatorConfig::with_target_error`] on a finished config); the
+/// remaining setters override individual fields after sizing.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::NoiseModel;
+/// use beeps_core::SimulatorConfig;
+///
+/// // Paper defaults (correlated ε = 1/3 channel, chunk length n):
+/// let default = SimulatorConfig::builder(16).build();
+///
+/// // Sized for a Z-channel, with a tighter error target and a
+/// // low-energy constant-weight owners code:
+/// let custom = SimulatorConfig::builder(16)
+///     .model(NoiseModel::OneSidedZeroToOne { epsilon: 0.2 })
+///     .target_error(1e-6)
+///     .code_weight(4)
+///     .build();
+/// assert!(custom.repetitions != default.repetitions);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatorConfigBuilder {
+    n: usize,
+    model: NoiseModel,
+    chunk_len: Option<usize>,
+    target_error: Option<f64>,
+    budget_factor: Option<f64>,
+    code_seed: Option<u64>,
+    code_weight: Option<usize>,
+}
+
+impl SimulatorConfigBuilder {
+    /// Sizes the parameters for this noise model (default: the paper's
+    /// exposition channel, correlated noise at `ε = 1/3`).
+    pub fn model(mut self, model: NoiseModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Overrides the chunk length `L` (default: `max(n, 4)`, the
+    /// paper's `L = n`). Also feeds the automatic error target, since
+    /// longer chunks make more decisions per chunk.
+    pub fn chunk_len(mut self, chunk_len: usize) -> Self {
+        self.chunk_len = Some(chunk_len);
+        self
+    }
+
+    /// Sets an explicit per-decision error target, **overriding** the
+    /// automatic `~0.15 / decisions` target that
+    /// [`build`](SimulatorConfigBuilder::build) would derive (e.g.
+    /// `n^{-10}` to match Theorem D.1's statement exactly, at a
+    /// correspondingly higher constant).
+    pub fn target_error(mut self, target: f64) -> Self {
+        self.target_error = Some(target);
+        self
+    }
+
+    /// Overrides the round-budget multiple (default 8).
+    pub fn budget_factor(mut self, factor: f64) -> Self {
+        self.budget_factor = Some(factor);
+        self
+    }
+
+    /// Overrides the shared symbol-code seed.
+    pub fn code_seed(mut self, seed: u64) -> Self {
+        self.code_seed = Some(seed);
+        self
+    }
+
+    /// Uses a constant-weight owners code of this Hamming weight
+    /// (default: seeded random code). See
+    /// [`SimulatorConfig::code_weight`].
+    pub fn code_weight(mut self, weight: usize) -> Self {
+        self.code_weight = Some(weight);
+        self
+    }
+
+    /// Sizes and assembles the [`SimulatorConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's ε is invalid or an explicit target error
+    /// is outside `(0, 1)`.
+    pub fn build(self) -> SimulatorConfig {
+        self.model.validate().expect("invalid noise parameter");
+        let n = self.n;
+        let chunk_len = self.chunk_len.unwrap_or(n.max(4));
+        let target = match self.target_error {
+            Some(t) => {
+                assert!(t > 0.0 && t < 1.0, "target must be in (0, 1)");
+                t
+            }
+            None => {
+                // Per-decision target: each chunk makes ~ L + (L + n) + 1
+                // decisions (L repetition decodes, L+n codeword decodes, 1
+                // verification OR); aim for a clean chunk with probability
+                // ~0.85 so rewinds are rare. Under independent noise every
+                // party decodes from its own view and any single divergence
+                // desynchronizes the lockstep control flow, so the budget
+                // is split across all n parties' decisions.
+                let per_party = (3 * chunk_len + n + 1) as f64;
+                let decisions = match self.model {
+                    NoiseModel::Independent { .. } => per_party * n as f64,
+                    _ => per_party,
+                };
+                (0.15 / decisions).clamp(1e-9, 0.25)
+            }
+        };
+        let mut config = SimulatorConfig::sized(n, chunk_len, self.model, target);
+        if let Some(factor) = self.budget_factor {
+            config.budget_factor = factor;
+        }
+        if let Some(seed) = self.code_seed {
+            config.code_seed = seed;
+        }
+        if let Some(weight) = self.code_weight {
+            config.code_weight = Some(weight);
+        }
+        config
+    }
+}
+
 impl SimulatorConfig {
+    /// Starts a builder for `n` parties; see [`SimulatorConfigBuilder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn builder(n: usize) -> SimulatorConfigBuilder {
+        assert!(n > 0, "need at least one party");
+        SimulatorConfigBuilder {
+            n,
+            model: NoiseModel::Correlated { epsilon: 1.0 / 3.0 },
+            chunk_len: None,
+            target_error: None,
+            budget_factor: None,
+            code_seed: None,
+            code_weight: None,
+        }
+    }
+
     /// Paper defaults for `n` parties: parameters sized for the correlated
     /// two-sided channel at the paper's exposition noise rate `ε = 1/3`.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[deprecated(since = "0.1.0", note = "use `SimulatorConfig::builder(n).build()`")]
     pub fn for_parties(n: usize) -> Self {
-        Self::for_channel(n, NoiseModel::Correlated { epsilon: 1.0 / 3.0 })
+        Self::builder(n).build()
     }
 
     /// Parameters sized for `n` parties over a specific noise model, with
     /// a per-decision error target of `1 / (20 · L · log₂ n)`-ish — enough
-    /// for the rewind mechanism to make steady progress. Tighten
-    /// [`SimulatorConfig::target_error`]-driven sizing by calling
-    /// [`SimulatorConfig::with_target_error`] afterwards.
+    /// for the rewind mechanism to make steady progress.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0` or the model's ε is invalid.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SimulatorConfig::builder(n).model(model).build()`"
+    )]
     pub fn for_channel(n: usize, model: NoiseModel) -> Self {
-        assert!(n > 0, "need at least one party");
-        model.validate().expect("invalid noise parameter");
-        let chunk_len = n.max(4);
-        // Per-decision target: each chunk makes ~ L + (L + n) + 1 decisions
-        // (L repetition decodes, L+n codeword decodes, 1 verification OR);
-        // aim for a clean chunk with probability ~0.85 so rewinds are rare.
-        // Under independent noise every party decodes from its own view and
-        // any single divergence desynchronizes the lockstep control flow,
-        // so the budget is split across all n parties' decisions.
-        let per_party = (3 * chunk_len + n + 1) as f64;
-        let decisions = match model {
-            NoiseModel::Independent { .. } => per_party * n as f64,
-            _ => per_party,
-        };
-        let target = (0.15 / decisions).clamp(1e-9, 0.25);
-        Self::sized(n, chunk_len, model, target)
+        Self::builder(n).model(model).build()
     }
 
-    /// Re-sizes repetition counts and codeword lengths for a custom
-    /// per-decision error target (e.g. `n^{-10}` to match Theorem D.1's
-    /// statement exactly, at a correspondingly higher constant).
+    /// Re-sizes repetition counts and codeword lengths of an existing
+    /// config for a custom per-decision error target — the post-hoc
+    /// form of [`SimulatorConfigBuilder::target_error`]. The explicit
+    /// `target` **overrides** whatever target the config was originally
+    /// sized for: `repetitions`, `code_len`, and `verify_repetitions`
+    /// are recomputed from it, while `chunk_len`, `budget_factor`,
+    /// `code_seed`, and `code_weight` are kept as-is.
     ///
     /// # Panics
     ///
@@ -227,9 +375,45 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_builder() {
+        assert_eq!(
+            SimulatorConfig::for_parties(16),
+            SimulatorConfig::builder(16).build()
+        );
+        let model = NoiseModel::OneSidedZeroToOne { epsilon: 0.2 };
+        assert_eq!(
+            SimulatorConfig::for_channel(16, model),
+            SimulatorConfig::builder(16).model(model).build()
+        );
+    }
+
+    #[test]
+    fn builder_overrides_apply_after_sizing() {
+        let cfg = SimulatorConfig::builder(8)
+            .chunk_len(32)
+            .budget_factor(3.5)
+            .code_seed(0xC0DE)
+            .code_weight(5)
+            .build();
+        assert_eq!(cfg.chunk_len, 32);
+        assert!((cfg.budget_factor - 3.5).abs() < 1e-12);
+        assert_eq!(cfg.code_seed, 0xC0DE);
+        assert_eq!(cfg.code_weight, Some(5));
+    }
+
+    #[test]
+    fn builder_explicit_target_overrides_automatic() {
+        let auto = SimulatorConfig::builder(16).build();
+        let tight = SimulatorConfig::builder(16).target_error(1e-8).build();
+        assert!(tight.repetitions > auto.repetitions);
+        assert!((tight.target_error - 1e-8).abs() < 1e-20);
+    }
+
+    #[test]
     fn defaults_scale_with_n() {
-        let small = SimulatorConfig::for_parties(4);
-        let large = SimulatorConfig::for_parties(256);
+        let small = SimulatorConfig::builder(4).build();
+        let large = SimulatorConfig::builder(256).build();
         assert!(large.code_len > small.code_len);
         assert!(large.chunk_len > small.chunk_len);
         // Codeword length grows like log n: going 4 -> 256 parties
@@ -239,15 +423,18 @@ mod tests {
 
     #[test]
     fn one_sided_up_cheaper_than_two_sided() {
-        let two = SimulatorConfig::for_channel(32, NoiseModel::Correlated { epsilon: 1.0 / 3.0 });
-        let one =
-            SimulatorConfig::for_channel(32, NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 });
+        let two = SimulatorConfig::builder(32)
+            .model(NoiseModel::Correlated { epsilon: 1.0 / 3.0 })
+            .build();
+        let one = SimulatorConfig::builder(32)
+            .model(NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 })
+            .build();
         assert!(one.code_len < two.code_len, "Z-channel codes are shorter");
     }
 
     #[test]
     fn resolve_thresholds_by_model() {
-        let cfg = SimulatorConfig::for_parties(8);
+        let cfg = SimulatorConfig::builder(8).build();
         let two = cfg.resolve(NoiseModel::Correlated { epsilon: 1.0 / 3.0 });
         assert_eq!(two.rep_ones, cfg.repetitions / 2 + 1);
         assert_eq!(two.metric, BitMetric::Hamming);
@@ -266,7 +453,7 @@ mod tests {
 
     #[test]
     fn tighter_target_grows_parameters() {
-        let base = SimulatorConfig::for_parties(16);
+        let base = SimulatorConfig::builder(16).build();
         let tight =
             base.clone()
                 .with_target_error(16, NoiseModel::Correlated { epsilon: 1.0 / 3.0 }, 1e-8);
@@ -278,6 +465,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one party")]
     fn zero_parties_rejected() {
-        SimulatorConfig::for_parties(0);
+        SimulatorConfig::builder(0);
     }
 }

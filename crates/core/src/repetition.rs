@@ -23,7 +23,7 @@ use beeps_channel::{NoiseModel, Protocol, StochasticChannel};
 ///
 /// let protocol = InputSet::new(4);
 /// let inputs = [1, 6, 6, 3];
-/// let sim = RepetitionSimulator::new(&protocol, SimulatorConfig::for_parties(4));
+/// let sim = RepetitionSimulator::new(&protocol, SimulatorConfig::builder(4).build());
 /// let outcome = sim
 ///     .simulate(&inputs, NoiseModel::Correlated { epsilon: 1.0 / 3.0 }, 99)
 ///     .expect("repetition simulation is fixed-length");
@@ -186,7 +186,9 @@ mod tests {
     use beeps_protocols::{InputSet, LeaderElection, Membership};
 
     fn cfg(n: usize, eps: f64) -> SimulatorConfig {
-        SimulatorConfig::for_channel(n, NoiseModel::Correlated { epsilon: eps })
+        SimulatorConfig::builder(n)
+            .model(NoiseModel::Correlated { epsilon: eps })
+            .build()
     }
 
     #[test]
@@ -237,8 +239,9 @@ mod tests {
         // Under 1->0 noise a single surviving copy proves the 1.
         let p = Membership::new(3, 8);
         let inputs = [Some(2), Some(7), None];
-        let config =
-            SimulatorConfig::for_channel(3, NoiseModel::OneSidedOneToZero { epsilon: 1.0 / 3.0 });
+        let config = SimulatorConfig::builder(3)
+            .model(NoiseModel::OneSidedOneToZero { epsilon: 1.0 / 3.0 })
+            .build();
         let sim = RepetitionSimulator::new(&p, config);
         let truth = run_noiseless(&p, &inputs);
         let mut good = 0;

@@ -442,7 +442,9 @@ mod tests {
         min_good: usize,
     ) {
         let truth = run_noiseless(protocol, inputs);
-        let config = SimulatorConfig::for_channel(protocol.num_parties(), model);
+        let config = SimulatorConfig::builder(protocol.num_parties())
+            .model(model)
+            .build();
         let sim = RewindSimulator::new(protocol, config);
         let mut good = 0;
         let total = (seeds.end - seeds.start) as usize;
@@ -554,7 +556,9 @@ mod tests {
                 false, true, false, false, false, false, true, false, false, false,
             ],
         ];
-        let mut config = SimulatorConfig::for_channel(3, NoiseModel::Correlated { epsilon: 0.1 });
+        let mut config = SimulatorConfig::builder(3)
+            .model(NoiseModel::Correlated { epsilon: 0.1 })
+            .build();
         config.chunk_len = 4; // forces a tail chunk of 2
         let sim = RewindSimulator::new(&p, config);
         let truth = run_noiseless(&p, &inputs);
@@ -575,7 +579,7 @@ mod tests {
         for n in [4usize, 16] {
             let p = InputSet::new(n);
             let inputs: Vec<usize> = (0..n).map(|i| (5 * i + 1) % (2 * n)).collect();
-            let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+            let sim = RewindSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
             let out = sim.simulate(&inputs, model, 11).unwrap();
             overheads.push(out.stats().overhead());
         }
@@ -590,7 +594,7 @@ mod tests {
     fn stats_report_commits_and_agreement() {
         let p = InputSet::new(4);
         let model = NoiseModel::Correlated { epsilon: 0.1 };
-        let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(4, model));
+        let sim = RewindSimulator::new(&p, SimulatorConfig::builder(4).model(model).build());
         let out = sim.simulate(&[0, 1, 2, 3], model, 5).unwrap();
         assert!(out.stats().chunks_committed >= 1);
         assert!(out.stats().agreement);
@@ -601,7 +605,7 @@ mod tests {
     fn budget_exhaustion_is_reported() {
         let p = InputSet::new(4);
         let model = NoiseModel::Correlated { epsilon: 0.3 };
-        let mut config = SimulatorConfig::for_channel(4, model);
+        let mut config = SimulatorConfig::builder(4).model(model).build();
         config.budget_factor = 0.1; // guaranteed too small
         let sim = RewindSimulator::new(&p, config);
         let err = sim.simulate(&[0, 1, 2, 3], model, 5).unwrap_err();

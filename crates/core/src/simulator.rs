@@ -1,0 +1,262 @@
+//! The [`Simulator`] abstraction: one interface over every coding
+//! scheme in this crate.
+//!
+//! Each scheme (repetition, rewind, hierarchical, `1→0` checkpointing,
+//! owned rounds) exposes the same inherent method
+//! `simulate(&self, inputs, model, seed)`; this trait lifts that shape
+//! into a common, object-safe interface so that experiment harnesses
+//! and the CLI can hold a `&dyn Simulator<I, O>` (or a boxed one) and
+//! treat every scheme uniformly.
+//!
+//! The trait is generic over the protocol's `Input`/`Output` types
+//! rather than over the protocol itself, which keeps it object-safe:
+//! all schemes wrapping protocols with the same input/output types are
+//! interchangeable at runtime.
+//!
+//! # Examples
+//!
+//! ```
+//! use beeps_channel::NoiseModel;
+//! use beeps_core::{RepetitionSimulator, RewindSimulator, Simulator, SimulatorConfig};
+//! use beeps_protocols::InputSet;
+//!
+//! let protocol = InputSet::new(5);
+//! let config = SimulatorConfig::builder(5).build();
+//! let rep = RepetitionSimulator::new(&protocol, config.clone());
+//! let rewind = RewindSimulator::new(&protocol, config);
+//! let schemes: Vec<&dyn Simulator<_, _>> = vec![&rep, &rewind];
+//!
+//! let inputs = vec![1usize, 4, 4, 7, 9];
+//! for scheme in schemes {
+//!     let outcome = scheme
+//!         .simulate(&inputs, NoiseModel::Correlated { epsilon: 0.05 }, 1)
+//!         .expect("within budget");
+//!     assert!(outcome.stats().agreement, "{} disagreed", scheme.name());
+//! }
+//! ```
+
+use beeps_channel::{run_protocol, NoiseModel, Protocol, UniquelyOwned};
+
+use crate::outcome::{PhaseRounds, SimError, SimOutcome, SimStats};
+use crate::{
+    HierarchicalSimulator, OneToZeroSimulator, OwnedRoundsSimulator, RepetitionSimulator,
+    RewindSimulator,
+};
+
+/// A noise-resilient simulation scheme for beeping protocols, viewed
+/// through its input/output types only (object-safe).
+pub trait Simulator<I, O> {
+    /// Simulates the wrapped protocol on `inputs` over a noisy channel
+    /// with the given `model` and `seed`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::BudgetExhausted`] — the scheme's round budget ran
+    ///   out before the protocol was fully committed.
+    /// * [`SimError::UnsupportedNoise`] — the scheme cannot run under
+    ///   `model` (wrong regime or invalid parameter).
+    fn simulate(
+        &self,
+        inputs: &[I],
+        model: NoiseModel,
+        seed: u64,
+    ) -> Result<SimOutcome<O>, SimError>;
+
+    /// A short stable identifier for tables and logs (e.g. `"rewind"`).
+    fn name(&self) -> &'static str;
+}
+
+impl<P: Protocol> Simulator<P::Input, P::Output> for RepetitionSimulator<'_, P> {
+    fn simulate(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seed: u64,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        RepetitionSimulator::simulate(self, inputs, model, seed)
+    }
+
+    fn name(&self) -> &'static str {
+        "repetition"
+    }
+}
+
+impl<P: Protocol> Simulator<P::Input, P::Output> for RewindSimulator<'_, P> {
+    fn simulate(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seed: u64,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        RewindSimulator::simulate(self, inputs, model, seed)
+    }
+
+    fn name(&self) -> &'static str {
+        "rewind"
+    }
+}
+
+impl<P: Protocol> Simulator<P::Input, P::Output> for HierarchicalSimulator<'_, P> {
+    fn simulate(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seed: u64,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        HierarchicalSimulator::simulate(self, inputs, model, seed)
+    }
+
+    fn name(&self) -> &'static str {
+        "hierarchical"
+    }
+}
+
+impl<P: Protocol> Simulator<P::Input, P::Output> for OneToZeroSimulator<'_, P> {
+    fn simulate(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seed: u64,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        OneToZeroSimulator::simulate(self, inputs, model, seed)
+    }
+
+    fn name(&self) -> &'static str {
+        "one_to_zero"
+    }
+}
+
+impl<P: UniquelyOwned> Simulator<P::Input, P::Output> for OwnedRoundsSimulator<'_, P> {
+    fn simulate(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seed: u64,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        OwnedRoundsSimulator::simulate(self, inputs, model, seed)
+    }
+
+    fn name(&self) -> &'static str {
+        "owned_rounds"
+    }
+}
+
+/// The identity "scheme": runs the protocol directly over the noisy
+/// channel with **no** coding, as the uncoded baseline several
+/// experiments compare against.
+///
+/// The returned outcome's transcript is party 0's *noisy* view (there
+/// is no reconstruction), `agreement` reports whether every party ended
+/// with the same view, and all rounds are attributed to the chunk
+/// phase. `simulate` never returns an error for a valid noise model —
+/// the naked run always finishes in `protocol.length()` rounds; it just
+/// may finish wrong.
+#[derive(Debug, Clone, Copy)]
+pub struct NakedSimulator<'a, P> {
+    protocol: &'a P,
+}
+
+impl<'a, P: Protocol> NakedSimulator<'a, P> {
+    /// Wraps `protocol` for uncoded noisy execution.
+    pub fn new(protocol: &'a P) -> Self {
+        Self { protocol }
+    }
+}
+
+impl<P: Protocol> Simulator<P::Input, P::Output> for NakedSimulator<'_, P> {
+    fn simulate(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seed: u64,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        if model.validate().is_err() {
+            return Err(SimError::UnsupportedNoise {
+                reason: "noise parameter outside [0, 1)",
+            });
+        }
+        let n = self.protocol.num_parties();
+        let t = self.protocol.length();
+        let execution = run_protocol(self.protocol, inputs, model, seed);
+        let agreement = (1..n).all(|i| execution.views().view(i) == execution.views().view(0));
+        let stats = SimStats {
+            channel_rounds: t,
+            phase_rounds: PhaseRounds {
+                chunk: t,
+                owners: 0,
+                verify: 0,
+            },
+            protocol_rounds: t,
+            chunks_committed: 0,
+            rewinds: 0,
+            agreement,
+            energy: execution.energy(),
+        };
+        let transcript = execution.views().view(0).to_vec();
+        let outputs = execution.into_outputs();
+        Ok(SimOutcome::new(transcript, outputs, stats))
+    }
+
+    fn name(&self) -> &'static str {
+        "naked"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimulatorConfig;
+    use beeps_channel::run_noiseless;
+    use beeps_protocols::InputSet;
+
+    #[test]
+    fn dyn_dispatch_covers_all_schemes() {
+        let protocol = InputSet::new(4);
+        let config = SimulatorConfig::builder(4).build();
+        let rep = RepetitionSimulator::new(&protocol, config.clone());
+        let rewind = RewindSimulator::new(&protocol, config.clone());
+        let hier = HierarchicalSimulator::new(&protocol, config.clone());
+        let otz = OneToZeroSimulator::new(&protocol, 2, config.budget_factor);
+        let naked = NakedSimulator::new(&protocol);
+        let schemes: Vec<&dyn Simulator<usize, _>> = vec![&rep, &rewind, &hier, &otz, &naked];
+        let names: Vec<&str> = schemes.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "repetition",
+                "rewind",
+                "hierarchical",
+                "one_to_zero",
+                "naked"
+            ]
+        );
+
+        let inputs = vec![0usize, 2, 5, 7];
+        let truth = run_noiseless(&protocol, &inputs);
+        for scheme in schemes {
+            let outcome = scheme
+                .simulate(&inputs, beeps_channel::NoiseModel::Noiseless, 3)
+                .unwrap_or_else(|e| panic!("{} failed noiselessly: {e}", scheme.name()));
+            assert_eq!(
+                outcome.outputs(),
+                truth.outputs(),
+                "{} noiseless outputs",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn naked_simulator_reports_uncoded_shape() {
+        let protocol = InputSet::new(5);
+        let naked = NakedSimulator::new(&protocol);
+        let inputs = vec![0usize, 3, 3, 8, 9];
+        let outcome = Simulator::simulate(&naked, &inputs, beeps_channel::NoiseModel::Noiseless, 1)
+            .expect("noiseless");
+        let stats = outcome.stats();
+        assert_eq!(stats.channel_rounds, protocol.length());
+        assert!((stats.overhead() - 1.0).abs() < 1e-12);
+        assert!(stats.agreement);
+        assert_eq!(stats.energy, 5, "every party beeps exactly once");
+    }
+}

@@ -76,6 +76,54 @@ pub fn min_repetitions_exact(n: usize, eps: f64, success_target: f64) -> Crossov
     unreachable!("repetition count cap exceeded — eps too close to 1?")
 }
 
+/// One measured crossover experiment: the repetition-coded trivial
+/// protocol at a fixed `(n, repetitions, eps)`, run trial by trial
+/// through [`beeps_core::RepetitionSimulator`].
+///
+/// The per-trial method makes the Monte Carlo estimate shardable: a
+/// harness (e.g. `beeps-bench`'s `TrialRunner`) can hand each trial its
+/// own input stream and channel seed and aggregate the booleans in any
+/// order. [`measured_success_rate`] is the serial aggregation.
+#[derive(Debug, Clone)]
+pub struct MeasuredCrossover {
+    protocol: InputSet,
+    config: SimulatorConfig,
+    model: NoiseModel,
+    n: usize,
+}
+
+impl MeasuredCrossover {
+    /// Sets up the measured experiment for `InputSet_n` with the given
+    /// per-round repetition count over the one-sided `0→1` channel.
+    #[must_use]
+    pub fn new(n: usize, repetitions: usize, eps: f64) -> Self {
+        let model = NoiseModel::OneSidedZeroToOne { epsilon: eps };
+        let mut config = SimulatorConfig::builder(n).model(model).build();
+        config.repetitions = repetitions;
+        Self {
+            protocol: InputSet::new(n),
+            config,
+            model,
+            n,
+        }
+    }
+
+    /// Runs one trial: samples inputs from `input_rng`, simulates with
+    /// channel seed `sim_seed`, and reports whether every party decoded
+    /// the correct answer.
+    pub fn trial(&self, input_rng: &mut StdRng, sim_seed: u64) -> bool {
+        let inputs: Vec<usize> = (0..self.n)
+            .map(|_| input_rng.gen_range(0..2 * self.n))
+            .collect();
+        let expect = self.protocol.answer(&inputs);
+        let sim = RepetitionSimulator::new(&self.protocol, self.config.clone());
+        let out = sim
+            .simulate(&inputs, self.model, sim_seed)
+            .expect("repetition simulation is fixed-length");
+        out.outputs().iter().all(|o| *o == expect)
+    }
+}
+
 /// Monte Carlo success rate of the repetition-coded trivial protocol,
 /// actually run through [`beeps_core::RepetitionSimulator`] over the
 /// one-sided channel — the measured twin of [`min_repetitions_exact`].
@@ -91,20 +139,11 @@ pub fn measured_success_rate(
     seed: u64,
 ) -> f64 {
     assert!(trials > 0, "need at least one trial");
-    let model = NoiseModel::OneSidedZeroToOne { epsilon: eps };
-    let protocol = InputSet::new(n);
-    let mut config = SimulatorConfig::for_channel(n, model);
-    config.repetitions = repetitions;
-    let sim = RepetitionSimulator::new(&protocol, config);
+    let experiment = MeasuredCrossover::new(n, repetitions, eps);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut good = 0u32;
     for t in 0..trials {
-        let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
-        let expect = protocol.answer(&inputs);
-        let out = sim
-            .simulate(&inputs, model, seed.wrapping_add(u64::from(t) << 20))
-            .expect("repetition simulation is fixed-length");
-        if out.outputs().iter().all(|o| *o == expect) {
+        if experiment.trial(&mut rng, seed.wrapping_add(u64::from(t) << 20)) {
             good += 1;
         }
     }

@@ -46,6 +46,8 @@ pub mod crossover;
 pub mod theorem_c3;
 pub mod zeta;
 
-pub use crossover::{measured_success_rate, min_repetitions_exact, CrossoverPoint};
+pub use crossover::{
+    measured_success_rate, min_repetitions_exact, CrossoverPoint, MeasuredCrossover,
+};
 pub use theorem_c3::{audit as theorem_c3_audit, C3Audit};
 pub use zeta::{ZetaAnalyzer, ZetaReport};

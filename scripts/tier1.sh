@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green.
+#
+#   scripts/tier1.sh
+#
+# Runs the release build, the full test suite, clippy with warnings
+# denied, and the formatting check — the same sequence CI runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+cargo fmt --check
+echo "tier-1: all green"

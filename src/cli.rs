@@ -5,16 +5,22 @@
 //!
 //! ```text
 //! beeps run --protocol input-set --n 8 --noise correlated --eps 0.1 \
-//!           --scheme rewind --seed 42 --trials 5
+//!           --scheme rewind --seed 42 --trials 5 --threads 4
 //! ```
+//!
+//! Every scheme is dispatched through the [`Simulator`] trait object —
+//! one code path for all six schemes — and trials execute on
+//! `beeps-bench`'s seed-deterministic [`TrialRunner`], so `--threads`
+//! changes wall-clock time but never the report.
 
-use beeps_channel::{run_noiseless, NoiseModel, Protocol};
+use beeps_bench::{Trial, TrialRunner};
+use beeps_channel::{run_noiseless, NoiseModel, Protocol, UniquelyOwned};
 use beeps_core::{
-    HierarchicalSimulator, OneToZeroSimulator, RepetitionSimulator, RewindSimulator,
-    SimulatorConfig,
+    HierarchicalSimulator, NakedSimulator, OneToZeroSimulator, OwnedRoundsSimulator,
+    RepetitionSimulator, RewindSimulator, SimError, Simulator, SimulatorConfig,
 };
 use beeps_protocols::{Broadcast, InputSet, LeaderElection, Membership, PointerChase, RollCall};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use rand::{rngs::StdRng, Rng};
 use std::fmt;
 
 /// Workloads runnable from the command line.
@@ -67,6 +73,16 @@ pub struct Scenario {
     pub seed: u64,
     /// Independent trials to run.
     pub trials: u64,
+    /// Worker threads for the trial runner; `None` falls back to
+    /// `BEEPS_THREADS` and then the machine's available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl Scenario {
+    fn runner(&self) -> TrialRunner {
+        self.threads
+            .map_or_else(TrialRunner::from_env, TrialRunner::new)
+    }
 }
 
 /// A parse failure with a user-facing message.
@@ -95,6 +111,8 @@ options:
                                                      (default rewind)
   --seed <u64>                                       (default 1)
   --trials <count>                                   (default 5)
+  --threads <count>        (default: BEEPS_THREADS, else all cores;
+                            results are identical for any value)
 ";
 
 /// Parses `args` (without the program name) into a [`Scenario`].
@@ -118,6 +136,7 @@ pub fn parse(args: &[String]) -> Result<Scenario, ParseError> {
     let mut scheme = SchemeKind::Rewind;
     let mut seed = 1u64;
     let mut trials = 5u64;
+    let mut threads = None;
 
     while let Some(flag) = it.next() {
         let value = it
@@ -173,6 +192,15 @@ pub fn parse(args: &[String]) -> Result<Scenario, ParseError> {
                     return Err(ParseError("need at least one trial".into()));
                 }
             }
+            "--threads" => {
+                let count: usize = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad thread count `{value}`")))?;
+                if count == 0 {
+                    return Err(ParseError("thread count must be positive".into()));
+                }
+                threads = Some(count);
+            }
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
     }
@@ -196,6 +224,7 @@ pub fn parse(args: &[String]) -> Result<Scenario, ParseError> {
         scheme,
         seed,
         trials,
+        threads,
     })
 }
 
@@ -222,25 +251,26 @@ pub fn run(scenario: &Scenario) -> Result<Report, ParseError> {
     match scenario.protocol {
         ProtocolKind::InputSet => {
             let p = InputSet::new(scenario.n);
-            let gen = |rng: &mut StdRng| -> Vec<usize> {
-                (0..scenario.n)
-                    .map(|_| rng.gen_range(0..2 * scenario.n))
-                    .collect()
+            let n = scenario.n;
+            let gen = move |rng: &mut StdRng| -> Vec<usize> {
+                (0..n).map(|_| rng.gen_range(0..2 * n)).collect()
             };
             drive(scenario, &p, gen)
         }
         ProtocolKind::Leader => {
             let p = LeaderElection::new(scenario.n, 10);
-            let gen = |rng: &mut StdRng| -> Vec<usize> {
-                (0..scenario.n).map(|_| rng.gen_range(0..1024)).collect()
+            let n = scenario.n;
+            let gen = move |rng: &mut StdRng| -> Vec<usize> {
+                (0..n).map(|_| rng.gen_range(0..1024)).collect()
             };
             drive(scenario, &p, gen)
         }
         ProtocolKind::Membership => {
             let id_space = (2 * scenario.n).next_power_of_two().max(2);
             let p = Membership::new(scenario.n, id_space);
-            let gen = |rng: &mut StdRng| -> Vec<Option<usize>> {
-                (0..scenario.n)
+            let n = scenario.n;
+            let gen = move |rng: &mut StdRng| -> Vec<Option<usize>> {
+                (0..n)
                     .map(|i| rng.gen_bool(0.5).then_some((i * 3) % id_space))
                     .collect()
             };
@@ -248,15 +278,17 @@ pub fn run(scenario: &Scenario) -> Result<Report, ParseError> {
         }
         ProtocolKind::RollCall => {
             let p = RollCall::new(scenario.n);
-            let gen = |rng: &mut StdRng| -> Vec<bool> {
-                (0..scenario.n).map(|_| rng.gen_bool(0.5)).collect()
+            let n = scenario.n;
+            let gen = move |rng: &mut StdRng| -> Vec<bool> {
+                (0..n).map(|_| rng.gen_bool(0.5)).collect()
             };
             drive_owned(scenario, &p, gen)
         }
         ProtocolKind::Broadcast => {
             let p = Broadcast::new(scenario.n, 0, 12);
-            let gen = |rng: &mut StdRng| -> Vec<usize> {
-                let mut inputs = vec![0usize; scenario.n];
+            let n = scenario.n;
+            let gen = move |rng: &mut StdRng| -> Vec<usize> {
+                let mut inputs = vec![0usize; n];
                 inputs[0] = rng.gen_range(0..4096);
                 inputs
             };
@@ -265,8 +297,9 @@ pub fn run(scenario: &Scenario) -> Result<Report, ParseError> {
         ProtocolKind::PointerChase => {
             let width = 8;
             let p = PointerChase::new(scenario.n, width, 2 * scenario.n);
+            let n = scenario.n;
             let gen = move |rng: &mut StdRng| -> Vec<Vec<usize>> {
-                (0..scenario.n)
+                (0..n)
                     .map(|_| (0..width).map(|_| rng.gen_range(0..width)).collect())
                     .collect()
             };
@@ -279,118 +312,114 @@ pub fn run(scenario: &Scenario) -> Result<Report, ParseError> {
 /// owned` on top of the generic schemes.
 fn drive_owned<P, G>(scenario: &Scenario, protocol: &P, gen: G) -> Result<Report, ParseError>
 where
-    P: beeps_channel::UniquelyOwned,
-    G: FnMut(&mut StdRng) -> Vec<P::Input>,
+    P: UniquelyOwned + Sync,
+    G: Fn(&mut StdRng) -> Vec<P::Input> + Sync,
 {
     if scenario.scheme == SchemeKind::Owned {
-        let mut gen = gen;
-        let mut rng = StdRng::seed_from_u64(scenario.seed);
-        let config = SimulatorConfig::for_channel(scenario.n, scenario.noise);
-        let sim = beeps_core::OwnedRoundsSimulator::new(protocol, config);
-        let mut exact = 0u64;
-        let mut overhead_sum = 0.0;
-        let mut completed = 0u64;
-        let mut lines = Vec::new();
-        for t in 0..scenario.trials {
-            let inputs = gen(&mut rng);
-            let truth = run_noiseless(protocol, &inputs);
-            let seed = scenario.seed.wrapping_add(t.wrapping_mul(0x9E37_79B9));
-            match sim.simulate(&inputs, scenario.noise, seed) {
-                Ok(o) => {
-                    completed += 1;
-                    overhead_sum += o.stats().overhead();
-                    let ok = o.transcript() == truth.transcript();
-                    exact += u64::from(ok);
-                    lines.push(format!(
-                        "trial {t}: {} (overhead {:.1}x)",
-                        if ok { "exact" } else { "WRONG" },
-                        o.stats().overhead()
-                    ));
-                }
-                Err(e) => lines.push(format!("trial {t}: {e}")),
-            }
-        }
-        return Ok(Report {
-            exact,
-            trials: scenario.trials,
-            mean_overhead: if completed > 0 {
-                overhead_sum / completed as f64
-            } else {
-                f64::NAN
-            },
-            lines,
-        });
+        let config = SimulatorConfig::builder(scenario.n)
+            .model(scenario.noise)
+            .build();
+        let sim = OwnedRoundsSimulator::new(protocol, config);
+        return drive_with(scenario, protocol, &sim, &gen);
     }
     drive(scenario, protocol, gen)
 }
 
-/// Shared trial loop, generic over protocols.
-fn drive<P, G>(scenario: &Scenario, protocol: &P, mut gen: G) -> Result<Report, ParseError>
+/// Builds the scheme's [`Simulator`] and runs the shared trial loop —
+/// every generic scheme flows through one `&dyn Simulator` path.
+fn drive<P, G>(scenario: &Scenario, protocol: &P, gen: G) -> Result<Report, ParseError>
 where
-    P: Protocol,
-    G: FnMut(&mut StdRng) -> Vec<P::Input>,
+    P: Protocol + Sync,
+    G: Fn(&mut StdRng) -> Vec<P::Input> + Sync,
 {
-    let mut rng = StdRng::seed_from_u64(scenario.seed);
-    let config = SimulatorConfig::for_channel(scenario.n, scenario.noise);
+    let config = SimulatorConfig::builder(scenario.n)
+        .model(scenario.noise)
+        .build();
+    let sim: Box<dyn Simulator<P::Input, P::Output> + Sync + '_> = match scenario.scheme {
+        SchemeKind::Naked => Box::new(NakedSimulator::new(protocol)),
+        SchemeKind::Repetition => Box::new(RepetitionSimulator::new(protocol, config)),
+        SchemeKind::Rewind => Box::new(RewindSimulator::new(protocol, config)),
+        SchemeKind::Hierarchical => Box::new(HierarchicalSimulator::new(protocol, config)),
+        SchemeKind::OneToZero => Box::new(OneToZeroSimulator::new(protocol, 2, 32.0)),
+        SchemeKind::Owned => {
+            return Err(ParseError(
+                "--scheme owned needs a uniquely-owned protocol \
+                 (roll-call, broadcast, pointer-chase)"
+                    .into(),
+            ))
+        }
+    };
+    drive_with(scenario, protocol, sim.as_ref(), &gen)
+}
+
+/// What one CLI trial produced.
+enum TrialOutcome {
+    /// The scheme ran to completion.
+    Done {
+        /// Simulated transcript matched the noiseless one.
+        exact: bool,
+        /// Channel rounds over protocol rounds.
+        overhead: f64,
+    },
+    /// The scheme's round budget ran out.
+    Exhausted,
+    /// The scheme rejected the noise model.
+    Unsupported(&'static str),
+}
+
+/// Shared trial loop: runs the scenario's trials on the deterministic
+/// parallel runner, dispatching through the [`Simulator`] trait object.
+fn drive_with<P, G>(
+    scenario: &Scenario,
+    protocol: &P,
+    sim: &(dyn Simulator<P::Input, P::Output> + Sync),
+    gen: &G,
+) -> Result<Report, ParseError>
+where
+    P: Protocol + Sync,
+    G: Fn(&mut StdRng) -> Vec<P::Input> + Sync,
+{
+    let runner = scenario.runner();
+    let outcomes = runner.run(
+        scenario.seed,
+        scenario.trials as usize,
+        |trial: Trial| -> TrialOutcome {
+            let mut input_rng = trial.sub_rng(0);
+            let inputs = gen(&mut input_rng);
+            let truth = run_noiseless(protocol, &inputs);
+            match sim.simulate(&inputs, scenario.noise, trial.seed) {
+                Ok(o) => TrialOutcome::Done {
+                    exact: o.transcript() == truth.transcript(),
+                    overhead: o.stats().overhead(),
+                },
+                Err(SimError::UnsupportedNoise { reason }) => TrialOutcome::Unsupported(reason),
+                Err(_) => TrialOutcome::Exhausted,
+            }
+        },
+    );
+
     let mut exact = 0u64;
     let mut overhead_sum = 0.0f64;
     let mut completed = 0u64;
     let mut lines = Vec::new();
-
-    for t in 0..scenario.trials {
-        let inputs = gen(&mut rng);
-        let truth = run_noiseless(protocol, &inputs);
-        let seed = scenario.seed.wrapping_add(t.wrapping_mul(0x9E37_79B9));
-        let result: Option<(Vec<bool>, f64)> = match scenario.scheme {
-            SchemeKind::Naked => {
-                let out = beeps_channel::run_protocol(protocol, &inputs, scenario.noise, seed);
-                Some((out.views().view(0).to_vec(), 1.0))
-            }
-            SchemeKind::Repetition => RepetitionSimulator::new(protocol, config.clone())
-                .simulate(&inputs, scenario.noise, seed)
-                .ok()
-                .map(|o| (o.transcript().to_vec(), o.stats().overhead())),
-            SchemeKind::Rewind => RewindSimulator::new(protocol, config.clone())
-                .simulate(&inputs, scenario.noise, seed)
-                .ok()
-                .map(|o| (o.transcript().to_vec(), o.stats().overhead())),
-            SchemeKind::Hierarchical => HierarchicalSimulator::new(protocol, config.clone())
-                .simulate(&inputs, scenario.noise, seed)
-                .ok()
-                .map(|o| (o.transcript().to_vec(), o.stats().overhead())),
-            SchemeKind::Owned => {
-                return Err(ParseError(
-                    "--scheme owned needs a uniquely-owned protocol \
-                     (roll-call, broadcast, pointer-chase)"
-                        .into(),
-                ))
-            }
-            SchemeKind::OneToZero => {
-                match OneToZeroSimulator::new(protocol, 2, 32.0).simulate(
-                    &inputs,
-                    scenario.noise,
-                    seed,
-                ) {
-                    Ok(o) => Some((o.transcript().to_vec(), o.stats().overhead())),
-                    Err(beeps_core::SimError::UnsupportedNoise { reason }) => {
-                        return Err(ParseError(format!("scheme/noise mismatch: {reason}")))
-                    }
-                    Err(_) => None,
-                }
-            }
-        };
-        match result {
-            Some((transcript, overhead)) => {
+    for (t, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            TrialOutcome::Done {
+                exact: ok,
+                overhead,
+            } => {
                 completed += 1;
                 overhead_sum += overhead;
-                let ok = transcript == truth.transcript();
-                exact += u64::from(ok);
+                exact += u64::from(*ok);
                 lines.push(format!(
                     "trial {t}: {} (overhead {overhead:.1}x)",
-                    if ok { "exact" } else { "WRONG" }
+                    if *ok { "exact" } else { "WRONG" }
                 ));
             }
-            None => lines.push(format!("trial {t}: budget exhausted")),
+            TrialOutcome::Exhausted => lines.push(format!("trial {t}: budget exhausted")),
+            TrialOutcome::Unsupported(reason) => {
+                return Err(ParseError(format!("scheme/noise mismatch: {reason}")))
+            }
         }
     }
 
@@ -420,12 +449,13 @@ mod tests {
         assert_eq!(s.protocol, ProtocolKind::InputSet);
         assert_eq!(s.n, 8);
         assert_eq!(s.scheme, SchemeKind::Rewind);
+        assert_eq!(s.threads, None);
     }
 
     #[test]
     fn parses_full_flag_set() {
         let s = parse(&args(
-            "run --protocol leader --n 6 --noise up --eps 0.25 --scheme hierarchical --seed 9 --trials 3",
+            "run --protocol leader --n 6 --noise up --eps 0.25 --scheme hierarchical --seed 9 --trials 3 --threads 2",
         ))
         .unwrap();
         assert_eq!(s.protocol, ProtocolKind::Leader);
@@ -434,6 +464,7 @@ mod tests {
         assert_eq!(s.scheme, SchemeKind::Hierarchical);
         assert_eq!(s.seed, 9);
         assert_eq!(s.trials, 3);
+        assert_eq!(s.threads, Some(2));
     }
 
     #[test]
@@ -444,6 +475,7 @@ mod tests {
         assert!(parse(&args("run --eps 1.5")).is_err());
         assert!(parse(&args("run --scheme")).is_err());
         assert!(parse(&args("run --bogus 1")).is_err());
+        assert!(parse(&args("run --threads 0")).is_err());
     }
 
     #[test]
@@ -456,6 +488,18 @@ mod tests {
         assert_eq!(report.trials, 3);
         assert!(report.exact >= 2, "report: {report:?}");
         assert!(report.mean_overhead > 1.0);
+    }
+
+    #[test]
+    fn report_is_identical_for_any_thread_count() {
+        let base = "run --protocol input-set --n 6 --noise correlated --eps 0.1 \
+                    --scheme rewind --seed 7 --trials 6";
+        let serial = run(&parse(&args(&format!("{base} --threads 1"))).unwrap()).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel =
+                run(&parse(&args(&format!("{base} --threads {threads}"))).unwrap()).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 
     #[test]

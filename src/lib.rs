@@ -33,7 +33,7 @@
 //! // Ground truth: the deterministic noiseless execution.
 //! let truth = noisy_beeps::channel::run_noiseless(&protocol, &inputs);
 //!
-//! let sim = RewindSimulator::new(&protocol, SimulatorConfig::for_parties(n));
+//! let sim = RewindSimulator::new(&protocol, SimulatorConfig::builder(n).build());
 //! let outcome = sim
 //!     .simulate(&inputs, NoiseModel::Correlated { epsilon: 1.0 / 3.0 }, 0xBEE9)
 //!     .expect("simulation produced a transcript");
@@ -45,9 +45,12 @@
 
 pub mod cli;
 
+pub use beeps_bench as bench;
 pub use beeps_channel as channel;
 pub use beeps_core as core;
 pub use beeps_ecc as ecc;
 pub use beeps_info as info;
 pub use beeps_lowerbound as lowerbound;
 pub use beeps_protocols as protocols;
+
+pub use beeps_core::{NakedSimulator, Simulator};

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/all_experiments-b710a336384f2e2a.d: crates/bench/src/bin/all_experiments.rs crates/bench/src/bin/fig1_upper_bound_overhead.rs crates/bench/src/bin/fig2_lower_bound_crossover.rs crates/bench/src/bin/fig3_noise_asymmetry.rs crates/bench/src/bin/fig4_zeta_progress_measure.rs crates/bench/src/bin/fig5_independent_noise.rs crates/bench/src/bin/fig6_phase_breakdown.rs crates/bench/src/bin/fig7_chunk_sweep.rs crates/bench/src/bin/tab1_owners_phase.rs crates/bench/src/bin/tab2_one_sided_reduction.rs crates/bench/src/bin/tab3_feasible_sets.rs crates/bench/src/bin/tab4_repetition_scheme.rs crates/bench/src/bin/tab5_scheme_ablation.rs crates/bench/src/bin/tab6_energy.rs crates/bench/src/bin/tab7_owned_rounds.rs
+
+/root/repo/target/debug/deps/all_experiments-b710a336384f2e2a: crates/bench/src/bin/all_experiments.rs crates/bench/src/bin/fig1_upper_bound_overhead.rs crates/bench/src/bin/fig2_lower_bound_crossover.rs crates/bench/src/bin/fig3_noise_asymmetry.rs crates/bench/src/bin/fig4_zeta_progress_measure.rs crates/bench/src/bin/fig5_independent_noise.rs crates/bench/src/bin/fig6_phase_breakdown.rs crates/bench/src/bin/fig7_chunk_sweep.rs crates/bench/src/bin/tab1_owners_phase.rs crates/bench/src/bin/tab2_one_sided_reduction.rs crates/bench/src/bin/tab3_feasible_sets.rs crates/bench/src/bin/tab4_repetition_scheme.rs crates/bench/src/bin/tab5_scheme_ablation.rs crates/bench/src/bin/tab6_energy.rs crates/bench/src/bin/tab7_owned_rounds.rs
+
+crates/bench/src/bin/all_experiments.rs:
+crates/bench/src/bin/fig1_upper_bound_overhead.rs:
+crates/bench/src/bin/fig2_lower_bound_crossover.rs:
+crates/bench/src/bin/fig3_noise_asymmetry.rs:
+crates/bench/src/bin/fig4_zeta_progress_measure.rs:
+crates/bench/src/bin/fig5_independent_noise.rs:
+crates/bench/src/bin/fig6_phase_breakdown.rs:
+crates/bench/src/bin/fig7_chunk_sweep.rs:
+crates/bench/src/bin/tab1_owners_phase.rs:
+crates/bench/src/bin/tab2_one_sided_reduction.rs:
+crates/bench/src/bin/tab3_feasible_sets.rs:
+crates/bench/src/bin/tab4_repetition_scheme.rs:
+crates/bench/src/bin/tab5_scheme_ablation.rs:
+crates/bench/src/bin/tab6_energy.rs:
+crates/bench/src/bin/tab7_owned_rounds.rs:

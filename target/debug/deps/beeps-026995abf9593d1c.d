@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/beeps-026995abf9593d1c.d: src/bin/beeps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbeeps-026995abf9593d1c.rmeta: src/bin/beeps.rs Cargo.toml
+
+src/bin/beeps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

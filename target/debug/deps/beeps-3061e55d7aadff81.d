@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/beeps-3061e55d7aadff81.d: src/bin/beeps.rs
+
+/root/repo/target/debug/deps/beeps-3061e55d7aadff81: src/bin/beeps.rs
+
+src/bin/beeps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/beeps-8153ac5d2e1d4799.d: src/bin/beeps.rs
+
+/root/repo/target/debug/deps/beeps-8153ac5d2e1d4799: src/bin/beeps.rs
+
+src/bin/beeps.rs:

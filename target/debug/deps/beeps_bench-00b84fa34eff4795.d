@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/beeps_bench-00b84fa34eff4795.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libbeeps_bench-00b84fa34eff4795.rlib: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libbeeps_bench-00b84fa34eff4795.rmeta: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/runner.rs:

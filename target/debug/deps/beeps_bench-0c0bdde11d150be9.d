@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/beeps_bench-0c0bdde11d150be9.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbeeps_bench-0c0bdde11d150be9.rmeta: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/runner.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

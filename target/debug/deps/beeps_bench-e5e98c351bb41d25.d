@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/beeps_bench-e5e98c351bb41d25.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/beeps_bench-e5e98c351bb41d25: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/beeps_channel-68522bc40de95af8.d: crates/channel/src/lib.rs crates/channel/src/adversary.rs crates/channel/src/burst.rs crates/channel/src/channel.rs crates/channel/src/executor.rs crates/channel/src/multiplication.rs crates/channel/src/noise.rs crates/channel/src/protocol.rs crates/channel/src/trace.rs
+
+/root/repo/target/debug/deps/libbeeps_channel-68522bc40de95af8.rlib: crates/channel/src/lib.rs crates/channel/src/adversary.rs crates/channel/src/burst.rs crates/channel/src/channel.rs crates/channel/src/executor.rs crates/channel/src/multiplication.rs crates/channel/src/noise.rs crates/channel/src/protocol.rs crates/channel/src/trace.rs
+
+/root/repo/target/debug/deps/libbeeps_channel-68522bc40de95af8.rmeta: crates/channel/src/lib.rs crates/channel/src/adversary.rs crates/channel/src/burst.rs crates/channel/src/channel.rs crates/channel/src/executor.rs crates/channel/src/multiplication.rs crates/channel/src/noise.rs crates/channel/src/protocol.rs crates/channel/src/trace.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/adversary.rs:
+crates/channel/src/burst.rs:
+crates/channel/src/channel.rs:
+crates/channel/src/executor.rs:
+crates/channel/src/multiplication.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/protocol.rs:
+crates/channel/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/beeps_channel-78b1dd2eb51fc42e.d: crates/channel/src/lib.rs crates/channel/src/adversary.rs crates/channel/src/burst.rs crates/channel/src/channel.rs crates/channel/src/executor.rs crates/channel/src/multiplication.rs crates/channel/src/noise.rs crates/channel/src/protocol.rs crates/channel/src/trace.rs
+
+/root/repo/target/debug/deps/beeps_channel-78b1dd2eb51fc42e: crates/channel/src/lib.rs crates/channel/src/adversary.rs crates/channel/src/burst.rs crates/channel/src/channel.rs crates/channel/src/executor.rs crates/channel/src/multiplication.rs crates/channel/src/noise.rs crates/channel/src/protocol.rs crates/channel/src/trace.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/adversary.rs:
+crates/channel/src/burst.rs:
+crates/channel/src/channel.rs:
+crates/channel/src/executor.rs:
+crates/channel/src/multiplication.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/protocol.rs:
+crates/channel/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/beeps_channel-a9c1705c4a150f18.d: crates/channel/src/lib.rs crates/channel/src/adversary.rs crates/channel/src/burst.rs crates/channel/src/channel.rs crates/channel/src/executor.rs crates/channel/src/multiplication.rs crates/channel/src/noise.rs crates/channel/src/protocol.rs crates/channel/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbeeps_channel-a9c1705c4a150f18.rmeta: crates/channel/src/lib.rs crates/channel/src/adversary.rs crates/channel/src/burst.rs crates/channel/src/channel.rs crates/channel/src/executor.rs crates/channel/src/multiplication.rs crates/channel/src/noise.rs crates/channel/src/protocol.rs crates/channel/src/trace.rs Cargo.toml
+
+crates/channel/src/lib.rs:
+crates/channel/src/adversary.rs:
+crates/channel/src/burst.rs:
+crates/channel/src/channel.rs:
+crates/channel/src/executor.rs:
+crates/channel/src/multiplication.rs:
+crates/channel/src/noise.rs:
+crates/channel/src/protocol.rs:
+crates/channel/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

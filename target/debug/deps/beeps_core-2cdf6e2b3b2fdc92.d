@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/beeps_core-2cdf6e2b3b2fdc92.d: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/hierarchical.rs crates/core/src/one_to_zero.rs crates/core/src/outcome.rs crates/core/src/owned_rounds.rs crates/core/src/owners.rs crates/core/src/params.rs crates/core/src/repetition.rs crates/core/src/rewind.rs crates/core/src/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbeeps_core-2cdf6e2b3b2fdc92.rmeta: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/hierarchical.rs crates/core/src/one_to_zero.rs crates/core/src/outcome.rs crates/core/src/owned_rounds.rs crates/core/src/owners.rs crates/core/src/params.rs crates/core/src/repetition.rs crates/core/src/rewind.rs crates/core/src/simulator.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/driver.rs:
+crates/core/src/hierarchical.rs:
+crates/core/src/one_to_zero.rs:
+crates/core/src/outcome.rs:
+crates/core/src/owned_rounds.rs:
+crates/core/src/owners.rs:
+crates/core/src/params.rs:
+crates/core/src/repetition.rs:
+crates/core/src/rewind.rs:
+crates/core/src/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/beeps_core-3c65ffea1d2cc4a3.d: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/hierarchical.rs crates/core/src/one_to_zero.rs crates/core/src/outcome.rs crates/core/src/owned_rounds.rs crates/core/src/owners.rs crates/core/src/params.rs crates/core/src/repetition.rs crates/core/src/rewind.rs crates/core/src/simulator.rs
+
+/root/repo/target/debug/deps/libbeeps_core-3c65ffea1d2cc4a3.rlib: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/hierarchical.rs crates/core/src/one_to_zero.rs crates/core/src/outcome.rs crates/core/src/owned_rounds.rs crates/core/src/owners.rs crates/core/src/params.rs crates/core/src/repetition.rs crates/core/src/rewind.rs crates/core/src/simulator.rs
+
+/root/repo/target/debug/deps/libbeeps_core-3c65ffea1d2cc4a3.rmeta: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/hierarchical.rs crates/core/src/one_to_zero.rs crates/core/src/outcome.rs crates/core/src/owned_rounds.rs crates/core/src/owners.rs crates/core/src/params.rs crates/core/src/repetition.rs crates/core/src/rewind.rs crates/core/src/simulator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/driver.rs:
+crates/core/src/hierarchical.rs:
+crates/core/src/one_to_zero.rs:
+crates/core/src/outcome.rs:
+crates/core/src/owned_rounds.rs:
+crates/core/src/owners.rs:
+crates/core/src/params.rs:
+crates/core/src/repetition.rs:
+crates/core/src/rewind.rs:
+crates/core/src/simulator.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/beeps_ecc-14ff1b5d2125256e.d: crates/ecc/src/lib.rs crates/ecc/src/bits.rs crates/ecc/src/concat.rs crates/ecc/src/constant_weight.rs crates/ecc/src/gf.rs crates/ecc/src/hadamard.rs crates/ecc/src/random_code.rs crates/ecc/src/repetition.rs crates/ecc/src/rs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbeeps_ecc-14ff1b5d2125256e.rmeta: crates/ecc/src/lib.rs crates/ecc/src/bits.rs crates/ecc/src/concat.rs crates/ecc/src/constant_weight.rs crates/ecc/src/gf.rs crates/ecc/src/hadamard.rs crates/ecc/src/random_code.rs crates/ecc/src/repetition.rs crates/ecc/src/rs.rs Cargo.toml
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/bits.rs:
+crates/ecc/src/concat.rs:
+crates/ecc/src/constant_weight.rs:
+crates/ecc/src/gf.rs:
+crates/ecc/src/hadamard.rs:
+crates/ecc/src/random_code.rs:
+crates/ecc/src/repetition.rs:
+crates/ecc/src/rs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/beeps_ecc-4a3756af8ae5cb17.d: crates/ecc/src/lib.rs crates/ecc/src/bits.rs crates/ecc/src/concat.rs crates/ecc/src/constant_weight.rs crates/ecc/src/gf.rs crates/ecc/src/hadamard.rs crates/ecc/src/random_code.rs crates/ecc/src/repetition.rs crates/ecc/src/rs.rs
+
+/root/repo/target/debug/deps/libbeeps_ecc-4a3756af8ae5cb17.rlib: crates/ecc/src/lib.rs crates/ecc/src/bits.rs crates/ecc/src/concat.rs crates/ecc/src/constant_weight.rs crates/ecc/src/gf.rs crates/ecc/src/hadamard.rs crates/ecc/src/random_code.rs crates/ecc/src/repetition.rs crates/ecc/src/rs.rs
+
+/root/repo/target/debug/deps/libbeeps_ecc-4a3756af8ae5cb17.rmeta: crates/ecc/src/lib.rs crates/ecc/src/bits.rs crates/ecc/src/concat.rs crates/ecc/src/constant_weight.rs crates/ecc/src/gf.rs crates/ecc/src/hadamard.rs crates/ecc/src/random_code.rs crates/ecc/src/repetition.rs crates/ecc/src/rs.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/bits.rs:
+crates/ecc/src/concat.rs:
+crates/ecc/src/constant_weight.rs:
+crates/ecc/src/gf.rs:
+crates/ecc/src/hadamard.rs:
+crates/ecc/src/random_code.rs:
+crates/ecc/src/repetition.rs:
+crates/ecc/src/rs.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/beeps_ecc-87e99613d3a8b96d.d: crates/ecc/src/lib.rs crates/ecc/src/bits.rs crates/ecc/src/concat.rs crates/ecc/src/constant_weight.rs crates/ecc/src/gf.rs crates/ecc/src/hadamard.rs crates/ecc/src/random_code.rs crates/ecc/src/repetition.rs crates/ecc/src/rs.rs
+
+/root/repo/target/debug/deps/beeps_ecc-87e99613d3a8b96d: crates/ecc/src/lib.rs crates/ecc/src/bits.rs crates/ecc/src/concat.rs crates/ecc/src/constant_weight.rs crates/ecc/src/gf.rs crates/ecc/src/hadamard.rs crates/ecc/src/random_code.rs crates/ecc/src/repetition.rs crates/ecc/src/rs.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/bits.rs:
+crates/ecc/src/concat.rs:
+crates/ecc/src/constant_weight.rs:
+crates/ecc/src/gf.rs:
+crates/ecc/src/hadamard.rs:
+crates/ecc/src/random_code.rs:
+crates/ecc/src/repetition.rs:
+crates/ecc/src/rs.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/beeps_info-0e758d15a3519cb6.d: crates/info/src/lib.rs crates/info/src/entropy.rs crates/info/src/lemmas.rs crates/info/src/stats.rs crates/info/src/tail.rs
+
+/root/repo/target/debug/deps/libbeeps_info-0e758d15a3519cb6.rlib: crates/info/src/lib.rs crates/info/src/entropy.rs crates/info/src/lemmas.rs crates/info/src/stats.rs crates/info/src/tail.rs
+
+/root/repo/target/debug/deps/libbeeps_info-0e758d15a3519cb6.rmeta: crates/info/src/lib.rs crates/info/src/entropy.rs crates/info/src/lemmas.rs crates/info/src/stats.rs crates/info/src/tail.rs
+
+crates/info/src/lib.rs:
+crates/info/src/entropy.rs:
+crates/info/src/lemmas.rs:
+crates/info/src/stats.rs:
+crates/info/src/tail.rs:

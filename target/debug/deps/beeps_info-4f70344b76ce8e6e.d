@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/beeps_info-4f70344b76ce8e6e.d: crates/info/src/lib.rs crates/info/src/entropy.rs crates/info/src/lemmas.rs crates/info/src/stats.rs crates/info/src/tail.rs
+
+/root/repo/target/debug/deps/beeps_info-4f70344b76ce8e6e: crates/info/src/lib.rs crates/info/src/entropy.rs crates/info/src/lemmas.rs crates/info/src/stats.rs crates/info/src/tail.rs
+
+crates/info/src/lib.rs:
+crates/info/src/entropy.rs:
+crates/info/src/lemmas.rs:
+crates/info/src/stats.rs:
+crates/info/src/tail.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/beeps_info-5c34ddc82fc98e56.d: crates/info/src/lib.rs crates/info/src/entropy.rs crates/info/src/lemmas.rs crates/info/src/stats.rs crates/info/src/tail.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbeeps_info-5c34ddc82fc98e56.rmeta: crates/info/src/lib.rs crates/info/src/entropy.rs crates/info/src/lemmas.rs crates/info/src/stats.rs crates/info/src/tail.rs Cargo.toml
+
+crates/info/src/lib.rs:
+crates/info/src/entropy.rs:
+crates/info/src/lemmas.rs:
+crates/info/src/stats.rs:
+crates/info/src/tail.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

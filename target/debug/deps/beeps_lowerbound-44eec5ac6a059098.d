@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/beeps_lowerbound-44eec5ac6a059098.d: crates/lowerbound/src/lib.rs crates/lowerbound/src/crossover.rs crates/lowerbound/src/theorem_c3.rs crates/lowerbound/src/zeta.rs
+
+/root/repo/target/debug/deps/beeps_lowerbound-44eec5ac6a059098: crates/lowerbound/src/lib.rs crates/lowerbound/src/crossover.rs crates/lowerbound/src/theorem_c3.rs crates/lowerbound/src/zeta.rs
+
+crates/lowerbound/src/lib.rs:
+crates/lowerbound/src/crossover.rs:
+crates/lowerbound/src/theorem_c3.rs:
+crates/lowerbound/src/zeta.rs:

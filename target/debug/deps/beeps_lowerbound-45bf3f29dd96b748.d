@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/beeps_lowerbound-45bf3f29dd96b748.d: crates/lowerbound/src/lib.rs crates/lowerbound/src/crossover.rs crates/lowerbound/src/theorem_c3.rs crates/lowerbound/src/zeta.rs
+
+/root/repo/target/debug/deps/libbeeps_lowerbound-45bf3f29dd96b748.rlib: crates/lowerbound/src/lib.rs crates/lowerbound/src/crossover.rs crates/lowerbound/src/theorem_c3.rs crates/lowerbound/src/zeta.rs
+
+/root/repo/target/debug/deps/libbeeps_lowerbound-45bf3f29dd96b748.rmeta: crates/lowerbound/src/lib.rs crates/lowerbound/src/crossover.rs crates/lowerbound/src/theorem_c3.rs crates/lowerbound/src/zeta.rs
+
+crates/lowerbound/src/lib.rs:
+crates/lowerbound/src/crossover.rs:
+crates/lowerbound/src/theorem_c3.rs:
+crates/lowerbound/src/zeta.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/beeps_lowerbound-817b7a1107b172ad.d: crates/lowerbound/src/lib.rs crates/lowerbound/src/crossover.rs crates/lowerbound/src/theorem_c3.rs crates/lowerbound/src/zeta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbeeps_lowerbound-817b7a1107b172ad.rmeta: crates/lowerbound/src/lib.rs crates/lowerbound/src/crossover.rs crates/lowerbound/src/theorem_c3.rs crates/lowerbound/src/zeta.rs Cargo.toml
+
+crates/lowerbound/src/lib.rs:
+crates/lowerbound/src/crossover.rs:
+crates/lowerbound/src/theorem_c3.rs:
+crates/lowerbound/src/zeta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/beeps_protocols-3cc89f03a9cc80ce.d: crates/protocols/src/lib.rs crates/protocols/src/broadcast.rs crates/protocols/src/census.rs crates/protocols/src/combinators.rs crates/protocols/src/firefly.rs crates/protocols/src/input_set.rs crates/protocols/src/leader.rs crates/protocols/src/membership.rs crates/protocols/src/multi_or.rs crates/protocols/src/pointer_chase.rs crates/protocols/src/roll_call.rs
+
+/root/repo/target/debug/deps/beeps_protocols-3cc89f03a9cc80ce: crates/protocols/src/lib.rs crates/protocols/src/broadcast.rs crates/protocols/src/census.rs crates/protocols/src/combinators.rs crates/protocols/src/firefly.rs crates/protocols/src/input_set.rs crates/protocols/src/leader.rs crates/protocols/src/membership.rs crates/protocols/src/multi_or.rs crates/protocols/src/pointer_chase.rs crates/protocols/src/roll_call.rs
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/broadcast.rs:
+crates/protocols/src/census.rs:
+crates/protocols/src/combinators.rs:
+crates/protocols/src/firefly.rs:
+crates/protocols/src/input_set.rs:
+crates/protocols/src/leader.rs:
+crates/protocols/src/membership.rs:
+crates/protocols/src/multi_or.rs:
+crates/protocols/src/pointer_chase.rs:
+crates/protocols/src/roll_call.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/beeps_protocols-4026293405624c9f.d: crates/protocols/src/lib.rs crates/protocols/src/broadcast.rs crates/protocols/src/census.rs crates/protocols/src/combinators.rs crates/protocols/src/firefly.rs crates/protocols/src/input_set.rs crates/protocols/src/leader.rs crates/protocols/src/membership.rs crates/protocols/src/multi_or.rs crates/protocols/src/pointer_chase.rs crates/protocols/src/roll_call.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbeeps_protocols-4026293405624c9f.rmeta: crates/protocols/src/lib.rs crates/protocols/src/broadcast.rs crates/protocols/src/census.rs crates/protocols/src/combinators.rs crates/protocols/src/firefly.rs crates/protocols/src/input_set.rs crates/protocols/src/leader.rs crates/protocols/src/membership.rs crates/protocols/src/multi_or.rs crates/protocols/src/pointer_chase.rs crates/protocols/src/roll_call.rs Cargo.toml
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/broadcast.rs:
+crates/protocols/src/census.rs:
+crates/protocols/src/combinators.rs:
+crates/protocols/src/firefly.rs:
+crates/protocols/src/input_set.rs:
+crates/protocols/src/leader.rs:
+crates/protocols/src/membership.rs:
+crates/protocols/src/multi_or.rs:
+crates/protocols/src/pointer_chase.rs:
+crates/protocols/src/roll_call.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/beeps_protocols-982800e9649f7275.d: crates/protocols/src/lib.rs crates/protocols/src/broadcast.rs crates/protocols/src/census.rs crates/protocols/src/combinators.rs crates/protocols/src/firefly.rs crates/protocols/src/input_set.rs crates/protocols/src/leader.rs crates/protocols/src/membership.rs crates/protocols/src/multi_or.rs crates/protocols/src/pointer_chase.rs crates/protocols/src/roll_call.rs
+
+/root/repo/target/debug/deps/libbeeps_protocols-982800e9649f7275.rlib: crates/protocols/src/lib.rs crates/protocols/src/broadcast.rs crates/protocols/src/census.rs crates/protocols/src/combinators.rs crates/protocols/src/firefly.rs crates/protocols/src/input_set.rs crates/protocols/src/leader.rs crates/protocols/src/membership.rs crates/protocols/src/multi_or.rs crates/protocols/src/pointer_chase.rs crates/protocols/src/roll_call.rs
+
+/root/repo/target/debug/deps/libbeeps_protocols-982800e9649f7275.rmeta: crates/protocols/src/lib.rs crates/protocols/src/broadcast.rs crates/protocols/src/census.rs crates/protocols/src/combinators.rs crates/protocols/src/firefly.rs crates/protocols/src/input_set.rs crates/protocols/src/leader.rs crates/protocols/src/membership.rs crates/protocols/src/multi_or.rs crates/protocols/src/pointer_chase.rs crates/protocols/src/roll_call.rs
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/broadcast.rs:
+crates/protocols/src/census.rs:
+crates/protocols/src/combinators.rs:
+crates/protocols/src/firefly.rs:
+crates/protocols/src/input_set.rs:
+crates/protocols/src/leader.rs:
+crates/protocols/src/membership.rs:
+crates/protocols/src/multi_or.rs:
+crates/protocols/src/pointer_chase.rs:
+crates/protocols/src/roll_call.rs:

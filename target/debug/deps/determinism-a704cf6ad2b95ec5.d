@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a704cf6ad2b95ec5.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a704cf6ad2b95ec5: tests/determinism.rs
+
+tests/determinism.rs:

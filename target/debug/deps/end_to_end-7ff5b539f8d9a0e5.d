@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7ff5b539f8d9a0e5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7ff5b539f8d9a0e5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

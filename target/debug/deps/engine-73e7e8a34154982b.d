@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-73e7e8a34154982b.d: crates/bench/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-73e7e8a34154982b: crates/bench/tests/engine.rs
+
+crates/bench/tests/engine.rs:

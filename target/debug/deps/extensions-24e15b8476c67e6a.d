@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-24e15b8476c67e6a.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-24e15b8476c67e6a: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-7214579594d05018.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-7214579594d05018: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_upper_bound_overhead-0154832d9179e496.d: crates/bench/src/bin/fig1_upper_bound_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_upper_bound_overhead-0154832d9179e496.rmeta: crates/bench/src/bin/fig1_upper_bound_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig1_upper_bound_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

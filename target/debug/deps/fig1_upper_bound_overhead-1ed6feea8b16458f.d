@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_upper_bound_overhead-1ed6feea8b16458f.d: crates/bench/src/bin/fig1_upper_bound_overhead.rs
+
+/root/repo/target/debug/deps/fig1_upper_bound_overhead-1ed6feea8b16458f: crates/bench/src/bin/fig1_upper_bound_overhead.rs
+
+crates/bench/src/bin/fig1_upper_bound_overhead.rs:

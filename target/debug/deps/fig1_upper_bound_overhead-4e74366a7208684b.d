@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_upper_bound_overhead-4e74366a7208684b.d: crates/bench/src/bin/fig1_upper_bound_overhead.rs
+
+/root/repo/target/debug/deps/fig1_upper_bound_overhead-4e74366a7208684b: crates/bench/src/bin/fig1_upper_bound_overhead.rs
+
+crates/bench/src/bin/fig1_upper_bound_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_lower_bound_crossover-951de9164a351e0c.d: crates/bench/src/bin/fig2_lower_bound_crossover.rs
+
+/root/repo/target/debug/deps/fig2_lower_bound_crossover-951de9164a351e0c: crates/bench/src/bin/fig2_lower_bound_crossover.rs
+
+crates/bench/src/bin/fig2_lower_bound_crossover.rs:

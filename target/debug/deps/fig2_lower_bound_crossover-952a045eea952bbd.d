@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_lower_bound_crossover-952a045eea952bbd.d: crates/bench/src/bin/fig2_lower_bound_crossover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_lower_bound_crossover-952a045eea952bbd.rmeta: crates/bench/src/bin/fig2_lower_bound_crossover.rs Cargo.toml
+
+crates/bench/src/bin/fig2_lower_bound_crossover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_lower_bound_crossover-97b0546cfdab41e7.d: crates/bench/src/bin/fig2_lower_bound_crossover.rs
+
+/root/repo/target/debug/deps/fig2_lower_bound_crossover-97b0546cfdab41e7: crates/bench/src/bin/fig2_lower_bound_crossover.rs
+
+crates/bench/src/bin/fig2_lower_bound_crossover.rs:

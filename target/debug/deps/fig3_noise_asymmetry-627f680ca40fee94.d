@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_noise_asymmetry-627f680ca40fee94.d: crates/bench/src/bin/fig3_noise_asymmetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_noise_asymmetry-627f680ca40fee94.rmeta: crates/bench/src/bin/fig3_noise_asymmetry.rs Cargo.toml
+
+crates/bench/src/bin/fig3_noise_asymmetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_noise_asymmetry-85d606ee11184ae1.d: crates/bench/src/bin/fig3_noise_asymmetry.rs
+
+/root/repo/target/debug/deps/fig3_noise_asymmetry-85d606ee11184ae1: crates/bench/src/bin/fig3_noise_asymmetry.rs
+
+crates/bench/src/bin/fig3_noise_asymmetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_noise_asymmetry-cb77860bf1dd7f87.d: crates/bench/src/bin/fig3_noise_asymmetry.rs
+
+/root/repo/target/debug/deps/fig3_noise_asymmetry-cb77860bf1dd7f87: crates/bench/src/bin/fig3_noise_asymmetry.rs
+
+crates/bench/src/bin/fig3_noise_asymmetry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_zeta_progress_measure-0c7349fc6664f5fd.d: crates/bench/src/bin/fig4_zeta_progress_measure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_zeta_progress_measure-0c7349fc6664f5fd.rmeta: crates/bench/src/bin/fig4_zeta_progress_measure.rs Cargo.toml
+
+crates/bench/src/bin/fig4_zeta_progress_measure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_zeta_progress_measure-59644248e248adbd.d: crates/bench/src/bin/fig4_zeta_progress_measure.rs
+
+/root/repo/target/debug/deps/fig4_zeta_progress_measure-59644248e248adbd: crates/bench/src/bin/fig4_zeta_progress_measure.rs
+
+crates/bench/src/bin/fig4_zeta_progress_measure.rs:

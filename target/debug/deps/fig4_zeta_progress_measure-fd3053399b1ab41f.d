@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_zeta_progress_measure-fd3053399b1ab41f.d: crates/bench/src/bin/fig4_zeta_progress_measure.rs
+
+/root/repo/target/debug/deps/fig4_zeta_progress_measure-fd3053399b1ab41f: crates/bench/src/bin/fig4_zeta_progress_measure.rs
+
+crates/bench/src/bin/fig4_zeta_progress_measure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_independent_noise-91e62d73e2baf27a.d: crates/bench/src/bin/fig5_independent_noise.rs
+
+/root/repo/target/debug/deps/fig5_independent_noise-91e62d73e2baf27a: crates/bench/src/bin/fig5_independent_noise.rs
+
+crates/bench/src/bin/fig5_independent_noise.rs:

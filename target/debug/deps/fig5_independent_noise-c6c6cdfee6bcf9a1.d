@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_independent_noise-c6c6cdfee6bcf9a1.d: crates/bench/src/bin/fig5_independent_noise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_independent_noise-c6c6cdfee6bcf9a1.rmeta: crates/bench/src/bin/fig5_independent_noise.rs Cargo.toml
+
+crates/bench/src/bin/fig5_independent_noise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

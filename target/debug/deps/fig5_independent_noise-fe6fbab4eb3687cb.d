@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_independent_noise-fe6fbab4eb3687cb.d: crates/bench/src/bin/fig5_independent_noise.rs
+
+/root/repo/target/debug/deps/fig5_independent_noise-fe6fbab4eb3687cb: crates/bench/src/bin/fig5_independent_noise.rs
+
+crates/bench/src/bin/fig5_independent_noise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_phase_breakdown-4e691c245c4003cb.d: crates/bench/src/bin/fig6_phase_breakdown.rs
+
+/root/repo/target/debug/deps/fig6_phase_breakdown-4e691c245c4003cb: crates/bench/src/bin/fig6_phase_breakdown.rs
+
+crates/bench/src/bin/fig6_phase_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_phase_breakdown-72e3d928a3f1ab0b.d: crates/bench/src/bin/fig6_phase_breakdown.rs
+
+/root/repo/target/debug/deps/fig6_phase_breakdown-72e3d928a3f1ab0b: crates/bench/src/bin/fig6_phase_breakdown.rs
+
+crates/bench/src/bin/fig6_phase_breakdown.rs:

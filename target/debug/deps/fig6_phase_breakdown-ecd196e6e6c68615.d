@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_phase_breakdown-ecd196e6e6c68615.d: crates/bench/src/bin/fig6_phase_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_phase_breakdown-ecd196e6e6c68615.rmeta: crates/bench/src/bin/fig6_phase_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig6_phase_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_chunk_sweep-520456ef4f8a674d.d: crates/bench/src/bin/fig7_chunk_sweep.rs
+
+/root/repo/target/debug/deps/fig7_chunk_sweep-520456ef4f8a674d: crates/bench/src/bin/fig7_chunk_sweep.rs
+
+crates/bench/src/bin/fig7_chunk_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_chunk_sweep-cf0cbbdfbcbe314b.d: crates/bench/src/bin/fig7_chunk_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_chunk_sweep-cf0cbbdfbcbe314b.rmeta: crates/bench/src/bin/fig7_chunk_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig7_chunk_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_chunk_sweep-fe60a8f18018097f.d: crates/bench/src/bin/fig7_chunk_sweep.rs
+
+/root/repo/target/debug/deps/fig7_chunk_sweep-fe60a8f18018097f: crates/bench/src/bin/fig7_chunk_sweep.rs
+
+crates/bench/src/bin/fig7_chunk_sweep.rs:

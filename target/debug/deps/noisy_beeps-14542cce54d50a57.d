@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/noisy_beeps-14542cce54d50a57.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/noisy_beeps-14542cce54d50a57: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

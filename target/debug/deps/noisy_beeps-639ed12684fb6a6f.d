@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/noisy_beeps-639ed12684fb6a6f.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoisy_beeps-639ed12684fb6a6f.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/noisy_beeps-d4cc34aadc4df373.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libnoisy_beeps-d4cc34aadc4df373.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libnoisy_beeps-d4cc34aadc4df373.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

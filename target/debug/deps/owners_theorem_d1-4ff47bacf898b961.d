@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/owners_theorem_d1-4ff47bacf898b961.d: tests/owners_theorem_d1.rs
+
+/root/repo/target/debug/deps/owners_theorem_d1-4ff47bacf898b961: tests/owners_theorem_d1.rs
+
+tests/owners_theorem_d1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1f8b83f7dec27d44.d: crates/info/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1f8b83f7dec27d44: crates/info/tests/proptests.rs
+
+crates/info/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4f12d66ce1752c94.d: crates/channel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4f12d66ce1752c94: crates/channel/tests/proptests.rs
+
+crates/channel/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9d948d147303f475.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9d948d147303f475: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

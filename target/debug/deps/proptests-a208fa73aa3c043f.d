@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a208fa73aa3c043f.d: crates/ecc/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a208fa73aa3c043f: crates/ecc/tests/proptests.rs
+
+crates/ecc/tests/proptests.rs:

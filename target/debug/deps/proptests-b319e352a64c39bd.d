@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b319e352a64c39bd.d: crates/protocols/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b319e352a64c39bd: crates/protocols/tests/proptests.rs
+
+crates/protocols/tests/proptests.rs:

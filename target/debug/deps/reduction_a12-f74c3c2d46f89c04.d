@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reduction_a12-f74c3c2d46f89c04.d: tests/reduction_a12.rs
+
+/root/repo/target/debug/deps/reduction_a12-f74c3c2d46f89c04: tests/reduction_a12.rs
+
+tests/reduction_a12.rs:

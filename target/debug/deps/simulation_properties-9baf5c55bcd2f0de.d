@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_properties-9baf5c55bcd2f0de.d: tests/simulation_properties.rs
+
+/root/repo/target/debug/deps/simulation_properties-9baf5c55bcd2f0de: tests/simulation_properties.rs
+
+tests/simulation_properties.rs:

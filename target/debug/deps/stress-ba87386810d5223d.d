@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-ba87386810d5223d.d: tests/stress.rs
+
+/root/repo/target/debug/deps/stress-ba87386810d5223d: tests/stress.rs
+
+tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab1_owners_phase-241370f06d2c9fd7.d: crates/bench/src/bin/tab1_owners_phase.rs
+
+/root/repo/target/debug/deps/tab1_owners_phase-241370f06d2c9fd7: crates/bench/src/bin/tab1_owners_phase.rs
+
+crates/bench/src/bin/tab1_owners_phase.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab1_owners_phase-5884b67788261a5b.d: crates/bench/src/bin/tab1_owners_phase.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab1_owners_phase-5884b67788261a5b.rmeta: crates/bench/src/bin/tab1_owners_phase.rs Cargo.toml
+
+crates/bench/src/bin/tab1_owners_phase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

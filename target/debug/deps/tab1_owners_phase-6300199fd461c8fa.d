@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab1_owners_phase-6300199fd461c8fa.d: crates/bench/src/bin/tab1_owners_phase.rs
+
+/root/repo/target/debug/deps/tab1_owners_phase-6300199fd461c8fa: crates/bench/src/bin/tab1_owners_phase.rs
+
+crates/bench/src/bin/tab1_owners_phase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab2_one_sided_reduction-9e6ce9f4d7ff36bb.d: crates/bench/src/bin/tab2_one_sided_reduction.rs
+
+/root/repo/target/debug/deps/tab2_one_sided_reduction-9e6ce9f4d7ff36bb: crates/bench/src/bin/tab2_one_sided_reduction.rs
+
+crates/bench/src/bin/tab2_one_sided_reduction.rs:

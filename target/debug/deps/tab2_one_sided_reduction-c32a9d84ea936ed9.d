@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab2_one_sided_reduction-c32a9d84ea936ed9.d: crates/bench/src/bin/tab2_one_sided_reduction.rs
+
+/root/repo/target/debug/deps/tab2_one_sided_reduction-c32a9d84ea936ed9: crates/bench/src/bin/tab2_one_sided_reduction.rs
+
+crates/bench/src/bin/tab2_one_sided_reduction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab2_one_sided_reduction-e4baaf16712aaa68.d: crates/bench/src/bin/tab2_one_sided_reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab2_one_sided_reduction-e4baaf16712aaa68.rmeta: crates/bench/src/bin/tab2_one_sided_reduction.rs Cargo.toml
+
+crates/bench/src/bin/tab2_one_sided_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab3_feasible_sets-0d95f7513ed53bae.d: crates/bench/src/bin/tab3_feasible_sets.rs
+
+/root/repo/target/debug/deps/tab3_feasible_sets-0d95f7513ed53bae: crates/bench/src/bin/tab3_feasible_sets.rs
+
+crates/bench/src/bin/tab3_feasible_sets.rs:

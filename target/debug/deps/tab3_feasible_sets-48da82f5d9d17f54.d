@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab3_feasible_sets-48da82f5d9d17f54.d: crates/bench/src/bin/tab3_feasible_sets.rs
+
+/root/repo/target/debug/deps/tab3_feasible_sets-48da82f5d9d17f54: crates/bench/src/bin/tab3_feasible_sets.rs
+
+crates/bench/src/bin/tab3_feasible_sets.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab3_feasible_sets-7ceb12772ac6c75a.d: crates/bench/src/bin/tab3_feasible_sets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab3_feasible_sets-7ceb12772ac6c75a.rmeta: crates/bench/src/bin/tab3_feasible_sets.rs Cargo.toml
+
+crates/bench/src/bin/tab3_feasible_sets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab4_repetition_scheme-093e40142698713e.d: crates/bench/src/bin/tab4_repetition_scheme.rs
+
+/root/repo/target/debug/deps/tab4_repetition_scheme-093e40142698713e: crates/bench/src/bin/tab4_repetition_scheme.rs
+
+crates/bench/src/bin/tab4_repetition_scheme.rs:

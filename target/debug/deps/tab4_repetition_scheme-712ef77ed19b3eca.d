@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab4_repetition_scheme-712ef77ed19b3eca.d: crates/bench/src/bin/tab4_repetition_scheme.rs
+
+/root/repo/target/debug/deps/tab4_repetition_scheme-712ef77ed19b3eca: crates/bench/src/bin/tab4_repetition_scheme.rs
+
+crates/bench/src/bin/tab4_repetition_scheme.rs:

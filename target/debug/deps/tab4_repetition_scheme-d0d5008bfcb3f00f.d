@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab4_repetition_scheme-d0d5008bfcb3f00f.d: crates/bench/src/bin/tab4_repetition_scheme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab4_repetition_scheme-d0d5008bfcb3f00f.rmeta: crates/bench/src/bin/tab4_repetition_scheme.rs Cargo.toml
+
+crates/bench/src/bin/tab4_repetition_scheme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab5_scheme_ablation-221e4623512dd402.d: crates/bench/src/bin/tab5_scheme_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab5_scheme_ablation-221e4623512dd402.rmeta: crates/bench/src/bin/tab5_scheme_ablation.rs Cargo.toml
+
+crates/bench/src/bin/tab5_scheme_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab5_scheme_ablation-3e8204db2cf4cfe7.d: crates/bench/src/bin/tab5_scheme_ablation.rs
+
+/root/repo/target/debug/deps/tab5_scheme_ablation-3e8204db2cf4cfe7: crates/bench/src/bin/tab5_scheme_ablation.rs
+
+crates/bench/src/bin/tab5_scheme_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab5_scheme_ablation-96daad5ea3cdd5f3.d: crates/bench/src/bin/tab5_scheme_ablation.rs
+
+/root/repo/target/debug/deps/tab5_scheme_ablation-96daad5ea3cdd5f3: crates/bench/src/bin/tab5_scheme_ablation.rs
+
+crates/bench/src/bin/tab5_scheme_ablation.rs:

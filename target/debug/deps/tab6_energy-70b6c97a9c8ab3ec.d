@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab6_energy-70b6c97a9c8ab3ec.d: crates/bench/src/bin/tab6_energy.rs
+
+/root/repo/target/debug/deps/tab6_energy-70b6c97a9c8ab3ec: crates/bench/src/bin/tab6_energy.rs
+
+crates/bench/src/bin/tab6_energy.rs:

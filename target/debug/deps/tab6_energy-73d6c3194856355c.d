@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab6_energy-73d6c3194856355c.d: crates/bench/src/bin/tab6_energy.rs
+
+/root/repo/target/debug/deps/tab6_energy-73d6c3194856355c: crates/bench/src/bin/tab6_energy.rs
+
+crates/bench/src/bin/tab6_energy.rs:

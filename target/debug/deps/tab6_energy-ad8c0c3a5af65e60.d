@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab6_energy-ad8c0c3a5af65e60.d: crates/bench/src/bin/tab6_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab6_energy-ad8c0c3a5af65e60.rmeta: crates/bench/src/bin/tab6_energy.rs Cargo.toml
+
+crates/bench/src/bin/tab6_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab7_owned_rounds-0669ef573d46f705.d: crates/bench/src/bin/tab7_owned_rounds.rs
+
+/root/repo/target/debug/deps/tab7_owned_rounds-0669ef573d46f705: crates/bench/src/bin/tab7_owned_rounds.rs
+
+crates/bench/src/bin/tab7_owned_rounds.rs:

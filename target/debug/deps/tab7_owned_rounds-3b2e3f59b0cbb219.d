@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab7_owned_rounds-3b2e3f59b0cbb219.d: crates/bench/src/bin/tab7_owned_rounds.rs
+
+/root/repo/target/debug/deps/tab7_owned_rounds-3b2e3f59b0cbb219: crates/bench/src/bin/tab7_owned_rounds.rs
+
+crates/bench/src/bin/tab7_owned_rounds.rs:

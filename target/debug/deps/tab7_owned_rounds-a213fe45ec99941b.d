@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab7_owned_rounds-a213fe45ec99941b.d: crates/bench/src/bin/tab7_owned_rounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab7_owned_rounds-a213fe45ec99941b.rmeta: crates/bench/src/bin/tab7_owned_rounds.rs Cargo.toml
+
+crates/bench/src/bin/tab7_owned_rounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/census-0b1af2e0be892b19.d: examples/census.rs
+
+/root/repo/target/debug/examples/census-0b1af2e0be892b19: examples/census.rs
+
+examples/census.rs:

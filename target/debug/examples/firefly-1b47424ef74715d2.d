@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/firefly-1b47424ef74715d2.d: examples/firefly.rs
+
+/root/repo/target/debug/examples/firefly-1b47424ef74715d2: examples/firefly.rs
+
+examples/firefly.rs:

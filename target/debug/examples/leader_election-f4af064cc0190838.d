@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/leader_election-f4af064cc0190838.d: examples/leader_election.rs
+
+/root/repo/target/debug/examples/leader_election-f4af064cc0190838: examples/leader_election.rs
+
+examples/leader_election.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/noise_asymmetry-021029e3555bda7a.d: examples/noise_asymmetry.rs
+
+/root/repo/target/debug/examples/noise_asymmetry-021029e3555bda7a: examples/noise_asymmetry.rs
+
+examples/noise_asymmetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/owners_phase-738f1e14d43947bd.d: examples/owners_phase.rs
+
+/root/repo/target/debug/examples/owners_phase-738f1e14d43947bd: examples/owners_phase.rs
+
+examples/owners_phase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-44b631417d7ad837.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-44b631417d7ad837: examples/quickstart.rs
+
+examples/quickstart.rs:

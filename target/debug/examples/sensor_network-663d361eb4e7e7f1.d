@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensor_network-663d361eb4e7e7f1.d: examples/sensor_network.rs
+
+/root/repo/target/debug/examples/sensor_network-663d361eb4e7e7f1: examples/sensor_network.rs
+
+examples/sensor_network.rs:

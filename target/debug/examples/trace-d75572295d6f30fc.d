@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace-d75572295d6f30fc.d: examples/trace.rs
+
+/root/repo/target/debug/examples/trace-d75572295d6f30fc: examples/trace.rs
+
+examples/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/beeps-361982b2d1519ec0.d: src/bin/beeps.rs
+
+/root/repo/target/release/deps/beeps-361982b2d1519ec0: src/bin/beeps.rs
+
+src/bin/beeps.rs:

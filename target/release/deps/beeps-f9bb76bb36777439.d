@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/beeps-f9bb76bb36777439.d: src/bin/beeps.rs
+
+/root/repo/target/release/deps/beeps-f9bb76bb36777439: src/bin/beeps.rs
+
+src/bin/beeps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/beeps_bench-74b880b368f37104.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libbeeps_bench-74b880b368f37104.rlib: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libbeeps_bench-74b880b368f37104.rmeta: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/runner.rs:

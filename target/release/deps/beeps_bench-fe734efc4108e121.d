@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/beeps_bench-fe734efc4108e121.d: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/beeps_bench-fe734efc4108e121: crates/bench/src/lib.rs crates/bench/src/json.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/json.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/beeps_core-20d525ee84b72752.d: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/hierarchical.rs crates/core/src/one_to_zero.rs crates/core/src/outcome.rs crates/core/src/owned_rounds.rs crates/core/src/owners.rs crates/core/src/params.rs crates/core/src/repetition.rs crates/core/src/rewind.rs crates/core/src/simulator.rs
+
+/root/repo/target/release/deps/beeps_core-20d525ee84b72752: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/hierarchical.rs crates/core/src/one_to_zero.rs crates/core/src/outcome.rs crates/core/src/owned_rounds.rs crates/core/src/owners.rs crates/core/src/params.rs crates/core/src/repetition.rs crates/core/src/rewind.rs crates/core/src/simulator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/driver.rs:
+crates/core/src/hierarchical.rs:
+crates/core/src/one_to_zero.rs:
+crates/core/src/outcome.rs:
+crates/core/src/owned_rounds.rs:
+crates/core/src/owners.rs:
+crates/core/src/params.rs:
+crates/core/src/repetition.rs:
+crates/core/src/rewind.rs:
+crates/core/src/simulator.rs:

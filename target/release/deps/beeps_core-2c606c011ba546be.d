@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/beeps_core-2c606c011ba546be.d: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/hierarchical.rs crates/core/src/one_to_zero.rs crates/core/src/outcome.rs crates/core/src/owned_rounds.rs crates/core/src/owners.rs crates/core/src/params.rs crates/core/src/repetition.rs crates/core/src/rewind.rs crates/core/src/simulator.rs
+
+/root/repo/target/release/deps/libbeeps_core-2c606c011ba546be.rlib: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/hierarchical.rs crates/core/src/one_to_zero.rs crates/core/src/outcome.rs crates/core/src/owned_rounds.rs crates/core/src/owners.rs crates/core/src/params.rs crates/core/src/repetition.rs crates/core/src/rewind.rs crates/core/src/simulator.rs
+
+/root/repo/target/release/deps/libbeeps_core-2c606c011ba546be.rmeta: crates/core/src/lib.rs crates/core/src/driver.rs crates/core/src/hierarchical.rs crates/core/src/one_to_zero.rs crates/core/src/outcome.rs crates/core/src/owned_rounds.rs crates/core/src/owners.rs crates/core/src/params.rs crates/core/src/repetition.rs crates/core/src/rewind.rs crates/core/src/simulator.rs
+
+crates/core/src/lib.rs:
+crates/core/src/driver.rs:
+crates/core/src/hierarchical.rs:
+crates/core/src/one_to_zero.rs:
+crates/core/src/outcome.rs:
+crates/core/src/owned_rounds.rs:
+crates/core/src/owners.rs:
+crates/core/src/params.rs:
+crates/core/src/repetition.rs:
+crates/core/src/rewind.rs:
+crates/core/src/simulator.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/beeps_ecc-33b005a7a89f5225.d: crates/ecc/src/lib.rs crates/ecc/src/bits.rs crates/ecc/src/concat.rs crates/ecc/src/constant_weight.rs crates/ecc/src/gf.rs crates/ecc/src/hadamard.rs crates/ecc/src/random_code.rs crates/ecc/src/repetition.rs crates/ecc/src/rs.rs
+
+/root/repo/target/release/deps/libbeeps_ecc-33b005a7a89f5225.rlib: crates/ecc/src/lib.rs crates/ecc/src/bits.rs crates/ecc/src/concat.rs crates/ecc/src/constant_weight.rs crates/ecc/src/gf.rs crates/ecc/src/hadamard.rs crates/ecc/src/random_code.rs crates/ecc/src/repetition.rs crates/ecc/src/rs.rs
+
+/root/repo/target/release/deps/libbeeps_ecc-33b005a7a89f5225.rmeta: crates/ecc/src/lib.rs crates/ecc/src/bits.rs crates/ecc/src/concat.rs crates/ecc/src/constant_weight.rs crates/ecc/src/gf.rs crates/ecc/src/hadamard.rs crates/ecc/src/random_code.rs crates/ecc/src/repetition.rs crates/ecc/src/rs.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/bits.rs:
+crates/ecc/src/concat.rs:
+crates/ecc/src/constant_weight.rs:
+crates/ecc/src/gf.rs:
+crates/ecc/src/hadamard.rs:
+crates/ecc/src/random_code.rs:
+crates/ecc/src/repetition.rs:
+crates/ecc/src/rs.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/beeps_ecc-95b2b76965458a02.d: crates/ecc/src/lib.rs crates/ecc/src/bits.rs crates/ecc/src/concat.rs crates/ecc/src/constant_weight.rs crates/ecc/src/gf.rs crates/ecc/src/hadamard.rs crates/ecc/src/random_code.rs crates/ecc/src/repetition.rs crates/ecc/src/rs.rs
+
+/root/repo/target/release/deps/beeps_ecc-95b2b76965458a02: crates/ecc/src/lib.rs crates/ecc/src/bits.rs crates/ecc/src/concat.rs crates/ecc/src/constant_weight.rs crates/ecc/src/gf.rs crates/ecc/src/hadamard.rs crates/ecc/src/random_code.rs crates/ecc/src/repetition.rs crates/ecc/src/rs.rs
+
+crates/ecc/src/lib.rs:
+crates/ecc/src/bits.rs:
+crates/ecc/src/concat.rs:
+crates/ecc/src/constant_weight.rs:
+crates/ecc/src/gf.rs:
+crates/ecc/src/hadamard.rs:
+crates/ecc/src/random_code.rs:
+crates/ecc/src/repetition.rs:
+crates/ecc/src/rs.rs:

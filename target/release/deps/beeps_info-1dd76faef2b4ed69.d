@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/beeps_info-1dd76faef2b4ed69.d: crates/info/src/lib.rs crates/info/src/entropy.rs crates/info/src/lemmas.rs crates/info/src/stats.rs crates/info/src/tail.rs
+
+/root/repo/target/release/deps/libbeeps_info-1dd76faef2b4ed69.rlib: crates/info/src/lib.rs crates/info/src/entropy.rs crates/info/src/lemmas.rs crates/info/src/stats.rs crates/info/src/tail.rs
+
+/root/repo/target/release/deps/libbeeps_info-1dd76faef2b4ed69.rmeta: crates/info/src/lib.rs crates/info/src/entropy.rs crates/info/src/lemmas.rs crates/info/src/stats.rs crates/info/src/tail.rs
+
+crates/info/src/lib.rs:
+crates/info/src/entropy.rs:
+crates/info/src/lemmas.rs:
+crates/info/src/stats.rs:
+crates/info/src/tail.rs:

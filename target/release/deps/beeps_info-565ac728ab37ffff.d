@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/beeps_info-565ac728ab37ffff.d: crates/info/src/lib.rs crates/info/src/entropy.rs crates/info/src/lemmas.rs crates/info/src/stats.rs crates/info/src/tail.rs
+
+/root/repo/target/release/deps/beeps_info-565ac728ab37ffff: crates/info/src/lib.rs crates/info/src/entropy.rs crates/info/src/lemmas.rs crates/info/src/stats.rs crates/info/src/tail.rs
+
+crates/info/src/lib.rs:
+crates/info/src/entropy.rs:
+crates/info/src/lemmas.rs:
+crates/info/src/stats.rs:
+crates/info/src/tail.rs:

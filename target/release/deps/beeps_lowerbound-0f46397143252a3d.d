@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/beeps_lowerbound-0f46397143252a3d.d: crates/lowerbound/src/lib.rs crates/lowerbound/src/crossover.rs crates/lowerbound/src/theorem_c3.rs crates/lowerbound/src/zeta.rs
+
+/root/repo/target/release/deps/libbeeps_lowerbound-0f46397143252a3d.rlib: crates/lowerbound/src/lib.rs crates/lowerbound/src/crossover.rs crates/lowerbound/src/theorem_c3.rs crates/lowerbound/src/zeta.rs
+
+/root/repo/target/release/deps/libbeeps_lowerbound-0f46397143252a3d.rmeta: crates/lowerbound/src/lib.rs crates/lowerbound/src/crossover.rs crates/lowerbound/src/theorem_c3.rs crates/lowerbound/src/zeta.rs
+
+crates/lowerbound/src/lib.rs:
+crates/lowerbound/src/crossover.rs:
+crates/lowerbound/src/theorem_c3.rs:
+crates/lowerbound/src/zeta.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/beeps_lowerbound-6690f5e28099b22c.d: crates/lowerbound/src/lib.rs crates/lowerbound/src/crossover.rs crates/lowerbound/src/theorem_c3.rs crates/lowerbound/src/zeta.rs
+
+/root/repo/target/release/deps/beeps_lowerbound-6690f5e28099b22c: crates/lowerbound/src/lib.rs crates/lowerbound/src/crossover.rs crates/lowerbound/src/theorem_c3.rs crates/lowerbound/src/zeta.rs
+
+crates/lowerbound/src/lib.rs:
+crates/lowerbound/src/crossover.rs:
+crates/lowerbound/src/theorem_c3.rs:
+crates/lowerbound/src/zeta.rs:

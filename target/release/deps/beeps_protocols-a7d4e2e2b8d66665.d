@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/beeps_protocols-a7d4e2e2b8d66665.d: crates/protocols/src/lib.rs crates/protocols/src/broadcast.rs crates/protocols/src/census.rs crates/protocols/src/combinators.rs crates/protocols/src/firefly.rs crates/protocols/src/input_set.rs crates/protocols/src/leader.rs crates/protocols/src/membership.rs crates/protocols/src/multi_or.rs crates/protocols/src/pointer_chase.rs crates/protocols/src/roll_call.rs
+
+/root/repo/target/release/deps/beeps_protocols-a7d4e2e2b8d66665: crates/protocols/src/lib.rs crates/protocols/src/broadcast.rs crates/protocols/src/census.rs crates/protocols/src/combinators.rs crates/protocols/src/firefly.rs crates/protocols/src/input_set.rs crates/protocols/src/leader.rs crates/protocols/src/membership.rs crates/protocols/src/multi_or.rs crates/protocols/src/pointer_chase.rs crates/protocols/src/roll_call.rs
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/broadcast.rs:
+crates/protocols/src/census.rs:
+crates/protocols/src/combinators.rs:
+crates/protocols/src/firefly.rs:
+crates/protocols/src/input_set.rs:
+crates/protocols/src/leader.rs:
+crates/protocols/src/membership.rs:
+crates/protocols/src/multi_or.rs:
+crates/protocols/src/pointer_chase.rs:
+crates/protocols/src/roll_call.rs:

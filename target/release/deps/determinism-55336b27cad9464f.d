@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-55336b27cad9464f.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-55336b27cad9464f: tests/determinism.rs
+
+tests/determinism.rs:

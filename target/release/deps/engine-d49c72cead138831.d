@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-d49c72cead138831.d: crates/bench/tests/engine.rs
+
+/root/repo/target/release/deps/engine-d49c72cead138831: crates/bench/tests/engine.rs
+
+crates/bench/tests/engine.rs:

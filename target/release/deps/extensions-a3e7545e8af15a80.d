@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-a3e7545e8af15a80.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-a3e7545e8af15a80: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-21ea0dd68a0bf4cb.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-21ea0dd68a0bf4cb: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_upper_bound_overhead-6a2046a1eee7b6aa.d: crates/bench/src/bin/fig1_upper_bound_overhead.rs
+
+/root/repo/target/release/deps/fig1_upper_bound_overhead-6a2046a1eee7b6aa: crates/bench/src/bin/fig1_upper_bound_overhead.rs
+
+crates/bench/src/bin/fig1_upper_bound_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_upper_bound_overhead-ca136fbcd3b396d9.d: crates/bench/src/bin/fig1_upper_bound_overhead.rs
+
+/root/repo/target/release/deps/fig1_upper_bound_overhead-ca136fbcd3b396d9: crates/bench/src/bin/fig1_upper_bound_overhead.rs
+
+crates/bench/src/bin/fig1_upper_bound_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_lower_bound_crossover-11fad4be9be01ac9.d: crates/bench/src/bin/fig2_lower_bound_crossover.rs
+
+/root/repo/target/release/deps/fig2_lower_bound_crossover-11fad4be9be01ac9: crates/bench/src/bin/fig2_lower_bound_crossover.rs
+
+crates/bench/src/bin/fig2_lower_bound_crossover.rs:

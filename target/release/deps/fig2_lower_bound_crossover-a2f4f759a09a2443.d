@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_lower_bound_crossover-a2f4f759a09a2443.d: crates/bench/src/bin/fig2_lower_bound_crossover.rs
+
+/root/repo/target/release/deps/fig2_lower_bound_crossover-a2f4f759a09a2443: crates/bench/src/bin/fig2_lower_bound_crossover.rs
+
+crates/bench/src/bin/fig2_lower_bound_crossover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_noise_asymmetry-76b992b92920c61e.d: crates/bench/src/bin/fig3_noise_asymmetry.rs
+
+/root/repo/target/release/deps/fig3_noise_asymmetry-76b992b92920c61e: crates/bench/src/bin/fig3_noise_asymmetry.rs
+
+crates/bench/src/bin/fig3_noise_asymmetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_noise_asymmetry-f7022f82633ef5e2.d: crates/bench/src/bin/fig3_noise_asymmetry.rs
+
+/root/repo/target/release/deps/fig3_noise_asymmetry-f7022f82633ef5e2: crates/bench/src/bin/fig3_noise_asymmetry.rs
+
+crates/bench/src/bin/fig3_noise_asymmetry.rs:

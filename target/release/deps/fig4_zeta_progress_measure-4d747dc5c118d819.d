@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_zeta_progress_measure-4d747dc5c118d819.d: crates/bench/src/bin/fig4_zeta_progress_measure.rs
+
+/root/repo/target/release/deps/fig4_zeta_progress_measure-4d747dc5c118d819: crates/bench/src/bin/fig4_zeta_progress_measure.rs
+
+crates/bench/src/bin/fig4_zeta_progress_measure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_zeta_progress_measure-7f1c2c83270b17f4.d: crates/bench/src/bin/fig4_zeta_progress_measure.rs
+
+/root/repo/target/release/deps/fig4_zeta_progress_measure-7f1c2c83270b17f4: crates/bench/src/bin/fig4_zeta_progress_measure.rs
+
+crates/bench/src/bin/fig4_zeta_progress_measure.rs:

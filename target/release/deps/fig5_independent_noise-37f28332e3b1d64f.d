@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_independent_noise-37f28332e3b1d64f.d: crates/bench/src/bin/fig5_independent_noise.rs
+
+/root/repo/target/release/deps/fig5_independent_noise-37f28332e3b1d64f: crates/bench/src/bin/fig5_independent_noise.rs
+
+crates/bench/src/bin/fig5_independent_noise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_independent_noise-8d0d57a8d169ce5c.d: crates/bench/src/bin/fig5_independent_noise.rs
+
+/root/repo/target/release/deps/fig5_independent_noise-8d0d57a8d169ce5c: crates/bench/src/bin/fig5_independent_noise.rs
+
+crates/bench/src/bin/fig5_independent_noise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_phase_breakdown-0d75296f62d15f3f.d: crates/bench/src/bin/fig6_phase_breakdown.rs
+
+/root/repo/target/release/deps/fig6_phase_breakdown-0d75296f62d15f3f: crates/bench/src/bin/fig6_phase_breakdown.rs
+
+crates/bench/src/bin/fig6_phase_breakdown.rs:

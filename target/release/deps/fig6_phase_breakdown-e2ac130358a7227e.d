@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_phase_breakdown-e2ac130358a7227e.d: crates/bench/src/bin/fig6_phase_breakdown.rs
+
+/root/repo/target/release/deps/fig6_phase_breakdown-e2ac130358a7227e: crates/bench/src/bin/fig6_phase_breakdown.rs
+
+crates/bench/src/bin/fig6_phase_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_chunk_sweep-48504d9d0cf329ee.d: crates/bench/src/bin/fig7_chunk_sweep.rs
+
+/root/repo/target/release/deps/fig7_chunk_sweep-48504d9d0cf329ee: crates/bench/src/bin/fig7_chunk_sweep.rs
+
+crates/bench/src/bin/fig7_chunk_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_chunk_sweep-b4d0c9b1eafd52a4.d: crates/bench/src/bin/fig7_chunk_sweep.rs
+
+/root/repo/target/release/deps/fig7_chunk_sweep-b4d0c9b1eafd52a4: crates/bench/src/bin/fig7_chunk_sweep.rs
+
+crates/bench/src/bin/fig7_chunk_sweep.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/noisy_beeps-898cb5506a814341.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/noisy_beeps-898cb5506a814341: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/noisy_beeps-c22ebb383a068cae.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libnoisy_beeps-c22ebb383a068cae.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libnoisy_beeps-c22ebb383a068cae.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/owners_theorem_d1-df1c5417d25df295.d: tests/owners_theorem_d1.rs
+
+/root/repo/target/release/deps/owners_theorem_d1-df1c5417d25df295: tests/owners_theorem_d1.rs
+
+tests/owners_theorem_d1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-26262395f66c464f.d: crates/ecc/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-26262395f66c464f: crates/ecc/tests/proptests.rs
+
+crates/ecc/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-61556f7b96d382bd.d: crates/info/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-61556f7b96d382bd: crates/info/tests/proptests.rs
+
+crates/info/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-63524d1dca6ec92c.d: crates/channel/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-63524d1dca6ec92c: crates/channel/tests/proptests.rs
+
+crates/channel/tests/proptests.rs:

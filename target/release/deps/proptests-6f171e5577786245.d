@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-6f171e5577786245.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-6f171e5577786245: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

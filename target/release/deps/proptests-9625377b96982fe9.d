@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-9625377b96982fe9.d: crates/protocols/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-9625377b96982fe9: crates/protocols/tests/proptests.rs
+
+crates/protocols/tests/proptests.rs:

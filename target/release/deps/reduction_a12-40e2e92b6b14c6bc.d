@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reduction_a12-40e2e92b6b14c6bc.d: tests/reduction_a12.rs
+
+/root/repo/target/release/deps/reduction_a12-40e2e92b6b14c6bc: tests/reduction_a12.rs
+
+tests/reduction_a12.rs:

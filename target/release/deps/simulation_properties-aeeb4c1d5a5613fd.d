@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulation_properties-aeeb4c1d5a5613fd.d: tests/simulation_properties.rs
+
+/root/repo/target/release/deps/simulation_properties-aeeb4c1d5a5613fd: tests/simulation_properties.rs
+
+tests/simulation_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-d10e029e335b0ec0.d: tests/stress.rs
+
+/root/repo/target/release/deps/stress-d10e029e335b0ec0: tests/stress.rs
+
+tests/stress.rs:

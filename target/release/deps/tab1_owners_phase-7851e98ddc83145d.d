@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab1_owners_phase-7851e98ddc83145d.d: crates/bench/src/bin/tab1_owners_phase.rs
+
+/root/repo/target/release/deps/tab1_owners_phase-7851e98ddc83145d: crates/bench/src/bin/tab1_owners_phase.rs
+
+crates/bench/src/bin/tab1_owners_phase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab1_owners_phase-a58154d99520385a.d: crates/bench/src/bin/tab1_owners_phase.rs
+
+/root/repo/target/release/deps/tab1_owners_phase-a58154d99520385a: crates/bench/src/bin/tab1_owners_phase.rs
+
+crates/bench/src/bin/tab1_owners_phase.rs:

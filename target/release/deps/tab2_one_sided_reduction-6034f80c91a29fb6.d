@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab2_one_sided_reduction-6034f80c91a29fb6.d: crates/bench/src/bin/tab2_one_sided_reduction.rs
+
+/root/repo/target/release/deps/tab2_one_sided_reduction-6034f80c91a29fb6: crates/bench/src/bin/tab2_one_sided_reduction.rs
+
+crates/bench/src/bin/tab2_one_sided_reduction.rs:

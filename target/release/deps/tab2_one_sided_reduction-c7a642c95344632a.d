@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab2_one_sided_reduction-c7a642c95344632a.d: crates/bench/src/bin/tab2_one_sided_reduction.rs
+
+/root/repo/target/release/deps/tab2_one_sided_reduction-c7a642c95344632a: crates/bench/src/bin/tab2_one_sided_reduction.rs
+
+crates/bench/src/bin/tab2_one_sided_reduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab3_feasible_sets-60d39ececd7a1de0.d: crates/bench/src/bin/tab3_feasible_sets.rs
+
+/root/repo/target/release/deps/tab3_feasible_sets-60d39ececd7a1de0: crates/bench/src/bin/tab3_feasible_sets.rs
+
+crates/bench/src/bin/tab3_feasible_sets.rs:

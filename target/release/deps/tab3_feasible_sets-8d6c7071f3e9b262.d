@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab3_feasible_sets-8d6c7071f3e9b262.d: crates/bench/src/bin/tab3_feasible_sets.rs
+
+/root/repo/target/release/deps/tab3_feasible_sets-8d6c7071f3e9b262: crates/bench/src/bin/tab3_feasible_sets.rs
+
+crates/bench/src/bin/tab3_feasible_sets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab4_repetition_scheme-529b2f8ad3c719a2.d: crates/bench/src/bin/tab4_repetition_scheme.rs
+
+/root/repo/target/release/deps/tab4_repetition_scheme-529b2f8ad3c719a2: crates/bench/src/bin/tab4_repetition_scheme.rs
+
+crates/bench/src/bin/tab4_repetition_scheme.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab4_repetition_scheme-bb0f8558ea50c42b.d: crates/bench/src/bin/tab4_repetition_scheme.rs
+
+/root/repo/target/release/deps/tab4_repetition_scheme-bb0f8558ea50c42b: crates/bench/src/bin/tab4_repetition_scheme.rs
+
+crates/bench/src/bin/tab4_repetition_scheme.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab5_scheme_ablation-8867af9e1ce6dcd1.d: crates/bench/src/bin/tab5_scheme_ablation.rs
+
+/root/repo/target/release/deps/tab5_scheme_ablation-8867af9e1ce6dcd1: crates/bench/src/bin/tab5_scheme_ablation.rs
+
+crates/bench/src/bin/tab5_scheme_ablation.rs:

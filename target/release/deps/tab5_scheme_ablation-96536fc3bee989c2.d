@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab5_scheme_ablation-96536fc3bee989c2.d: crates/bench/src/bin/tab5_scheme_ablation.rs
+
+/root/repo/target/release/deps/tab5_scheme_ablation-96536fc3bee989c2: crates/bench/src/bin/tab5_scheme_ablation.rs
+
+crates/bench/src/bin/tab5_scheme_ablation.rs:

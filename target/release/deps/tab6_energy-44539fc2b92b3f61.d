@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab6_energy-44539fc2b92b3f61.d: crates/bench/src/bin/tab6_energy.rs
+
+/root/repo/target/release/deps/tab6_energy-44539fc2b92b3f61: crates/bench/src/bin/tab6_energy.rs
+
+crates/bench/src/bin/tab6_energy.rs:

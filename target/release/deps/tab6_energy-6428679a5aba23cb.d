@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab6_energy-6428679a5aba23cb.d: crates/bench/src/bin/tab6_energy.rs
+
+/root/repo/target/release/deps/tab6_energy-6428679a5aba23cb: crates/bench/src/bin/tab6_energy.rs
+
+crates/bench/src/bin/tab6_energy.rs:

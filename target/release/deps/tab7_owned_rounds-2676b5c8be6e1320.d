@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab7_owned_rounds-2676b5c8be6e1320.d: crates/bench/src/bin/tab7_owned_rounds.rs
+
+/root/repo/target/release/deps/tab7_owned_rounds-2676b5c8be6e1320: crates/bench/src/bin/tab7_owned_rounds.rs
+
+crates/bench/src/bin/tab7_owned_rounds.rs:

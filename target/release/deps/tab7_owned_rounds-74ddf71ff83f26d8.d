@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab7_owned_rounds-74ddf71ff83f26d8.d: crates/bench/src/bin/tab7_owned_rounds.rs
+
+/root/repo/target/release/deps/tab7_owned_rounds-74ddf71ff83f26d8: crates/bench/src/bin/tab7_owned_rounds.rs
+
+crates/bench/src/bin/tab7_owned_rounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/census-bc898b2c4cc2af46.d: examples/census.rs
+
+/root/repo/target/release/examples/census-bc898b2c4cc2af46: examples/census.rs
+
+examples/census.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/firefly-194ddcb605e3e3dc.d: examples/firefly.rs
+
+/root/repo/target/release/examples/firefly-194ddcb605e3e3dc: examples/firefly.rs
+
+examples/firefly.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/leader_election-f3cb44fa067cc68b.d: examples/leader_election.rs
+
+/root/repo/target/release/examples/leader_election-f3cb44fa067cc68b: examples/leader_election.rs
+
+examples/leader_election.rs:

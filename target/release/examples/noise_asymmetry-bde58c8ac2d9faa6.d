@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/noise_asymmetry-bde58c8ac2d9faa6.d: examples/noise_asymmetry.rs
+
+/root/repo/target/release/examples/noise_asymmetry-bde58c8ac2d9faa6: examples/noise_asymmetry.rs
+
+examples/noise_asymmetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/owners_phase-7c6cf56589dc954c.d: examples/owners_phase.rs
+
+/root/repo/target/release/examples/owners_phase-7c6cf56589dc954c: examples/owners_phase.rs
+
+examples/owners_phase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e890468aa3fb3dd1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e890468aa3fb3dd1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sensor_network-64f7cebe290dec56.d: examples/sensor_network.rs
+
+/root/repo/target/release/examples/sensor_network-64f7cebe290dec56: examples/sensor_network.rs
+
+examples/sensor_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace-e227a30dd35e456e.d: examples/trace.rs
+
+/root/repo/target/release/examples/trace-e227a30dd35e456e: examples/trace.rs
+
+examples/trace.rs:

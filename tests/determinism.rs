@@ -37,7 +37,7 @@ fn all_simulators_are_seed_deterministic() {
     let p = InputSet::new(n);
     let inputs = [1usize, 4, 8, 2, 9];
     let model = NoiseModel::Correlated { epsilon: 0.15 };
-    let config = SimulatorConfig::for_channel(n, model);
+    let config = SimulatorConfig::builder(n).model(model).build();
 
     let a = RepetitionSimulator::new(&p, config.clone())
         .simulate(&inputs, model, 7)
@@ -74,7 +74,7 @@ fn all_simulators_are_seed_deterministic() {
 
     let rc = RollCall::new(n);
     let bits = [true, false, true, true, false];
-    let cfg = SimulatorConfig::for_channel(n, model);
+    let cfg = SimulatorConfig::builder(n).model(model).build();
     let a = OwnedRoundsSimulator::new(&rc, cfg.clone())
         .simulate(&bits, model, 7)
         .unwrap();

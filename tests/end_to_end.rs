@@ -20,7 +20,9 @@ fn check_schemes<P: Protocol>(
     min_good: usize,
 ) {
     let truth = run_noiseless(protocol, inputs);
-    let config = SimulatorConfig::for_channel(protocol.num_parties(), model);
+    let config = SimulatorConfig::builder(protocol.num_parties())
+        .model(model)
+        .build();
 
     let rep = RepetitionSimulator::new(protocol, config.clone());
     let mut good = 0;
@@ -185,7 +187,7 @@ fn overhead_ordering_matches_theory() {
         .unwrap();
 
     let up = NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 };
-    let r = RewindSimulator::new(&p, SimulatorConfig::for_channel(n, up))
+    let r = RewindSimulator::new(&p, SimulatorConfig::builder(n).model(up).build())
         .simulate(&inputs, up, 1)
         .unwrap();
 

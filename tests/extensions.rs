@@ -19,7 +19,7 @@ fn hierarchical_simulator_over_scripted_adversary() {
     let inputs = [1usize, 3, 4, 6];
     let truth = run_noiseless(&p, &inputs);
     let model = NoiseModel::Correlated { epsilon: 0.2 };
-    let config = SimulatorConfig::for_channel(n, model);
+    let config = SimulatorConfig::builder(n).model(model).build();
     let r = config.repetitions;
     let sim = HierarchicalSimulator::new(&p, config);
     let mut flips = vec![false; r];
@@ -44,7 +44,7 @@ fn pointer_chase_protected_by_both_theorem_1_2_schemes() {
     ];
     let truth = run_noiseless(&p, &tables);
     let model = NoiseModel::Correlated { epsilon: 0.1 };
-    let config = SimulatorConfig::for_channel(3, model);
+    let config = SimulatorConfig::builder(3).model(model).build();
 
     let rewind = RewindSimulator::new(&p, config.clone());
     let hier = HierarchicalSimulator::new(&p, config);
@@ -69,7 +69,7 @@ fn chained_pipeline_simulates_exactly() {
     let inputs = [true, true, false, true];
     let truth = run_noiseless(&p, &inputs);
     let model = NoiseModel::Correlated { epsilon: 0.1 };
-    let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(4, model));
+    let sim = RewindSimulator::new(&p, SimulatorConfig::builder(4).model(model).build());
     let mut good = 0;
     for seed in 0..6 {
         if let Ok(out) = sim.simulate(&inputs, model, seed) {
@@ -85,7 +85,7 @@ fn parallel_repeat_simulates_exactly() {
     let inputs = [0usize, 0x2A, 0];
     let truth = run_noiseless(&p, &inputs);
     let model = NoiseModel::OneSidedZeroToOne { epsilon: 0.25 };
-    let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(3, model));
+    let sim = RewindSimulator::new(&p, SimulatorConfig::builder(3).model(model).build());
     let out = sim.simulate(&inputs, model, 7).unwrap();
     assert_eq!(out.outputs(), truth.outputs());
     assert_eq!(out.outputs()[0], vec![0x2A, 0x2A, 0x2A]);
@@ -125,7 +125,7 @@ fn simulators_work_over_the_adversary_channel() {
     let inputs: Vec<usize> = (0..n).map(|i| (5 * i) % (2 * n)).collect();
     let truth = run_noiseless(&p, &inputs);
     let model = NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 };
-    let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+    let sim = RewindSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
     let mut good = 0;
     for seed in 0..6 {
         let mut ch =
@@ -152,7 +152,7 @@ fn rewind_scheme_survives_burst_noise() {
     let model = NoiseModel::Correlated {
         epsilon: stationary.max(0.05),
     };
-    let mut config = SimulatorConfig::for_channel(n, model);
+    let mut config = SimulatorConfig::builder(n).model(model).build();
     config.budget_factor = 24.0;
     let sim = RewindSimulator::new(&p, config);
     let mut good = 0;
@@ -177,7 +177,7 @@ fn phase_round_accounting_is_complete_and_owners_dominated() {
     let p = InputSet::new(n);
     let inputs: Vec<usize> = (0..n).map(|i| (3 * i) % (2 * n)).collect();
     let model = NoiseModel::Correlated { epsilon: 0.1 };
-    let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+    let sim = RewindSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
     let out = sim.simulate(&inputs, model, 5).unwrap();
     let ph = out.stats().phase_rounds;
     assert_eq!(
@@ -196,7 +196,7 @@ fn repetition_scheme_attributes_everything_to_chunk_phase() {
     use noisy_beeps::core::RepetitionSimulator;
     let p = InputSet::new(4);
     let model = NoiseModel::Correlated { epsilon: 0.1 };
-    let sim = RepetitionSimulator::new(&p, SimulatorConfig::for_channel(4, model));
+    let sim = RepetitionSimulator::new(&p, SimulatorConfig::builder(4).model(model).build());
     let out = sim.simulate(&[0, 1, 2, 3], model, 1).unwrap();
     let ph = out.stats().phase_rounds;
     assert_eq!(ph.chunk, out.stats().channel_rounds);
@@ -213,7 +213,7 @@ fn low_energy_code_cuts_owners_phase_energy() {
     let inputs: Vec<usize> = (0..n).map(|i| (5 * i + 1) % (2 * n)).collect();
     let truth = run_noiseless(&p, &inputs);
     let model = NoiseModel::OneSidedZeroToOne { epsilon: 1.0 / 3.0 };
-    let base = SimulatorConfig::for_channel(n, model);
+    let base = SimulatorConfig::builder(n).model(model).build();
     let mut frugal = base.clone();
     // A third of the length keeps decoding reliable (enough distinguishing
     // ones under Z noise) while roughly halving the per-word energy

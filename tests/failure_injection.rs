@@ -10,7 +10,9 @@ use noisy_beeps::protocols::{InputSet, MultiOr};
 fn config_for(n: usize) -> SimulatorConfig {
     // Thresholds for a two-sided channel; the scripts below corrupt rounds
     // deterministically.
-    SimulatorConfig::for_channel(n, NoiseModel::Correlated { epsilon: 0.2 })
+    SimulatorConfig::builder(n)
+        .model(NoiseModel::Correlated { epsilon: 0.2 })
+        .build()
 }
 
 #[test]

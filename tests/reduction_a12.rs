@@ -79,7 +79,7 @@ fn simulation_succeeds_over_the_reduced_channel() {
     let inputs: Vec<usize> = (0..n).map(|i| (5 * i + 1) % (2 * n)).collect();
     let truth = run_noiseless(&p, &inputs);
     let model = NoiseModel::Correlated { epsilon: 0.25 };
-    let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+    let sim = RewindSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
 
     let mut good = 0;
     let trials = 6;
@@ -120,7 +120,7 @@ fn channel_trait_is_object_safe_across_implementations() {
     let p = InputSet::new(3);
     let inputs = [0usize, 2, 4];
     let model = NoiseModel::Correlated { epsilon: 0.1 };
-    let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(3, model));
+    let sim = RewindSimulator::new(&p, SimulatorConfig::builder(3).model(model).build());
 
     let mut channels: Vec<Box<dyn Channel>> = vec![
         Box::new(StochasticChannel::new(3, model, 1)),

@@ -78,7 +78,7 @@ proptest! {
         let inputs: Vec<u64> = (0..n as u64).map(|i| inputs_seed.wrapping_add(i * 7919)).collect();
         let truth = run_noiseless(&p, &inputs);
 
-        let mut config = SimulatorConfig::for_channel(n, NoiseModel::Noiseless);
+        let mut config = SimulatorConfig::builder(n).model(NoiseModel::Noiseless).build();
         config.repetitions = 1;
         let sim = RepetitionSimulator::new(&p, config.clone());
         let out = sim.simulate(&inputs, NoiseModel::Noiseless, 0).unwrap();
@@ -106,7 +106,7 @@ proptest! {
         let truth = run_noiseless(&p, &inputs);
 
         let model = NoiseModel::Correlated { epsilon: 0.05 };
-        let mut config = SimulatorConfig::for_channel(n, model);
+        let mut config = SimulatorConfig::builder(n).model(model).build();
         config.budget_factor = 16.0;
         let sim = RewindSimulator::new(&p, config);
         // A single seed may legitimately fail (the scheme is randomized);
@@ -136,7 +136,7 @@ proptest! {
         let p = HashProtocol { n, t, salt, density: 300 };
         let inputs: Vec<u64> = (0..n as u64).collect();
         let model = NoiseModel::OneSidedZeroToOne { epsilon: 0.2 };
-        let config = SimulatorConfig::for_channel(n, model);
+        let config = SimulatorConfig::builder(n).model(model).build();
         let sim = RewindSimulator::new(&p, config);
         if let Ok(out) = sim.simulate(&inputs, model, seed) {
             prop_assert_eq!(out.transcript().len(), t);

@@ -22,7 +22,7 @@ fn rewind_scheme_hundreds_of_seeds() {
     let n = 12;
     let p = InputSet::new(n);
     let model = NoiseModel::Correlated { epsilon: 0.15 };
-    let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+    let sim = RewindSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
     let mut rng = StdRng::seed_from_u64(0x57E55);
     let trials = 300u64;
     let mut bad = 0u32;
@@ -43,7 +43,7 @@ fn hierarchical_scheme_hundreds_of_seeds() {
     let n = 10;
     let p = LeaderElection::new(n, 12);
     let model = NoiseModel::Correlated { epsilon: 0.12 };
-    let sim = HierarchicalSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+    let sim = HierarchicalSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
     let mut rng = StdRng::seed_from_u64(0x57E56);
     let trials = 200u64;
     let mut bad = 0u32;
@@ -90,7 +90,7 @@ fn independent_noise_agreement_at_scale() {
     let n = 48;
     let p = InputSet::new(n);
     let model = NoiseModel::Independent { epsilon: 0.1 };
-    let sim = RewindSimulator::new(&p, SimulatorConfig::for_channel(n, model));
+    let sim = RewindSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
     let mut rng = StdRng::seed_from_u64(0x57E58);
     let trials = 30u64;
     let mut disagreements = 0u32;
@@ -123,7 +123,7 @@ fn deep_membership_under_paper_noise() {
     // The heaviest adaptive workload at the paper's exposition rate.
     let p = Membership::new(6, 32);
     let model = NoiseModel::Correlated { epsilon: 1.0 / 3.0 };
-    let mut config = SimulatorConfig::for_channel(6, model);
+    let mut config = SimulatorConfig::builder(6).model(model).build();
     config.budget_factor = 16.0;
     let sim = RewindSimulator::new(&p, config);
     let inputs = [Some(3), Some(17), None, Some(30), None, Some(8)];

@@ -1,0 +1,195 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment for this repository cannot reach crates.io, so
+//! this stub provides the small benchmarking surface the workspace's
+//! `benches/` use: [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is simple wall-clock timing over a fixed batch — good
+//! enough for coarse comparisons, with none of upstream's statistics,
+//! warm-up tuning, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Label for one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs the closure under measurement; see [`Bencher::iter`].
+pub struct Bencher {
+    iterations: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it enough to smooth clock jitter.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call to warm caches before measuring.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<I: Display, R: FnMut(&mut Bencher)>(&mut self, id: I, mut routine: R) {
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed_ns: 0,
+        };
+        routine(&mut bencher);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), &bencher);
+    }
+
+    /// Benchmarks `routine` with an input value threaded through.
+    pub fn bench_with_input<I: Display, T, R: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut routine: R,
+    ) {
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed_ns: 0,
+        };
+        routine(&mut bencher, input);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id), &bencher);
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 50,
+        }
+    }
+
+    /// Benchmarks `routine` as a stand-alone (group-less) benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, mut routine: R) {
+        let mut bencher = Bencher {
+            iterations: 50,
+            elapsed_ns: 0,
+        };
+        routine(&mut bencher);
+        self.report(name, &bencher);
+    }
+
+    fn report(&mut self, label: &str, bencher: &Bencher) {
+        let per_iter = bencher.elapsed_ns / u128::from(bencher.iterations.max(1));
+        println!("bench {label:<56} {:>12} ns/iter", per_iter);
+    }
+}
+
+/// Re-export so `use std::hint::black_box` and criterion-style imports
+/// both work.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group runner, like upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        group.sample_size(5);
+        for n in [10u64, 100] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>());
+            });
+        }
+        group.bench_function("fixed", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_all_benchmarks() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_renders_parameter() {
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+}

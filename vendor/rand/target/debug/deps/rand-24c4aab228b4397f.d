@@ -1,0 +1,5 @@
+/root/repo/vendor/rand/target/debug/deps/rand-24c4aab228b4397f.d: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-24c4aab228b4397f: src/lib.rs
+
+src/lib.rs:
