@@ -13,7 +13,8 @@
 
 use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
-use beeps_core::{RewindSimulator, SimulatorConfig};
+use beeps_core::{RewindSimulator, Simulator, SimulatorConfig};
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::InputSet;
 use rand::Rng;
 
@@ -36,6 +37,7 @@ pub fn main() {
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
+    let mut all_metrics = MetricsRegistry::new();
 
     for n in [4usize, 8, 16, 32, 64, 128] {
         let protocol = InputSet::new(n);
@@ -44,18 +46,20 @@ pub fn main() {
         // Independent seed stream per sweep point; inputs are drawn
         // from the trial's own sub-stream (not one sequential RNG), so
         // trial t is the same regardless of sweep order or threads.
-        let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
-            let mut input_rng = trial.sub_rng(0);
-            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
-            let truth = run_noiseless(&protocol, &inputs);
-            match sim.simulate(&inputs, model, trial.seed) {
-                Ok(out) => (
-                    out.stats().channel_rounds,
-                    out.transcript() == truth.transcript(),
-                ),
-                Err(_) => (0, false),
-            }
-        });
+        let (records, m) =
+            runner.run_with_metrics(trial_seed(base_seed, n as u64), trials, |trial, metrics| {
+                let mut input_rng = trial.sub_rng(0);
+                let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+                let truth = run_noiseless(&protocol, &inputs);
+                match sim.simulate_with_metrics(&inputs, model, trial.seed, metrics) {
+                    Ok(out) => (
+                        out.stats().channel_rounds,
+                        out.transcript() == truth.transcript(),
+                    ),
+                    Err(_) => (0, false),
+                }
+            });
+        all_metrics.merge_from(&m);
         let rounds: usize = records.iter().map(|(r, _)| r).sum();
         let good = records.iter().filter(|(_, ok)| *ok).count();
         let avg = rounds as f64 / trials as f64;
@@ -84,6 +88,7 @@ pub fn main() {
         .field("fit_slope", a)
         .field("fit_intercept", b)
         .field("fit_r2", r2)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

@@ -14,6 +14,7 @@
 
 use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_lowerbound::{min_repetitions_exact, MeasuredCrossover};
+use beeps_metrics::MetricsRegistry;
 
 pub fn main() {
     let eps = 1.0 / 3.0;
@@ -35,16 +36,27 @@ pub fn main() {
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
+    let mut all_metrics = MetricsRegistry::new();
 
     for n in [4usize, 8, 16, 32, 64, 128, 256, 512] {
         let point = min_repetitions_exact(n, eps, target);
         // Monte Carlo through the real simulator for moderate n.
         let measured = if n <= 64 {
             let experiment = MeasuredCrossover::new(n, point.min_repetitions, eps);
-            let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
-                let mut input_rng = trial.sub_rng(0);
-                experiment.trial(&mut input_rng, trial.seed)
-            });
+            let (records, m) = runner.run_with_metrics(
+                trial_seed(base_seed, n as u64),
+                trials,
+                |trial, metrics| {
+                    let mut input_rng = trial.sub_rng(0);
+                    let ok = experiment.trial(&mut input_rng, trial.seed);
+                    metrics.inc(&format!("exp.crossover.n.{n:03}.trials"), 1);
+                    if ok {
+                        metrics.inc(&format!("exp.crossover.n.{n:03}.successes"), 1);
+                    }
+                    ok
+                },
+            );
+            all_metrics.merge_from(&m);
             let good = records.iter().filter(|&&ok| ok).count();
             f3(good as f64 / trials as f64)
         } else {
@@ -74,6 +86,7 @@ pub fn main() {
         .field("fit_slope", a)
         .field("fit_intercept", b)
         .field("fit_r2", r2)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

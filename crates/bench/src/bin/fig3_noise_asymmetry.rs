@@ -16,7 +16,8 @@
 
 use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
-use beeps_core::{OneToZeroSimulator, RewindSimulator, SimulatorConfig};
+use beeps_core::{OneToZeroSimulator, RewindSimulator, Simulator, SimulatorConfig};
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::InputSet;
 use rand::Rng;
 
@@ -38,6 +39,7 @@ pub fn main() {
     let mut xs = Vec::new();
     let mut down_y = Vec::new();
     let mut up_y = Vec::new();
+    let mut all_metrics = MetricsRegistry::new();
 
     for n in [4usize, 8, 16, 32, 64] {
         let protocol = InputSet::new(n);
@@ -47,23 +49,25 @@ pub fn main() {
         let z_sim = OneToZeroSimulator::new(&protocol, 2, 32.0);
         let r_sim = RewindSimulator::new(&protocol, SimulatorConfig::builder(n).model(up).build());
 
-        let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
-            let mut input_rng = trial.sub_rng(0);
-            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
-            let truth = run_noiseless(&protocol, &inputs);
-            let measure = |out: Result<_, _>| {
-                out.ok().map(|o: beeps_core::SimOutcome<_>| {
-                    (
-                        o.stats().channel_rounds,
-                        o.transcript() == truth.transcript(),
-                    )
-                })
-            };
-            (
-                measure(z_sim.simulate(&inputs, down, trial.seed)),
-                measure(r_sim.simulate(&inputs, up, trial.seed)),
-            )
-        });
+        let (records, m) =
+            runner.run_with_metrics(trial_seed(base_seed, n as u64), trials, |trial, metrics| {
+                let mut input_rng = trial.sub_rng(0);
+                let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+                let truth = run_noiseless(&protocol, &inputs);
+                let measure = |out: Result<_, _>| {
+                    out.ok().map(|o: beeps_core::SimOutcome<_>| {
+                        (
+                            o.stats().channel_rounds,
+                            o.transcript() == truth.transcript(),
+                        )
+                    })
+                };
+                (
+                    measure(z_sim.simulate_with_metrics(&inputs, down, trial.seed, metrics)),
+                    measure(r_sim.simulate_with_metrics(&inputs, up, trial.seed, metrics)),
+                )
+            });
+        all_metrics.merge_from(&m);
 
         let mut z_rounds = 0usize;
         let mut z_good = 0u32;
@@ -109,6 +113,7 @@ pub fn main() {
         .field("epsilon", eps)
         .field("slope_one_to_zero", a_down)
         .field("slope_zero_to_one", a_up)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

@@ -19,6 +19,7 @@
 use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_protocol, NoiseModel, Protocol};
 use beeps_lowerbound::ZetaAnalyzer;
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::RepeatedInputSet;
 use rand::Rng;
 
@@ -36,6 +37,7 @@ pub fn main() {
         &["r", "T", "max zeta | G", "mean zeta | G", "C.2 ceiling", "C.3 floor", "G freq"],
     );
     let needed = (n as f64).powf(-0.75);
+    let mut all_metrics = MetricsRegistry::new();
 
     for r in [1usize, 2, 4, 8, 16] {
         let thr = ((r as f64) * (1.0 + eps) / 2.0).ceil() as usize;
@@ -44,16 +46,26 @@ pub fn main() {
         let analyzer = ZetaAnalyzer::new(&p, eps);
         let ceiling = analyzer.theorem_c2_bound(t_len);
 
-        let records = runner.run(trial_seed(base_seed, r as u64), samples, |trial| {
-            let mut input_rng = trial.sub_rng(0);
-            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
-            let exec = run_protocol(&p, &inputs, model, trial.seed);
-            let pi = exec.views().shared().expect("one-sided noise is shared");
-            analyzer
-                .analyze(&inputs, pi)
-                .filter(|report| report.event_g)
-                .map(|report| report.zeta)
-        });
+        let (records, m) = runner.run_with_metrics(
+            trial_seed(base_seed, r as u64),
+            samples,
+            |trial, metrics| {
+                let mut input_rng = trial.sub_rng(0);
+                let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+                let exec = run_protocol(&p, &inputs, model, trial.seed);
+                let pi = exec.views().shared().expect("one-sided noise is shared");
+                metrics.inc(&format!("exp.zeta.r.{r:03}.samples"), 1);
+                let zeta = analyzer
+                    .analyze(&inputs, pi)
+                    .filter(|report| report.event_g)
+                    .map(|report| report.zeta);
+                if zeta.is_some() {
+                    metrics.inc(&format!("exp.zeta.r.{r:03}.event_g"), 1);
+                }
+                zeta
+            },
+        );
+        all_metrics.merge_from(&m);
 
         let mut max_zeta: f64 = 0.0;
         let mut sum_zeta = 0.0f64;
@@ -122,6 +134,7 @@ pub fn main() {
         .field("epsilon", eps)
         .field("c3_floor", needed)
         .table(&table)
-        .table(&audit_table);
+        .table(&audit_table)
+        .metrics(&all_metrics);
     log.save();
 }

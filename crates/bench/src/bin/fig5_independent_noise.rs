@@ -13,7 +13,8 @@
 
 use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
-use beeps_core::{RewindSimulator, SimulatorConfig};
+use beeps_core::{RewindSimulator, Simulator, SimulatorConfig};
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::InputSet;
 use rand::Rng;
 
@@ -27,23 +28,28 @@ pub fn main() {
         &format!("E8: rewind scheme over independent noise (eps={eps})"),
         &["n", "overhead", "success", "agreement"],
     );
+    let mut all_metrics = MetricsRegistry::new();
 
     for n in [4usize, 8, 16, 32, 64] {
         let protocol = InputSet::new(n);
         let sim = RewindSimulator::new(&protocol, SimulatorConfig::builder(n).model(model).build());
 
-        let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
-            let mut input_rng = trial.sub_rng(0);
-            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
-            let truth = run_noiseless(&protocol, &inputs);
-            sim.simulate(&inputs, model, trial.seed).ok().map(|out| {
-                (
-                    out.stats().channel_rounds,
-                    out.transcript() == truth.transcript(),
-                    out.stats().agreement,
-                )
-            })
-        });
+        let (records, m) =
+            runner.run_with_metrics(trial_seed(base_seed, n as u64), trials, |trial, metrics| {
+                let mut input_rng = trial.sub_rng(0);
+                let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+                let truth = run_noiseless(&protocol, &inputs);
+                sim.simulate_with_metrics(&inputs, model, trial.seed, metrics)
+                    .ok()
+                    .map(|out| {
+                        (
+                            out.stats().channel_rounds,
+                            out.transcript() == truth.transcript(),
+                            out.stats().agreement,
+                        )
+                    })
+            });
+        all_metrics.merge_from(&m);
 
         let mut rounds = 0usize;
         let mut good = 0u32;
@@ -71,6 +77,7 @@ pub fn main() {
     log.field("base_seed", base_seed)
         .field("trials", trials)
         .field("epsilon", eps)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

@@ -17,7 +17,8 @@
 
 use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{NoiseModel, Protocol};
-use beeps_core::{RewindSimulator, SimulatorConfig};
+use beeps_core::{RewindSimulator, Simulator, SimulatorConfig};
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::InputSet;
 use rand::Rng;
 
@@ -30,22 +31,27 @@ pub fn main() {
         "E13: rewind-scheme rounds by phase, InputSet_n at eps=0.1 (per protocol round)",
         &["n", "chunk sim", "owners", "verify", "owners share"],
     );
+    let mut all_metrics = MetricsRegistry::new();
 
     for n in [4usize, 8, 16, 32, 64] {
         let p = InputSet::new(n);
         let sim = RewindSimulator::new(&p, SimulatorConfig::builder(n).model(model).build());
 
-        let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
-            let mut input_rng = trial.sub_rng(0);
-            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
-            sim.simulate(&inputs, model, trial.seed).ok().map(|out| {
-                (
-                    out.stats().phase_rounds.chunk,
-                    out.stats().phase_rounds.owners,
-                    out.stats().phase_rounds.verify,
-                )
-            })
-        });
+        let (records, m) =
+            runner.run_with_metrics(trial_seed(base_seed, n as u64), trials, |trial, metrics| {
+                let mut input_rng = trial.sub_rng(0);
+                let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+                sim.simulate_with_metrics(&inputs, model, trial.seed, metrics)
+                    .ok()
+                    .map(|out| {
+                        (
+                            out.stats().phase_rounds.chunk,
+                            out.stats().phase_rounds.owners,
+                            out.stats().phase_rounds.verify,
+                        )
+                    })
+            });
+        all_metrics.merge_from(&m);
 
         let mut chunk = 0usize;
         let mut owners = 0usize;
@@ -76,6 +82,7 @@ pub fn main() {
     log.field("base_seed", base_seed)
         .field("trials", trials)
         .field("epsilon", 0.1)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

@@ -15,7 +15,8 @@
 
 use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel};
-use beeps_core::{RewindSimulator, SimulatorConfig};
+use beeps_core::{RewindSimulator, Simulator, SimulatorConfig};
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::MultiOr;
 use rand::Rng;
 
@@ -30,6 +31,7 @@ pub fn main() {
         &format!("E14: chunk-length sweep, MultiOr n={n} T={t_len}, eps=0.1"),
         &["L/n", "L", "overhead", "rewinds/run", "success"],
     );
+    let mut all_metrics = MetricsRegistry::new();
 
     for factor in [1usize, 2, 4, 8, 16] {
         let p = MultiOr::new(n, t_len);
@@ -38,20 +40,27 @@ pub fn main() {
         config.budget_factor = 16.0;
         let sim = RewindSimulator::new(&p, config);
 
-        let records = runner.run(trial_seed(base_seed, factor as u64), trials, |trial| {
-            let mut input_rng = trial.sub_rng(0);
-            let inputs: Vec<Vec<bool>> = (0..n)
-                .map(|_| (0..t_len).map(|_| input_rng.gen_bool(0.2)).collect())
-                .collect();
-            let truth = run_noiseless(&p, &inputs);
-            sim.simulate(&inputs, model, trial.seed).ok().map(|out| {
-                (
-                    out.stats().channel_rounds,
-                    out.stats().rewinds,
-                    out.transcript() == truth.transcript(),
-                )
-            })
-        });
+        let (records, m) = runner.run_with_metrics(
+            trial_seed(base_seed, factor as u64),
+            trials,
+            |trial, metrics| {
+                let mut input_rng = trial.sub_rng(0);
+                let inputs: Vec<Vec<bool>> = (0..n)
+                    .map(|_| (0..t_len).map(|_| input_rng.gen_bool(0.2)).collect())
+                    .collect();
+                let truth = run_noiseless(&p, &inputs);
+                sim.simulate_with_metrics(&inputs, model, trial.seed, metrics)
+                    .ok()
+                    .map(|out| {
+                        (
+                            out.stats().channel_rounds,
+                            out.stats().rewinds,
+                            out.transcript() == truth.transcript(),
+                        )
+                    })
+            },
+        );
+        all_metrics.merge_from(&m);
 
         let mut rounds = 0usize;
         let mut rewinds = 0usize;
@@ -83,6 +92,7 @@ pub fn main() {
         .field("protocol_length", t_len)
         .field("trials", trials)
         .field("epsilon", 0.1)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

@@ -16,6 +16,7 @@ use beeps_bench::{trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::NoiseModel;
 use beeps_core::run_owners_phase;
 use beeps_info::tail;
+use beeps_metrics::MetricsRegistry;
 use rand::Rng;
 
 pub fn main() {
@@ -35,20 +36,28 @@ pub fn main() {
             "sized len (target 1e-4)",
         ],
     );
+    let mut all_metrics = MetricsRegistry::new();
 
     for n in [4usize, 8, 16, 32] {
         let chunk = n; // the paper's chunk length
         let mut cells: Vec<String> = Vec::new();
         for &code_len in &[8usize, 16, 32, 64] {
             let cell_seed = trial_seed(trial_seed(base_seed, n as u64), code_len as u64);
-            let records = runner.run(cell_seed, trials, |trial| {
+            let (records, m) = runner.run_with_metrics(cell_seed, trials, |trial, metrics| {
                 let mut bit_rng = trial.sub_rng(0);
                 let bits: Vec<Vec<bool>> = (0..n)
                     .map(|_| (0..chunk).map(|_| bit_rng.gen_bool(0.25)).collect())
                     .collect();
                 let out = run_owners_phase(&bits, model, code_len, trial.index as u64, trial.seed);
-                !out.valid_for(&bits)
+                let failed = !out.valid_for(&bits);
+                let cell = format!("exp.owners.n.{n:03}.len.{code_len:03}");
+                metrics.inc(&format!("{cell}.trials"), 1);
+                if failed {
+                    metrics.inc(&format!("{cell}.failures"), 1);
+                }
+                failed
             });
+            all_metrics.merge_from(&m);
             let failures = records.iter().filter(|&&failed| failed).count();
             cells.push(format!("{failures}/{trials}"));
         }
@@ -64,6 +73,7 @@ pub fn main() {
     log.field("base_seed", base_seed)
         .field("trials", trials)
         .field("epsilon", eps)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

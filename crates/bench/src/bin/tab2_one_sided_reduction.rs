@@ -17,6 +17,7 @@ use beeps_channel::{
     run_noiseless, run_protocol, run_protocol_over, Channel, NoiseModel, Protocol,
     ReducedTwoSidedChannel, StochasticChannel,
 };
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::InputSet;
 use rand::Rng;
 
@@ -29,20 +30,26 @@ fn flip_rate(
     base_seed: u64,
     mk: impl Fn(u64) -> Box<dyn Channel> + Sync,
     true_or: bool,
+    key: &str,
+    all_metrics: &mut MetricsRegistry,
 ) -> f64 {
-    let flips: u32 = runner
-        .run(base_seed, FLIP_SHARDS, |trial| {
-            let mut ch = mk(trial.seed);
-            let mut flips = 0u32;
-            for _ in 0..FLIP_PER_SHARD {
-                if ch.transmit(true_or).shared() != Some(true_or) {
-                    flips += 1;
-                }
+    let (records, m) = runner.run_with_metrics(base_seed, FLIP_SHARDS, |trial, metrics| {
+        let mut ch = mk(trial.seed);
+        let mut flips = 0u32;
+        for _ in 0..FLIP_PER_SHARD {
+            if ch.transmit(true_or).shared() != Some(true_or) {
+                flips += 1;
             }
-            flips
-        })
-        .iter()
-        .sum();
+        }
+        metrics.inc(
+            &format!("exp.reduction.{key}.transmissions"),
+            u64::from(FLIP_PER_SHARD),
+        );
+        metrics.inc(&format!("exp.reduction.{key}.flips"), u64::from(flips));
+        flips
+    });
+    all_metrics.merge_from(&m);
+    let flips: u32 = records.iter().sum();
     f64::from(flips) / (FLIP_SHARDS as f64 * f64::from(FLIP_PER_SHARD))
 }
 
@@ -59,6 +66,7 @@ pub fn main() {
             "paper",
         ],
     );
+    let mut all_metrics = MetricsRegistry::new();
 
     let reduced = |seed| -> Box<dyn Channel> { Box::new(ReducedTwoSidedChannel::new(2, seed)) };
     let native = |seed| -> Box<dyn Channel> {
@@ -71,14 +79,42 @@ pub fn main() {
 
     table.row(&[
         &"P[flip | OR=1]",
-        &f3(flip_rate(&runner, trial_seed(base_seed, 1), reduced, true)),
-        &f3(flip_rate(&runner, trial_seed(base_seed, 2), native, true)),
+        &f3(flip_rate(
+            &runner,
+            trial_seed(base_seed, 1),
+            reduced,
+            true,
+            "reduced.or1",
+            &mut all_metrics,
+        )),
+        &f3(flip_rate(
+            &runner,
+            trial_seed(base_seed, 2),
+            native,
+            true,
+            "native.or1",
+            &mut all_metrics,
+        )),
         &"0.250",
     ]);
     table.row(&[
         &"P[flip | OR=0]",
-        &f3(flip_rate(&runner, trial_seed(base_seed, 3), reduced, false)),
-        &f3(flip_rate(&runner, trial_seed(base_seed, 4), native, false)),
+        &f3(flip_rate(
+            &runner,
+            trial_seed(base_seed, 3),
+            reduced,
+            false,
+            "reduced.or0",
+            &mut all_metrics,
+        )),
+        &f3(flip_rate(
+            &runner,
+            trial_seed(base_seed, 4),
+            native,
+            false,
+            "native.or0",
+            &mut all_metrics,
+        )),
         &"0.250",
     ]);
 
@@ -86,7 +122,7 @@ pub fn main() {
     let n = 8;
     let p = InputSet::new(n);
     let runs = 400usize;
-    let records = runner.run(trial_seed(base_seed, 5), runs, |trial| {
+    let (records, m) = runner.run_with_metrics(trial_seed(base_seed, 5), runs, |trial, metrics| {
         let mut input_rng = trial.sub_rng(0);
         let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
         let expect = run_noiseless(&p, &inputs).outputs()[0].clone();
@@ -100,8 +136,16 @@ pub fn main() {
         )
         .outputs()[0]
             != expect;
+        metrics.inc("exp.reduction.end_to_end.runs", 1);
+        if wrong_reduced {
+            metrics.inc("exp.reduction.end_to_end.wrong.reduced", 1);
+        }
+        if wrong_native {
+            metrics.inc("exp.reduction.end_to_end.wrong.native", 1);
+        }
         (wrong_reduced, wrong_native)
     });
+    all_metrics.merge_from(&m);
     let wrong_reduced = records.iter().filter(|(r, _)| *r).count();
     let wrong_native = records.iter().filter(|(_, w)| *w).count();
     table.row(&[
@@ -165,6 +209,7 @@ pub fn main() {
         .field("chi_square_cells", shards * cells_per_shard as usize)
         .field("chi_square_stat", chi.statistic)
         .field("chi_square_consistent", chi.consistent_at_999)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

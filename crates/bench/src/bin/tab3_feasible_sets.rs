@@ -16,6 +16,7 @@ use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_protocol, NoiseModel, Protocol};
 use beeps_info::lemmas;
 use beeps_lowerbound::ZetaAnalyzer;
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::RepeatedInputSet;
 use rand::Rng;
 
@@ -39,6 +40,7 @@ pub fn main() {
         ],
     );
     let full_entropy = n as f64 * (2.0 * n as f64).log2();
+    let mut all_metrics = MetricsRegistry::new();
 
     for r in [1usize, 2, 4, 8] {
         let thr = (((r as f64) * (1.0 + eps) / 2.0).ceil() as usize).clamp(1, r);
@@ -46,26 +48,36 @@ pub fn main() {
         let analyzer = ZetaAnalyzer::new(&p, eps);
         let t_len = p.length();
 
-        let records = runner.run(trial_seed(base_seed, r as u64), samples, |trial| {
-            let mut input_rng = trial.sub_rng(0);
-            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
-            let exec = run_protocol(&p, &inputs, model, trial.seed);
-            let pi = exec.views().shared().unwrap();
-            let report = analyzer.analyze(&inputs, pi).expect("possible");
-            let log_sum: f64 = report
-                .feasible_sizes
-                .iter()
-                .map(|&s| (s as f64).log2())
-                .sum();
-            let sqrt_n = (n as f64).sqrt();
-            let g2 = report
-                .feasible_sizes
-                .iter()
-                .filter(|&&s| s as f64 > sqrt_n)
-                .count();
-            let g1 = lemmas::unique_indices(&inputs).len();
-            (log_sum, g2, g1, report.event_g)
-        });
+        let (records, m) = runner.run_with_metrics(
+            trial_seed(base_seed, r as u64),
+            samples,
+            |trial, metrics| {
+                let mut input_rng = trial.sub_rng(0);
+                let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+                let exec = run_protocol(&p, &inputs, model, trial.seed);
+                let pi = exec.views().shared().unwrap();
+                let report = analyzer.analyze(&inputs, pi).expect("possible");
+                let log_sum: f64 = report
+                    .feasible_sizes
+                    .iter()
+                    .map(|&s| (s as f64).log2())
+                    .sum();
+                let sqrt_n = (n as f64).sqrt();
+                let g2 = report
+                    .feasible_sizes
+                    .iter()
+                    .filter(|&&s| s as f64 > sqrt_n)
+                    .count();
+                let g1 = lemmas::unique_indices(&inputs).len();
+                metrics.inc(&format!("exp.feasible.r.{r:03}.samples"), 1);
+                if report.event_g {
+                    metrics.inc(&format!("exp.feasible.r.{r:03}.event_g"), 1);
+                }
+                metrics.observe(&format!("exp.feasible.r.{r:03}.g2_size"), g2 as u64);
+                (log_sum, g2, g1, report.event_g)
+            },
+        );
+        all_metrics.merge_from(&m);
 
         let mut sum_log = 0.0f64;
         let mut sum_g2 = 0usize;
@@ -106,6 +118,7 @@ pub fn main() {
         .field("samples", samples)
         .field("epsilon", eps)
         .field("lemma_b8_bound", b8)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

@@ -14,7 +14,8 @@
 
 use beeps_bench::{trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel};
-use beeps_core::{RepetitionSimulator, SimulatorConfig};
+use beeps_core::{RepetitionSimulator, Simulator, SimulatorConfig};
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::MultiOr;
 use rand::Rng;
 
@@ -25,21 +26,26 @@ fn success_rate(
     r: usize,
     trials: usize,
     seed0: u64,
+    all_metrics: &mut MetricsRegistry,
 ) -> f64 {
     let model = NoiseModel::Correlated { epsilon: 1.0 / 3.0 };
     let p = MultiOr::new(n, t_len);
     let mut config = SimulatorConfig::builder(n).model(model).build();
     config.repetitions = r;
     let sim = RepetitionSimulator::new(&p, config);
-    let records = runner.run(trial_seed(seed0, t_len as u64), trials, |trial| {
-        let mut input_rng = trial.sub_rng(0);
-        let inputs: Vec<Vec<bool>> = (0..n)
-            .map(|_| (0..t_len).map(|_| input_rng.gen_bool(0.2)).collect())
-            .collect();
-        let truth = run_noiseless(&p, &inputs);
-        let out = sim.simulate(&inputs, model, trial.seed).unwrap();
-        out.transcript() == truth.transcript()
-    });
+    let (records, m) =
+        runner.run_with_metrics(trial_seed(seed0, t_len as u64), trials, |trial, metrics| {
+            let mut input_rng = trial.sub_rng(0);
+            let inputs: Vec<Vec<bool>> = (0..n)
+                .map(|_| (0..t_len).map(|_| input_rng.gen_bool(0.2)).collect())
+                .collect();
+            let truth = run_noiseless(&p, &inputs);
+            let out = sim
+                .simulate_with_metrics(&inputs, model, trial.seed, metrics)
+                .unwrap();
+            out.transcript() == truth.transcript()
+        });
+    all_metrics.merge_from(&m);
     records.iter().filter(|&&ok| ok).count() as f64 / trials as f64
 }
 
@@ -53,9 +59,10 @@ pub fn main() {
         &format!("E9: repetition-scheme success vs r at eps=1/3 (n={n}; T={short} and T={long})"),
         &["r", "success (T=2n)", "success (T=n^2)"],
     );
+    let mut all_metrics = MetricsRegistry::new();
     for r in [1usize, 9, 17, 25, 33, 41, 49, 57, 65, 73] {
-        let s_short = success_rate(&runner, n, short, r, trials, 0x7AB4);
-        let s_long = success_rate(&runner, n, long, r, trials, 0x7AB5);
+        let s_short = success_rate(&runner, n, short, r, trials, 0x7AB4, &mut all_metrics);
+        let s_long = success_rate(&runner, n, long, r, trials, 0x7AB5, &mut all_metrics);
         table.row(&[&r, &format!("{s_short:.2}"), &format!("{s_long:.2}")]);
     }
     table.print();
@@ -69,6 +76,7 @@ pub fn main() {
         .field("epsilon", 1.0 / 3.0)
         .field("base_seed_short", 0x7AB4u64)
         .field("base_seed_long", 0x7AB5u64)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

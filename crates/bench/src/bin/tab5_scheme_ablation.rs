@@ -20,7 +20,8 @@
 
 use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
-use beeps_core::{HierarchicalSimulator, RewindSimulator, SimulatorConfig};
+use beeps_core::{HierarchicalSimulator, RewindSimulator, Simulator, SimulatorConfig};
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::InputSet;
 use rand::Rng;
 
@@ -65,6 +66,7 @@ pub fn main() {
             "hier ok",
         ],
     );
+    let mut all_metrics = MetricsRegistry::new();
 
     for &(n, eps) in &[
         (8usize, 0.05f64),
@@ -80,24 +82,29 @@ pub fn main() {
         let hier = HierarchicalSimulator::new(&protocol, config);
 
         let sweep_key = n as u64 * 1000 + (eps * 100.0).round() as u64;
-        let records = runner.run(trial_seed(base_seed, sweep_key), trials, |trial| {
-            let mut input_rng = trial.sub_rng(0);
-            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
-            let truth = run_noiseless(&protocol, &inputs);
-            let measure = |out: Result<beeps_core::SimOutcome<_>, _>| {
-                out.ok().map(|o| {
-                    (
-                        o.transcript() == truth.transcript(),
-                        o.stats().channel_rounds,
-                        o.stats().rewinds,
-                    )
-                })
-            };
-            (
-                measure(rewind.simulate(&inputs, model, trial.seed)),
-                measure(hier.simulate(&inputs, model, trial.seed)),
-            )
-        });
+        let (records, m) = runner.run_with_metrics(
+            trial_seed(base_seed, sweep_key),
+            trials,
+            |trial, metrics| {
+                let mut input_rng = trial.sub_rng(0);
+                let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+                let truth = run_noiseless(&protocol, &inputs);
+                let measure = |out: Result<beeps_core::SimOutcome<_>, _>| {
+                    out.ok().map(|o| {
+                        (
+                            o.transcript() == truth.transcript(),
+                            o.stats().channel_rounds,
+                            o.stats().rewinds,
+                        )
+                    })
+                };
+                (
+                    measure(rewind.simulate_with_metrics(&inputs, model, trial.seed, metrics)),
+                    measure(hier.simulate_with_metrics(&inputs, model, trial.seed, metrics)),
+                )
+            },
+        );
+        all_metrics.merge_from(&m);
 
         let rewind_records: Vec<_> = records.iter().map(|(a, _)| *a).collect();
         let hier_records: Vec<_> = records.iter().map(|(_, b)| *b).collect();
@@ -122,6 +129,7 @@ pub fn main() {
     let mut log = ExperimentLog::new("tab5_scheme_ablation");
     log.field("base_seed", base_seed)
         .field("trials", trials)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

@@ -19,7 +19,10 @@
 
 use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
-use beeps_core::{OneToZeroSimulator, RepetitionSimulator, RewindSimulator, SimulatorConfig};
+use beeps_core::{
+    OneToZeroSimulator, RepetitionSimulator, RewindSimulator, Simulator, SimulatorConfig,
+};
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::InputSet;
 use rand::Rng;
 
@@ -38,6 +41,7 @@ pub fn main() {
             "1->0 scheme (eps=1/3)",
         ],
     );
+    let mut all_metrics = MetricsRegistry::new();
 
     for n in [4usize, 8, 16, 32] {
         let protocol = InputSet::new(n);
@@ -54,27 +58,29 @@ pub fn main() {
         let cw_sim = RewindSimulator::new(&protocol, frugal);
         let z_sim = OneToZeroSimulator::new(&protocol, 2, 32.0);
 
-        let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
-            let mut input_rng = trial.sub_rng(0);
-            let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
-            // Noiseless energy: each party beeps exactly once in InputSet.
-            let _ = run_noiseless(&protocol, &inputs);
-            let energy = |out: Result<beeps_core::SimOutcome<_>, _>| {
-                out.ok().map_or(0.0, |o| o.stats().energy as f64)
-            };
-            let rep = rep_sim
-                .simulate(&inputs, two, trial.seed)
-                .expect("fixed length")
-                .stats()
-                .energy as f64;
-            (
-                n as f64,
-                rep,
-                energy(rew_sim.simulate(&inputs, two, trial.seed)),
-                energy(cw_sim.simulate(&inputs, up, trial.seed)),
-                energy(z_sim.simulate(&inputs, down, trial.seed)),
-            )
-        });
+        let (records, m) =
+            runner.run_with_metrics(trial_seed(base_seed, n as u64), trials, |trial, metrics| {
+                let mut input_rng = trial.sub_rng(0);
+                let inputs: Vec<usize> = (0..n).map(|_| input_rng.gen_range(0..2 * n)).collect();
+                // Noiseless energy: each party beeps exactly once in InputSet.
+                let _ = run_noiseless(&protocol, &inputs);
+                let energy = |out: Result<beeps_core::SimOutcome<_>, _>| {
+                    out.ok().map_or(0.0, |o| o.stats().energy as f64)
+                };
+                let rep = rep_sim
+                    .simulate_with_metrics(&inputs, two, trial.seed, metrics)
+                    .expect("fixed length")
+                    .stats()
+                    .energy as f64;
+                (
+                    n as f64,
+                    rep,
+                    energy(rew_sim.simulate_with_metrics(&inputs, two, trial.seed, metrics)),
+                    energy(cw_sim.simulate_with_metrics(&inputs, up, trial.seed, metrics)),
+                    energy(z_sim.simulate_with_metrics(&inputs, down, trial.seed, metrics)),
+                )
+            });
+        all_metrics.merge_from(&m);
 
         let mut base = 0.0;
         let mut rep = 0.0;
@@ -107,6 +113,7 @@ pub fn main() {
     let mut log = ExperimentLog::new("tab6_energy");
     log.field("base_seed", base_seed)
         .field("trials", trials)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

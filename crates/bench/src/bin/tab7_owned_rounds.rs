@@ -18,7 +18,8 @@
 
 use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
-use beeps_core::{OwnedRoundsSimulator, RewindSimulator, SimulatorConfig};
+use beeps_core::{OwnedRoundsSimulator, RewindSimulator, Simulator, SimulatorConfig};
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::RollCall;
 use rand::Rng;
 
@@ -38,6 +39,7 @@ pub fn main() {
             "owners-phase cost",
         ],
     );
+    let mut all_metrics = MetricsRegistry::new();
 
     for n in [4usize, 8, 16, 32, 64] {
         let p = RollCall::new(n);
@@ -45,23 +47,25 @@ pub fn main() {
         let owned_sim = OwnedRoundsSimulator::new(&p, config.clone());
         let general_sim = RewindSimulator::new(&p, config);
 
-        let records = runner.run(trial_seed(base_seed, n as u64), trials, |trial| {
-            let mut input_rng = trial.sub_rng(0);
-            let inputs: Vec<bool> = (0..n).map(|_| input_rng.gen_bool(0.5)).collect();
-            let truth = run_noiseless(&p, &inputs);
-            match (
-                owned_sim.simulate(&inputs, model, trial.seed),
-                general_sim.simulate(&inputs, model, trial.seed),
-            ) {
-                (Ok(a), Ok(b)) => Some((
-                    a.stats().channel_rounds,
-                    a.transcript() == truth.transcript(),
-                    b.stats().channel_rounds,
-                    b.transcript() == truth.transcript(),
-                )),
-                _ => None,
-            }
-        });
+        let (records, m) =
+            runner.run_with_metrics(trial_seed(base_seed, n as u64), trials, |trial, metrics| {
+                let mut input_rng = trial.sub_rng(0);
+                let inputs: Vec<bool> = (0..n).map(|_| input_rng.gen_bool(0.5)).collect();
+                let truth = run_noiseless(&p, &inputs);
+                match (
+                    owned_sim.simulate_with_metrics(&inputs, model, trial.seed, metrics),
+                    general_sim.simulate_with_metrics(&inputs, model, trial.seed, metrics),
+                ) {
+                    (Ok(a), Ok(b)) => Some((
+                        a.stats().channel_rounds,
+                        a.transcript() == truth.transcript(),
+                        b.stats().channel_rounds,
+                        b.transcript() == truth.transcript(),
+                    )),
+                    _ => None,
+                }
+            });
+        all_metrics.merge_from(&m);
 
         let mut owned_rounds = 0usize;
         let mut owned_ok = 0u32;
@@ -97,6 +101,7 @@ pub fn main() {
     log.field("base_seed", base_seed)
         .field("trials", trials)
         .field("epsilon", 0.1)
-        .table(&table);
+        .table(&table)
+        .metrics(&all_metrics);
     log.save();
 }

@@ -12,6 +12,8 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+use beeps_metrics::MetricsRegistry;
+
 use crate::Table;
 
 /// A JSON value with insertion-ordered objects.
@@ -183,6 +185,63 @@ fn render_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// The **deterministic section** of `metrics` as an ordered JSON object:
+/// counters, histograms (count/sum/min/max plus the non-empty log₂
+/// buckets as `[index, count]` pairs), and the event-log summary with
+/// its retained tail.
+///
+/// Wall-clock timings are deliberately **not** serialised: experiment
+/// JSON files promise byte-identity across reruns and thread counts,
+/// and wall times are the one part of a registry that cannot keep that
+/// promise.
+pub fn metrics_json(metrics: &MetricsRegistry) -> Json {
+    let mut counters = Json::object();
+    for (name, v) in metrics.counters() {
+        counters.set(name, v);
+    }
+    let mut histograms = Json::object();
+    for (name, h) in metrics.histograms() {
+        let mut obj = Json::object();
+        obj.set("count", h.count()).set("sum", h.sum());
+        obj.set("min", h.min().map_or(Json::Null, Json::UInt));
+        obj.set("max", h.max().map_or(Json::Null, Json::UInt));
+        obj.set(
+            "buckets",
+            Json::Array(
+                h.nonzero_buckets()
+                    .map(|(idx, count)| Json::Array(vec![Json::UInt(idx as u64), count.into()]))
+                    .collect(),
+            ),
+        );
+        histograms.set(name, obj);
+    }
+    let ev = metrics.events();
+    let mut events = Json::object();
+    events
+        .set("recorded", ev.recorded())
+        .set("dropped", ev.dropped())
+        .set("capacity", ev.capacity());
+    events.set(
+        "retained",
+        Json::Array(
+            ev.iter()
+                .map(|e| {
+                    let mut obj = Json::object();
+                    obj.set("label", e.label.as_str())
+                        .set("round", e.round)
+                        .set("value", e.value);
+                    obj
+                })
+                .collect(),
+        ),
+    );
+    let mut root = Json::object();
+    root.set("counters", counters)
+        .set("histograms", histograms)
+        .set("events", events);
+    root
+}
+
 /// Structured log for one experiment run, written to
 /// `target/experiments/<id>.json`.
 ///
@@ -204,6 +263,7 @@ pub struct ExperimentLog {
     id: String,
     fields: Vec<(String, Json)>,
     tables: Vec<Json>,
+    metrics: Option<Json>,
 }
 
 impl ExperimentLog {
@@ -213,6 +273,7 @@ impl ExperimentLog {
             id: id.to_owned(),
             fields: Vec::new(),
             tables: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -244,6 +305,14 @@ impl ExperimentLog {
         self
     }
 
+    /// Records the deterministic section of `metrics` as the log's
+    /// `metrics` block (see [`metrics_json`]); a second call replaces
+    /// the first.
+    pub fn metrics(&mut self, metrics: &MetricsRegistry) -> &mut Self {
+        self.metrics = Some(metrics_json(metrics));
+        self
+    }
+
     /// Renders the full log as one JSON object.
     pub fn render(&self) -> String {
         let mut root = Json::object();
@@ -252,6 +321,9 @@ impl ExperimentLog {
             fields.extend(self.fields.iter().cloned());
         }
         root.set("tables", Json::Array(self.tables.clone()));
+        if let Some(metrics) = &self.metrics {
+            root.set("metrics", metrics.clone());
+        }
         root.render()
     }
 
@@ -340,5 +412,32 @@ mod tests {
         let mut log = ExperimentLog::new("twice");
         log.field("p", 0.25).field("q", 1u64);
         assert_eq!(log.render(), log.render());
+    }
+
+    #[test]
+    fn metrics_block_serialises_deterministic_section_only() {
+        let mut m = MetricsRegistry::new();
+        m.inc("sim.rewind.rewinds", 2);
+        m.observe("sim.rewind.rounds", 100);
+        m.event("sim.rewind.rewind_storm", 100, 2);
+        m.time("sim.rewind.simulate", || ()); // wall: must not appear
+        let rendered = metrics_json(&m).render();
+        assert!(rendered.contains(r#""sim.rewind.rewinds":2"#));
+        assert!(rendered.contains(r#""count":1"#));
+        assert!(rendered.contains(r#""recorded":1"#));
+        assert!(
+            !rendered.contains("wall") && !rendered.contains("simulate"),
+            "wall timings leaked into JSON: {rendered}"
+        );
+
+        let mut log = ExperimentLog::new("unit_metrics");
+        log.field("seed", 1u64).metrics(&m);
+        assert!(log.render().contains(r#""metrics":{"counters""#));
+    }
+
+    #[test]
+    fn empty_registry_serialises_to_empty_sections() {
+        let rendered = metrics_json(&MetricsRegistry::new()).render();
+        assert!(rendered.starts_with(r#"{"counters":{},"histograms":{},"#));
     }
 }

@@ -12,7 +12,7 @@
 pub mod json;
 pub mod runner;
 
-pub use json::{ExperimentLog, Json};
+pub use json::{metrics_json, ExperimentLog, Json};
 pub use runner::{trial_seed, Summary, Trial, TrialRecord, TrialRunner};
 
 use std::fmt::Display;

@@ -13,6 +13,7 @@
 //! ([`TrialRunner::from_args`]), the `BEEPS_THREADS` environment
 //! variable, and finally [`std::thread::available_parallelism`].
 
+use beeps_metrics::MetricsRegistry;
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::json::Json;
@@ -209,6 +210,40 @@ impl TrialRunner {
     {
         Summary::of(&self.run(base_seed, trials, trial_fn))
     }
+
+    /// Like [`TrialRunner::run`], but each trial also gets a **fresh**
+    /// [`MetricsRegistry`] to record into; the per-trial registries are
+    /// merged back **in trial-index order**, so the aggregate — counters,
+    /// histograms, and the bounded event log alike — is bitwise identical
+    /// for every thread count. (Wall-clock spans are merged too but live
+    /// in the registry's non-deterministic section.)
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any trial closure.
+    pub fn run_with_metrics<R, F>(
+        &self,
+        base_seed: u64,
+        trials: usize,
+        trial_fn: F,
+    ) -> (Vec<R>, MetricsRegistry)
+    where
+        R: Send,
+        F: Fn(Trial, &mut MetricsRegistry) -> R + Sync,
+    {
+        let pairs = self.run(base_seed, trials, |trial| {
+            let mut metrics = MetricsRegistry::new();
+            let result = trial_fn(trial, &mut metrics);
+            (result, metrics)
+        });
+        let mut merged = MetricsRegistry::new();
+        let mut results = Vec::with_capacity(pairs.len());
+        for (result, metrics) in pairs {
+            merged.merge_from(&metrics);
+            results.push(result);
+        }
+        (results, merged)
+    }
 }
 
 /// What one trial of an experiment measured.
@@ -363,6 +398,30 @@ mod tests {
         assert!((s.mean_rounds - 15.0).abs() < 1e-12);
         assert!((s.mean_energy - 5.0).abs() < 1e-12);
         assert!((s.mean_corrupted_rounds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_merge_is_independent_of_thread_count() {
+        let work = |t: Trial, m: &mut MetricsRegistry| {
+            use rand::Rng;
+            let mut rng = t.rng();
+            let rounds: u64 = rng.gen_range(1..1000);
+            m.inc("rounds", rounds);
+            m.observe("rounds", rounds);
+            m.event("trial", t.index as u64, rounds);
+            m.time("work", || ());
+            rounds
+        };
+        let (baseline_results, baseline) = TrialRunner::new(1).run_with_metrics(11, 29, work);
+        for threads in [2, 8] {
+            let (results, metrics) = TrialRunner::new(threads).run_with_metrics(11, 29, work);
+            assert_eq!(results, baseline_results);
+            assert_eq!(metrics, baseline, "{threads} threads diverged");
+            // Event order (not just totals) must match too.
+            let a: Vec<u64> = metrics.events().iter().map(|e| e.round).collect();
+            let b: Vec<u64> = baseline.events().iter().map(|e| e.round).collect();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

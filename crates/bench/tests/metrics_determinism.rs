@@ -1,0 +1,124 @@
+//! Cross-scheme determinism contract for the metrics layer: the merged
+//! [`MetricsRegistry`] a [`TrialRunner`] produces must be bitwise
+//! identical at any thread count, for every simulation scheme; and
+//! noise-free runs must report zero corruption and zero rewinds.
+
+use beeps_bench::{trial_seed, TrialRunner};
+use beeps_channel::NoiseModel;
+use beeps_core::{
+    HierarchicalSimulator, NakedSimulator, OneToZeroSimulator, OwnedRoundsSimulator,
+    RepetitionSimulator, RewindSimulator, Simulator, SimulatorConfig,
+};
+use beeps_metrics::MetricsRegistry;
+use beeps_protocols::{InputSet, RollCall};
+use rand::Rng;
+
+const N: usize = 6;
+const TRIALS: usize = 9;
+
+/// Runs `TRIALS` trials of `sim` under `model` at the given thread count
+/// and returns the merged registry.
+fn merged_registry<I: Clone + Sync, O>(
+    sim: &(dyn Simulator<I, O> + Sync),
+    model: NoiseModel,
+    gen: &(dyn Fn(&mut rand::rngs::StdRng) -> Vec<I> + Sync),
+    threads: usize,
+) -> MetricsRegistry {
+    let runner = TrialRunner::new(threads);
+    let (_, merged) = runner.run_with_metrics(trial_seed(0xD37, N as u64), TRIALS, |trial, m| {
+        let mut rng = trial.sub_rng(0);
+        let inputs = gen(&mut rng);
+        let _ = sim.simulate_with_metrics(&inputs, model, trial.seed, m);
+    });
+    merged
+}
+
+fn input_set_gen(rng: &mut rand::rngs::StdRng) -> Vec<usize> {
+    (0..N).map(|_| rng.gen_range(0..2 * N)).collect()
+}
+
+fn roll_call_gen(rng: &mut rand::rngs::StdRng) -> Vec<bool> {
+    (0..N).map(|_| rng.gen_bool(0.5)).collect()
+}
+
+/// Every scheme's merged registry is bitwise identical at 1, 2, and 8
+/// threads (PartialEq covers the full deterministic section).
+#[test]
+fn merged_registries_are_thread_count_invariant_for_every_scheme() {
+    let p = InputSet::new(N);
+    let owned_p = RollCall::new(N);
+    let two = NoiseModel::Correlated { epsilon: 0.05 };
+    let down = NoiseModel::OneSidedOneToZero { epsilon: 1.0 / 3.0 };
+    let config = || SimulatorConfig::builder(N).model(two).build();
+
+    let naked = NakedSimulator::new(&p);
+    let repetition = RepetitionSimulator::new(&p, config());
+    let rewind = RewindSimulator::new(&p, config());
+    let hierarchical = HierarchicalSimulator::new(&p, config());
+    let one_to_zero = OneToZeroSimulator::new(&p, 2, 32.0);
+    let owned = OwnedRoundsSimulator::new(&owned_p, SimulatorConfig::builder(N).model(two).build());
+
+    let generic: [(
+        &(dyn Simulator<usize, std::collections::BTreeSet<usize>> + Sync),
+        NoiseModel,
+    ); 5] = [
+        (&naked, two),
+        (&repetition, two),
+        (&rewind, two),
+        (&hierarchical, two),
+        (&one_to_zero, down),
+    ];
+    for (sim, model) in generic {
+        let serial = merged_registry(sim, model, &input_set_gen, 1);
+        assert!(
+            serial.counter(&format!("sim.{}.runs", sim.name())) == TRIALS as u64,
+            "{}: every trial must be counted",
+            sim.name()
+        );
+        for threads in [2, 8] {
+            let parallel = merged_registry(sim, model, &input_set_gen, threads);
+            assert_eq!(serial, parallel, "scheme {} threads {threads}", sim.name());
+        }
+    }
+
+    let serial = merged_registry(&owned, two, &roll_call_gen, 1);
+    for threads in [2, 8] {
+        let parallel = merged_registry(&owned, two, &roll_call_gen, threads);
+        assert_eq!(serial, parallel, "scheme owned_rounds threads {threads}");
+    }
+}
+
+/// At ε = 0 no round is ever corrupted, so every scheme reports zero
+/// `corrupted_rounds` and zero `rewinds`.
+#[test]
+fn epsilon_zero_runs_report_zero_flip_and_rewind_counters() {
+    let p = InputSet::new(N);
+    let quiet = NoiseModel::Correlated { epsilon: 0.0 };
+    let config = || SimulatorConfig::builder(N).model(quiet).build();
+
+    let naked = NakedSimulator::new(&p);
+    let repetition = RepetitionSimulator::new(&p, config());
+    let rewind = RewindSimulator::new(&p, config());
+    let hierarchical = HierarchicalSimulator::new(&p, config());
+    let schemes: [&(dyn Simulator<usize, std::collections::BTreeSet<usize>> + Sync); 4] =
+        [&naked, &repetition, &rewind, &hierarchical];
+
+    for sim in schemes {
+        let merged = merged_registry(sim, quiet, &input_set_gen, 2);
+        let name = sim.name();
+        assert_eq!(
+            merged.counter(&format!("sim.{name}.corrupted_rounds")),
+            0,
+            "{name}: quiet channel must corrupt nothing"
+        );
+        assert_eq!(
+            merged.counter(&format!("sim.{name}.rewinds")),
+            0,
+            "{name}: nothing to repair without noise"
+        );
+        assert_eq!(
+            merged.counter(&format!("sim.{name}.failures.budget_exhausted")),
+            0
+        );
+    }
+}

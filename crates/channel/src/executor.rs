@@ -7,6 +7,7 @@
 //! drives a set of them against any [`Channel`], collecting statistics.
 
 use crate::channel::Channel;
+use beeps_metrics::MetricsRegistry;
 
 /// A stateful participant in a beeping execution.
 ///
@@ -101,6 +102,81 @@ impl Executor {
             corrupted_rounds: channel.corrupted_rounds() - corrupted_before,
         }
     }
+
+    /// Like [`Executor::run`], but records the execution into `metrics`:
+    ///
+    /// * counters `channel.rounds`, `channel.energy`,
+    ///   `channel.energy.party.<i>`, `channel.corrupted_rounds`, and the
+    ///   flip-direction split `channel.flips.up` (a silent round heard as
+    ///   a beep) / `channel.flips.down` (a beep silenced for someone);
+    /// * one event per corrupted round (`channel.flip.up` /
+    ///   `channel.flip.down`, anchored to the channel's absolute round
+    ///   index) into the bounded event ring.
+    ///
+    /// Everything recorded is a pure function of the parties, channel,
+    /// and seed — safe to aggregate across deterministic trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties.len() != channel.num_parties()` or the party
+    /// slice is empty.
+    pub fn run_with_metrics<P: Party>(
+        parties: &mut [P],
+        channel: &mut dyn Channel,
+        rounds: usize,
+        metrics: &mut MetricsRegistry,
+    ) -> ExecutionStats {
+        assert!(!parties.is_empty(), "need at least one party");
+        assert_eq!(
+            parties.len(),
+            channel.num_parties(),
+            "channel sized for wrong number of parties"
+        );
+        let corrupted_before = channel.corrupted_rounds();
+        let mut energy = 0usize;
+        let mut beeps = vec![false; parties.len()];
+        for _ in 0..rounds {
+            let mut or = false;
+            for (party, beep) in parties.iter_mut().zip(beeps.iter_mut()) {
+                *beep = party.beep();
+                or |= *beep;
+            }
+            let delivery = channel.transmit(or);
+            let round = (channel.rounds() - 1) as u64;
+            let mut corrupted = false;
+            for (i, party) in parties.iter_mut().enumerate() {
+                let heard = delivery.heard_by(i);
+                corrupted |= heard != or;
+                party.hear(heard);
+            }
+            for (i, &b) in beeps.iter().enumerate() {
+                if b {
+                    energy += 1;
+                    metrics.inc(&format!("channel.energy.party.{i:03}"), 1);
+                }
+            }
+            if corrupted {
+                // A corrupted round flips in exactly one direction: the
+                // true OR was either silenced (down) or fabricated (up).
+                if or {
+                    metrics.inc("channel.flips.down", 1);
+                    metrics.event("channel.flip.down", round, 0);
+                } else {
+                    metrics.inc("channel.flips.up", 1);
+                    metrics.event("channel.flip.up", round, 1);
+                }
+            }
+        }
+        let stats = ExecutionStats {
+            rounds,
+            energy,
+            corrupted_rounds: channel.corrupted_rounds() - corrupted_before,
+        };
+        metrics.inc("channel.rounds", rounds as u64);
+        metrics.inc("channel.energy", energy as u64);
+        metrics.inc("channel.corrupted_rounds", stats.corrupted_rounds as u64);
+        stats
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +263,61 @@ mod tests {
         let mut parties: Vec<Strider> = Vec::new();
         let mut channel = StochasticChannel::new(1, NoiseModel::Noiseless, 0);
         Executor::run(&mut parties, &mut channel, 1);
+    }
+
+    #[test]
+    fn metrics_run_matches_plain_run() {
+        let mut plain = striders(&[2, 3]);
+        let noise = NoiseModel::Independent { epsilon: 0.05 };
+        let mut ch1 = StochasticChannel::new(2, noise, 7);
+        let want = Executor::run(&mut plain, &mut ch1, 64);
+
+        let mut observed = striders(&[2, 3]);
+        let mut ch2 = StochasticChannel::new(2, noise, 7);
+        let mut metrics = MetricsRegistry::new();
+        let got = Executor::run_with_metrics(&mut observed, &mut ch2, 64, &mut metrics);
+
+        assert_eq!(got, want, "instrumentation must not perturb the run");
+        assert_eq!(plain[0].heard, observed[0].heard);
+        assert_eq!(metrics.counter("channel.rounds"), 64);
+        assert_eq!(metrics.counter("channel.energy"), want.energy as u64);
+        assert_eq!(
+            metrics.counter("channel.corrupted_rounds"),
+            want.corrupted_rounds as u64
+        );
+        assert_eq!(
+            metrics.counter("channel.energy.party.000")
+                + metrics.counter("channel.energy.party.001"),
+            want.energy as u64
+        );
+    }
+
+    #[test]
+    fn metrics_split_flip_directions() {
+        // Stride 2 beeps rounds 0 and 2; the script flips rounds 1 and 2:
+        // round 1 sent=false heard=true (up), round 2 sent=true heard=false
+        // (down).
+        let mut parties = striders(&[2]);
+        let mut channel = ScriptedChannel::new(1, vec![false, true, true]);
+        let mut metrics = MetricsRegistry::new();
+        let stats = Executor::run_with_metrics(&mut parties, &mut channel, 3, &mut metrics);
+        assert_eq!(stats.corrupted_rounds, 2);
+        assert_eq!(metrics.counter("channel.flips.down"), 1);
+        assert_eq!(metrics.counter("channel.flips.up"), 1);
+        let labels: Vec<&str> = metrics.events().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["channel.flip.up", "channel.flip.down"]);
+    }
+
+    #[test]
+    fn noiseless_run_records_zero_flips() {
+        let mut parties = striders(&[2, 3]);
+        let mut channel = StochasticChannel::new(2, NoiseModel::Noiseless, 0);
+        let mut metrics = MetricsRegistry::new();
+        Executor::run_with_metrics(&mut parties, &mut channel, 32, &mut metrics);
+        assert_eq!(metrics.counter("channel.flips.up"), 0);
+        assert_eq!(metrics.counter("channel.flips.down"), 0);
+        assert_eq!(metrics.counter("channel.corrupted_rounds"), 0);
+        assert_eq!(metrics.events().recorded(), 0);
     }
 
     #[test]

@@ -80,4 +80,4 @@ pub use protocol::{
     run_noiseless, run_protocol, run_protocol_over, EnumerableInputs, Execution, NoisyExecution,
     PartyViews, Protocol, Transcript, UniquelyOwned,
 };
-pub use trace::{RoundTrace, TracingChannel};
+pub use trace::{RoundTrace, TraceSummary, TracingChannel, DEFAULT_TRACE_CAPACITY};

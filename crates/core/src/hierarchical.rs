@@ -160,6 +160,7 @@ impl<'a, P: Protocol> HierarchicalSimulator<'a, P> {
         let budget = (self.config.budget_factor * (chunks_needed * per_iter) as f64).ceil()
             as usize
             + self.config.verify_repetitions * (max_level + 2) * (max_level + 2) * 4;
+        let corrupted_before = channel.corrupted_rounds();
         let result = drive(&mut parties, channel, budget);
 
         if !result.all_done {
@@ -185,6 +186,7 @@ impl<'a, P: Protocol> HierarchicalSimulator<'a, P> {
             rewinds: parties[0].truncations,
             agreement,
             energy: result.energy,
+            corrupted_rounds: channel.corrupted_rounds() - corrupted_before,
         };
         Ok(SimOutcome::new(transcript, outputs, stats))
     }

@@ -74,4 +74,4 @@ pub use owners::{run_owners_phase, OwnersOutcome};
 pub use params::{ResolvedParams, SimulatorConfig, SimulatorConfigBuilder};
 pub use repetition::RepetitionSimulator;
 pub use rewind::RewindSimulator;
-pub use simulator::{NakedSimulator, Simulator};
+pub use simulator::{record_simulation, NakedSimulator, Simulator};

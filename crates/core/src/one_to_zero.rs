@@ -164,6 +164,7 @@ impl<'a, P: Protocol> OneToZeroSimulator<'a, P> {
             .collect();
         let budget = (self.budget_factor * t.max(1) as f64).ceil() as usize
             + self.base * (max_level + 2) * 4;
+        let corrupted_before = channel.corrupted_rounds();
         let result = drive(&mut parties, channel, budget);
 
         if !result.all_done {
@@ -187,6 +188,7 @@ impl<'a, P: Protocol> OneToZeroSimulator<'a, P> {
             rewinds: parties[0].rewinds,
             agreement,
             energy: result.energy,
+            corrupted_rounds: channel.corrupted_rounds() - corrupted_before,
         };
         Ok(SimOutcome::new(transcript, outputs, stats))
     }

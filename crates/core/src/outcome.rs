@@ -48,6 +48,10 @@ pub struct SimStats {
     pub agreement: bool,
     /// Total beeps sent by all parties (channel energy).
     pub energy: usize,
+    /// Channel rounds in which noise corrupted the delivered bit for at
+    /// least one party. Zero for any run under
+    /// [`NoiseModel::Noiseless`](beeps_channel::NoiseModel).
+    pub corrupted_rounds: usize,
 }
 
 impl SimStats {
@@ -150,6 +154,7 @@ mod tests {
             rewinds: 0,
             agreement: true,
             energy: 5,
+            corrupted_rounds: 0,
         };
         assert!((stats.overhead() - 12.0).abs() < 1e-12);
     }

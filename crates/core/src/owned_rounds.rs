@@ -142,6 +142,7 @@ impl<'a, P: UniquelyOwned> OwnedRoundsSimulator<'a, P> {
         let budget = (self.config.budget_factor
             * (chunks_needed * self.rounds_per_iteration()) as f64)
             .ceil() as usize;
+        let corrupted_before = channel.corrupted_rounds();
         let result = drive(&mut parties, channel, budget);
 
         if !result.all_done {
@@ -167,6 +168,7 @@ impl<'a, P: UniquelyOwned> OwnedRoundsSimulator<'a, P> {
                 rewinds: parties[0].rewinds,
                 agreement,
                 energy: result.energy,
+                corrupted_rounds: channel.corrupted_rounds() - corrupted_before,
             },
         ))
     }

@@ -219,7 +219,11 @@ impl SimulatorConfig {
     /// # Panics
     ///
     /// Panics if `n == 0`.
-    #[deprecated(since = "0.1.0", note = "use `SimulatorConfig::builder(n).build()`")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `SimulatorConfig::builder(n).build()`; \
+                this wrapper will be removed in 0.2.0"
+    )]
     pub fn for_parties(n: usize) -> Self {
         Self::builder(n).build()
     }
@@ -233,7 +237,8 @@ impl SimulatorConfig {
     /// Panics if `n == 0` or the model's ε is invalid.
     #[deprecated(
         since = "0.1.0",
-        note = "use `SimulatorConfig::builder(n).model(model).build()`"
+        note = "use `SimulatorConfig::builder(n).model(model).build()`; \
+                this wrapper will be removed in 0.2.0"
     )]
     pub fn for_channel(n: usize, model: NoiseModel) -> Self {
         Self::builder(n).model(model).build()

@@ -10,7 +10,7 @@
 use crate::driver::{drive, SimParty};
 use crate::outcome::{SimError, SimOutcome, SimStats};
 use crate::params::{ResolvedParams, SimulatorConfig};
-use beeps_channel::{NoiseModel, Protocol, StochasticChannel};
+use beeps_channel::{Channel, NoiseModel, Protocol, StochasticChannel};
 
 /// Simulates a noiseless protocol by per-round repetition.
 ///
@@ -120,6 +120,7 @@ impl<'a, P: Protocol> RepetitionSimulator<'a, P> {
                 rewinds: 0,
                 agreement,
                 energy: result.energy,
+                corrupted_rounds: channel.corrupted_rounds(),
             },
         ))
     }

@@ -147,6 +147,7 @@ impl<'a, P: Protocol> RewindSimulator<'a, P> {
         let chunks_needed = t.div_ceil(self.config.chunk_len).max(1);
         let ideal = chunks_needed * self.rounds_per_iteration();
         let budget = (self.config.budget_factor * ideal as f64).ceil() as usize;
+        let corrupted_before = channel.corrupted_rounds();
         let result = drive(&mut parties, channel, budget);
 
         if !result.all_done {
@@ -172,6 +173,7 @@ impl<'a, P: Protocol> RewindSimulator<'a, P> {
             rewinds: parties[0].rewinds,
             agreement,
             energy: result.energy,
+            corrupted_rounds: channel.corrupted_rounds() - corrupted_before,
         };
         Ok(SimOutcome::new(transcript, outputs, stats))
     }

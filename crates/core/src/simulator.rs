@@ -36,6 +36,7 @@
 //! ```
 
 use beeps_channel::{run_protocol, NoiseModel, Protocol, UniquelyOwned};
+use beeps_metrics::{MetricsRegistry, Stopwatch};
 
 use crate::outcome::{PhaseRounds, SimError, SimOutcome, SimStats};
 use crate::{
@@ -64,6 +65,85 @@ pub trait Simulator<I, O> {
 
     /// A short stable identifier for tables and logs (e.g. `"rewind"`).
     fn name(&self) -> &'static str;
+
+    /// Like [`Simulator::simulate`], but records the attempt into
+    /// `metrics` under the `sim.<name>.*` namespace (see
+    /// [`record_simulation`] for the exact counters) plus a wall-clock
+    /// span `sim.<name>.simulate` in the non-deterministic section.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::simulate`]; failures are counted
+    /// (`sim.<name>.failures.*`) and then propagated.
+    fn simulate_with_metrics(
+        &self,
+        inputs: &[I],
+        model: NoiseModel,
+        seed: u64,
+        metrics: &mut MetricsRegistry,
+    ) -> Result<SimOutcome<O>, SimError> {
+        let sw = Stopwatch::start();
+        let result = self.simulate(inputs, model, seed);
+        let elapsed = sw.elapsed();
+        record_simulation(self.name(), &result, metrics);
+        metrics.record_wall(&format!("sim.{}.simulate", self.name()), elapsed);
+        result
+    }
+}
+
+/// Folds one simulation attempt into `metrics` under `sim.<scheme>.`:
+///
+/// * counters `runs`, the per-phase breakdown `rounds.chunk` /
+///   `rounds.owners` / `rounds.verify` / `rounds.total`,
+///   `protocol_rounds`, `chunks_committed`, `rewinds`, `energy`,
+///   `corrupted_rounds`, `disagreements`, and on failure
+///   `failures.budget_exhausted` / `failures.unsupported_noise`;
+/// * histograms `rounds`, `rewinds`, `energy` (per-run distributions);
+/// * a `sim.<scheme>.rewind_storm` event whenever a run rewound, carrying
+///   the rewind count and anchored to the run's channel-round total.
+///
+/// Everything recorded is a pure function of the simulation result, so
+/// aggregation across seed-deterministic trials is reproducible.
+pub fn record_simulation<O>(
+    scheme: &str,
+    result: &Result<SimOutcome<O>, SimError>,
+    metrics: &mut MetricsRegistry,
+) {
+    let key = |suffix: &str| format!("sim.{scheme}.{suffix}");
+    metrics.inc(&key("runs"), 1);
+    match result {
+        Ok(outcome) => {
+            let stats = outcome.stats();
+            metrics.inc(&key("rounds.chunk"), stats.phase_rounds.chunk as u64);
+            metrics.inc(&key("rounds.owners"), stats.phase_rounds.owners as u64);
+            metrics.inc(&key("rounds.verify"), stats.phase_rounds.verify as u64);
+            metrics.inc(&key("rounds.total"), stats.channel_rounds as u64);
+            metrics.inc(&key("protocol_rounds"), stats.protocol_rounds as u64);
+            metrics.inc(&key("chunks_committed"), stats.chunks_committed as u64);
+            metrics.inc(&key("rewinds"), stats.rewinds as u64);
+            metrics.inc(&key("energy"), stats.energy as u64);
+            metrics.inc(&key("corrupted_rounds"), stats.corrupted_rounds as u64);
+            if !stats.agreement {
+                metrics.inc(&key("disagreements"), 1);
+            }
+            metrics.observe(&key("rounds"), stats.channel_rounds as u64);
+            metrics.observe(&key("rewinds"), stats.rewinds as u64);
+            metrics.observe(&key("energy"), stats.energy as u64);
+            if stats.rewinds > 0 {
+                metrics.event(
+                    key("rewind_storm"),
+                    stats.channel_rounds as u64,
+                    stats.rewinds as u64,
+                );
+            }
+        }
+        Err(SimError::BudgetExhausted { .. }) => {
+            metrics.inc(&key("failures.budget_exhausted"), 1);
+        }
+        Err(SimError::UnsupportedNoise { .. }) => {
+            metrics.inc(&key("failures.unsupported_noise"), 1);
+        }
+    }
 }
 
 impl<P: Protocol> Simulator<P::Input, P::Output> for RepetitionSimulator<'_, P> {
@@ -191,6 +271,7 @@ impl<P: Protocol> Simulator<P::Input, P::Output> for NakedSimulator<'_, P> {
             rewinds: 0,
             agreement,
             energy: execution.energy(),
+            corrupted_rounds: execution.corrupted_rounds(),
         };
         let transcript = execution.views().view(0).to_vec();
         let outputs = execution.into_outputs();
@@ -244,6 +325,85 @@ mod tests {
                 scheme.name()
             );
         }
+    }
+
+    #[test]
+    fn simulate_with_metrics_records_phase_breakdown() {
+        let protocol = InputSet::new(4);
+        let config = SimulatorConfig::builder(4).build();
+        let rewind = RewindSimulator::new(&protocol, config);
+        let inputs = vec![0usize, 2, 5, 7];
+        let mut metrics = MetricsRegistry::new();
+        let outcome = rewind
+            .simulate_with_metrics(
+                &inputs,
+                beeps_channel::NoiseModel::Correlated { epsilon: 0.05 },
+                9,
+                &mut metrics,
+            )
+            .expect("within budget");
+        let stats = outcome.stats();
+        assert_eq!(metrics.counter("sim.rewind.runs"), 1);
+        assert_eq!(
+            metrics.counter("sim.rewind.rounds.total"),
+            stats.channel_rounds as u64
+        );
+        assert_eq!(
+            metrics.counter("sim.rewind.rounds.chunk")
+                + metrics.counter("sim.rewind.rounds.owners")
+                + metrics.counter("sim.rewind.rounds.verify"),
+            (stats.phase_rounds.chunk + stats.phase_rounds.owners + stats.phase_rounds.verify)
+                as u64
+        );
+        assert_eq!(metrics.counter("sim.rewind.energy"), stats.energy as u64);
+        assert_eq!(
+            metrics.histogram("sim.rewind.rounds").unwrap().count(),
+            1,
+            "one run observed"
+        );
+        // The wall span exists but lives outside the deterministic section.
+        assert_eq!(metrics.wall().count(), 1);
+    }
+
+    #[test]
+    fn noiseless_simulation_records_zero_noise_counters() {
+        let protocol = InputSet::new(4);
+        let config = SimulatorConfig::builder(4).build();
+        let rewind = RewindSimulator::new(&protocol, config);
+        let inputs = vec![1usize, 3, 4, 6];
+        let mut metrics = MetricsRegistry::new();
+        rewind
+            .simulate_with_metrics(
+                &inputs,
+                beeps_channel::NoiseModel::Noiseless,
+                5,
+                &mut metrics,
+            )
+            .expect("noiseless never exhausts the budget");
+        assert_eq!(metrics.counter("sim.rewind.corrupted_rounds"), 0);
+        assert_eq!(metrics.counter("sim.rewind.rewinds"), 0);
+        assert_eq!(metrics.counter("sim.rewind.disagreements"), 0);
+    }
+
+    #[test]
+    fn failures_are_counted_by_kind() {
+        let protocol = InputSet::new(3);
+        let config = SimulatorConfig::builder(3).build();
+        let otz = OneToZeroSimulator::new(&protocol, 2, config.budget_factor);
+        let mut metrics = MetricsRegistry::new();
+        // OneToZero rejects noise that can fabricate beeps.
+        let err = otz.simulate_with_metrics(
+            &[0usize, 1, 2],
+            beeps_channel::NoiseModel::Correlated { epsilon: 0.2 },
+            1,
+            &mut metrics,
+        );
+        assert!(err.is_err());
+        assert_eq!(metrics.counter("sim.one_to_zero.runs"), 1);
+        assert_eq!(
+            metrics.counter("sim.one_to_zero.failures.unsupported_noise"),
+            1
+        );
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! A bounded, deterministic event log.
+//!
+//! Long rewind storms can produce millions of noteworthy moments; an
+//! unbounded `Vec` of them is exactly the OOM the old unbounded
+//! `TracingChannel` log risked. [`EventLog`] is a fixed-capacity ring
+//! buffer: it always retains the **most recent** `capacity` events and
+//! counts (but drops) the rest, so memory is bounded while totals stay
+//! exact.
+
+use std::collections::VecDeque;
+
+/// One recorded event: a label, the round it happened at (in whatever
+/// round-space the recorder uses), and a free-form value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// What happened (e.g. `"channel.flip"`, `"sim.rewind.rewind_storm"`).
+    pub label: String,
+    /// Round index the event is anchored to.
+    pub round: u64,
+    /// Event payload (flip direction, rewind count, …).
+    pub value: u64,
+}
+
+/// A ring buffer of [`Event`]s keeping the most recent `capacity`.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_metrics::EventLog;
+///
+/// let mut log = EventLog::with_capacity(2);
+/// log.push("a", 0, 0);
+/// log.push("b", 1, 0);
+/// log.push("c", 2, 0);
+/// assert_eq!(log.recorded(), 3);
+/// assert_eq!(log.dropped(), 1);
+/// let labels: Vec<&str> = log.iter().map(|e| e.label.as_str()).collect();
+/// assert_eq!(labels, ["b", "c"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventLog {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    recorded: u64,
+}
+
+/// Default ring capacity (events, not bytes); enough to see the tail of
+/// a storm without letting a pathological run grow without bound.
+pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// An empty log retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log needs a positive capacity");
+        Self {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            recorded: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, label: impl Into<String>, round: u64, value: u64) {
+        self.recorded += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(Event {
+            label: label.into(),
+            round,
+            value,
+        });
+    }
+
+    /// The retention capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever pushed (including evicted ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted by the ring bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.buf.len() as u64
+    }
+
+    /// Currently retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends every retained event of `other` (in `other`'s order) and
+    /// carries over its evicted-event count. Callers who need
+    /// determinism must fix the merge order themselves (the trial runner
+    /// merges in trial-index order).
+    pub fn merge_from(&mut self, other: &EventLog) {
+        // Events evicted inside `other` stay evicted; count them first
+        // so `recorded` stays exact.
+        self.recorded += other.dropped();
+        for e in other.iter() {
+            self.recorded += 1;
+            if self.buf.len() == self.capacity {
+                self.buf.pop_front();
+            }
+            self.buf.push_back(e.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_most_recent() {
+        let mut log = EventLog::with_capacity(3);
+        for i in 0..10u64 {
+            log.push("tick", i, i * 2);
+        }
+        assert_eq!(log.recorded(), 10);
+        assert_eq!(log.dropped(), 7);
+        assert_eq!(log.len(), 3);
+        let rounds: Vec<u64> = log.iter().map(|e| e.round).collect();
+        assert_eq!(rounds, [7, 8, 9]);
+    }
+
+    #[test]
+    fn merge_preserves_totals_and_order() {
+        let mut a = EventLog::with_capacity(4);
+        a.push("a", 0, 0);
+        let mut b = EventLog::with_capacity(2);
+        for i in 0..5u64 {
+            b.push("b", i, 0);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.recorded(), 6);
+        assert_eq!(a.dropped(), 3);
+        let rounds: Vec<(String, u64)> = a.iter().map(|e| (e.label.clone(), e.round)).collect();
+        assert_eq!(rounds, [("a".into(), 0), ("b".into(), 3), ("b".into(), 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_rejected() {
+        let _ = EventLog::with_capacity(0);
+    }
+}

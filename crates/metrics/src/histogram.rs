@@ -1,0 +1,199 @@
+//! Fixed-shape log₂ histograms.
+//!
+//! Buckets are powers of two, so the shape never depends on the data
+//! (no re-bucketing, no quantile sketches with merge-order sensitivity):
+//! value `0` lands in bucket 0 and value `v > 0` in bucket
+//! `⌊log₂ v⌋ + 1`. Merging is element-wise addition, which commutes —
+//! the property the deterministic-aggregation guarantee rests on.
+
+/// Number of buckets: one for zero plus one per possible `⌊log₂ v⌋`.
+pub(crate) const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` observations.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.observe(0);
+/// h.observe(7);
+/// h.observe(9);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.sum(), 16);
+/// assert_eq!(h.min(), Some(0));
+/// assert_eq!(h.max(), Some(9));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of `value`: 0 for 0, else `⌊log₂ v⌋ + 1`.
+    #[must_use]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (63 - value.leading_zeros()) as usize + 1
+        }
+    }
+
+    /// The exclusive upper bound of bucket `idx` (`1` for bucket 0,
+    /// `2^idx` for the rest; `u64::MAX` for the final bucket).
+    #[must_use]
+    pub fn bucket_upper_bound(idx: usize) -> u64 {
+        if idx >= 64 {
+            u64::MAX
+        } else {
+            1u64 << idx
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation, if any.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The non-empty buckets as `(bucket_index, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Adds every observation of `other` into `self` (element-wise; the
+    /// operation is commutative and associative).
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn stats_track_observations() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        for v in [5u64, 10, 15] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 30);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(15));
+        assert!((h.mean().unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 100, 7] {
+            a.observe(v);
+        }
+        for v in [0u64, 64, 65] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 6);
+        assert_eq!(ab.min(), Some(0));
+        assert_eq!(ab.max(), Some(100));
+    }
+
+    #[test]
+    fn merging_empty_keeps_min_max() {
+        let mut a = Histogram::new();
+        a.observe(3);
+        a.merge_from(&Histogram::new());
+        assert_eq!(a.min(), Some(3));
+        assert_eq!(a.max(), Some(3));
+    }
+}

@@ -1,0 +1,51 @@
+//! Deterministic metrics and event tracing for the simulation stack.
+//!
+//! The paper's claims are quantitative — round overhead, rewinds,
+//! energy — so every layer of this repository (channel executor,
+//! simulators, trial runner, CLI, experiment binaries) reports into one
+//! instrumentation API instead of ad-hoc per-binary counters. The crate
+//! is zero-dependency and split into two strictly separated sections:
+//!
+//! * **Deterministic section** — [`MetricsRegistry`] counters,
+//!   log₂-bucketed [`Histogram`]s, and the bounded [`EventLog`]. These
+//!   depend only on what the simulation computed, never on scheduling:
+//!   merging per-trial registries in trial-index order (what
+//!   `beeps_bench::TrialRunner::run_with_metrics` does) yields **bitwise
+//!   identical** aggregates at any thread count.
+//! * **Wall-clock section** — [`WallTiming`]s fed by [`Stopwatch`] /
+//!   [`MetricsRegistry::time`]. These measure real elapsed time, are
+//!   inherently non-deterministic, and are excluded from every
+//!   reproducibility surface (experiment JSON logs, the default metrics
+//!   rendering, byte-identity tests). They only appear in the explicitly
+//!   marked wall section of [`MetricsRegistry::render_wall`] and in the
+//!   Prometheus exposition.
+//!
+//! # Examples
+//!
+//! ```
+//! use beeps_metrics::MetricsRegistry;
+//!
+//! let mut m = MetricsRegistry::new();
+//! m.inc("sim.rewind.rewinds", 2);
+//! m.observe("sim.rewind.rounds", 1800);
+//! m.event("sim.rewind.rewind_storm", 1800, 2);
+//!
+//! let mut other = MetricsRegistry::new();
+//! other.inc("sim.rewind.rewinds", 1);
+//! m.merge_from(&other);
+//! assert_eq!(m.counter("sim.rewind.rewinds"), 3);
+//! // Counter sums commute, so merge order cannot change them; event
+//! // order is fixed by the caller merging in trial-index order.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod histogram;
+pub mod registry;
+pub mod render;
+
+pub use events::{Event, EventLog};
+pub use histogram::Histogram;
+pub use registry::{MetricsRegistry, Stopwatch, WallTiming};

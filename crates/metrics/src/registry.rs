@@ -1,0 +1,269 @@
+//! The [`MetricsRegistry`]: one ordered home for every measurement.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use crate::events::{EventLog, DEFAULT_EVENT_CAPACITY};
+use crate::histogram::Histogram;
+
+/// Accumulated wall-clock time for one named span (non-deterministic
+/// section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WallTiming {
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Total elapsed wall-clock time across all calls.
+    pub total: Duration,
+}
+
+/// A started wall-clock span; hand it back to
+/// [`MetricsRegistry::record_wall`] (or use the closure-based
+/// [`MetricsRegistry::time`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// Named counters, histograms, a bounded event log, and (separately)
+/// wall-clock timings.
+///
+/// All deterministic collections are `BTreeMap`-keyed, so iteration
+/// order — and therefore every rendering — is a pure function of the
+/// recorded names and values, never of insertion or scheduling order.
+///
+/// Equality (`PartialEq`) compares **only the deterministic section**
+/// (counters, histograms, events); wall-clock timings are excluded, so
+/// two runs of the same seeded workload compare equal even though their
+/// wall times differ.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    events: EventLog,
+    wall: BTreeMap<String, WallTiming>,
+}
+
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.counters == other.counters
+            && self.histograms == other.histograms
+            && self.events == other.events
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry with the default event-log capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// An empty registry whose event ring retains `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Self {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            events: EventLog::with_capacity(capacity),
+            wall: BTreeMap::new(),
+        }
+    }
+
+    // --- deterministic section -------------------------------------
+
+    /// Adds `by` to the counter `name` (creating it at 0).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Records `value` into the histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(value);
+    }
+
+    /// The histogram `name`, if anything was observed into it.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Records an event into the bounded ring (see [`EventLog`]).
+    pub fn event(&mut self, label: impl Into<String>, round: u64, value: u64) {
+        self.events.push(label, round, value);
+    }
+
+    /// The event log.
+    #[must_use]
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    // --- wall-clock (non-deterministic) section --------------------
+
+    /// Folds a finished [`Stopwatch`] into the wall timing `name`.
+    pub fn record_wall(&mut self, name: &str, elapsed: Duration) {
+        let t = self.wall.entry(name.to_owned()).or_default();
+        t.calls += 1;
+        t.total += elapsed;
+    }
+
+    /// Runs `f` inside a wall-clock span named `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let sw = Stopwatch::start();
+        let out = f();
+        self.record_wall(name, sw.elapsed());
+        out
+    }
+
+    /// All wall timings in name order (non-deterministic values).
+    pub fn wall(&self) -> impl Iterator<Item = (&str, WallTiming)> {
+        self.wall.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    // --- aggregation ------------------------------------------------
+
+    /// Folds every measurement of `other` into `self`.
+    ///
+    /// Counter and histogram merging is commutative, so aggregate
+    /// *values* cannot depend on merge order; the event ring and any
+    /// rendering of it keep the order in which merges were applied, so
+    /// callers wanting bitwise-stable output must merge in a canonical
+    /// order (the trial runner merges in trial-index order).
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, &v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge_from(h);
+        }
+        self.events.merge_from(&other.events);
+        for (name, &t) in &other.wall {
+            let mine = self.wall.entry(name.clone()).or_default();
+            mine.calls += t.calls;
+            mine.total += t.total;
+        }
+    }
+
+    /// Whether the deterministic section is completely empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a", 2);
+        m.inc("a", 3);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = MetricsRegistry::new();
+        a.inc("x", 1);
+        a.observe("h", 10);
+        a.event("e", 1, 0);
+        let mut b = MetricsRegistry::new();
+        b.inc("x", 2);
+        b.inc("y", 7);
+        b.observe("h", 20);
+        a.merge_from(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 7);
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h").unwrap().sum(), 30);
+        assert_eq!(a.events().recorded(), 1);
+    }
+
+    #[test]
+    fn merge_order_cannot_change_aggregates() {
+        let regs: Vec<MetricsRegistry> = (0..4)
+            .map(|i| {
+                let mut m = MetricsRegistry::new();
+                m.inc("c", i + 1);
+                m.observe("h", 10 * (i + 1));
+                m
+            })
+            .collect();
+        let mut fwd = MetricsRegistry::new();
+        for r in &regs {
+            fwd.merge_from(r);
+        }
+        let mut rev = MetricsRegistry::new();
+        for r in regs.iter().rev() {
+            rev.merge_from(r);
+        }
+        assert_eq!(fwd.counter("c"), rev.counter("c"));
+        assert_eq!(fwd.histogram("h"), rev.histogram("h"));
+    }
+
+    #[test]
+    fn equality_ignores_wall_clock() {
+        let mut a = MetricsRegistry::new();
+        a.inc("c", 1);
+        let mut b = a.clone();
+        b.record_wall("span", Duration::from_millis(5));
+        assert_eq!(a, b, "wall timings must not affect determinism checks");
+        b.inc("c", 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn time_records_calls() {
+        let mut m = MetricsRegistry::new();
+        let out = m.time("span", || 42);
+        assert_eq!(out, 42);
+        let (name, t) = m.wall().next().unwrap();
+        assert_eq!(name, "span");
+        assert_eq!(t.calls, 1);
+    }
+}

@@ -38,7 +38,7 @@ fn main() {
         let naked = run_protocol(&protocol, &inputs, model, seed).outputs()[0];
         naked_sum += naked;
 
-        let config = SimulatorConfig::for_channel(n, model);
+        let config = SimulatorConfig::builder(n).model(model).build();
         let sim = RewindSimulator::new(&protocol, config);
         if let Ok(outcome) = sim.simulate(&inputs, model, seed) {
             simulated_sum += outcome.outputs()[0];

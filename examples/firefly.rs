@@ -37,7 +37,7 @@ fn main() {
     println!("naked over {model}: fireflies disagree on the phase in {desync}/{trials} runs");
 
     // Theorem 1.2 applies to independent noise too (§1.2).
-    let config = SimulatorConfig::for_channel(n, model);
+    let config = SimulatorConfig::builder(n).model(model).build();
     let sim = RewindSimulator::new(&protocol, config);
     let mut desync = 0;
     let mut wrong = 0;

@@ -36,7 +36,7 @@ fn main() {
     println!("naked over {two_sided}: {wrong}/{trials} elections corrupted");
 
     // Scheme 1: repetition (footnote 1) — fine for short protocols.
-    let config = SimulatorConfig::for_channel(n, two_sided);
+    let config = SimulatorConfig::builder(n).model(two_sided).build();
     let rep = RepetitionSimulator::new(&protocol, config.clone());
     report(
         "repetition scheme",

@@ -39,7 +39,7 @@ fn main() {
 
         // 0->1 noise: the rewind scheme (cost grows with log n).
         let up = NoiseModel::OneSidedZeroToOne { epsilon: eps };
-        let sim = RewindSimulator::new(&protocol, SimulatorConfig::for_channel(n, up));
+        let sim = RewindSimulator::new(&protocol, SimulatorConfig::builder(n).model(up).build());
         let mut up_overhead = f64::NAN;
         for seed in 0..5 {
             if let Ok(out) = sim.simulate(&inputs, up, seed) {

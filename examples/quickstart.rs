@@ -39,7 +39,7 @@ fn main() {
     println!("naked over {model}: wrong output in {naked_failures}/{trials} runs");
 
     // 3. Theorem 1.2: the rewind-if-error simulation with owners.
-    let config = SimulatorConfig::for_channel(n, model);
+    let config = SimulatorConfig::builder(n).model(model).build();
     let sim = RewindSimulator::new(&protocol, config);
     let mut simulated_failures = 0;
     let mut rounds = 0usize;

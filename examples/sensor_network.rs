@@ -72,7 +72,7 @@ fn main() {
     println!("naked over {model}: {naked_bad}/{trials} pipelines corrupted");
 
     // Simulated pipeline: one scheme protects all phases and hand-offs.
-    let sim = RewindSimulator::new(&pipeline, SimulatorConfig::for_channel(n, model));
+    let sim = RewindSimulator::new(&pipeline, SimulatorConfig::builder(n).model(model).build());
     let mut sim_bad = 0;
     let mut overhead = 0.0;
     let mut done = 0u32;

@@ -37,7 +37,7 @@ fn main() {
     // exact; print only the summary plus the first strip of activity.
     let inner = StochasticChannel::new(n, model, 0xBEE);
     let mut traced = TracingChannel::new(inner);
-    let sim = RewindSimulator::new(&protocol, SimulatorConfig::for_channel(n, model));
+    let sim = RewindSimulator::new(&protocol, SimulatorConfig::builder(n).model(model).build());
     let outcome = sim
         .simulate_over(&inputs, model, &mut traced)
         .expect("within budget");

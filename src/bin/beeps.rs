@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release --bin beeps -- run --protocol leader --n 8 \
 //!     --noise correlated --eps 0.2 --scheme rewind --trials 5
+//! cargo run --release --bin beeps -- metrics --scheme rewind --trials 5
 //! ```
 
 use noisy_beeps::cli;
@@ -17,19 +18,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "protocol {:?}, n = {}, noise {}, scheme {:?}, {} trials",
-        scenario.protocol, scenario.n, scenario.noise, scenario.scheme, scenario.trials
-    );
-    match cli::run(&scenario) {
-        Ok(report) => {
-            for line in &report.lines {
-                println!("  {line}");
+    if scenario.command == cli::CommandKind::Run {
+        println!(
+            "protocol {:?}, n = {}, noise {}, scheme {:?}, {} trials",
+            scenario.protocol, scenario.n, scenario.noise, scenario.scheme, scenario.trials
+        );
+    }
+    match cli::run_with_metrics(&scenario) {
+        Ok((report, metrics)) => {
+            if scenario.command == cli::CommandKind::Run {
+                for line in &report.lines {
+                    println!("  {line}");
+                }
+                println!(
+                    "exact {}/{}  mean overhead {:.1}x",
+                    report.exact, report.trials, report.mean_overhead
+                );
             }
-            println!(
-                "exact {}/{}  mean overhead {:.1}x",
-                report.exact, report.trials, report.mean_overhead
-            );
+            if scenario.metrics {
+                print!("{}", cli::render_metrics(&scenario, &metrics));
+            }
             ExitCode::SUCCESS
         }
         Err(err) => {

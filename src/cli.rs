@@ -19,6 +19,7 @@ use beeps_core::{
     HierarchicalSimulator, NakedSimulator, OneToZeroSimulator, OwnedRoundsSimulator,
     RepetitionSimulator, RewindSimulator, SimError, Simulator, SimulatorConfig,
 };
+use beeps_metrics::MetricsRegistry;
 use beeps_protocols::{Broadcast, InputSet, LeaderElection, Membership, PointerChase, RollCall};
 use rand::{rngs::StdRng, Rng};
 use std::fmt;
@@ -58,9 +59,29 @@ pub enum SchemeKind {
     Owned,
 }
 
+/// Which top-level subcommand was requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// `beeps run` — per-trial report, optionally followed by metrics.
+    Run,
+    /// `beeps metrics` — run the scenario and print only the metrics view.
+    Metrics,
+}
+
+/// How the metrics view is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Human-readable per-phase and counter/histogram tables.
+    Table,
+    /// Prometheus-style text exposition.
+    Prom,
+}
+
 /// A fully parsed scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
+    /// Which subcommand dispatched this scenario.
+    pub command: CommandKind,
     /// Which workload to run.
     pub protocol: ProtocolKind,
     /// Number of parties.
@@ -76,6 +97,11 @@ pub struct Scenario {
     /// Worker threads for the trial runner; `None` falls back to
     /// `BEEPS_THREADS` and then the machine's available parallelism.
     pub threads: Option<usize>,
+    /// Print the metrics view after the report (`--metrics`); always on
+    /// for the `metrics` subcommand.
+    pub metrics: bool,
+    /// Rendering for the metrics view (`--metrics-format table|prom`).
+    pub metrics_format: MetricsFormat,
 }
 
 impl Scenario {
@@ -99,7 +125,9 @@ impl std::error::Error for ParseError {}
 
 /// Usage text for the binary.
 pub const USAGE: &str = "\
-usage: beeps run [options]
+usage: beeps run [options]        per-trial report (add --metrics for the
+                                  deterministic metrics view)
+       beeps metrics [options]    run the scenario, print only the metrics
 
 options:
   --protocol input-set|leader|membership|roll-call|broadcast|pointer-chase
@@ -113,6 +141,12 @@ options:
   --trials <count>                                   (default 5)
   --threads <count>        (default: BEEPS_THREADS, else all cores;
                             results are identical for any value)
+  --metrics                print counters/histograms after the report
+  --metrics-format table|prom                        (default table)
+
+The metrics view contains only deterministic aggregates: it is
+byte-identical for any --threads value. Wall-clock timings are never
+part of it.
 ";
 
 /// Parses `args` (without the program name) into a [`Scenario`].
@@ -123,11 +157,12 @@ options:
 /// commands, flags, or malformed values.
 pub fn parse(args: &[String]) -> Result<Scenario, ParseError> {
     let mut it = args.iter();
-    match it.next().map(String::as_str) {
-        Some("run") => {}
+    let command = match it.next().map(String::as_str) {
+        Some("run") => CommandKind::Run,
+        Some("metrics") => CommandKind::Metrics,
         Some(other) => return Err(ParseError(format!("unknown command `{other}`"))),
         None => return Err(ParseError("missing command".into())),
-    }
+    };
 
     let mut protocol = ProtocolKind::InputSet;
     let mut n = 8usize;
@@ -137,8 +172,14 @@ pub fn parse(args: &[String]) -> Result<Scenario, ParseError> {
     let mut seed = 1u64;
     let mut trials = 5u64;
     let mut threads = None;
+    let mut metrics = command == CommandKind::Metrics;
+    let mut metrics_format = MetricsFormat::Table;
 
     while let Some(flag) = it.next() {
+        if flag == "--metrics" {
+            metrics = true;
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| ParseError(format!("flag {flag} needs a value")))?;
@@ -201,6 +242,13 @@ pub fn parse(args: &[String]) -> Result<Scenario, ParseError> {
                 }
                 threads = Some(count);
             }
+            "--metrics-format" => {
+                metrics_format = match value.as_str() {
+                    "table" => MetricsFormat::Table,
+                    "prom" => MetricsFormat::Prom,
+                    other => return Err(ParseError(format!("unknown metrics format `{other}`"))),
+                };
+            }
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
     }
@@ -218,6 +266,7 @@ pub fn parse(args: &[String]) -> Result<Scenario, ParseError> {
         .map_err(|e| ParseError(format!("invalid noise: {e}")))?;
 
     Ok(Scenario {
+        command,
         protocol,
         n,
         noise,
@@ -225,6 +274,8 @@ pub fn parse(args: &[String]) -> Result<Scenario, ParseError> {
         seed,
         trials,
         threads,
+        metrics,
+        metrics_format,
     })
 }
 
@@ -248,6 +299,22 @@ pub struct Report {
 /// Returns [`ParseError`] when the scheme/noise combination is invalid
 /// (e.g. `one-to-zero` over two-sided noise).
 pub fn run(scenario: &Scenario) -> Result<Report, ParseError> {
+    run_with_metrics(scenario).map(|(report, _)| report)
+}
+
+/// Runs a scenario, collecting the [`Report`] together with the merged
+/// [`MetricsRegistry`] of every trial.
+///
+/// Trial registries are merged in trial-index order, so the returned
+/// registry's deterministic sections (counters, histograms, events) are
+/// identical for any `--threads` value; only its wall-clock section
+/// varies between runs.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] when the scheme/noise combination is invalid
+/// (e.g. `one-to-zero` over two-sided noise).
+pub fn run_with_metrics(scenario: &Scenario) -> Result<(Report, MetricsRegistry), ParseError> {
     match scenario.protocol {
         ProtocolKind::InputSet => {
             let p = InputSet::new(scenario.n);
@@ -310,7 +377,11 @@ pub fn run(scenario: &Scenario) -> Result<Report, ParseError> {
 
 /// Like [`drive`] but for uniquely-owned protocols, enabling `--scheme
 /// owned` on top of the generic schemes.
-fn drive_owned<P, G>(scenario: &Scenario, protocol: &P, gen: G) -> Result<Report, ParseError>
+fn drive_owned<P, G>(
+    scenario: &Scenario,
+    protocol: &P,
+    gen: G,
+) -> Result<(Report, MetricsRegistry), ParseError>
 where
     P: UniquelyOwned + Sync,
     G: Fn(&mut StdRng) -> Vec<P::Input> + Sync,
@@ -327,7 +398,11 @@ where
 
 /// Builds the scheme's [`Simulator`] and runs the shared trial loop —
 /// every generic scheme flows through one `&dyn Simulator` path.
-fn drive<P, G>(scenario: &Scenario, protocol: &P, gen: G) -> Result<Report, ParseError>
+fn drive<P, G>(
+    scenario: &Scenario,
+    protocol: &P,
+    gen: G,
+) -> Result<(Report, MetricsRegistry), ParseError>
 where
     P: Protocol + Sync,
     G: Fn(&mut StdRng) -> Vec<P::Input> + Sync,
@@ -374,20 +449,20 @@ fn drive_with<P, G>(
     protocol: &P,
     sim: &(dyn Simulator<P::Input, P::Output> + Sync),
     gen: &G,
-) -> Result<Report, ParseError>
+) -> Result<(Report, MetricsRegistry), ParseError>
 where
     P: Protocol + Sync,
     G: Fn(&mut StdRng) -> Vec<P::Input> + Sync,
 {
     let runner = scenario.runner();
-    let outcomes = runner.run(
+    let (outcomes, merged) = runner.run_with_metrics(
         scenario.seed,
         scenario.trials as usize,
-        |trial: Trial| -> TrialOutcome {
+        |trial: Trial, metrics: &mut MetricsRegistry| -> TrialOutcome {
             let mut input_rng = trial.sub_rng(0);
             let inputs = gen(&mut input_rng);
             let truth = run_noiseless(protocol, &inputs);
-            match sim.simulate(&inputs, scenario.noise, trial.seed) {
+            match sim.simulate_with_metrics(&inputs, scenario.noise, trial.seed, metrics) {
                 Ok(o) => TrialOutcome::Done {
                     exact: o.transcript() == truth.transcript(),
                     overhead: o.stats().overhead(),
@@ -423,16 +498,38 @@ where
         }
     }
 
-    Ok(Report {
-        exact,
-        trials: scenario.trials,
-        mean_overhead: if completed > 0 {
-            overhead_sum / completed as f64
-        } else {
-            f64::NAN
+    Ok((
+        Report {
+            exact,
+            trials: scenario.trials,
+            mean_overhead: if completed > 0 {
+                overhead_sum / completed as f64
+            } else {
+                f64::NAN
+            },
+            lines,
         },
-        lines,
-    })
+        merged,
+    ))
+}
+
+/// Renders the metrics view in the scenario's requested format.
+///
+/// Only deterministic sections are rendered — the output is
+/// byte-identical for any thread count.
+#[must_use]
+pub fn render_metrics(scenario: &Scenario, metrics: &MetricsRegistry) -> String {
+    match scenario.metrics_format {
+        MetricsFormat::Table => {
+            let phases = metrics.render_phase_table();
+            if phases.is_empty() {
+                metrics.render_table()
+            } else {
+                format!("{phases}\n{}", metrics.render_table())
+            }
+        }
+        MetricsFormat::Prom => metrics.render_prometheus(),
+    }
 }
 
 #[cfg(test)]
@@ -446,10 +543,27 @@ mod tests {
     #[test]
     fn parses_defaults() {
         let s = parse(&args("run")).unwrap();
+        assert_eq!(s.command, CommandKind::Run);
         assert_eq!(s.protocol, ProtocolKind::InputSet);
         assert_eq!(s.n, 8);
         assert_eq!(s.scheme, SchemeKind::Rewind);
         assert_eq!(s.threads, None);
+        assert!(!s.metrics);
+        assert_eq!(s.metrics_format, MetricsFormat::Table);
+    }
+
+    #[test]
+    fn parses_metrics_flags() {
+        let s = parse(&args("run --metrics --metrics-format prom --n 4")).unwrap();
+        assert!(s.metrics);
+        assert_eq!(s.metrics_format, MetricsFormat::Prom);
+        assert_eq!(s.n, 4);
+
+        let s = parse(&args("metrics --n 4")).unwrap();
+        assert_eq!(s.command, CommandKind::Metrics);
+        assert!(s.metrics, "the metrics subcommand implies --metrics");
+
+        assert!(parse(&args("run --metrics-format csv")).is_err());
     }
 
     #[test]
@@ -500,6 +614,42 @@ mod tests {
                 run(&parse(&args(&format!("{base} --threads {threads}"))).unwrap()).unwrap();
             assert_eq!(serial, parallel, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn metrics_view_is_byte_identical_for_any_thread_count() {
+        let base = "run --metrics --protocol input-set --n 6 --noise correlated --eps 0.1 \
+                    --scheme rewind --seed 7 --trials 6";
+        let scenario = parse(&args(&format!("{base} --threads 1"))).unwrap();
+        let (serial_report, serial_metrics) = run_with_metrics(&scenario).unwrap();
+        let serial_view = render_metrics(&scenario, &serial_metrics);
+        assert!(serial_view.contains("sim.rewind"), "view: {serial_view}");
+        for threads in [2, 8] {
+            let scenario = parse(&args(&format!("{base} --threads {threads}"))).unwrap();
+            let (report, metrics) = run_with_metrics(&scenario).unwrap();
+            assert_eq!(serial_report, report, "threads={threads}");
+            assert_eq!(serial_metrics, metrics, "threads={threads}");
+            assert_eq!(
+                serial_view,
+                render_metrics(&scenario, &metrics),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn prom_rendering_exposes_counters() {
+        let scenario = parse(&args(
+            "metrics --metrics-format prom --n 4 --noise correlated --eps 0.1 --trials 2",
+        ))
+        .unwrap();
+        let (_, metrics) = run_with_metrics(&scenario).unwrap();
+        let exposition = render_metrics(&scenario, &metrics);
+        assert!(
+            exposition.contains("beeps_sim_rewind_runs_total"),
+            "exposition: {exposition}"
+        );
+        assert!(!exposition.contains("wall"), "wall must stay out");
     }
 
     #[test]
