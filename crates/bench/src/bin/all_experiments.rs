@@ -63,9 +63,9 @@ fn main() {
             i + 1,
             experiments.len()
         );
-        let start = std::time::Instant::now();
+        let sw = beeps_metrics::Stopwatch::start();
         run();
-        println!("(took {:.1}s)\n", start.elapsed().as_secs_f64());
+        println!("(took {:.1}s)\n", sw.elapsed().as_secs_f64());
     }
     println!("All {} experiments complete.", experiments.len());
 }

@@ -7,7 +7,7 @@
 //! logs under `target/experiments/`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod json;
 pub mod runner;

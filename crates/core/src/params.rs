@@ -383,11 +383,13 @@ mod tests {
     #[allow(deprecated)]
     fn deprecated_wrappers_match_builder() {
         assert_eq!(
+            // beeps-lint: allow(deprecated-api) -- this test IS the contract that the wrapper stays equivalent until 0.2.0
             SimulatorConfig::for_parties(16),
             SimulatorConfig::builder(16).build()
         );
         let model = NoiseModel::OneSidedZeroToOne { epsilon: 0.2 };
         assert_eq!(
+            // beeps-lint: allow(deprecated-api) -- this test IS the contract that the wrapper stays equivalent until 0.2.0
             SimulatorConfig::for_channel(16, model),
             SimulatorConfig::builder(16).model(model).build()
         );

@@ -58,8 +58,8 @@ pub fn cauchy_schwarz_ratio(a: &[f64], b: &[f64]) -> Result<(f64, f64), String> 
 /// assert_eq!(unique_indices(&[3, 1, 3, 7]), vec![1, 3]);
 /// ```
 pub fn unique_indices(samples: &[usize]) -> Vec<usize> {
-    use std::collections::HashMap;
-    let mut counts: HashMap<usize, usize> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
     for &s in samples {
         *counts.entry(s).or_insert(0) += 1;
     }

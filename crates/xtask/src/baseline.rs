@@ -1,0 +1,120 @@
+//! The checked-in lint baseline: grandfathered findings.
+//!
+//! A baseline entry identifies a finding by **rule, file, and the
+//! trimmed source line text** — not by line number, so unrelated edits
+//! above a grandfathered site do not invalidate the baseline. The
+//! workflow (DESIGN.md §8): new code must be clean; pre-existing
+//! findings that cannot be fixed immediately are recorded with
+//! `cargo xtask lint --write-baseline` and burned down over time. The
+//! workspace baseline (`xtask-lint.baseline`) is empty today and should
+//! stay that way.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A parsed baseline file.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    entries: BTreeSet<(String, String, String)>,
+}
+
+impl Baseline {
+    /// An empty baseline (nothing grandfathered).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Loads a baseline file. Lines are `rule-id<TAB>path<TAB>trimmed
+    /// source text`; blank lines and `#` comments are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a missing file is **not** an error and
+    /// yields an empty baseline.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        if !path.exists() {
+            return Ok(Self::empty());
+        }
+        let mut entries = BTreeSet::new();
+        for line in fs::read_to_string(path)?.lines() {
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            if let (Some(rule), Some(file), Some(text)) = (parts.next(), parts.next(), parts.next())
+            {
+                entries.insert((rule.to_string(), file.to_string(), text.to_string()));
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// Whether a finding `(rule, path, trimmed line text)` is grandfathered.
+    #[must_use]
+    pub fn contains(&self, rule: &str, path: &str, text: &str) -> bool {
+        self.entries
+            .contains(&(rule.to_string(), path.to_string(), text.to_string()))
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is grandfathered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes entries for `--write-baseline` (sorted, stable).
+    #[must_use]
+    pub fn render(entries: &[(String, String, String)]) -> String {
+        let mut sorted: Vec<_> = entries.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        let mut out = String::from(
+            "# beeps-lint baseline: grandfathered findings (rule<TAB>path<TAB>line text).\n\
+             # Regenerate with `cargo xtask lint --write-baseline`; keep this empty.\n",
+        );
+        for (rule, file, text) in sorted {
+            let _ = writeln!(out, "{rule}\t{file}\t{text}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_reload_round_trip() {
+        let entries = vec![(
+            "wall-clock".to_string(),
+            "src/lib.rs".to_string(),
+            "let t = Instant::now();".to_string(),
+        )];
+        let rendered = Baseline::render(&entries);
+        let dir = std::env::temp_dir().join("beeps-lint-baseline-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.txt");
+        fs::write(&path, rendered).unwrap();
+        let loaded = Baseline::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded.contains("wall-clock", "src/lib.rs", "let t = Instant::now();"));
+        assert!(!loaded.contains("wall-clock", "src/lib.rs", "other"));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/beeps-lint")).unwrap();
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+//! `beeps-lint`: the workspace static-analysis pass behind
+//! `cargo xtask lint`.
+//!
+//! The repo's core claim — bitwise-identical experiment output at any
+//! thread count, wall-clock-free metrics equality — rests on invariants
+//! that no compiler pass checks: nothing stops a future change from
+//! calling `Instant::now()` in an aggregation path, iterating a
+//! `HashMap` into a serialized log, or seeding from entropy. This crate
+//! machine-checks those invariants (plus the cross-file protocol
+//! contracts clippy cannot express) over every first-party source file.
+//!
+//! * Rules and rationale: [`rules::RuleId`] and DESIGN.md §8.
+//! * Inline escapes: `// beeps-lint: allow(<rule>) -- <justification>`
+//!   (justification mandatory; unknown rules and unused allows are
+//!   themselves findings).
+//! * Grandfathering: the checked-in [`baseline::Baseline`] file
+//!   (`xtask-lint.baseline`, empty today).
+//!
+//! The crate has zero dependencies and is excluded from its own scan
+//! (its source embeds the forbidden patterns as detection strings; see
+//! `scan::collect_sources`).
+
+pub mod baseline;
+pub mod rules;
+pub mod scan;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use baseline::Baseline;
+pub use rules::RuleId;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// File path relative to the lint root (`/` separators).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation with the fix direction.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed, un-grandfathered findings (sorted by path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a justified inline suppression.
+    pub suppressed: usize,
+    /// Findings silenced by the baseline file.
+    pub baselined: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Baseline entries for every unsuppressed finding (what
+    /// `--write-baseline` persists, including currently-baselined ones).
+    pub baseline_entries: Vec<(String, String, String)>,
+}
+
+impl LintReport {
+    /// True when nothing unsuppressed was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints every first-party source under `root` against `baseline`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the source walk and file reads.
+pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<LintReport> {
+    let files = scan::collect_sources(root)?;
+    let experiments_md = fs::read_to_string(root.join("EXPERIMENTS.md")).ok();
+    let facts = rules::Facts::gather(&files, experiments_md.as_deref());
+
+    let mut raw_findings = Vec::new();
+    rules::check(&files, &facts, &mut raw_findings);
+
+    let by_path: BTreeMap<String, &scan::SourceFile> = files
+        .iter()
+        .map(|f| (f.path.to_string_lossy().replace('\\', "/"), f))
+        .collect();
+
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..LintReport::default()
+    };
+
+    // (path, suppression line) pairs that silenced at least one finding.
+    let mut used_suppressions: Vec<(String, usize)> = Vec::new();
+    for finding in raw_findings {
+        let file = by_path
+            .get(&finding.path)
+            .expect("finding references a scanned file");
+        let idx = finding.line - 1;
+        if let Some(sup_line) = file.suppressed_at(idx, finding.rule.as_str()) {
+            report.suppressed += 1;
+            used_suppressions.push((finding.path.clone(), sup_line));
+            continue;
+        }
+        let text = file.lines[idx].raw.clone();
+        report.baseline_entries.push((
+            finding.rule.as_str().to_string(),
+            finding.path.clone(),
+            text.clone(),
+        ));
+        if baseline.contains(finding.rule.as_str(), &finding.path, &text) {
+            report.baselined += 1;
+            continue;
+        }
+        report.findings.push(finding);
+    }
+
+    // Police the suppression mechanism itself.
+    for file in &files {
+        let rel = file.path.to_string_lossy().replace('\\', "/");
+        for (idx, line) in file.lines.iter().enumerate() {
+            for sup in &line.suppressions {
+                if sup.rules.is_empty() {
+                    report.findings.push(Finding {
+                        rule: RuleId::Suppression,
+                        path: rel.clone(),
+                        line: idx + 1,
+                        message: "malformed beeps-lint comment: expected \
+                                  `beeps-lint: allow(<rule>) -- <justification>`"
+                            .to_string(),
+                    });
+                    continue;
+                }
+                let mut all_known = true;
+                for rule_name in &sup.rules {
+                    if RuleId::parse(rule_name).is_none() {
+                        all_known = false;
+                        report.findings.push(Finding {
+                            rule: RuleId::Suppression,
+                            path: rel.clone(),
+                            line: idx + 1,
+                            message: format!(
+                                "unknown rule \"{rule_name}\" in beeps-lint allow \
+                                 (see `cargo xtask lint --list-rules`)"
+                            ),
+                        });
+                    }
+                }
+                if !all_known {
+                    continue;
+                }
+                if sup.justification.is_empty() {
+                    report.findings.push(Finding {
+                        rule: RuleId::Suppression,
+                        path: rel.clone(),
+                        line: idx + 1,
+                        message: "suppression without justification; append \
+                                  `-- <why this is sound>`"
+                            .to_string(),
+                    });
+                } else if !used_suppressions.contains(&(rel.clone(), idx)) {
+                    report.findings.push(Finding {
+                        rule: RuleId::Suppression,
+                        path: rel.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "unused suppression for {}; delete it (nothing fires here)",
+                            sup.rules.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}

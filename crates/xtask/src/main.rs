@@ -1,0 +1,125 @@
+//! `cargo xtask` — workspace automation. Subcommands:
+//!
+//! * `lint` — run the beeps-lint static-analysis pass (DESIGN.md §8)
+//!   over every first-party source file. Exits nonzero on any
+//!   unsuppressed finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{lint_workspace, Baseline, RuleId};
+
+/// Default baseline filename, resolved relative to the lint root.
+const BASELINE_FILE: &str = "xtask-lint.baseline";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+cargo xtask lint [options]
+
+Static analysis enforcing the determinism and protocol-conformance
+invariants over all first-party crates (see DESIGN.md §8).
+
+Options:
+  --root <dir>        lint this tree instead of the workspace root
+  --baseline <file>   baseline file (default: <root>/xtask-lint.baseline)
+  --write-baseline    rewrite the baseline to grandfather current findings
+  --list-rules        print every rule ID with its rationale
+  -h, --help          this help
+";
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = it.next().map(PathBuf::from),
+            "--baseline" => baseline_path = it.next().map(PathBuf::from),
+            "--write-baseline" => write_baseline = true,
+            "--list-rules" => {
+                for rule in RuleId::ALL {
+                    println!("{:<18} {}", rule.as_str(), rule.rationale());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("xtask lint: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Under the cargo alias, cwd is the workspace root; `--root` serves
+    // out-of-tree fixture runs.
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_workspace(&root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let rendered = Baseline::render(&report.baseline_entries);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("xtask lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "beeps-lint: wrote {} entr{} to {}",
+            report.baseline_entries.len(),
+            if report.baseline_entries.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "beeps-lint: {} finding(s), {} suppressed, {} baselined, {} files scanned",
+        report.findings.len(),
+        report.suppressed,
+        report.baselined,
+        report.files_scanned
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

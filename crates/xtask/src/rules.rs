@@ -1,0 +1,558 @@
+//! The lint rules: IDs, the cross-file facts pass, and per-line checks.
+//!
+//! Rules come in two families (DESIGN.md §8):
+//!
+//! * **Determinism** (`wall-clock`, `entropy-rng`, `hash-collections`,
+//!   `env-read`) — the invariants behind "bitwise-identical output at
+//!   any thread count": no wall-clock reads outside the metrics span
+//!   module, no entropy-seeded RNGs, BTree-only collections, no
+//!   environment reads outside the documented `BEEPS_*` allowlist.
+//! * **Conformance** (`sim-name-prefix`, `experiment-id`,
+//!   `metric-key-format`, `deprecated-api`) — cross-file protocol
+//!   contracts clippy cannot express: `sim.<scheme>.*` metric literals
+//!   must name a real `Simulator::name()`, experiment IDs must match
+//!   their binary's filename and be unique, metric keys must be
+//!   lowercase dot-separated under a family documented in
+//!   EXPERIMENTS.md, and `#[deprecated]` APIs slated for 0.2.0 removal
+//!   must not gain new call sites.
+//!
+//! A ninth meta-rule, `suppression`, polices the suppression mechanism
+//! itself (unknown rule IDs, missing justifications, unused allows).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::scan::SourceFile;
+use crate::Finding;
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `Instant::now` / `SystemTime::now` outside the metrics span module.
+    WallClock,
+    /// Entropy-seeded RNG constructors (`thread_rng`, `from_entropy`, …).
+    EntropyRng,
+    /// `HashMap` / `HashSet` (iteration order is not deterministic).
+    HashCollections,
+    /// `std::env::var` reads outside the `BEEPS_*` allowlist.
+    EnvRead,
+    /// `"sim.<scheme>…"` literals naming an unknown simulator.
+    SimNamePrefix,
+    /// Experiment IDs that do not match their binary filename / collide.
+    ExperimentId,
+    /// Metric keys that are not lowercase dot-separated in a documented family.
+    MetricKeyFormat,
+    /// Calls to first-party `#[deprecated]` APIs.
+    DeprecatedApi,
+    /// Malformed, unknown, or unused `beeps-lint: allow(…)` comments.
+    Suppression,
+}
+
+impl RuleId {
+    /// Every rule, in reporting order.
+    pub const ALL: &'static [RuleId] = &[
+        RuleId::WallClock,
+        RuleId::EntropyRng,
+        RuleId::HashCollections,
+        RuleId::EnvRead,
+        RuleId::SimNamePrefix,
+        RuleId::ExperimentId,
+        RuleId::MetricKeyFormat,
+        RuleId::DeprecatedApi,
+        RuleId::Suppression,
+    ];
+
+    /// The stable kebab-case ID used in reports, suppressions, and the
+    /// baseline file.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::WallClock => "wall-clock",
+            RuleId::EntropyRng => "entropy-rng",
+            RuleId::HashCollections => "hash-collections",
+            RuleId::EnvRead => "env-read",
+            RuleId::SimNamePrefix => "sim-name-prefix",
+            RuleId::ExperimentId => "experiment-id",
+            RuleId::MetricKeyFormat => "metric-key-format",
+            RuleId::DeprecatedApi => "deprecated-api",
+            RuleId::Suppression => "suppression",
+        }
+    }
+
+    /// One-line rationale shown by `cargo xtask lint --list-rules`.
+    #[must_use]
+    pub fn rationale(self) -> &'static str {
+        match self {
+            RuleId::WallClock => {
+                "wall-clock reads outside beeps-metrics' span module break \
+                 bitwise-identical output; use MetricsRegistry wall spans"
+            }
+            RuleId::EntropyRng => {
+                "entropy-seeded RNGs make trials unreproducible; derive all \
+                 randomness from the per-trial splitmix seed"
+            }
+            RuleId::HashCollections => {
+                "HashMap/HashSet iteration order is nondeterministic; use \
+                 BTreeMap/BTreeSet so every rendering is a pure function of \
+                 the data"
+            }
+            RuleId::EnvRead => {
+                "environment reads outside the documented BEEPS_* knobs are \
+                 hidden inputs that change results between machines"
+            }
+            RuleId::SimNamePrefix => {
+                "sim.<scheme>.* metric literals must name a real \
+                 Simulator::name() so dashboards and tests cannot drift"
+            }
+            RuleId::ExperimentId => {
+                "ExperimentLog IDs must equal the binary filename and be \
+                 unique so target/experiments/<id>.json maps 1:1 to sources"
+            }
+            RuleId::MetricKeyFormat => {
+                "metric keys must be lowercase dot-separated under a family \
+                 documented in EXPERIMENTS.md's schema section"
+            }
+            RuleId::DeprecatedApi => {
+                "first-party #[deprecated] APIs slated for 0.2.0 removal \
+                 must not gain call sites"
+            }
+            RuleId::Suppression => {
+                "beeps-lint: allow(…) comments must name known rules, carry \
+                 a justification after --, and actually suppress something"
+            }
+        }
+    }
+
+    /// Parses a kebab-case rule ID.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.as_str() == s)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Files (relative, `/`-separated) where wall-clock reads are legal:
+/// the metrics span module is the one sanctioned home for
+/// `Instant::now` (see `beeps_metrics::Stopwatch`).
+const WALL_CLOCK_ALLOWED: &[&str] = &["crates/metrics/src/registry.rs"];
+
+/// Substrings that indicate a wall-clock read. Matched against the
+/// comment-stripped, string-blanked code view.
+const WALL_CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime::now"];
+
+/// Entropy-seeded RNG constructors. None of these exist in the
+/// vendored `rand` subset today; the rule keeps them from ever being
+/// (re-)introduced alongside a vendored upgrade.
+const ENTROPY_PATTERNS: &[&str] = &["thread_rng", "from_entropy", "from_os_rng", "OsRng"];
+
+/// Methods whose first string argument is a deterministic metric key.
+/// Wall-span methods (`time`, `record_wall`) are exempt: wall keys are
+/// never serialized or compared.
+const METRIC_METHODS: &[&str] = &[".inc(", ".observe(", ".event(", ".counter(", ".histogram("];
+
+/// Cross-file facts gathered before per-line checks run.
+#[derive(Debug, Default)]
+pub struct Facts {
+    /// `Simulator::name()` return literals (`rewind`, `naked`, …).
+    pub simulator_names: BTreeSet<String>,
+    /// First-party `#[deprecated]` function names and their defining file.
+    pub deprecated: BTreeMap<String, String>,
+    /// Metric families documented in EXPERIMENTS.md (`sim`, `exp`, …).
+    pub metric_families: BTreeSet<String>,
+}
+
+impl Facts {
+    /// Gathers facts from the lexed sources plus the workspace's
+    /// `EXPERIMENTS.md` (`experiments_md` is its content, if present).
+    #[must_use]
+    pub fn gather(files: &[SourceFile], experiments_md: Option<&str>) -> Self {
+        let mut facts = Facts::default();
+        if let Some(md) = experiments_md {
+            facts.metric_families = parse_metric_families(md);
+        }
+        for file in files {
+            for (idx, line) in file.lines.iter().enumerate() {
+                // fn name(&self) -> &'static str { "rewind" }
+                if line.code.contains("fn name(")
+                    && line.code.contains("&'static str")
+                    && !line.code.trim_end().ends_with(';')
+                {
+                    for look in file.lines.iter().skip(idx).take(4) {
+                        if let Some(lit) = look.strings.first() {
+                            facts.simulator_names.insert(lit.clone());
+                            break;
+                        }
+                    }
+                }
+                // #[deprecated(…)] pub fn old_api(…)
+                if line.code.contains("#[deprecated") {
+                    for look in file.lines.iter().skip(idx).take(10) {
+                        if let Some(name) = fn_ident(&look.code) {
+                            facts
+                                .deprecated
+                                .insert(name, file.path.to_string_lossy().replace('\\', "/"));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        facts
+    }
+}
+
+/// Extracts the identifier of a `fn` item declared on `code`.
+fn fn_ident(code: &str) -> Option<String> {
+    let at = code.find("fn ")?;
+    // Reject matches inside a larger identifier (`often `).
+    if at > 0
+        && code[..at]
+            .chars()
+            .last()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    {
+        return None;
+    }
+    let rest = &code[at + 3..];
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Parses the metric-family table out of EXPERIMENTS.md: the first
+/// markdown table whose header row contains a `family` column; each
+/// data row's first backticked token contributes its leading dot
+/// component (`sim.<scheme>.*` → `sim`).
+#[must_use]
+pub fn parse_metric_families(md: &str) -> BTreeSet<String> {
+    let mut families = BTreeSet::new();
+    let mut in_table = false;
+    for line in md.lines() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            in_table = false;
+            continue;
+        }
+        if trimmed.to_lowercase().contains("| family") || trimmed.to_lowercase().contains("|family")
+        {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        // A data (or separator) row of the family table.
+        if let Some(tok) = trimmed.split('`').nth(1) {
+            let family: String = tok
+                .chars()
+                .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_')
+                .collect();
+            if !family.is_empty() && tok[family.len()..].starts_with('.') {
+                families.insert(family);
+            }
+        }
+    }
+    families
+}
+
+/// Runs every rule over `files`, appending raw findings (suppression
+/// and baseline filtering happen in the caller).
+pub fn check(files: &[SourceFile], facts: &Facts, out: &mut Vec<Finding>) {
+    let mut experiment_ids: BTreeMap<String, String> = BTreeMap::new();
+    for file in files {
+        let rel = file.path.to_string_lossy().replace('\\', "/");
+        check_determinism(file, &rel, out);
+        check_sim_name_prefix(file, &rel, facts, out);
+        check_experiment_id(file, &rel, &mut experiment_ids, out);
+        check_metric_keys(file, &rel, facts, out);
+        check_deprecated(file, &rel, facts, out);
+    }
+}
+
+fn finding(rule: RuleId, rel: &str, line: usize, message: String) -> Finding {
+    Finding {
+        rule,
+        path: rel.to_string(),
+        line: line + 1,
+        message,
+    }
+}
+
+fn check_determinism(file: &SourceFile, rel: &str, out: &mut Vec<Finding>) {
+    let wall_allowed = WALL_CLOCK_ALLOWED.contains(&rel);
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !wall_allowed {
+            for pat in WALL_CLOCK_PATTERNS {
+                if line.code.contains(pat) {
+                    out.push(finding(
+                        RuleId::WallClock,
+                        rel,
+                        idx,
+                        format!(
+                            "`{pat}` outside the metrics span module; route timing through \
+                             `beeps_metrics::Stopwatch` / `MetricsRegistry::time` so wall-clock \
+                             stays out of deterministic state"
+                        ),
+                    ));
+                }
+            }
+        }
+        for pat in ENTROPY_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(finding(
+                    RuleId::EntropyRng,
+                    rel,
+                    idx,
+                    format!(
+                        "`{pat}` seeds from entropy; derive all randomness from the \
+                         per-trial seed (`trial_seed` / `StdRng::seed_from_u64`)"
+                    ),
+                ));
+            }
+        }
+        for pat in ["HashMap", "HashSet"] {
+            if line.code.contains(pat) {
+                out.push(finding(
+                    RuleId::HashCollections,
+                    rel,
+                    idx,
+                    format!(
+                        "`{pat}` has nondeterministic iteration order; use the BTree \
+                         equivalent (BTree-only rule)"
+                    ),
+                ));
+            }
+        }
+        if line.code.contains("env::var") {
+            let allowlisted = line.strings.iter().any(|s| s.starts_with("BEEPS_"));
+            if !allowlisted {
+                out.push(finding(
+                    RuleId::EnvRead,
+                    rel,
+                    idx,
+                    "environment read outside the documented `BEEPS_*` allowlist is a \
+                     hidden input; name the variable `BEEPS_*` and document it, or drop \
+                     the read"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+fn check_sim_name_prefix(file: &SourceFile, rel: &str, facts: &Facts, out: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        for lit in &line.strings {
+            let Some(rest) = lit.strip_prefix("sim.") else {
+                continue;
+            };
+            let scheme: &str = rest.split('.').next().unwrap_or_default();
+            if scheme.is_empty() || scheme.contains('{') {
+                continue; // dynamic (`sim.{scheme}.…`) or bare prefix
+            }
+            if !facts.simulator_names.contains(scheme) {
+                out.push(finding(
+                    RuleId::SimNamePrefix,
+                    rel,
+                    idx,
+                    format!(
+                        "`sim.{scheme}.*` does not match any `Simulator::name()` \
+                         (known: {})",
+                        facts
+                            .simulator_names
+                            .iter()
+                            .cloned()
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Extracts the string literal passed as the first argument of the
+/// call starting at `marker` on line `idx`, when that argument is
+/// syntactically a literal (possibly through `&format!(…)`). Returns
+/// `None` for variable arguments like `.inc(&key(…), 1)`.
+fn literal_arg(file: &SourceFile, idx: usize, marker: &str) -> Option<(usize, String)> {
+    let line = &file.lines[idx];
+    let pos = line.code.find(marker)?;
+    let after = line.code[pos + marker.len()..].trim_start();
+    let is_literal_head = |s: &str| {
+        s.starts_with('"')
+            || s.starts_with("&\"")
+            || s.starts_with("format!(\"")
+            || s.starts_with("&format!(\"")
+    };
+    if is_literal_head(after) {
+        return line.strings.first().map(|s| (idx, s.clone()));
+    }
+    if after.contains(')') {
+        return None; // call closed on this line without a literal arg
+    }
+    // Call continues on the next line(s).
+    for (off, next) in file.lines.iter().enumerate().skip(idx + 1).take(2) {
+        if is_literal_head(next.code.trim_start()) {
+            return next.strings.first().map(|s| (off, s.clone()));
+        }
+        if next.has_code {
+            return None;
+        }
+    }
+    None
+}
+
+fn check_experiment_id(
+    file: &SourceFile,
+    rel: &str,
+    seen: &mut BTreeMap<String, String>,
+    out: &mut Vec<Finding>,
+) {
+    if !rel.contains("src/bin/") {
+        return;
+    }
+    let stem = file.stem().to_string();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !line.code.contains("ExperimentLog::new") {
+            continue;
+        }
+        let Some((_, id)) = literal_arg(file, idx, "ExperimentLog::new(") else {
+            continue;
+        };
+        if id != stem {
+            out.push(finding(
+                RuleId::ExperimentId,
+                rel,
+                idx,
+                format!("experiment ID \"{id}\" must equal the binary filename stem \"{stem}\""),
+            ));
+        }
+        if let Some(prev) = seen.insert(id.clone(), rel.to_string()) {
+            out.push(finding(
+                RuleId::ExperimentId,
+                rel,
+                idx,
+                format!("experiment ID \"{id}\" already used by {prev}; IDs must be unique"),
+            ));
+        }
+    }
+}
+
+/// Charset check: lowercase dot-separated, digits/underscores allowed,
+/// `{…}` interpolations (with `:` format specs) tolerated.
+fn key_charset_ok(key: &str) -> bool {
+    key.chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._{}:".contains(c))
+}
+
+fn check_metric_keys(file: &SourceFile, rel: &str, facts: &Facts, out: &mut Vec<Finding>) {
+    let in_tests_dir = rel.contains("tests/");
+    for (idx, line) in file.lines.iter().enumerate() {
+        let Some(marker) = METRIC_METHODS.iter().find(|m| line.code.contains(*m)) else {
+            continue;
+        };
+        let Some((key_idx, key)) = literal_arg(file, idx, marker) else {
+            continue;
+        };
+        if key.is_empty() {
+            continue;
+        }
+        if !key_charset_ok(&key) {
+            out.push(finding(
+                RuleId::MetricKeyFormat,
+                rel,
+                key_idx,
+                format!("metric key \"{key}\" must be lowercase dot-separated ([a-z0-9_.])"),
+            ));
+            continue;
+        }
+        // Family membership: shipping code only — unit tests and
+        // integration tests may use throwaway keys.
+        if line.in_test || in_tests_dir || facts.metric_families.is_empty() {
+            continue;
+        }
+        let family: &str = key.split('.').next().unwrap_or_default();
+        if family.contains('{') {
+            continue; // dynamically assembled prefix
+        }
+        if !facts.metric_families.contains(family) {
+            out.push(finding(
+                RuleId::MetricKeyFormat,
+                rel,
+                key_idx,
+                format!(
+                    "metric key \"{key}\" is not under a family documented in \
+                     EXPERIMENTS.md (known: {})",
+                    facts
+                        .metric_families
+                        .iter()
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+fn check_deprecated(file: &SourceFile, rel: &str, facts: &Facts, out: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        for (symbol, def_file) in &facts.deprecated {
+            let call = format!("{symbol}(");
+            let def = format!("fn {symbol}(");
+            if line.code.contains(call.as_str()) && !line.code.contains(def.as_str()) {
+                out.push(finding(
+                    RuleId::DeprecatedApi,
+                    rel,
+                    idx,
+                    format!(
+                        "call to `{symbol}` (marked #[deprecated] in {def_file}, slated \
+                         for removal); migrate to the replacement named in its note"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for rule in RuleId::ALL {
+            assert_eq!(RuleId::parse(rule.as_str()), Some(*rule));
+            assert!(!rule.rationale().is_empty());
+        }
+        assert_eq!(RuleId::parse("nope"), None);
+    }
+
+    #[test]
+    fn family_table_parses() {
+        let md = "intro\n\n| family | meaning |\n|---|---|\n| `sim.<scheme>.*` | per-scheme |\n| `exp.*` | ad-hoc |\n\nafter\n";
+        let fams = parse_metric_families(md);
+        assert_eq!(
+            fams.iter().cloned().collect::<Vec<_>>(),
+            vec!["exp".to_string(), "sim".to_string()]
+        );
+    }
+
+    #[test]
+    fn fn_ident_extraction() {
+        assert_eq!(
+            fn_ident("    pub fn for_parties(n: usize) -> Self {"),
+            Some("for_parties".to_string())
+        );
+        assert_eq!(fn_ident("let often = 3;"), None);
+        assert_eq!(fn_ident("fn x()"), Some("x".to_string()));
+    }
+}

@@ -1,0 +1,8 @@
+pub fn grandfathered() {
+    let t = std::time::Instant::now();
+    let _ = t;
+}
+pub fn fresh() {
+    let s = std::time::SystemTime::now();
+    let _ = s;
+}

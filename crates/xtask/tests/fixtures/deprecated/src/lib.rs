@@ -1,0 +1,8 @@
+#[deprecated(since = "0.1.0", note = "use new_api; removed in 0.2.0")]
+pub fn old_api() {}
+
+pub fn new_api() {}
+
+pub fn caller() {
+    old_api();
+}

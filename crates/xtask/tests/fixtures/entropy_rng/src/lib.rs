@@ -1,0 +1,8 @@
+pub fn bad() {
+    let mut rng = rand::thread_rng();
+    let other = StdRng::from_entropy();
+    let _ = (rng, other);
+}
+pub fn good(seed: u64) {
+    let _ = StdRng::seed_from_u64(seed);
+}

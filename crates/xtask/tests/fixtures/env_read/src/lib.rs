@@ -1,0 +1,7 @@
+pub fn bad() {
+    let _ = std::env::var("HOME");
+}
+pub fn good() {
+    let _ = std::env::var("BEEPS_THREADS");
+    let _: Vec<String> = std::env::args().collect();
+}

@@ -1,0 +1,4 @@
+fn main() {
+    let log = ExperimentLog::new("fig9_demo");
+    let _ = log;
+}

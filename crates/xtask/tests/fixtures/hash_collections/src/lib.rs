@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+pub fn bad() {
+    let s: std::collections::HashSet<u32> = Default::default();
+    let _ = s;
+}
+pub fn good() {
+    let m: std::collections::BTreeMap<u32, u32> = Default::default();
+    let _ = m;
+}

@@ -1,0 +1,14 @@
+pub fn keys(m: &mut M) {
+    m.inc("exp.good.trials", 1);
+    m.inc("exp.BadCase.trials", 1);
+    m.inc("unknown_family.x", 1);
+    m.inc("bare_key", 1);
+    m.inc(&format!("{cell}.trials"), 1);
+    m.observe(dynamic_key, 5);
+}
+#[cfg(test)]
+mod tests {
+    fn scratch(m: &mut M) {
+        m.inc("anything_lowercase", 1);
+    }
+}

@@ -1,0 +1,15 @@
+pub struct Demo;
+impl Demo {
+    fn name(&self) -> &'static str {
+        "rewind"
+    }
+}
+pub fn good(m: &mut M) {
+    m.inc("sim.rewind.runs", 1);
+}
+pub fn bad(m: &mut M) {
+    m.inc("sim.rewnd.runs", 1);
+}
+pub fn dynamic(m: &mut M, scheme: &str) {
+    m.record_wall(&format!("sim.{scheme}.simulate"), d);
+}

@@ -1,0 +1,24 @@
+pub fn justified() {
+    // beeps-lint: allow(hash-collections) -- bounded scratch map, never iterated into output
+    let m: std::collections::HashMap<u32, u32> = Default::default();
+    let _ = m;
+}
+pub fn trailing() {
+    let s = std::time::SystemTime::now(); // beeps-lint: allow(wall-clock) -- operator-facing banner only
+    let _ = s;
+}
+pub fn unjustified() {
+    // beeps-lint: allow(hash-collections)
+    let m: std::collections::HashMap<u32, u32> = Default::default();
+    let _ = m;
+}
+pub fn unknown_rule() {
+    // beeps-lint: allow(no-such-rule) -- misremembered the ID
+    let x = 1;
+    let _ = x;
+}
+pub fn unused() {
+    // beeps-lint: allow(wall-clock) -- nothing here actually needs this
+    let y = 2;
+    let _ = y;
+}

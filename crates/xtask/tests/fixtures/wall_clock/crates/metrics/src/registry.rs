@@ -1,0 +1,4 @@
+pub fn sanctioned() {
+    let t = std::time::Instant::now(); // the one allowed module
+    let _ = t;
+}

@@ -1,0 +1,7 @@
+pub fn bad() {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    let _ = (t, s);
+}
+/// A doc comment mentioning Instant::now() must not fire.
+pub fn prose_only() {}

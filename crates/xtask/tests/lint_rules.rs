@@ -1,0 +1,194 @@
+//! Fixture tests: every rule fires on its seeded violation, respects
+//! suppressions, and honors the baseline. Each fixture under
+//! `tests/fixtures/<case>/` is a miniature workspace tree.
+
+use std::path::PathBuf;
+
+use xtask::{lint_workspace, Baseline, LintReport, RuleId};
+
+fn fixture_root(case: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(case)
+}
+
+fn run(case: &str) -> LintReport {
+    let root = fixture_root(case);
+    let baseline = Baseline::load(&root.join("xtask-lint.baseline")).expect("baseline readable");
+    lint_workspace(&root, &baseline).expect("fixture lints")
+}
+
+fn rules_of(report: &LintReport) -> Vec<RuleId> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn wall_clock_fires_outside_span_module_only() {
+    let report = run("wall_clock");
+    assert_eq!(rules_of(&report), [RuleId::WallClock, RuleId::WallClock]);
+    assert!(
+        report.findings.iter().all(|f| f.path == "src/lib.rs"),
+        "metrics registry module must stay exempt: {:?}",
+        report.findings
+    );
+    assert_eq!(report.findings[0].line, 2);
+    assert_eq!(report.findings[1].line, 3);
+}
+
+#[test]
+fn entropy_rng_fires_on_entropy_seeding_only() {
+    let report = run("entropy_rng");
+    assert_eq!(rules_of(&report), [RuleId::EntropyRng, RuleId::EntropyRng]);
+    assert!(report.findings[0].message.contains("thread_rng"));
+    assert!(report.findings[1].message.contains("from_entropy"));
+}
+
+#[test]
+fn hash_collections_fires_on_hashmap_and_hashset() {
+    let report = run("hash_collections");
+    assert_eq!(
+        rules_of(&report),
+        [RuleId::HashCollections, RuleId::HashCollections]
+    );
+}
+
+#[test]
+fn env_read_allows_beeps_prefix_only() {
+    let report = run("env_read");
+    assert_eq!(rules_of(&report), [RuleId::EnvRead]);
+    assert_eq!(report.findings[0].line, 2, "only the HOME read fires");
+}
+
+#[test]
+fn sim_name_prefix_catches_typos() {
+    let report = run("sim_name");
+    assert_eq!(rules_of(&report), [RuleId::SimNamePrefix]);
+    assert!(report.findings[0].message.contains("sim.rewnd"));
+    assert!(
+        report.findings[0].message.contains("rewind"),
+        "message lists the known names: {}",
+        report.findings[0].message
+    );
+}
+
+#[test]
+fn experiment_id_enforces_filename_match_and_uniqueness() {
+    let report = run("experiment_id");
+    assert_eq!(
+        rules_of(&report),
+        [RuleId::ExperimentId, RuleId::ExperimentId]
+    );
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.path.ends_with("tab9_bad.rs")));
+    assert!(report.findings[0].message.contains("tab9_bad"));
+    assert!(report.findings[1].message.contains("already used"));
+}
+
+#[test]
+fn metric_key_format_checks_charset_and_family() {
+    let report = run("metric_key");
+    assert_eq!(
+        rules_of(&report),
+        [
+            RuleId::MetricKeyFormat,
+            RuleId::MetricKeyFormat,
+            RuleId::MetricKeyFormat
+        ]
+    );
+    assert!(report.findings[0].message.contains("exp.BadCase.trials"));
+    assert!(report.findings[1].message.contains("unknown_family.x"));
+    assert!(report.findings[2].message.contains("bare_key"));
+    // The cfg(test) scratch key and the dynamic keys never fire.
+}
+
+#[test]
+fn deprecated_api_denies_call_sites_not_definitions() {
+    let report = run("deprecated");
+    assert_eq!(rules_of(&report), [RuleId::DeprecatedApi]);
+    assert_eq!(report.findings[0].line, 7);
+    assert!(report.findings[0].message.contains("old_api"));
+}
+
+#[test]
+fn suppressions_require_known_rule_and_justification() {
+    let report = run("suppressed");
+    assert_eq!(
+        report.suppressed, 2,
+        "the two justified allows silence their findings: {:?}",
+        report.findings
+    );
+    assert_eq!(
+        rules_of(&report),
+        [
+            RuleId::Suppression,     // missing justification
+            RuleId::HashCollections, // …so the violation still fires
+            RuleId::Suppression,     // unknown rule ID
+            RuleId::Suppression,     // justified but unused
+        ]
+    );
+    assert!(report.findings[0].message.contains("justification"));
+    assert!(report.findings[2].message.contains("no-such-rule"));
+    assert!(report.findings[3].message.contains("unused"));
+}
+
+#[test]
+fn baseline_grandfathers_exact_entries_only() {
+    let root = fixture_root("baseline");
+    let baseline = Baseline::load(&root.join("xtask-lint.baseline")).unwrap();
+    assert_eq!(baseline.len(), 1);
+    let report = lint_workspace(&root, &baseline).unwrap();
+    assert_eq!(report.baselined, 1, "Instant::now entry is grandfathered");
+    assert_eq!(rules_of(&report), [RuleId::WallClock]);
+    assert!(report.findings[0].message.contains("SystemTime::now"));
+    // Without the baseline both findings surface.
+    let bare = lint_workspace(&root, &Baseline::empty()).unwrap();
+    assert_eq!(bare.findings.len(), 2);
+    // …and every unsuppressed finding is offered for --write-baseline.
+    assert_eq!(bare.baseline_entries.len(), 2);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let report = run("clean");
+    assert!(report.is_clean(), "unexpected: {:?}", report.findings);
+    assert_eq!(report.suppressed, 0);
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn cli_exit_codes_reflect_findings() {
+    let exit = |case: &str| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+            .args(["lint", "--root"])
+            .arg(fixture_root(case))
+            .output()
+            .expect("xtask binary runs")
+    };
+    for case in [
+        "wall_clock",
+        "entropy_rng",
+        "hash_collections",
+        "env_read",
+        "sim_name",
+        "experiment_id",
+        "metric_key",
+        "deprecated",
+    ] {
+        let out = exit(case);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{case} must fail the lint gate: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+    let out = exit("clean");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean tree must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -4,12 +4,14 @@
 #   scripts/tier1.sh
 #
 # Runs the release build, the full test suite, clippy with warnings
-# denied, and the formatting check — the same sequence CI runs.
+# denied, the beeps-lint static-analysis pass, and the formatting
+# check — the same sequence CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+cargo xtask lint
 cargo fmt --check
 echo "tier-1: all green"
