@@ -1,0 +1,346 @@
+//! **Hot-path benchmark suite** — pins the wall-clock performance of the
+//! executor/channel/metrics stack so perf regressions are visible in a
+//! diff, not just in vibes.
+//!
+//! Measures three layers of the stack:
+//!
+//! * raw [`StochasticChannel::transmit`] throughput per noise model
+//!   (the per-round sampling cost each Monte Carlo sweep pays);
+//! * [`Executor::run`] / [`Executor::run_with_metrics`] round throughput
+//!   under `Independent` and `Correlated` noise (the inner loop of every
+//!   experiment binary);
+//! * one full scheme per family (`repetition`, `rewind`, `one_to_zero`)
+//!   end to end.
+//!
+//! Results are written as JSON (default `BENCH_hotpaths.json` in the
+//! current directory). Pass `--baseline <file>` — a JSON previously
+//! produced by this harness — to embed the old numbers and per-benchmark
+//! speedups in the output; `--smoke` runs one tiny iteration of
+//! everything so CI can keep the harness compiling and running without
+//! paying measurement-grade iteration counts.
+//!
+//! Timing uses the sanctioned [`Stopwatch`] wrapper; everything else in
+//! the harness is seed-deterministic, so two runs measure the same work.
+
+use std::path::PathBuf;
+
+use beeps_bench::Json;
+use beeps_channel::{Channel, Executor, NoiseModel, Party, StochasticChannel};
+use beeps_core::{OneToZeroSimulator, RepetitionSimulator, RewindSimulator, SimulatorConfig};
+use beeps_metrics::{MetricsRegistry, Stopwatch};
+use beeps_protocols::InputSet;
+
+/// Parties attached to the executor/channel benchmarks.
+const PARTIES: usize = 64;
+/// Noise rate used by the channel/executor benchmarks.
+const EPS: f64 = 0.05;
+
+struct Args {
+    iters: usize,
+    rounds: usize,
+    scheme_trials: usize,
+    smoke: bool,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut args = Args {
+            iters: 5,
+            rounds: 200_000,
+            scheme_trials: 8,
+            smoke: false,
+            out: PathBuf::from("BENCH_hotpaths.json"),
+            baseline: None,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--smoke" => {
+                    args.smoke = true;
+                    args.iters = 1;
+                    args.rounds = 2_000;
+                    args.scheme_trials = 1;
+                }
+                "--iters" => args.iters = parse_num(it.next(), "--iters"),
+                "--rounds" => args.rounds = parse_num(it.next(), "--rounds"),
+                "--out" => args.out = PathBuf::from(it.next().expect("--out needs a path")),
+                "--baseline" => {
+                    args.baseline =
+                        Some(PathBuf::from(it.next().expect("--baseline needs a path")));
+                }
+                other => {
+                    eprintln!("unknown argument {other}");
+                    eprintln!(
+                        "usage: bench_hotpaths [--smoke] [--iters N] [--rounds N] \
+                         [--out FILE] [--baseline FILE]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+fn parse_num(v: Option<String>, flag: &str) -> usize {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("{flag} needs a positive integer"))
+}
+
+/// A deliberately cheap party so the benchmarks measure the harness, not
+/// the protocol: beeps on multiples of its stride, remembers one bit.
+struct Strider {
+    stride: usize,
+    round: usize,
+    last: bool,
+}
+
+impl Party for Strider {
+    fn beep(&mut self) -> bool {
+        self.round.is_multiple_of(self.stride)
+    }
+
+    fn hear(&mut self, heard: bool) {
+        self.round += 1;
+        self.last = heard;
+    }
+}
+
+fn striders(n: usize) -> Vec<Strider> {
+    (0..n)
+        .map(|i| Strider {
+            stride: 2 + (i % 7),
+            round: 0,
+            last: false,
+        })
+        .collect()
+}
+
+/// One measurement: runs `work` (which reports how many operations it
+/// performed) `iters` times and keeps the fastest iteration.
+fn measure(iters: usize, mut work: impl FnMut() -> usize) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut ops = 0;
+    for _ in 0..iters.max(1) {
+        let sw = Stopwatch::start();
+        ops = work();
+        let ns = sw.elapsed().as_nanos() as f64;
+        let per_op = if ops == 0 { ns } else { ns / ops as f64 };
+        if per_op < best {
+            best = per_op;
+        }
+    }
+    (best, ops)
+}
+
+struct Suite {
+    args: Args,
+    results: Vec<(String, f64, usize)>,
+}
+
+impl Suite {
+    fn bench(&mut self, name: &str, work: impl FnMut() -> usize) {
+        let (ns_per_op, ops) = measure(self.args.iters, work);
+        println!("{name:<40} {ns_per_op:>12.1} ns/op  ({ops} ops/iter)");
+        self.results.push((name.to_owned(), ns_per_op, ops));
+    }
+}
+
+fn channel_benches(suite: &mut Suite) {
+    let rounds = suite.args.rounds;
+    let models: [(&str, NoiseModel); 5] = [
+        ("noise.noiseless", NoiseModel::Noiseless),
+        ("noise.correlated", NoiseModel::Correlated { epsilon: EPS }),
+        (
+            "noise.one_sided_0to1",
+            NoiseModel::OneSidedZeroToOne { epsilon: EPS },
+        ),
+        (
+            "noise.one_sided_1to0",
+            NoiseModel::OneSidedOneToZero { epsilon: EPS },
+        ),
+        (
+            "noise.independent",
+            NoiseModel::Independent { epsilon: EPS },
+        ),
+    ];
+    for (name, model) in models {
+        suite.bench(name, || {
+            let mut ch = StochasticChannel::new(PARTIES, model, 0xC0FFEE);
+            let mut sink = 0usize;
+            for r in 0..rounds {
+                // Mostly-silent rounds with periodic beeps, as in real
+                // sparse protocols; exercises both one-sided regimes.
+                let or = r % 8 == 0;
+                sink += usize::from(ch.transmit(or).heard_by(r % PARTIES));
+            }
+            std::hint::black_box(sink);
+            rounds
+        });
+    }
+}
+
+fn executor_benches(suite: &mut Suite) {
+    let rounds = suite.args.rounds;
+    let independent = NoiseModel::Independent { epsilon: EPS };
+    let correlated = NoiseModel::Correlated { epsilon: EPS };
+
+    suite.bench("executor.run.independent", || {
+        let mut parties = striders(PARTIES);
+        let mut ch = StochasticChannel::new(PARTIES, independent, 7);
+        let stats = Executor::run(&mut parties, &mut ch, rounds);
+        std::hint::black_box(stats.energy);
+        rounds
+    });
+    suite.bench("executor.run.correlated", || {
+        let mut parties = striders(PARTIES);
+        let mut ch = StochasticChannel::new(PARTIES, correlated, 7);
+        let stats = Executor::run(&mut parties, &mut ch, rounds);
+        std::hint::black_box(stats.energy);
+        rounds
+    });
+    suite.bench("executor.run_with_metrics.independent", || {
+        let mut parties = striders(PARTIES);
+        let mut ch = StochasticChannel::new(PARTIES, independent, 7);
+        let mut metrics = MetricsRegistry::new();
+        let stats = Executor::run_with_metrics(&mut parties, &mut ch, rounds, &mut metrics);
+        std::hint::black_box(stats.energy + metrics.counter("channel.energy") as usize);
+        rounds
+    });
+    suite.bench("executor.run_with_metrics.correlated", || {
+        let mut parties = striders(PARTIES);
+        let mut ch = StochasticChannel::new(PARTIES, correlated, 7);
+        let mut metrics = MetricsRegistry::new();
+        let stats = Executor::run_with_metrics(&mut parties, &mut ch, rounds, &mut metrics);
+        std::hint::black_box(stats.energy + metrics.counter("channel.energy") as usize);
+        rounds
+    });
+}
+
+fn scheme_benches(suite: &mut Suite) {
+    let n = 8usize;
+    let trials = suite.args.scheme_trials;
+    let protocol = InputSet::new(n);
+    let inputs: Vec<usize> = (0..n).map(|i| (5 * i + 3) % (2 * n)).collect();
+    let two = NoiseModel::Correlated { epsilon: 0.1 };
+    let down = NoiseModel::OneSidedOneToZero { epsilon: 1.0 / 3.0 };
+    let config = SimulatorConfig::builder(n).model(two).build();
+
+    let rep = RepetitionSimulator::new(&protocol, config.clone());
+    suite.bench("scheme.repetition", || {
+        for seed in 0..trials as u64 {
+            let out = rep.simulate(&inputs, two, seed).expect("fixed length");
+            std::hint::black_box(out.stats().energy);
+        }
+        trials
+    });
+    let rew = RewindSimulator::new(&protocol, config);
+    suite.bench("scheme.rewind", || {
+        for seed in 0..trials as u64 {
+            let out = rew.simulate(&inputs, two, seed);
+            std::hint::black_box(out.ok().map_or(0, |o| o.stats().energy));
+        }
+        trials
+    });
+    let z = OneToZeroSimulator::new(&protocol, 2, 32.0);
+    suite.bench("scheme.one_to_zero", || {
+        for seed in 0..trials as u64 {
+            let out = z.simulate(&inputs, down, seed);
+            std::hint::black_box(out.ok().map_or(0, |o| o.stats().energy));
+        }
+        trials
+    });
+}
+
+/// Pulls `"<name>":{"ns_per_op":<float>` values back out of a JSON file
+/// previously written by this harness. A full JSON parser would be
+/// overkill for a format we emit ourselves.
+fn read_baseline(path: &PathBuf) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+    let mut out = Vec::new();
+    let marker = "\"ns_per_op\":";
+    let mut search = text.as_str();
+    while let Some(pos) = search.find(marker) {
+        let head = &search[..pos];
+        // The benchmark name is the nearest preceding quoted key that
+        // owns this object: ..."name":{"ns_per_op":...
+        if let Some(open) = head.rfind(":{") {
+            let key_end = open;
+            if let Some(q2) = head[..key_end].rfind('"') {
+                if let Some(q1) = head[..q2].rfind('"') {
+                    let name = &head[q1 + 1..q2];
+                    let tail = &search[pos + marker.len()..];
+                    let end = tail
+                        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+                        .unwrap_or(tail.len());
+                    if let Ok(v) = tail[..end].parse::<f64>() {
+                        out.push((name.to_owned(), v));
+                    }
+                }
+            }
+        }
+        search = &search[pos + marker.len()..];
+    }
+    out
+}
+
+pub fn main() {
+    let args = Args::parse();
+    let baseline = args.baseline.as_ref().map(read_baseline);
+    let mut suite = Suite {
+        args,
+        results: Vec::new(),
+    };
+
+    channel_benches(&mut suite);
+    executor_benches(&mut suite);
+    scheme_benches(&mut suite);
+
+    let mut results = Json::object();
+    for (name, ns, ops) in &suite.results {
+        let mut entry = Json::object();
+        entry.set("ns_per_op", *ns).set("ops_per_iter", *ops);
+        results.set(name, entry);
+    }
+
+    let mut root = Json::object();
+    root.set("schema", "bench_hotpaths/v1");
+    let mut cfg = Json::object();
+    cfg.set("iters", suite.args.iters)
+        .set("rounds", suite.args.rounds)
+        .set("scheme_trials", suite.args.scheme_trials)
+        .set("parties", PARTIES)
+        .set("epsilon", EPS)
+        .set("smoke", suite.args.smoke);
+    root.set("config", cfg);
+    root.set("results", results);
+
+    if let Some(base) = baseline {
+        let mut before = Json::object();
+        let mut speedup = Json::object();
+        for (name, ns) in &base {
+            let mut entry = Json::object();
+            entry.set("ns_per_op", *ns);
+            before.set(name, entry);
+            if let Some((_, now, _)) = suite.results.iter().find(|(n, _, _)| n == name) {
+                if *now > 0.0 {
+                    speedup.set(name, ns / now);
+                }
+            }
+        }
+        root.set("baseline", before);
+        root.set("speedup", speedup);
+        println!();
+        for (name, ns) in &base {
+            if let Some((_, now, _)) = suite.results.iter().find(|(n, _, _)| n == name) {
+                println!("{name:<40} speedup {:>8.2}x", ns / now);
+            }
+        }
+    }
+
+    std::fs::write(&suite.args.out, root.render() + "\n").expect("write benchmark output");
+    println!("\nwrote {}", suite.args.out.display());
+}

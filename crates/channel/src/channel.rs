@@ -1,8 +1,103 @@
 //! Channel implementations: stochastic, scripted (failure injection), and
 //! the shared-randomness reduction of A.1.2.
+//!
+//! The stochastic channel batches its noise: instead of one Bernoulli
+//! draw per (party and) round, it draws the *gaps between flips* from
+//! the geometric distribution — the classic skip-sampling identity
+//! `P(gap = k) = ε(1−ε)^k` — so RNG work scales with the number of
+//! flips, not the number of rounds. The resulting flip process is
+//! distribution-identical to per-round sampling (pinned by chi-squared
+//! tests against the reference samplers in [`crate::noise`]), but the
+//! *stream* of RNG draws differs, so seeded golden numbers change when
+//! switching between the two.
 
+use crate::bits::BitVec;
 use crate::noise::{Delivery, NoiseModel};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Rounds covered by one independent-noise mask block.
+const BLOCK_ROUNDS: usize = 64;
+
+/// Draws the number of clean eligible rounds before the next flip of a
+/// Bernoulli(ε) stream: geometric on `{0, 1, …}` with
+/// `P(k) = ε(1−ε)^k`, via inversion of one uniform draw. Returns
+/// `u64::MAX` ("never") for ε ≤ 0 without consuming randomness.
+fn geometric_gap(epsilon: f64, rng: &mut StdRng) -> u64 {
+    if epsilon <= 0.0 {
+        return u64::MAX;
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // floor(ln(1−U) / ln(1−ε)): U ∈ [1−(1−ε)^k, 1−(1−ε)^{k+1}) ⇒ gap k.
+    let gap = ((1.0 - u).ln() / (1.0 - epsilon).ln()).floor();
+    if gap >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        gap as u64
+    }
+}
+
+/// Advances a flip position by one round plus a fresh geometric gap,
+/// saturating at "never".
+fn next_flip_position(pos: u64, epsilon: f64, rng: &mut StdRng) -> u64 {
+    let gap = geometric_gap(epsilon, rng);
+    if gap == u64::MAX {
+        u64::MAX
+    } else {
+        pos.saturating_add(gap + 1)
+    }
+}
+
+/// Batched noise state of a [`StochasticChannel`].
+#[derive(Debug)]
+enum Sampler {
+    /// No randomness consumed, ever.
+    Noiseless,
+    /// Shared-output regimes: one geometric countdown over *eligible*
+    /// rounds (every round for `Correlated`; silent rounds for `0→1`;
+    /// beeping rounds for `1→0`).
+    Shared {
+        /// Eligible rounds remaining before the next flip.
+        skip: u64,
+    },
+    /// Independent noise: per-party geometric skips expanded into
+    /// round-major 64-round mask blocks.
+    Independent {
+        /// `block[r * words_per_round + w]`: flip mask over parties
+        /// `64w..` for block round `r`.
+        block: Vec<u64>,
+        /// Words per round (`⌈n/64⌉`).
+        words_per_round: usize,
+        /// Next unconsumed round offset in the block; `BLOCK_ROUNDS`
+        /// forces a refill.
+        offset: usize,
+        /// Per-party rounds remaining (from the current block start)
+        /// until that party's next flip.
+        skips: Vec<u64>,
+    },
+}
+
+impl Sampler {
+    fn new(n: usize, model: NoiseModel, rng: &mut StdRng) -> Self {
+        let eps = model.epsilon();
+        match model {
+            NoiseModel::Noiseless => Sampler::Noiseless,
+            NoiseModel::Correlated { .. }
+            | NoiseModel::OneSidedZeroToOne { .. }
+            | NoiseModel::OneSidedOneToZero { .. } => Sampler::Shared {
+                skip: geometric_gap(eps, rng),
+            },
+            NoiseModel::Independent { .. } => {
+                let words_per_round = n.div_ceil(64);
+                Sampler::Independent {
+                    block: vec![0; BLOCK_ROUNDS * words_per_round],
+                    words_per_round,
+                    offset: BLOCK_ROUNDS,
+                    skips: (0..n).map(|_| geometric_gap(eps, rng)).collect(),
+                }
+            }
+        }
+    }
+}
 
 /// A beeping channel: consumes the true OR of a round and produces what the
 /// parties hear.
@@ -45,6 +140,7 @@ pub struct StochasticChannel {
     n: usize,
     model: NoiseModel,
     rng: StdRng,
+    sampler: Sampler,
     rounds: usize,
     corrupted: usize,
 }
@@ -59,10 +155,13 @@ impl StochasticChannel {
     pub fn new(n: usize, model: NoiseModel, seed: u64) -> Self {
         assert!(n > 0, "channel needs at least one party");
         model.validate().expect("invalid noise parameter");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampler = Sampler::new(n, model, &mut rng);
         Self {
             n,
             model,
-            rng: StdRng::seed_from_u64(seed),
+            rng,
+            sampler,
             rounds: 0,
             corrupted: 0,
         }
@@ -71,6 +170,35 @@ impl StochasticChannel {
     /// The noise model this channel applies.
     pub fn model(&self) -> NoiseModel {
         self.model
+    }
+
+    /// Rebuilds the current independent-noise mask block from the
+    /// per-party skip counters.
+    fn refill_block(&mut self) {
+        let epsilon = self.model.epsilon();
+        let Sampler::Independent {
+            block,
+            words_per_round,
+            offset,
+            skips,
+        } = &mut self.sampler
+        else {
+            unreachable!("refill is only reachable from the independent sampler");
+        };
+        block.fill(0);
+        for (p, skip) in skips.iter_mut().enumerate() {
+            let mut pos = *skip;
+            while pos < BLOCK_ROUNDS as u64 {
+                block[pos as usize * *words_per_round + p / 64] |= 1u64 << (p % 64);
+                pos = next_flip_position(pos, epsilon, &mut self.rng);
+            }
+            *skip = if pos == u64::MAX {
+                u64::MAX
+            } else {
+                pos - BLOCK_ROUNDS as u64
+            };
+        }
+        *offset = 0;
     }
 }
 
@@ -81,18 +209,51 @@ impl Channel for StochasticChannel {
 
     fn transmit(&mut self, true_or: bool) -> Delivery {
         self.rounds += 1;
-        if self.model.is_shared() {
-            let heard = self.model.corrupt_shared(true_or, &mut self.rng);
-            if heard != true_or {
-                self.corrupted += 1;
+        if let Sampler::Independent { offset, .. } = &self.sampler {
+            if *offset == BLOCK_ROUNDS {
+                self.refill_block();
             }
-            Delivery::Shared(heard)
-        } else {
-            let bits = self.model.corrupt_per_party(true_or, self.n, &mut self.rng);
-            if bits.iter().any(|&b| b != true_or) {
-                self.corrupted += 1;
+        }
+        match &mut self.sampler {
+            Sampler::Noiseless => Delivery::Shared(true_or),
+            Sampler::Shared { skip } => {
+                // One-sided regimes only consume the countdown on rounds
+                // where a flip is possible at all.
+                let eligible = match self.model {
+                    NoiseModel::Correlated { .. } => true,
+                    NoiseModel::OneSidedZeroToOne { .. } => !true_or,
+                    NoiseModel::OneSidedOneToZero { .. } => true_or,
+                    _ => unreachable!("shared sampler only for shared noisy models"),
+                };
+                let flip = if eligible {
+                    if *skip == 0 {
+                        *skip = geometric_gap(self.model.epsilon(), &mut self.rng);
+                        true
+                    } else {
+                        *skip -= 1;
+                        false
+                    }
+                } else {
+                    false
+                };
+                if flip {
+                    self.corrupted += 1;
+                }
+                Delivery::Shared(true_or ^ flip)
             }
-            Delivery::PerParty(bits)
+            Sampler::Independent {
+                block,
+                words_per_round,
+                offset,
+                ..
+            } => {
+                let row = &block[*offset * *words_per_round..(*offset + 1) * *words_per_round];
+                *offset += 1;
+                if row.iter().any(|&w| w != 0) {
+                    self.corrupted += 1;
+                }
+                Delivery::PerParty(BitVec::from_flips(row, true_or, self.n))
+            }
         }
     }
 

@@ -7,6 +7,7 @@
 //! drives a set of them against any [`Channel`], collecting statistics.
 
 use crate::channel::Channel;
+use crate::noise::Delivery;
 use beeps_metrics::MetricsRegistry;
 
 /// A stateful participant in a beeping execution.
@@ -91,9 +92,25 @@ impl Executor {
                 energy += usize::from(b);
                 or |= b;
             }
-            let delivery = channel.transmit(or);
-            for (i, party) in parties.iter_mut().enumerate() {
-                party.hear(delivery.heard_by(i));
+            match channel.transmit(or) {
+                Delivery::Shared(bit) => {
+                    for party in parties.iter_mut() {
+                        party.hear(bit);
+                    }
+                }
+                Delivery::PerParty(bits) => {
+                    // Uniform per-party deliveries (no flips, or everyone
+                    // flipped) take the branch-free broadcast path.
+                    if let Some(bit) = bits.uniform() {
+                        for party in parties.iter_mut() {
+                            party.hear(bit);
+                        }
+                    } else {
+                        for (i, party) in parties.iter_mut().enumerate() {
+                            party.hear(bits.get(i));
+                        }
+                    }
+                }
             }
         }
         ExecutionStats {
@@ -133,36 +150,54 @@ impl Executor {
             "channel sized for wrong number of parties"
         );
         let corrupted_before = channel.corrupted_rounds();
+        // Intern every counter before the round loop: the loop itself
+        // performs no name lookups, formatting, or allocation (enforced
+        // by the `hot-path-alloc` beeps-lint rule for this file).
+        let party_energy = metrics.indexed_handles("channel.energy.party", parties.len());
+        let flips_down = metrics.counter_handle("channel.flips.down");
+        let flips_up = metrics.counter_handle("channel.flips.up");
         let mut energy = 0usize;
-        let mut beeps = vec![false; parties.len()];
         for _ in 0..rounds {
             let mut or = false;
-            for (party, beep) in parties.iter_mut().zip(beeps.iter_mut()) {
-                *beep = party.beep();
-                or |= *beep;
+            for (party, &handle) in parties.iter_mut().zip(&party_energy) {
+                if party.beep() {
+                    energy += 1;
+                    metrics.inc_handle(handle, 1);
+                    or = true;
+                }
             }
             let delivery = channel.transmit(or);
             let round = (channel.rounds() - 1) as u64;
-            let mut corrupted = false;
-            for (i, party) in parties.iter_mut().enumerate() {
-                let heard = delivery.heard_by(i);
-                corrupted |= heard != or;
-                party.hear(heard);
-            }
-            for (i, &b) in beeps.iter().enumerate() {
-                if b {
-                    energy += 1;
-                    metrics.inc(&format!("channel.energy.party.{i:03}"), 1);
+            // Uniform deliveries — always for shared-noise regimes, and
+            // the overwhelmingly common case under independent noise —
+            // need one corruption check, not one per party.
+            let corrupted = match delivery.uniform() {
+                Some(bit) => {
+                    for party in parties.iter_mut() {
+                        party.hear(bit);
+                    }
+                    bit != or
                 }
-            }
+                None => {
+                    let Delivery::PerParty(bits) = &delivery else {
+                        unreachable!("shared deliveries are always uniform")
+                    };
+                    for (i, party) in parties.iter_mut().enumerate() {
+                        party.hear(bits.get(i));
+                    }
+                    // Divergent bits mean both values occurred, so some
+                    // party necessarily heard the OR flipped.
+                    true
+                }
+            };
             if corrupted {
                 // A corrupted round flips in exactly one direction: the
                 // true OR was either silenced (down) or fabricated (up).
                 if or {
-                    metrics.inc("channel.flips.down", 1);
+                    metrics.inc_handle(flips_down, 1);
                     metrics.event("channel.flip.down", round, 0);
                 } else {
-                    metrics.inc("channel.flips.up", 1);
+                    metrics.inc_handle(flips_up, 1);
                     metrics.event("channel.flip.up", round, 1);
                 }
             }

@@ -62,6 +62,7 @@
 #![deny(missing_docs)]
 
 pub mod adversary;
+pub mod bits;
 pub mod burst;
 pub mod channel;
 pub mod executor;
@@ -71,6 +72,7 @@ pub mod protocol;
 pub mod trace;
 
 pub use adversary::{CorrectingAdversaryChannel, CorrectionPolicy};
+pub use bits::BitVec;
 pub use burst::BurstNoiseChannel;
 pub use channel::{Channel, ReducedTwoSidedChannel, ScriptedChannel, StochasticChannel};
 pub use executor::{ExecutionStats, Executor, Party};

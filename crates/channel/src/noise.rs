@@ -1,5 +1,6 @@
 //! Noise regimes of the beeping channel (Appendix A.1 of the paper).
 
+use crate::bits::BitVec;
 use rand::Rng;
 use std::fmt;
 
@@ -53,6 +54,7 @@ pub enum NoiseModel {
 
 impl NoiseModel {
     /// The noise parameter ε (0 for [`NoiseModel::Noiseless`]).
+    #[inline]
     pub fn epsilon(&self) -> f64 {
         match *self {
             NoiseModel::Noiseless => 0.0,
@@ -68,6 +70,7 @@ impl NoiseModel {
     /// True for every regime except [`NoiseModel::Independent`]; the paper
     /// calls this property "the parties agree on the (noisy) transcript"
     /// (§1.2).
+    #[inline]
     pub fn is_shared(&self) -> bool {
         !matches!(self, NoiseModel::Independent { .. })
     }
@@ -90,10 +93,16 @@ impl NoiseModel {
 
     /// Corrupts the true OR for regimes where all parties hear one bit.
     ///
+    /// This is the *per-round reference sampler*: one Bernoulli draw per
+    /// (eligible) round. [`crate::StochasticChannel`] batches the same
+    /// distribution with geometric skip-sampling; the chi-squared tests
+    /// in the channel test suite pin the two against each other.
+    ///
     /// # Panics
     ///
     /// Panics (debug assertion) when called on
     /// [`NoiseModel::Independent`]; use [`NoiseModel::corrupt_per_party`].
+    #[inline]
     pub fn corrupt_shared<R: Rng + ?Sized>(&self, true_or: bool, rng: &mut R) -> bool {
         debug_assert!(self.is_shared(), "independent noise has no shared output");
         match *self {
@@ -120,7 +129,10 @@ impl NoiseModel {
     /// Produces each party's independently corrupted copy of the true OR.
     ///
     /// For shared regimes this returns `n` copies of the single shared bit,
-    /// so the method is safe to call for any regime.
+    /// so the method is safe to call for any regime. Like
+    /// [`NoiseModel::corrupt_shared`], this is the per-round reference
+    /// sampler; the stochastic channel's batched mask blocks must match
+    /// its flip-count distribution.
     pub fn corrupt_per_party<R: Rng + ?Sized>(
         &self,
         true_or: bool,
@@ -169,12 +181,16 @@ impl std::error::Error for InvalidNoise {}
 
 /// What the channel delivered in one round: either a single bit heard by
 /// everyone (shared-noise regimes) or one bit per party (independent noise).
+///
+/// Per-party deliveries are word-packed ([`BitVec`]): for up to 128
+/// parties the whole delivery lives inline, so independent-noise rounds
+/// allocate nothing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Delivery {
     /// All parties heard this bit.
     Shared(bool),
-    /// Party `i` heard `bits[i]`.
-    PerParty(Vec<bool>),
+    /// Party `i` heard `bits.get(i)`.
+    PerParty(BitVec),
 }
 
 impl Delivery {
@@ -183,18 +199,30 @@ impl Delivery {
     /// # Panics
     ///
     /// Panics if `i` is out of range for a per-party delivery.
+    #[inline]
     pub fn heard_by(&self, i: usize) -> bool {
         match self {
             Delivery::Shared(b) => *b,
-            Delivery::PerParty(bits) => bits[i],
+            Delivery::PerParty(bits) => bits.get(i),
         }
     }
 
     /// The shared bit, if this delivery was shared.
+    #[inline]
     pub fn shared(&self) -> Option<bool> {
         match self {
             Delivery::Shared(b) => Some(*b),
             Delivery::PerParty(_) => None,
+        }
+    }
+
+    /// The single bit everyone heard, whether the delivery is `Shared`
+    /// or a per-party delivery whose bits happen to agree.
+    #[inline]
+    pub fn uniform(&self) -> Option<bool> {
+        match self {
+            Delivery::Shared(b) => Some(*b),
+            Delivery::PerParty(bits) => bits.uniform(),
         }
     }
 }
@@ -287,9 +315,14 @@ mod tests {
         let d = Delivery::Shared(true);
         assert!(d.heard_by(7));
         assert_eq!(d.shared(), Some(true));
-        let p = Delivery::PerParty(vec![true, false]);
+        let p = Delivery::PerParty(BitVec::from_bools(&[true, false]));
         assert!(!p.heard_by(1));
         assert_eq!(p.shared(), None);
+        assert_eq!(p.uniform(), None);
+        let agree = Delivery::PerParty(BitVec::from_bools(&[true, true]));
+        assert_eq!(agree.shared(), None);
+        assert_eq!(agree.uniform(), Some(true));
+        assert_eq!(d.uniform(), Some(true));
     }
 
     #[test]

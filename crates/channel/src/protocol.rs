@@ -327,7 +327,7 @@ pub fn run_protocol_over<P: Protocol, C: Channel>(
                 if let Some(view) = shared.take() {
                     per_party = vec![view; n];
                 }
-                for (view, bit) in per_party.iter_mut().zip(bits) {
+                for (view, bit) in per_party.iter_mut().zip(bits.iter()) {
                     view.push(bit);
                 }
             }

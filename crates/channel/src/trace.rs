@@ -16,11 +16,9 @@ pub struct RoundTrace {
 
 impl RoundTrace {
     /// Whether any party received a bit different from the true OR.
+    #[inline]
     pub fn corrupted(&self) -> bool {
-        match &self.delivery {
-            Delivery::Shared(b) => *b != self.sent_or,
-            Delivery::PerParty(bits) => bits.iter().any(|&b| b != self.sent_or),
-        }
+        self.delivery.uniform() != Some(self.sent_or)
     }
 }
 
@@ -205,9 +203,7 @@ pub fn render_strips(log: &[RoundTrace], width: usize) -> String {
             .map(|r| {
                 let bit = match &r.delivery {
                     Delivery::Shared(b) => *b,
-                    Delivery::PerParty(bits) => {
-                        bits.iter().filter(|&&b| b).count() * 2 >= bits.len()
-                    }
+                    Delivery::PerParty(bits) => bits.count_ones() * 2 >= bits.len(),
                 };
                 if bit {
                     '#'
@@ -275,7 +271,7 @@ mod tests {
     fn per_party_delivery_renders_majority() {
         let trace = vec![RoundTrace {
             sent_or: true,
-            delivery: Delivery::PerParty(vec![true, true, false]),
+            delivery: Delivery::PerParty(crate::BitVec::from_bools(&[true, true, false])),
         }];
         let s = render_strips(&trace, 8);
         assert!(s.contains("heard #"));

@@ -42,9 +42,26 @@ pub(crate) fn drive<P: SimParty>(
             energy += usize::from(b);
             or |= b;
         }
-        let delivery: Delivery = channel.transmit(or);
-        for (i, party) in parties.iter_mut().enumerate() {
-            party.hear(delivery.heard_by(i));
+        // Uniform deliveries (all shared regimes, and independent-noise
+        // rounds without divergent flips) broadcast without per-party
+        // indexing.
+        match channel.transmit(or) {
+            Delivery::Shared(bit) => {
+                for party in parties.iter_mut() {
+                    party.hear(bit);
+                }
+            }
+            Delivery::PerParty(bits) => {
+                if let Some(bit) = bits.uniform() {
+                    for party in parties.iter_mut() {
+                        party.hear(bit);
+                    }
+                } else {
+                    for (i, party) in parties.iter_mut().enumerate() {
+                        party.hear(bits.get(i));
+                    }
+                }
+            }
         }
         rounds += 1;
     }

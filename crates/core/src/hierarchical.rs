@@ -248,6 +248,9 @@ struct HierParty<'a, P: Protocol> {
     committed_bits: Vec<bool>,
     committed_owners: Vec<Option<usize>>,
     chunk_lens: Vec<usize>,
+    /// `committed_bits` plus the decoded bits of the in-flight chunk, kept
+    /// in sync incrementally so the chunk loop never re-clones the prefix.
+    working: Vec<bool>,
 
     /// Wall-clock iteration counter driving the binary-counter schedule.
     iteration: usize,
@@ -284,6 +287,7 @@ impl<'a, P: Protocol> HierParty<'a, P> {
             committed_bits: Vec::new(),
             committed_owners: Vec::new(),
             chunk_lens: Vec::new(),
+            working: Vec::new(),
             iteration: 0,
             truncations: 0,
             phase_rounds: PhaseRounds::default(),
@@ -373,6 +377,7 @@ impl<'a, P: Protocol> HierParty<'a, P> {
             self.committed_bits.truncate(keep);
             self.committed_owners.truncate(keep);
             self.chunk_lens.truncate(boundary);
+            self.working.truncate(keep);
         }
     }
 
@@ -486,9 +491,7 @@ impl<P: Protocol> SimParty for HierParty<'_, P> {
         match &mut self.phase {
             HPhase::Chunk(c) => {
                 if c.rep == 0 {
-                    let mut prefix = self.committed_bits.clone();
-                    prefix.extend_from_slice(&c.bits);
-                    c.current = self.protocol.beep(self.me, &self.input, &prefix);
+                    c.current = self.protocol.beep(self.me, &self.input, &self.working);
                 }
                 c.current
             }
@@ -510,7 +513,9 @@ impl<P: Protocol> SimParty for HierParty<'_, P> {
                 c.ones += usize::from(heard);
                 c.rep += 1;
                 if c.rep == self.repetitions {
-                    c.bits.push(c.ones >= self.params.rep_ones);
+                    let bit = c.ones >= self.params.rep_ones;
+                    c.bits.push(bit);
+                    self.working.push(bit);
                     c.my_bits.push(c.current);
                     c.rep = 0;
                     c.ones = 0;

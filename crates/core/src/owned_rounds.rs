@@ -129,6 +129,7 @@ impl<'a, P: UniquelyOwned> OwnedRoundsSimulator<'a, P> {
                 params: resolved,
                 committed: Vec::new(),
                 chunk_lens: Vec::new(),
+                working: Vec::new(),
                 chunks_committed: 0,
                 rewinds: 0,
                 phase_rounds: PhaseRounds::default(),
@@ -205,6 +206,9 @@ struct OwnedParty<'a, P: UniquelyOwned> {
     params: ResolvedParams,
     committed: Vec<bool>,
     chunk_lens: Vec<usize>,
+    /// `committed` plus the decoded bits of the in-flight chunk, kept in
+    /// sync incrementally so the chunk loop never re-clones the prefix.
+    working: Vec<bool>,
     chunks_committed: usize,
     rewinds: usize,
     phase_rounds: PhaseRounds,
@@ -231,8 +235,8 @@ impl<P: UniquelyOwned> OwnedParty<'_, P> {
     /// chunk: I flag iff some round I own disagrees with what I would
     /// beep — in either direction.
     fn compute_flag(&self, chunk_bits: &[bool]) -> bool {
-        let mut prefix = self.committed.clone();
-        prefix.extend_from_slice(chunk_bits);
+        debug_assert_eq!(self.working.len(), self.committed.len() + chunk_bits.len());
+        let prefix = &self.working;
         for m in 0..prefix.len() {
             if self.protocol.round_owner(m) != self.me {
                 continue;
@@ -250,9 +254,7 @@ impl<P: UniquelyOwned> SimParty for OwnedParty<'_, P> {
         match &mut self.phase {
             OwnedPhase::Chunk(c) => {
                 if c.rep == 0 {
-                    let mut prefix = self.committed.clone();
-                    prefix.extend_from_slice(&c.bits);
-                    c.current = self.protocol.beep(self.me, &self.input, &prefix);
+                    c.current = self.protocol.beep(self.me, &self.input, &self.working);
                 }
                 c.current
             }
@@ -272,7 +274,9 @@ impl<P: UniquelyOwned> SimParty for OwnedParty<'_, P> {
                 c.ones += usize::from(heard);
                 c.rep += 1;
                 if c.rep == self.repetitions {
-                    c.bits.push(c.ones >= self.params.rep_ones);
+                    let bit = c.ones >= self.params.rep_ones;
+                    c.bits.push(bit);
+                    self.working.push(bit);
                     c.rep = 0;
                     c.ones = 0;
                 }
@@ -308,6 +312,7 @@ impl<P: UniquelyOwned> SimParty for OwnedParty<'_, P> {
                     self.chunk_lens.push(v.chunk_bits.len());
                     self.chunks_committed += 1;
                 }
+                self.working.truncate(self.committed.len());
                 self.phase = self.start_chunk();
             }
             OwnedPhase::Done => {}

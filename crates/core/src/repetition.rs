@@ -10,7 +10,7 @@
 use crate::driver::{drive, SimParty};
 use crate::outcome::{SimError, SimOutcome, SimStats};
 use crate::params::{ResolvedParams, SimulatorConfig};
-use beeps_channel::{Channel, NoiseModel, Protocol, StochasticChannel};
+use beeps_channel::{NoiseModel, Protocol, StochasticChannel};
 
 /// Simulates a noiseless protocol by per-round repetition.
 ///
@@ -69,6 +69,34 @@ impl<'a, P: Protocol> RepetitionSimulator<'a, P> {
         seed: u64,
     ) -> Result<SimOutcome<P::Output>, SimError> {
         let n = self.protocol.num_parties();
+        if model.validate().is_err() {
+            return Err(SimError::UnsupportedNoise {
+                reason: "noise parameter outside [0, 1)",
+            });
+        }
+        let mut channel = StochasticChannel::new(n, model, seed);
+        self.simulate_over(inputs, model, &mut channel)
+    }
+
+    /// Runs the simulation over a caller-supplied channel — the hook for
+    /// failure injection and channel-equivalence tests (same shape as
+    /// [`crate::RewindSimulator::simulate_over`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnsupportedNoise`] if `model` has an invalid ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != protocol.num_parties()` or the channel is
+    /// sized for a different number of parties.
+    pub fn simulate_over(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        channel: &mut dyn beeps_channel::Channel,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        let n = self.protocol.num_parties();
         assert_eq!(inputs.len(), n, "need one input per party");
         if model.validate().is_err() {
             return Err(SimError::UnsupportedNoise {
@@ -92,9 +120,9 @@ impl<'a, P: Protocol> RepetitionSimulator<'a, P> {
                 },
             })
             .collect();
-        let mut channel = StochasticChannel::new(n, model, seed);
         let budget = self.protocol.length() * r;
-        let result = drive(&mut parties, &mut channel, budget);
+        let corrupted_before = channel.corrupted_rounds();
+        let result = drive(&mut parties, channel, budget);
         debug_assert!(result.all_done, "fixed-length schedule must finish");
 
         let transcript = parties[0].inner.sim_transcript.clone();
@@ -120,7 +148,7 @@ impl<'a, P: Protocol> RepetitionSimulator<'a, P> {
                 rewinds: 0,
                 agreement,
                 energy: result.energy,
-                corrupted_rounds: channel.corrupted_rounds(),
+                corrupted_rounds: channel.corrupted_rounds() - corrupted_before,
             },
         ))
     }

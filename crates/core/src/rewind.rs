@@ -226,6 +226,11 @@ struct RewindParty<'a, P: Protocol> {
     committed_owners: Vec<Option<usize>>,
     /// Length of each committed chunk, for rewinding.
     chunk_lens: Vec<usize>,
+    /// `committed_bits` plus the decoded bits of the in-flight chunk,
+    /// maintained incrementally so the hot chunk loop never rebuilds the
+    /// prefix (the naive version cloned the whole committed transcript
+    /// once per simulated round).
+    working: Vec<bool>,
 
     chunks_committed: usize,
     rewinds: usize,
@@ -259,6 +264,7 @@ impl<'a, P: Protocol> RewindParty<'a, P> {
             committed_bits: Vec::new(),
             committed_owners: Vec::new(),
             chunk_lens: Vec::new(),
+            working: Vec::new(),
             chunks_committed: 0,
             rewinds: 0,
             phase_rounds: PhaseRounds::default(),
@@ -298,18 +304,28 @@ impl<'a, P: Protocol> RewindParty<'a, P> {
     /// The verification flag over the committed prefix plus the pending
     /// chunk (see the module docs for the three conditions).
     fn compute_flag(&self, chunk_bits: &[bool], chunk_owners: &[Option<usize>]) -> bool {
-        let mut prefix = self.committed_bits.clone();
-        prefix.extend_from_slice(chunk_bits);
-        let mut owners = self.committed_owners.clone();
-        owners.extend_from_slice(chunk_owners);
+        // `working` already holds committed prefix + decoded chunk, so the
+        // only concatenation left is the owners lookup, done by index.
+        debug_assert_eq!(
+            self.working.len(),
+            self.committed_bits.len() + chunk_bits.len()
+        );
+        debug_assert_eq!(&self.working[self.committed_bits.len()..], chunk_bits);
+        let prefix = &self.working;
+        let committed = self.committed_owners.len();
         for m in 0..prefix.len() {
-            let b = self.would_beep(&prefix, m);
+            let b = self.would_beep(prefix, m);
             if !prefix[m] {
                 if b {
                     return true; // my 1 is missing from the transcript
                 }
             } else {
-                match owners[m] {
+                let owner = if m < committed {
+                    self.committed_owners[m]
+                } else {
+                    chunk_owners[m - committed]
+                };
+                match owner {
                     Some(owner) => {
                         if owner == self.me && !b {
                             return true; // I own a 1 I would not beep
@@ -338,6 +354,9 @@ impl<'a, P: Protocol> RewindParty<'a, P> {
             self.chunk_lens.push(v.chunk_bits.len());
             self.chunks_committed += 1;
         }
+        // Re-sync the working buffer with the committed prefix (a no-op on
+        // commit, a rewind otherwise).
+        self.working.truncate(self.committed_bits.len());
         self.phase = self.start_chunk();
     }
 }
@@ -348,10 +367,9 @@ impl<P: Protocol> SimParty for RewindParty<'_, P> {
             Phase::Chunk(c) => {
                 if c.rep == 0 {
                     // Decide this simulated round's bit against the
-                    // committed prefix plus the chunk decoded so far.
-                    let mut prefix = self.committed_bits.clone();
-                    prefix.extend_from_slice(&c.bits);
-                    c.current = self.protocol.beep(self.me, &self.input, &prefix);
+                    // committed prefix plus the chunk decoded so far —
+                    // which is exactly the working buffer.
+                    c.current = self.protocol.beep(self.me, &self.input, &self.working);
                 }
                 c.current
             }
@@ -375,7 +393,9 @@ impl<P: Protocol> SimParty for RewindParty<'_, P> {
                 c.ones += usize::from(heard);
                 c.rep += 1;
                 if c.rep == self.repetitions {
-                    c.bits.push(c.ones >= self.params.rep_ones);
+                    let bit = c.ones >= self.params.rep_ones;
+                    c.bits.push(bit);
+                    self.working.push(bit);
                     c.my_bits.push(c.current);
                     c.rep = 0;
                     c.ones = 0;

@@ -1,0 +1,209 @@
+//! Property tests for the word-packed delivery path: every scheme must
+//! behave **bit-identically** whether per-party deliveries travel as the
+//! packed [`BitVec`] the channel produces or are round-tripped through a
+//! plain `Vec<bool>` and re-packed.
+//!
+//! This pins the `BitVec` adapter layer (`to_bools` / `from_bools` /
+//! `uniform`) against the reference representation: if packing, tail
+//! masking, or the uniform-delivery fast path ever disagreed with the
+//! boolean semantics, some scheme's transcript would diverge here.
+
+use beeps_channel::{
+    run_protocol, run_protocol_over, BitVec, Channel, Delivery, NoiseModel, StochasticChannel,
+};
+use beeps_core::{
+    HierarchicalSimulator, OneToZeroSimulator, OwnedRoundsSimulator, RepetitionSimulator,
+    RewindSimulator, SimulatorConfig,
+};
+use beeps_protocols::{InputSet, RollCall};
+
+/// Delegates to a [`StochasticChannel`] but re-materialises every
+/// per-party delivery through `Vec<bool>`, so downstream code consumes a
+/// freshly re-packed `BitVec` instead of the channel's original words.
+struct RoundtripChannel {
+    inner: StochasticChannel,
+}
+
+impl RoundtripChannel {
+    fn new(n: usize, model: NoiseModel, seed: u64) -> Self {
+        Self {
+            inner: StochasticChannel::new(n, model, seed),
+        }
+    }
+}
+
+impl Channel for RoundtripChannel {
+    fn num_parties(&self) -> usize {
+        self.inner.num_parties()
+    }
+
+    fn transmit(&mut self, true_or: bool) -> Delivery {
+        match self.inner.transmit(true_or) {
+            Delivery::Shared(bit) => Delivery::Shared(bit),
+            Delivery::PerParty(bits) => {
+                let bools = bits.to_bools();
+                assert_eq!(bits, bools, "packed bits disagree with bool view");
+                Delivery::PerParty(BitVec::from_bools(&bools))
+            }
+        }
+    }
+
+    fn rounds(&self) -> usize {
+        self.inner.rounds()
+    }
+
+    fn corrupted_rounds(&self) -> usize {
+        self.inner.corrupted_rounds()
+    }
+}
+
+/// The noise regimes to sweep: every shared regime plus the only regime
+/// that produces genuinely per-party (divergent) deliveries.
+fn models() -> Vec<NoiseModel> {
+    vec![
+        NoiseModel::Noiseless,
+        NoiseModel::Correlated { epsilon: 0.1 },
+        NoiseModel::OneSidedZeroToOne { epsilon: 0.2 },
+        NoiseModel::OneSidedOneToZero { epsilon: 0.2 },
+        NoiseModel::Independent { epsilon: 0.05 },
+    ]
+}
+
+#[test]
+fn naked_execution_matches_roundtrip() {
+    let p = InputSet::new(6);
+    let inputs = [3, 0, 8, 8, 11, 5];
+    for model in models() {
+        for seed in 0..4 {
+            let packed = run_protocol(&p, &inputs, model, seed);
+            let mut rt = RoundtripChannel::new(6, model, seed);
+            let unpacked = run_protocol_over(&p, &inputs, &mut rt);
+            for i in 0..6 {
+                assert_eq!(
+                    packed.views().view(i),
+                    unpacked.views().view(i),
+                    "party {i} view diverged over {model} seed {seed}"
+                );
+            }
+            assert_eq!(packed.outputs(), unpacked.outputs());
+            assert_eq!(packed.energy(), unpacked.energy());
+            assert_eq!(packed.corrupted_rounds(), unpacked.corrupted_rounds());
+        }
+    }
+}
+
+#[test]
+fn repetition_scheme_matches_roundtrip() {
+    let p = InputSet::new(5);
+    let inputs = [2, 9, 0, 0, 4];
+    let config = SimulatorConfig::builder(5)
+        .model(NoiseModel::Correlated { epsilon: 0.1 })
+        .build();
+    let sim = RepetitionSimulator::new(&p, config);
+    for model in models() {
+        for seed in 0..3 {
+            let packed = sim.simulate(&inputs, model, seed).unwrap();
+            let mut rt = RoundtripChannel::new(5, model, seed);
+            let unpacked = sim.simulate_over(&inputs, model, &mut rt).unwrap();
+            assert_eq!(packed.transcript(), unpacked.transcript());
+            assert_eq!(packed.outputs(), unpacked.outputs());
+            assert_eq!(packed.stats(), unpacked.stats());
+        }
+    }
+}
+
+#[test]
+fn rewind_scheme_matches_roundtrip() {
+    let p = InputSet::new(4);
+    let inputs = [1, 5, 5, 2];
+    let config = SimulatorConfig::builder(4)
+        .model(NoiseModel::Correlated { epsilon: 0.1 })
+        .build();
+    let sim = RewindSimulator::new(&p, config);
+    for model in models() {
+        for seed in 0..2 {
+            let packed = sim.simulate(&inputs, model, seed);
+            let mut rt = RoundtripChannel::new(4, model, seed);
+            let unpacked = sim.simulate_over(&inputs, model, &mut rt);
+            match (packed, unpacked) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.transcript(), b.transcript());
+                    assert_eq!(a.outputs(), b.outputs());
+                    assert_eq!(a.stats(), b.stats());
+                }
+                (a, b) => assert_eq!(a.is_err(), b.is_err(), "error mismatch over {model}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchical_scheme_matches_roundtrip() {
+    let p = InputSet::new(4);
+    let inputs = [1, 6, 6, 3];
+    let config = SimulatorConfig::builder(4)
+        .model(NoiseModel::Correlated { epsilon: 0.1 })
+        .build();
+    let sim = HierarchicalSimulator::new(&p, config);
+    for model in models() {
+        for seed in 0..2 {
+            let packed = sim.simulate(&inputs, model, seed);
+            let mut rt = RoundtripChannel::new(4, model, seed);
+            let unpacked = sim.simulate_over(&inputs, model, &mut rt);
+            match (packed, unpacked) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.transcript(), b.transcript());
+                    assert_eq!(a.outputs(), b.outputs());
+                    assert_eq!(a.stats(), b.stats());
+                }
+                (a, b) => assert_eq!(a.is_err(), b.is_err(), "error mismatch over {model}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn owned_rounds_scheme_matches_roundtrip() {
+    let p = RollCall::new(8);
+    let inputs = [true, false, true, true, false, false, true, false];
+    let config = SimulatorConfig::builder(8)
+        .model(NoiseModel::Correlated { epsilon: 0.1 })
+        .build();
+    let sim = OwnedRoundsSimulator::new(&p, config);
+    for model in models() {
+        for seed in 0..2 {
+            let packed = sim.simulate(&inputs, model, seed);
+            let mut rt = RoundtripChannel::new(8, model, seed);
+            let unpacked = sim.simulate_over(&inputs, model, &mut rt);
+            match (packed, unpacked) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.transcript(), b.transcript());
+                    assert_eq!(a.outputs(), b.outputs());
+                    assert_eq!(a.stats(), b.stats());
+                }
+                (a, b) => assert_eq!(a.is_err(), b.is_err(), "error mismatch over {model}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn one_to_zero_scheme_matches_roundtrip() {
+    let p = InputSet::new(5);
+    let inputs = [2, 8, 8, 1, 0];
+    let sim = OneToZeroSimulator::new(&p, 2, 32.0);
+    let model = NoiseModel::OneSidedOneToZero { epsilon: 1.0 / 3.0 };
+    for seed in 0..4 {
+        let packed = sim.simulate(&inputs, model, seed);
+        let mut rt = RoundtripChannel::new(5, model, seed);
+        let unpacked = sim.simulate_over(&inputs, model, &mut rt);
+        match (packed, unpacked) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.transcript(), b.transcript());
+                assert_eq!(a.outputs(), b.outputs());
+                assert_eq!(a.stats(), b.stats());
+            }
+            (a, b) => assert_eq!(a.is_err(), b.is_err(), "error mismatch seed {seed}"),
+        }
+    }
+}

@@ -48,4 +48,4 @@ pub mod render;
 
 pub use events::{Event, EventLog};
 pub use histogram::Histogram;
-pub use registry::{MetricsRegistry, Stopwatch, WallTiming};
+pub use registry::{CounterHandle, MetricsRegistry, Stopwatch, WallTiming};

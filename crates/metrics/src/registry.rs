@@ -44,20 +44,49 @@ impl Stopwatch {
     }
 }
 
+/// A pre-interned counter slot: increments through a handle skip the
+/// name lookup (and any key formatting) entirely, making the hot path
+/// allocation-free.
+///
+/// Handles are only meaningful for the registry that issued them
+/// ([`MetricsRegistry::counter_handle`]); they stay valid for that
+/// registry's whole lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_metrics::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// let h = m.counter_handle("channel.energy");
+/// for _ in 0..3 {
+///     m.inc_handle(h, 2); // no lookup, no allocation
+/// }
+/// assert_eq!(m.counter("channel.energy"), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterHandle(usize);
+
 /// Named counters, histograms, a bounded event log, and (separately)
 /// wall-clock timings.
 ///
 /// All deterministic collections are `BTreeMap`-keyed, so iteration
 /// order — and therefore every rendering — is a pure function of the
 /// recorded names and values, never of insertion or scheduling order.
+/// Counter *values* live in a dense slot vector indexed through the
+/// name map, so per-increment work on the interned path
+/// ([`MetricsRegistry::inc_handle`]) is one add, no lookup.
 ///
 /// Equality (`PartialEq`) compares **only the deterministic section**
 /// (counters, histograms, events); wall-clock timings are excluded, so
 /// two runs of the same seeded workload compare equal even though their
-/// wall times differ.
+/// wall times differ. Counter slot order (which handle got which index)
+/// is likewise excluded: only the name → value mapping counts.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<String, u64>,
+    /// Counter name → slot index into `counter_values`.
+    counter_slots: BTreeMap<String, usize>,
+    counter_values: Vec<u64>,
     histograms: BTreeMap<String, Histogram>,
     events: EventLog,
     wall: BTreeMap<String, WallTiming>,
@@ -65,7 +94,7 @@ pub struct MetricsRegistry {
 
 impl PartialEq for MetricsRegistry {
     fn eq(&self, other: &Self) -> bool {
-        self.counters == other.counters
+        self.counters().eq(other.counters())
             && self.histograms == other.histograms
             && self.events == other.events
     }
@@ -86,7 +115,8 @@ impl MetricsRegistry {
     #[must_use]
     pub fn with_event_capacity(capacity: usize) -> Self {
         Self {
-            counters: BTreeMap::new(),
+            counter_slots: BTreeMap::new(),
+            counter_values: Vec::new(),
             histograms: BTreeMap::new(),
             events: EventLog::with_capacity(capacity),
             wall: BTreeMap::new(),
@@ -95,20 +125,68 @@ impl MetricsRegistry {
 
     // --- deterministic section -------------------------------------
 
+    /// Interns the counter `name` (creating it at 0) and returns a
+    /// [`CounterHandle`] for allocation-free increments via
+    /// [`MetricsRegistry::inc_handle`].
+    pub fn counter_handle(&mut self, name: &str) -> CounterHandle {
+        let slot = self.slot(name);
+        CounterHandle(slot)
+    }
+
+    /// Adds `by` to an interned counter: one array add, no lookup, no
+    /// allocation — safe for per-round/per-beep hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` was issued by a different registry (slot out
+    /// of range; a foreign in-range handle silently hits the wrong
+    /// counter, so don't mix registries).
+    #[inline]
+    pub fn inc_handle(&mut self, handle: CounterHandle, by: u64) {
+        self.counter_values[handle.0] += by;
+    }
+
     /// Adds `by` to the counter `name` (creating it at 0).
     pub fn inc(&mut self, name: &str, by: u64) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += by;
+        let slot = self.slot(name);
+        self.counter_values[slot] += by;
+    }
+
+    /// Interns one counter per index — `<prefix>.000`, `<prefix>.001`, …
+    /// (three zero-padded digits, so name order equals index order up to
+    /// 1000 entries) — and returns their handles in index order.
+    ///
+    /// This is the per-party pattern: intern once before the round
+    /// loop, then [`MetricsRegistry::inc_handle`] inside it.
+    pub fn indexed_handles(&mut self, prefix: &str, count: usize) -> Vec<CounterHandle> {
+        (0..count)
+            .map(|i| self.counter_handle(&format!("{prefix}.{i:03}")))
+            .collect()
+    }
+
+    fn slot(&mut self, name: &str) -> usize {
+        if let Some(&slot) = self.counter_slots.get(name) {
+            return slot;
+        }
+        let slot = self.counter_values.len();
+        self.counter_values.push(0);
+        self.counter_slots.insert(name.to_owned(), slot);
+        slot
     }
 
     /// Current value of counter `name` (0 if never incremented).
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_slots
+            .get(name)
+            .map_or(0, |&slot| self.counter_values[slot])
     }
 
     /// All counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        self.counter_slots
+            .iter()
+            .map(|(k, &slot)| (k.as_str(), self.counter_values[slot]))
     }
 
     /// Records `value` into the histogram `name` (creating it empty).
@@ -173,8 +251,9 @@ impl MetricsRegistry {
     /// callers wanting bitwise-stable output must merge in a canonical
     /// order (the trial runner merges in trial-index order).
     pub fn merge_from(&mut self, other: &MetricsRegistry) {
-        for (name, &v) in &other.counters {
-            *self.counters.entry(name.clone()).or_insert(0) += v;
+        for (name, &slot) in &other.counter_slots {
+            let mine = self.slot(name);
+            self.counter_values[mine] += other.counter_values[slot];
         }
         for (name, h) in &other.histograms {
             self.histograms
@@ -193,7 +272,7 @@ impl MetricsRegistry {
     /// Whether the deterministic section is completely empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty() && self.events.is_empty()
+        self.counter_slots.is_empty() && self.histograms.is_empty() && self.events.is_empty()
     }
 }
 
@@ -208,6 +287,50 @@ mod tests {
         m.inc("a", 3);
         assert_eq!(m.counter("a"), 5);
         assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn handles_and_names_hit_the_same_counter() {
+        let mut m = MetricsRegistry::new();
+        let h = m.counter_handle("c");
+        m.inc_handle(h, 2);
+        m.inc("c", 3);
+        let h2 = m.counter_handle("c");
+        assert_eq!(h, h2, "re-interning must return the same slot");
+        m.inc_handle(h2, 5);
+        assert_eq!(m.counter("c"), 10);
+        assert_eq!(m.counters().collect::<Vec<_>>(), vec![("c", 10)]);
+    }
+
+    #[test]
+    fn interning_order_does_not_affect_equality_or_merge() {
+        // Same logical content, different slot assignment order.
+        let mut a = MetricsRegistry::new();
+        let ax = a.counter_handle("x");
+        let ay = a.counter_handle("y");
+        a.inc_handle(ax, 1);
+        a.inc_handle(ay, 2);
+        let mut b = MetricsRegistry::new();
+        let by = b.counter_handle("y");
+        let bx = b.counter_handle("x");
+        b.inc_handle(by, 2);
+        b.inc_handle(bx, 1);
+        assert_eq!(a, b);
+        let mut merged = MetricsRegistry::new();
+        merged.counter_handle("y"); // pre-intern in yet another order
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.counter("x"), 2);
+        assert_eq!(merged.counter("y"), 4);
+    }
+
+    #[test]
+    fn interned_counter_starts_at_zero_and_lists() {
+        let mut m = MetricsRegistry::new();
+        m.counter_handle("later");
+        assert_eq!(m.counter("later"), 0);
+        assert!(!m.is_empty(), "interned counters are part of the registry");
+        assert_eq!(m.counters().collect::<Vec<_>>(), vec![("later", 0)]);
     }
 
     #[test]

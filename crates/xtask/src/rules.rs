@@ -15,8 +15,12 @@
 //!   lowercase dot-separated under a family documented in
 //!   EXPERIMENTS.md, and `#[deprecated]` APIs slated for 0.2.0 removal
 //!   must not gain new call sites.
+//! * **Performance** (`hot-path-alloc`) — the executor's round loop is
+//!   the innermost loop of every simulation; no `format!`/`String`
+//!   allocation may creep back into it (metric names are interned as
+//!   `CounterHandle`s up front instead, DESIGN.md §9).
 //!
-//! A ninth meta-rule, `suppression`, polices the suppression mechanism
+//! A meta-rule, `suppression`, polices the suppression mechanism
 //! itself (unknown rule IDs, missing justifications, unused allows).
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -44,6 +48,8 @@ pub enum RuleId {
     MetricKeyFormat,
     /// Calls to first-party `#[deprecated]` APIs.
     DeprecatedApi,
+    /// `format!` / `String` allocation in the executor's round loop.
+    HotPathAlloc,
     /// Malformed, unknown, or unused `beeps-lint: allow(…)` comments.
     Suppression,
 }
@@ -59,6 +65,7 @@ impl RuleId {
         RuleId::ExperimentId,
         RuleId::MetricKeyFormat,
         RuleId::DeprecatedApi,
+        RuleId::HotPathAlloc,
         RuleId::Suppression,
     ];
 
@@ -75,6 +82,7 @@ impl RuleId {
             RuleId::ExperimentId => "experiment-id",
             RuleId::MetricKeyFormat => "metric-key-format",
             RuleId::DeprecatedApi => "deprecated-api",
+            RuleId::HotPathAlloc => "hot-path-alloc",
             RuleId::Suppression => "suppression",
         }
     }
@@ -116,6 +124,11 @@ impl RuleId {
                 "first-party #[deprecated] APIs slated for 0.2.0 removal \
                  must not gain call sites"
             }
+            RuleId::HotPathAlloc => {
+                "the executor round loop runs once per channel round; \
+                 format!/String allocation there dominates profiles — \
+                 intern beeps_metrics::CounterHandle up front instead"
+            }
             RuleId::Suppression => {
                 "beeps-lint: allow(…) comments must name known rules, carry \
                  a justification after --, and actually suppress something"
@@ -154,6 +167,21 @@ const ENTROPY_PATTERNS: &[&str] = &["thread_rng", "from_entropy", "from_os_rng",
 /// Wall-span methods (`time`, `record_wall`) are exempt: wall keys are
 /// never serialized or compared.
 const METRIC_METHODS: &[&str] = &[".inc(", ".observe(", ".event(", ".counter(", ".histogram("];
+
+/// Files whose non-test code must stay allocation-free: these hold the
+/// innermost per-round loops of every simulation, so a single `format!`
+/// there shows up directly in wall-clock profiles.
+const HOT_PATH_FILES: &[&str] = &["crates/channel/src/executor.rs"];
+
+/// String-allocation constructors banned in hot-path files. Matched
+/// against the comment-stripped code view of non-test lines.
+const HOT_PATH_ALLOC_PATTERNS: &[&str] = &[
+    "format!(",
+    ".to_string(",
+    ".to_owned(",
+    "String::from(",
+    "String::new(",
+];
 
 /// Cross-file facts gathered before per-line checks run.
 #[derive(Debug, Default)]
@@ -273,6 +301,7 @@ pub fn check(files: &[SourceFile], facts: &Facts, out: &mut Vec<Finding>) {
         check_experiment_id(file, &rel, &mut experiment_ids, out);
         check_metric_keys(file, &rel, facts, out);
         check_deprecated(file, &rel, facts, out);
+        check_hot_path_alloc(file, &rel, out);
     }
 }
 
@@ -499,6 +528,31 @@ fn check_metric_keys(file: &SourceFile, rel: &str, facts: &Facts, out: &mut Vec<
                         .join(", ")
                 ),
             ));
+        }
+    }
+}
+
+fn check_hot_path_alloc(file: &SourceFile, rel: &str, out: &mut Vec<Finding>) {
+    if !HOT_PATH_FILES.contains(&rel) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue; // unit tests may build diagnostic strings freely
+        }
+        for pat in HOT_PATH_ALLOC_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(finding(
+                    RuleId::HotPathAlloc,
+                    rel,
+                    idx,
+                    format!(
+                        "`{pat}…)` allocates inside the executor hot path; intern a \
+                         `beeps_metrics::CounterHandle` before the round loop (or hoist \
+                         the allocation out of this file)"
+                    ),
+                ));
+            }
         }
     }
 }

@@ -1,0 +1,11 @@
+pub fn run_with_metrics(metrics: &mut M, i: usize) {
+    metrics.inc(&format!("channel.energy.party.{i:03}"), 1);
+    let label = "flips".to_string();
+    metrics.inc(&label, 1);
+}
+#[cfg(test)]
+mod tests {
+    fn diagnostics(i: usize) -> String {
+        format!("party {i} diverged")
+    }
+}

@@ -1,0 +1,3 @@
+pub fn cold_path(name: &str) -> String {
+    format!("exp.{name}.trials")
+}

@@ -112,6 +112,26 @@ fn deprecated_api_denies_call_sites_not_definitions() {
 }
 
 #[test]
+fn hot_path_alloc_fires_in_executor_non_test_code_only() {
+    let report = run("hot_path_alloc");
+    assert_eq!(
+        rules_of(&report),
+        [RuleId::HotPathAlloc, RuleId::HotPathAlloc]
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.path == "crates/channel/src/executor.rs"),
+        "allocation outside the hot-path file must not fire: {:?}",
+        report.findings
+    );
+    assert!(report.findings[0].message.contains("format!"));
+    assert!(report.findings[1].message.contains(".to_string"));
+    // The cfg(test) format! never fires.
+}
+
+#[test]
 fn suppressions_require_known_rule_and_justification() {
     let report = run("suppressed");
     assert_eq!(
@@ -175,6 +195,7 @@ fn cli_exit_codes_reflect_findings() {
         "experiment_id",
         "metric_key",
         "deprecated",
+        "hot_path_alloc",
     ] {
         let out = exit(case);
         assert_eq!(

@@ -4,8 +4,9 @@
 #   scripts/tier1.sh
 #
 # Runs the release build, the full test suite, clippy with warnings
-# denied, the beeps-lint static-analysis pass, and the formatting
-# check — the same sequence CI runs.
+# denied, the beeps-lint static-analysis pass, the formatting check,
+# and a one-iteration smoke run of the hot-path benchmark harness —
+# the same sequence CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,4 +15,8 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo xtask lint
 cargo fmt --check
+# Smoke-run the pinned benchmark harness (1 iteration, tiny rounds):
+# catches bit-rot in the bench binary without measuring anything.
+cargo run --release -q -p beeps-bench --bin bench_hotpaths -- \
+  --smoke --out target/BENCH_hotpaths_smoke.json
 echo "tier-1: all green"

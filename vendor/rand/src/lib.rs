@@ -145,7 +145,8 @@ pub mod rngs {
             // `rand_core::block::BlockRng::next_u64`, including the rule
             // for a draw that straddles a buffer refill.
             if self.index < BUF_WORDS - 1 {
-                let v = (u64::from(self.buf[self.index + 1]) << 32) | u64::from(self.buf[self.index]);
+                let v =
+                    (u64::from(self.buf[self.index + 1]) << 32) | u64::from(self.buf[self.index]);
                 self.index += 2;
                 v
             } else if self.index >= BUF_WORDS {
