@@ -10,7 +10,11 @@
 //!   under `Independent` and `Correlated` noise (the inner loop of every
 //!   experiment binary);
 //! * one full scheme per family (`repetition`, `rewind`, `one_to_zero`)
-//!   end to end.
+//!   end to end;
+//! * the cross-trial layer: skewed Monte Carlo fan-out through the
+//!   [`TrialRunner`] scratch arenas (`runner.skewed`), the shared
+//!   owners-code table cache (`code_cache`), and the packed
+//!   encode/decode symbol roundtrip (`decode_packed`).
 //!
 //! Results are written as JSON (default `BENCH_hotpaths.json` in the
 //! current directory). Pass `--baseline <file>` — a JSON previously
@@ -24,9 +28,12 @@
 
 use std::path::PathBuf;
 
-use beeps_bench::Json;
+use beeps_bench::{Json, TrialRunner};
 use beeps_channel::{Channel, Executor, NoiseModel, Party, StochasticChannel};
-use beeps_core::{OneToZeroSimulator, RepetitionSimulator, RewindSimulator, SimulatorConfig};
+use beeps_core::{
+    CodeCache, OneToZeroSimulator, RepetitionSimulator, RewindSimulator, SimulatorConfig,
+};
+use beeps_ecc::{BitMetric, RandomCode, SymbolCode};
 use beeps_metrics::{MetricsRegistry, Stopwatch};
 use beeps_protocols::InputSet;
 
@@ -254,15 +261,96 @@ fn scheme_benches(suite: &mut Suite) {
     });
 }
 
+fn crosstrial_benches(suite: &mut Suite) {
+    // --- runner.skewed: a Monte Carlo fan-out whose per-trial cost is
+    // deliberately skewed ~100x with the trial index (party counts
+    // 8..=800), driven through the TrialRunner. Pins the cross-trial
+    // scheduling + per-trial buffer story.
+    let trials = if suite.args.smoke { 16 } else { 256 };
+    suite.bench("runner.skewed", || {
+        let runner = TrialRunner::new(4);
+        let out =
+            runner.run_with_scratch(0xBEE5, trials, Vec::new, |t, states: &mut Vec<Vec<u64>>| {
+                // 100x cost skew: index 0 simulates 800 parties, most
+                // simulate 8. The per-party state vectors live in the
+                // worker's scratch arena and are zeroed, not reallocated.
+                let parties = if t.index % 8 == 0 { 800 } else { 8 };
+                let rounds = 4usize;
+                if states.len() < parties {
+                    states.resize_with(parties, || vec![0u64; 16]);
+                }
+                let states = &mut states[..parties];
+                for st in states.iter_mut() {
+                    st.fill(0);
+                }
+                let mut acc = t.seed | 1;
+                for _ in 0..rounds {
+                    for st in states.iter_mut() {
+                        acc = acc
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(t.seed | 1);
+                        st[(acc % 16) as usize] ^= acc;
+                    }
+                }
+                states.iter().flatten().fold(0u64, |a, &b| a ^ b)
+            });
+        std::hint::black_box(out.iter().fold(0u64, |a, &b| a ^ b));
+        trials
+    });
+
+    // --- code_cache: the owners-phase code table an experiment's config
+    // describes, requested once per trial (as the rewind/hierarchical
+    // simulators do per simulate() call).
+    let builds = (suite.args.rounds / 2_000).max(2);
+    let two = NoiseModel::Correlated { epsilon: 0.1 };
+    suite.bench("code_cache", || {
+        // One cache per experiment run: the first request builds the
+        // table, every later trial gets the shared Arc back.
+        let cache = std::sync::Arc::new(CodeCache::new());
+        let config = SimulatorConfig::builder(16)
+            .model(two)
+            .code_cache(std::sync::Arc::clone(&cache))
+            .build();
+        let mut sink = 0usize;
+        for _ in 0..builds {
+            sink += config.build_code().codeword_len();
+        }
+        std::hint::black_box(sink);
+        builds
+    });
+
+    // --- decode_packed: one owners-phase symbol roundtrip (encode the
+    // turn-holder's codeword, ML-decode the received word), the inner
+    // loop of every owners iteration.
+    let decodes = (suite.args.rounds / 20).max(8);
+    let code = RandomCode::with_length(33, 96, 0xC0DE);
+    suite.bench("decode_packed", || {
+        let mut sink = 0usize;
+        for i in 0..decodes {
+            let sym = i % 33;
+            let word = code.encode_packed(sym);
+            sink += code.decode_packed(&word, BitMetric::Hamming);
+        }
+        std::hint::black_box(sink);
+        decodes
+    });
+}
+
 /// Pulls `"<name>":{"ns_per_op":<float>` values back out of a JSON file
 /// previously written by this harness. A full JSON parser would be
 /// overkill for a format we emit ourselves.
 fn read_baseline(path: &PathBuf) -> Vec<(String, f64)> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+    // A file produced with --baseline embeds its *own* "baseline"
+    // section; only the leading "results" section describes that run.
+    let results_only = match text.find("\"baseline\":") {
+        Some(pos) => &text[..pos],
+        None => text.as_str(),
+    };
     let mut out = Vec::new();
     let marker = "\"ns_per_op\":";
-    let mut search = text.as_str();
+    let mut search = results_only;
     while let Some(pos) = search.find(marker) {
         let head = &search[..pos];
         // The benchmark name is the nearest preceding quoted key that
@@ -298,6 +386,7 @@ pub fn main() {
     channel_benches(&mut suite);
     executor_benches(&mut suite);
     scheme_benches(&mut suite);
+    crosstrial_benches(&mut suite);
 
     let mut results = Json::object();
     for (name, ns, ops) in &suite.results {

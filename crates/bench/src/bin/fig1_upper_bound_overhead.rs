@@ -13,7 +13,7 @@
 
 use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
-use beeps_core::{RewindSimulator, Simulator, SimulatorConfig};
+use beeps_core::{CodeCache, RewindSimulator, Simulator, SimulatorConfig};
 use beeps_metrics::MetricsRegistry;
 use beeps_protocols::InputSet;
 use rand::Rng;
@@ -38,10 +38,16 @@ pub fn main() {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     let mut all_metrics = MetricsRegistry::new();
+    // One owners-code table per sweep point, built once and shared by
+    // every trial (instead of once per simulate call).
+    let code_cache = std::sync::Arc::new(CodeCache::new());
 
     for n in [4usize, 8, 16, 32, 64, 128] {
         let protocol = InputSet::new(n);
-        let config = SimulatorConfig::builder(n).model(model).build();
+        let config = SimulatorConfig::builder(n)
+            .model(model)
+            .code_cache(std::sync::Arc::clone(&code_cache))
+            .build();
         let sim = RewindSimulator::new(&protocol, config);
         // Independent seed stream per sweep point; inputs are drawn
         // from the trial's own sub-stream (not one sequential RNG), so

@@ -15,7 +15,7 @@
 
 use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel};
-use beeps_core::{RewindSimulator, Simulator, SimulatorConfig};
+use beeps_core::{CodeCache, RewindSimulator, Simulator, SimulatorConfig};
 use beeps_metrics::MetricsRegistry;
 use beeps_protocols::MultiOr;
 use rand::Rng;
@@ -32,10 +32,16 @@ pub fn main() {
         &["L/n", "L", "overhead", "rewinds/run", "success"],
     );
     let mut all_metrics = MetricsRegistry::new();
+    // Each factor changes chunk_len (a distinct code table), but within
+    // a factor all trials share one cached build.
+    let code_cache = std::sync::Arc::new(CodeCache::new());
 
     for factor in [1usize, 2, 4, 8, 16] {
         let p = MultiOr::new(n, t_len);
-        let mut config = SimulatorConfig::builder(n).model(model).build();
+        let mut config = SimulatorConfig::builder(n)
+            .model(model)
+            .code_cache(std::sync::Arc::clone(&code_cache))
+            .build();
         config.chunk_len = (n * factor) / 2; // L = n/2, n, 2n, 4n, 8n
         config.budget_factor = 16.0;
         let sim = RewindSimulator::new(&p, config);

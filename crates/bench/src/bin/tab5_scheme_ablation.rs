@@ -20,7 +20,7 @@
 
 use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
-use beeps_core::{HierarchicalSimulator, RewindSimulator, Simulator, SimulatorConfig};
+use beeps_core::{CodeCache, HierarchicalSimulator, RewindSimulator, Simulator, SimulatorConfig};
 use beeps_metrics::MetricsRegistry;
 use beeps_protocols::InputSet;
 use rand::Rng;
@@ -67,6 +67,9 @@ pub fn main() {
         ],
     );
     let mut all_metrics = MetricsRegistry::new();
+    // Both schemes at a sweep point share one cached code table across
+    // all trials (the paired comparison uses identical parameters).
+    let code_cache = std::sync::Arc::new(CodeCache::new());
 
     for &(n, eps) in &[
         (8usize, 0.05f64),
@@ -76,7 +79,10 @@ pub fn main() {
         (32, 0.1),
     ] {
         let model = NoiseModel::Correlated { epsilon: eps };
-        let config = SimulatorConfig::builder(n).model(model).build();
+        let config = SimulatorConfig::builder(n)
+            .model(model)
+            .code_cache(std::sync::Arc::clone(&code_cache))
+            .build();
         let protocol = InputSet::new(n);
         let rewind = RewindSimulator::new(&protocol, config.clone());
         let hier = HierarchicalSimulator::new(&protocol, config);

@@ -4,9 +4,20 @@
 //! independent trials. [`TrialRunner`] shards those trials across a
 //! scoped worker pool while keeping results **bitwise identical for
 //! any thread count**: each trial's randomness is derived purely from
-//! `(base_seed, trial_index)` by [`trial_seed`], workers pick trials by
-//! index striding, and results are merged back into trial-index order.
-//! Nothing a trial computes can observe which worker ran it or when.
+//! `(base_seed, trial_index)` by [`trial_seed`], workers dynamically
+//! claim contiguous chunks of trial indices from a shared atomic
+//! counter (so a worker stuck on an expensive trial doesn't idle the
+//! rest of the pool, as the old static index-striding did under skewed
+//! per-trial costs), and results are merged back into trial-index
+//! order. Which worker ran a trial, and when, is not observable in the
+//! output.
+//!
+//! Trials that want to reuse buffers across invocations use
+//! [`TrialRunner::run_with_scratch`]: each worker owns one scratch
+//! value for its whole lifetime, so per-trial allocations can be
+//! replaced by a `clear()` — without the scratch ever becoming a
+//! side-channel between trials on *different* workers (determinism
+//! still requires the trial to fully re-initialize what it reads).
 //!
 //! Thread count comes from, in order: an explicit
 //! [`TrialRunner::new`], the `--threads N` CLI flag
@@ -114,22 +125,32 @@ impl TrialRunner {
     /// back to [`TrialRunner::from_env`]. Both `--threads N` and
     /// `--threads=N` are accepted; the experiment binaries pass
     /// `std::env::args().skip(1)` straight through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--threads` is present but its value is missing or not
+    /// an unsigned integer. Silently falling back to the environment
+    /// here would run the experiment with an unintended thread count —
+    /// harmless for results (they are thread-count invariant) but not
+    /// for the wall-clock the user asked to control.
     pub fn from_args<I, S>(args: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
+        let parse = |v: &str| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                panic!("invalid --threads value {v:?}: expected an unsigned integer")
+            })
+        };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let arg = arg.as_ref();
             if arg == "--threads" {
-                if let Some(n) = args.next().and_then(|v| v.as_ref().parse::<usize>().ok()) {
-                    return Self::new(n);
-                }
+                let value = args.next().expect("--threads requires a value");
+                return Self::new(parse(value.as_ref()));
             } else if let Some(v) = arg.strip_prefix("--threads=") {
-                if let Ok(n) = v.parse::<usize>() {
-                    return Self::new(n);
-                }
+                return Self::new(parse(v));
             }
         }
         Self::from_env()
@@ -162,25 +183,77 @@ impl TrialRunner {
         R: Send,
         F: Fn(Trial) -> R + Sync,
     {
+        self.run_with_scratch(base_seed, trials, || (), |trial, _scratch| trial_fn(trial))
+    }
+
+    /// The number of contiguous trial indices a worker claims per visit
+    /// to the shared counter: small enough that a pocket of expensive
+    /// trials spreads over the pool, large enough that the atomic
+    /// counter stays off the profile for cheap trials.
+    fn chunk_size(trials: usize, workers: usize) -> usize {
+        (trials / (workers * 8)).clamp(1, 256)
+    }
+
+    /// Like [`TrialRunner::run`], but every worker also owns one
+    /// long-lived scratch value (from `make_scratch`) that is handed to
+    /// each of its trials in turn — the hook for reusing transcript
+    /// buffers, party state, channels, or metrics registries across
+    /// trials instead of reallocating them per trial.
+    ///
+    /// Determinism contract: the scratch is an *allocation* cache, not a
+    /// data channel. A trial must reset whatever scratch state it reads
+    /// (e.g. `clear()` before filling a buffer); under that contract the
+    /// result vector is bitwise identical for every thread count, since
+    /// trial-to-worker assignment is not observable.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any trial closure.
+    pub fn run_with_scratch<R, S, M, F>(
+        &self,
+        base_seed: u64,
+        trials: usize,
+        make_scratch: M,
+        trial_fn: F,
+    ) -> Vec<R>
+    where
+        R: Send,
+        M: Fn() -> S + Sync,
+        F: Fn(Trial, &mut S) -> R + Sync,
+    {
         let workers = self.threads.min(trials.max(1));
         if workers <= 1 {
+            let mut scratch = make_scratch();
             return (0..trials)
-                .map(|i| trial_fn(Trial::new(base_seed, i)))
+                .map(|i| trial_fn(Trial::new(base_seed, i), &mut scratch))
                 .collect();
         }
 
-        // Index-strided sharding: worker w takes trials w, w+W, w+2W, …
-        // Each worker returns (index, result) pairs; merging by index
-        // erases scheduling order from the output.
+        // Deterministic dynamic scheduling: workers claim contiguous
+        // chunks of trial indices from a shared counter. Which worker
+        // runs which chunk varies run to run; the (index, result) pairs
+        // and the index-ordered merge below do not.
+        let chunk = Self::chunk_size(trials, workers);
+        let next = std::sync::atomic::AtomicUsize::new(0);
         let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
             let trial_fn = &trial_fn;
+            let make_scratch = &make_scratch;
+            let next = &next;
             let handles: Vec<_> = (0..workers)
-                .map(|w| {
+                .map(|_| {
                     scope.spawn(move || {
-                        (w..trials)
-                            .step_by(workers)
-                            .map(|i| (i, trial_fn(Trial::new(base_seed, i))))
-                            .collect()
+                        let mut scratch = make_scratch();
+                        let mut out = Vec::new();
+                        loop {
+                            let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                            if start >= trials {
+                                break;
+                            }
+                            for i in start..(start + chunk).min(trials) {
+                                out.push((i, trial_fn(Trial::new(base_seed, i), &mut scratch)));
+                            }
+                        }
+                        out
                     })
                 })
                 .collect();
@@ -211,12 +284,20 @@ impl TrialRunner {
         Summary::of(&self.run(base_seed, trials, trial_fn))
     }
 
-    /// Like [`TrialRunner::run`], but each trial also gets a **fresh**
+    /// Like [`TrialRunner::run`], but each trial also gets an **empty**
     /// [`MetricsRegistry`] to record into; the per-trial registries are
     /// merged back **in trial-index order**, so the aggregate — counters,
     /// histograms, and the bounded event log alike — is bitwise identical
     /// for every thread count. (Wall-clock spans are merged too but live
     /// in the registry's non-deterministic section.)
+    ///
+    /// Serially (one worker) the registry handed to each trial is a
+    /// single scratch registry [`reset`](MetricsRegistry::reset) between
+    /// trials and merged as each trial completes, eliminating the
+    /// per-trial registry allocation; in parallel every trial records
+    /// into a fresh registry as before. The two paths produce equal
+    /// merged registries — pinned by the thread-count invariance tests
+    /// here and in `tests/metrics_determinism.rs`.
     ///
     /// # Panics
     ///
@@ -231,6 +312,17 @@ impl TrialRunner {
         R: Send,
         F: Fn(Trial, &mut MetricsRegistry) -> R + Sync,
     {
+        if self.threads.min(trials.max(1)) <= 1 {
+            let mut scratch = MetricsRegistry::new();
+            let mut merged = MetricsRegistry::new();
+            let mut results = Vec::with_capacity(trials);
+            for i in 0..trials {
+                scratch.reset();
+                results.push(trial_fn(Trial::new(base_seed, i), &mut scratch));
+                merged.merge_from(&scratch);
+            }
+            return (results, merged);
+        }
         let pairs = self.run(base_seed, trials, |trial| {
             let mut metrics = MetricsRegistry::new();
             let result = trial_fn(trial, &mut metrics);
@@ -358,6 +450,66 @@ mod tests {
     }
 
     #[test]
+    fn skewed_trial_costs_preserve_determinism() {
+        // Adversarial 100x cost skew: every 8th trial does 100x the
+        // work, so dynamic chunk claiming assigns trials to workers in
+        // a genuinely schedule-dependent way — and must not show it.
+        let work = |t: Trial| {
+            use rand::Rng;
+            let mut rng = t.rng();
+            let iters = if t.index.is_multiple_of(8) {
+                10_000
+            } else {
+                100
+            };
+            let mut acc = 0u64;
+            for _ in 0..iters {
+                acc = acc.wrapping_add(rng.gen_range(0u64..1_000));
+            }
+            (t.index, acc)
+        };
+        let baseline = TrialRunner::new(1).run(0x5EED, 41, work);
+        for threads in [2, 8, 64] {
+            assert_eq!(
+                TrialRunner::new(threads).run(0x5EED, 41, work),
+                baseline,
+                "{threads} threads diverged under skewed costs"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_state_at_any_thread_count() {
+        // Each trial fills a reused buffer after clearing it; sizes are
+        // skewed so chunk boundaries land differently per thread count.
+        let work = |t: Trial, buf: &mut Vec<u64>| {
+            use rand::Rng;
+            let mut rng = t.rng();
+            buf.clear();
+            let len = if t.index.is_multiple_of(8) { 800 } else { 8 };
+            for _ in 0..len {
+                buf.push(rng.gen_range(0u64..1_000));
+            }
+            buf.iter().sum::<u64>()
+        };
+        let baseline = TrialRunner::new(1).run(3, 37, |t| {
+            let mut fresh = Vec::new();
+            work(t, &mut fresh)
+        });
+        for threads in [1, 2, 8, 64] {
+            let got = TrialRunner::new(threads).run_with_scratch(3, 37, Vec::new, work);
+            assert_eq!(got, baseline, "{threads} threads diverged with scratch");
+        }
+    }
+
+    #[test]
+    fn chunk_size_adapts_but_stays_bounded() {
+        assert_eq!(TrialRunner::chunk_size(10, 8), 1);
+        assert_eq!(TrialRunner::chunk_size(1_000, 4), 31);
+        assert_eq!(TrialRunner::chunk_size(1_000_000, 2), 256);
+    }
+
+    #[test]
     fn more_workers_than_trials_is_fine() {
         let out = TrialRunner::new(16).run(1, 3, |t| t.index);
         assert_eq!(out, vec![0, 1, 2]);
@@ -373,6 +525,24 @@ mod tests {
         assert_eq!(TrialRunner::from_args(["--threads", "3"]).threads(), 3);
         assert_eq!(TrialRunner::from_args(["--threads=5"]).threads(), 5);
         assert!(TrialRunner::from_args(["--other"]).threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --threads value")]
+    fn unparsable_threads_value_panics() {
+        TrialRunner::from_args(["--threads", "lots"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --threads value")]
+    fn unparsable_threads_eq_value_panics() {
+        TrialRunner::from_args(["--threads=many", "--threads=2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads requires a value")]
+    fn missing_threads_value_panics() {
+        TrialRunner::from_args(["--threads"]);
     }
 
     #[test]

@@ -123,6 +123,48 @@ fn merged_registries_are_thread_count_invariant_under_independent_noise() {
     }
 }
 
+/// Adversarial cost skew: trial difficulty varies ~100x with the trial
+/// index (party count 2 vs [`N`]·4, plus a rewind-prone channel), so
+/// the dynamic chunk scheduler's trial-to-worker assignment genuinely
+/// shifts between thread counts — including far more workers than
+/// trials (64). Results and the merged registry must not move.
+#[test]
+fn merged_registries_survive_adversarial_cost_skew_up_to_64_threads() {
+    let model = NoiseModel::Correlated { epsilon: 0.1 };
+    let small = InputSet::new(2);
+    let large = InputSet::new(N * 4);
+    let small_sim = RewindSimulator::new(&small, SimulatorConfig::builder(2).model(model).build());
+    let large_sim =
+        RewindSimulator::new(&large, SimulatorConfig::builder(N * 4).model(model).build());
+
+    let run = |threads: usize| {
+        let runner = TrialRunner::new(threads);
+        runner.run_with_metrics(trial_seed(0x5EED, 1), 21, |trial, m| {
+            // Every 4th trial simulates the 12x-larger network.
+            let (n, sim): (usize, &(dyn Simulator<usize, _> + Sync)) = if trial.index % 4 == 0 {
+                (N * 4, &large_sim)
+            } else {
+                (2, &small_sim)
+            };
+            let mut rng = trial.sub_rng(0);
+            let inputs: Vec<usize> = (0..n).map(|_| rng.gen_range(0..2 * n)).collect();
+            sim.simulate_with_metrics(&inputs, model, trial.seed, m)
+                .map(|out| out.outputs().to_vec())
+                .ok()
+        })
+    };
+
+    let (serial_results, serial_metrics) = run(1);
+    for threads in [2, 8, 64] {
+        let (results, metrics) = run(threads);
+        assert_eq!(results, serial_results, "{threads} threads: results moved");
+        assert_eq!(metrics, serial_metrics, "{threads} threads: metrics moved");
+        let a: Vec<u64> = metrics.events().iter().map(|e| e.round).collect();
+        let b: Vec<u64> = serial_metrics.events().iter().map(|e| e.round).collect();
+        assert_eq!(a, b, "{threads} threads: event order moved");
+    }
+}
+
 /// At ε = 0 no round is ever corrupted, so every scheme reports zero
 /// `corrupted_rounds` and zero `rewinds`.
 #[test]

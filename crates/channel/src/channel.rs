@@ -172,6 +172,34 @@ impl StochasticChannel {
         self.model
     }
 
+    /// Returns the channel to the state of [`StochasticChannel::new`]
+    /// with the same party count and model but a fresh `seed`, reusing
+    /// the sampler's allocations (the independent-noise mask block and
+    /// per-party skip table) — so a channel kept in a worker's scratch
+    /// arena can serve many trials without per-trial allocation.
+    ///
+    /// Behavioral equivalence to a fresh channel is pinned by
+    /// `reseeding_matches_a_fresh_channel` below: the RNG restarts from
+    /// `seed` and the sampler re-draws its state in the same order as
+    /// construction (the stale mask block is ignored because the reset
+    /// offset forces a zero-filling refill before the first delivery).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+        self.rounds = 0;
+        self.corrupted = 0;
+        let eps = self.model.epsilon();
+        match &mut self.sampler {
+            Sampler::Noiseless => {}
+            Sampler::Shared { skip } => *skip = geometric_gap(eps, &mut self.rng),
+            Sampler::Independent { offset, skips, .. } => {
+                *offset = BLOCK_ROUNDS;
+                for skip in skips.iter_mut() {
+                    *skip = geometric_gap(eps, &mut self.rng);
+                }
+            }
+        }
+    }
+
     /// Rebuilds the current independent-noise mask block from the
     /// per-party skip counters.
     fn refill_block(&mut self) {
@@ -438,6 +466,40 @@ mod tests {
         assert_eq!(ch.rounds(), 1_000);
         let rate = ch.corrupted_rounds() as f64 / 1_000.0;
         assert!((rate - 0.5).abs() < 0.06, "rate {rate}");
+    }
+
+    #[test]
+    fn reseeding_matches_a_fresh_channel() {
+        let models = [
+            NoiseModel::Noiseless,
+            NoiseModel::Correlated { epsilon: 0.3 },
+            NoiseModel::OneSidedZeroToOne { epsilon: 0.25 },
+            NoiseModel::OneSidedOneToZero { epsilon: 0.25 },
+            NoiseModel::Independent { epsilon: 0.2 },
+        ];
+        for model in models {
+            // Dirty the channel first so reseeding has real state (and,
+            // for independent noise, a stale mask block) to erase.
+            let mut reused = StochasticChannel::new(5, model, 0xDEAD);
+            for r in 0..150 {
+                reused.transmit(r % 3 == 0);
+            }
+            for seed in [1u64, 99] {
+                reused.reseed(seed);
+                assert_eq!(reused.rounds(), 0);
+                assert_eq!(reused.corrupted_rounds(), 0);
+                let mut fresh = StochasticChannel::new(5, model, seed);
+                for r in 0..150 {
+                    let true_or = r % 3 == 0;
+                    assert_eq!(
+                        reused.transmit(true_or),
+                        fresh.transmit(true_or),
+                        "delivery diverged over {model} seed {seed} round {r}"
+                    );
+                }
+                assert_eq!(reused.corrupted_rounds(), fresh.corrupted_rounds());
+            }
+        }
     }
 
     #[test]

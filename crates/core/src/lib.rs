@@ -56,6 +56,7 @@
 
 mod driver;
 
+pub mod code_cache;
 pub mod hierarchical;
 pub mod one_to_zero;
 pub mod outcome;
@@ -66,6 +67,7 @@ pub mod repetition;
 pub mod rewind;
 pub mod simulator;
 
+pub use code_cache::CodeCache;
 pub use hierarchical::HierarchicalSimulator;
 pub use one_to_zero::OneToZeroSimulator;
 pub use outcome::{SimError, SimOutcome, SimStats};

@@ -27,6 +27,7 @@
 
 use crate::driver::{drive, SimParty};
 use beeps_channel::{NoiseModel, StochasticChannel};
+use beeps_ecc::bits::PackedBits;
 use beeps_ecc::{BitMetric, RandomCode, SymbolCode};
 
 /// The shared symbol code used by the owners phase.
@@ -50,8 +51,10 @@ pub(crate) struct OwnersState {
     iterations: usize,
     iter: usize,
     bit_idx: usize,
-    word: Vec<bool>,
-    sending: Option<Vec<bool>>,
+    /// Heard bits of the in-flight codeword, accumulated packed so the
+    /// per-iteration decode needs no unpack/repack round-trip.
+    word: PackedBits,
+    sending: Option<PackedBits>,
     /// `T^i`: rounds already claimed by some owner.
     claimed: Vec<bool>,
     /// `turn^i`.
@@ -92,7 +95,7 @@ impl OwnersState {
             iterations: len + n,
             iter: 0,
             bit_idx: 0,
-            word: Vec::new(),
+            word: PackedBits::new(),
             sending: None,
             claimed: vec![false; len],
             turn: 0,
@@ -130,7 +133,7 @@ impl OwnersState {
             let claim =
                 (0..self.pi.len()).find(|&j| self.pi[j] && self.my_bits[j] && !self.claimed[j]);
             let symbol = claim.unwrap_or(self.next_symbol);
-            Some(self.code.encode(symbol))
+            Some(self.code.encode_packed(symbol))
         } else {
             None
         };
@@ -141,7 +144,7 @@ impl OwnersState {
             return false;
         }
         match &self.sending {
-            Some(word) => word[self.bit_idx],
+            Some(word) => word.get(self.bit_idx),
             None => false,
         }
     }
@@ -157,7 +160,7 @@ impl OwnersState {
         }
         // Iteration complete: decode and update the shared bookkeeping.
         if self.turn < self.n {
-            let symbol = self.code.decode(&self.word, self.metric);
+            let symbol = self.code.decode_packed(&self.word, self.metric);
             if symbol == self.next_symbol {
                 self.turn += 1;
             } else if symbol < self.pi.len() {

@@ -38,7 +38,7 @@ use beeps_info::tail;
 /// assert!(harsh.repetitions > mild.repetitions);
 /// assert!(harsh.code_len > mild.code_len);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SimulatorConfig {
     /// Chunk length `L` in protocol rounds (the paper uses `L = n`).
     pub chunk_len: usize,
@@ -61,6 +61,28 @@ pub struct SimulatorConfig {
     pub code_weight: Option<usize>,
     /// Per-decision failure probability the parameters were sized for.
     pub target_error: f64,
+    /// Experiment-scoped cache consulted by
+    /// [`build_code`](SimulatorConfig::build_code); `None` rebuilds the
+    /// table on every call. Private so equality and the cache stay
+    /// orthogonal: two configs describing the same parameters compare
+    /// equal whether or not either carries a cache.
+    code_cache: Option<std::sync::Arc<crate::code_cache::CodeCache>>,
+}
+
+impl PartialEq for SimulatorConfig {
+    /// Parameter equality; the attached [`crate::CodeCache`] (if any) is
+    /// deliberately excluded, since it memoizes derived tables rather
+    /// than describing the simulation.
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk_len == other.chunk_len
+            && self.repetitions == other.repetitions
+            && self.code_len == other.code_len
+            && self.verify_repetitions == other.verify_repetitions
+            && self.budget_factor == other.budget_factor
+            && self.code_seed == other.code_seed
+            && self.code_weight == other.code_weight
+            && self.target_error == other.target_error
+    }
 }
 
 /// Staged construction of a [`SimulatorConfig`]; see
@@ -92,7 +114,7 @@ pub struct SimulatorConfig {
 ///     .build();
 /// assert!(custom.repetitions != default.repetitions);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SimulatorConfigBuilder {
     n: usize,
     model: NoiseModel,
@@ -101,6 +123,7 @@ pub struct SimulatorConfigBuilder {
     budget_factor: Option<f64>,
     code_seed: Option<u64>,
     code_weight: Option<usize>,
+    code_cache: Option<std::sync::Arc<crate::code_cache::CodeCache>>,
 }
 
 impl SimulatorConfigBuilder {
@@ -149,6 +172,15 @@ impl SimulatorConfigBuilder {
         self
     }
 
+    /// Attaches a shared [`crate::CodeCache`] that
+    /// [`build_code`](SimulatorConfig::build_code) will consult, so
+    /// repeated simulations over equal parameters build their symbol-code
+    /// table once. Equality of the finished config is unaffected.
+    pub fn code_cache(mut self, cache: std::sync::Arc<crate::code_cache::CodeCache>) -> Self {
+        self.code_cache = Some(cache);
+        self
+    }
+
     /// Sizes and assembles the [`SimulatorConfig`].
     ///
     /// # Panics
@@ -190,6 +222,9 @@ impl SimulatorConfigBuilder {
         if let Some(weight) = self.code_weight {
             config.code_weight = Some(weight);
         }
+        if let Some(cache) = self.code_cache {
+            config.code_cache = Some(cache);
+        }
         config
     }
 }
@@ -210,6 +245,7 @@ impl SimulatorConfig {
             budget_factor: None,
             code_seed: None,
             code_weight: None,
+            code_cache: None,
         }
     }
 
@@ -301,17 +337,53 @@ impl SimulatorConfig {
             code_seed: 0x0B_EE_50_0D,
             code_weight: None,
             target_error: target,
+            code_cache: None,
         }
+    }
+
+    /// Attaches a shared [`crate::CodeCache`] to an already-built config;
+    /// the post-hoc form of
+    /// [`SimulatorConfigBuilder::code_cache`]. Subsequent
+    /// [`build_code`](SimulatorConfig::build_code) calls consult (and
+    /// populate) the cache; equality with other configs is unaffected.
+    pub fn with_code_cache(mut self, cache: std::sync::Arc<crate::code_cache::CodeCache>) -> Self {
+        self.code_cache = Some(cache);
+        self
+    }
+
+    /// The attached [`crate::CodeCache`], if any.
+    pub fn code_cache(&self) -> Option<&std::sync::Arc<crate::code_cache::CodeCache>> {
+        self.code_cache.as_ref()
     }
 
     /// Builds the owners-phase symbol code this configuration describes:
     /// a seeded random code, or a constant-weight code when
     /// [`SimulatorConfig::code_weight`] is set.
     ///
+    /// With a cache attached (see
+    /// [`with_code_cache`](SimulatorConfig::with_code_cache)) the table is
+    /// built at most once per distinct parameter tuple and shared;
+    /// without one, every call constructs afresh. Either way the returned
+    /// table is identical — it is a pure function of the parameters.
+    ///
     /// # Panics
     ///
     /// Panics if `code_weight` is incompatible with `code_len`.
     pub fn build_code(&self) -> crate::owners::SharedCode {
+        match &self.code_cache {
+            Some(cache) => cache.get_or_build(self),
+            None => self.build_code_uncached(),
+        }
+    }
+
+    /// Builds the symbol code without consulting any attached cache —
+    /// the raw constructor path, also used by [`crate::CodeCache`] itself
+    /// on a miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code_weight` is incompatible with `code_len`.
+    pub fn build_code_uncached(&self) -> crate::owners::SharedCode {
         use std::sync::Arc;
         match self.code_weight {
             Some(w) => Arc::new(beeps_ecc::ConstantWeightCode::new(

@@ -6,13 +6,25 @@
 
 /// A fixed-length bit string packed into `u64` limbs (LSB-first within each
 /// limb).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The derived ordering (lexicographic over the limbs, then the length) is
+/// arbitrary but total and stable — exactly what the seeded code
+/// constructors need for `BTreeSet` duplicate rejection.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct PackedBits {
     limbs: Vec<u64>,
     len: usize,
 }
 
 impl PackedBits {
+    /// An empty bit string.
+    pub fn new() -> Self {
+        Self {
+            limbs: Vec::new(),
+            len: 0,
+        }
+    }
+
     /// Packs a bool slice.
     pub fn from_bools(bits: &[bool]) -> Self {
         let mut limbs = vec![0u64; bits.len().div_ceil(64)];
@@ -25,6 +37,25 @@ impl PackedBits {
             limbs,
             len: bits.len(),
         }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        if self.len.is_multiple_of(64) {
+            self.limbs.push(0);
+        }
+        if bit {
+            self.limbs[self.len / 64] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Empties the bit string, retaining the limb allocation so a reused
+    /// receive buffer (e.g. the owners-phase word accumulator) never
+    /// reallocates.
+    pub fn clear(&mut self) {
+        self.limbs.clear();
+        self.len = 0;
     }
 
     /// Unpacks into a bool vector.
@@ -83,6 +114,12 @@ impl PackedBits {
             .zip(&other.limbs)
             .map(|(a, b)| (a & !b).count_ones())
             .sum()
+    }
+}
+
+impl Default for PackedBits {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -158,6 +195,39 @@ mod tests {
         assert_eq!(p.len(), 130);
         assert_eq!(p.to_bools(), bits);
         assert_eq!(p.weight() as usize, bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn push_matches_from_bools_and_clear_keeps_capacity() {
+        let bits: Vec<bool> = (0..200).map(|i| i % 5 == 1 || i % 7 == 0).collect();
+        let mut p = PackedBits::new();
+        for &b in &bits {
+            p.push(b);
+        }
+        assert_eq!(p, PackedBits::from_bools(&bits));
+        p.clear();
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        // Refilling after clear reproduces the same packing (tail limbs
+        // must not leak stale bits).
+        for &b in &bits[..70] {
+            p.push(b);
+        }
+        assert_eq!(p, PackedBits::from_bools(&bits[..70]));
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_with_equality() {
+        let a = pb(&[1, 0, 1]);
+        let b = pb(&[1, 0, 1]);
+        let c = pb(&[0, 1, 1]);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_ne!(a.cmp(&c), std::cmp::Ordering::Equal);
+        let mut set = std::collections::BTreeSet::new();
+        assert!(set.insert(a.clone()));
+        assert!(!set.insert(b));
+        assert!(set.insert(c));
+        assert_eq!(set.len(), 2);
     }
 
     #[test]

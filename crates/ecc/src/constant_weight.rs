@@ -55,6 +55,9 @@ impl ConstantWeightCode {
         );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut codewords: Vec<PackedBits> = Vec::with_capacity(alphabet_size);
+        // Set-membership duplicate rejection: same draws and resulting
+        // code as the old O(q²) linear scan, minus the quadratic scans.
+        let mut seen = std::collections::BTreeSet::new();
         let mut attempts = 0usize;
         while codewords.len() < alphabet_size {
             // Partial Fisher–Yates draw of a w-subset.
@@ -68,7 +71,7 @@ impl ConstantWeightCode {
                 bits[p] = true;
             }
             let cw = PackedBits::from_bools(&bits);
-            if codewords.contains(&cw) {
+            if !seen.insert(cw.clone()) {
                 attempts += 1;
                 assert!(
                     attempts < 10_000,
@@ -116,21 +119,29 @@ impl SymbolCode for ConstantWeightCode {
     }
 
     fn encode(&self, symbol: usize) -> Vec<bool> {
+        self.encode_packed(symbol).to_bools()
+    }
+
+    fn decode(&self, received: &[bool], metric: BitMetric) -> usize {
+        assert_eq!(received.len(), self.len, "wrong word length");
+        self.decode_packed(&PackedBits::from_bools(received), metric)
+    }
+
+    fn encode_packed(&self, symbol: usize) -> PackedBits {
         assert!(
             symbol < self.q,
             "symbol {symbol} outside alphabet of {}",
             self.q
         );
-        self.codewords[symbol].to_bools()
+        self.codewords[symbol].clone()
     }
 
-    fn decode(&self, received: &[bool], metric: BitMetric) -> usize {
+    fn decode_packed(&self, received: &PackedBits, metric: BitMetric) -> usize {
         assert_eq!(received.len(), self.len, "wrong word length");
-        let packed = PackedBits::from_bools(received);
         let mut best = 0usize;
         let mut best_cost = u64::MAX;
         for (sym, cw) in self.codewords.iter().enumerate() {
-            let cost = metric.cost(cw, &packed);
+            let cost = metric.cost(cw, received);
             if cost < best_cost {
                 best_cost = cost;
                 best = sym;
@@ -214,6 +225,26 @@ mod tests {
             "{}",
             code.max_support_overlap()
         );
+    }
+
+    #[test]
+    fn packed_paths_match_bool_paths() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let code = ConstantWeightCode::new(17, 64, 7, 6);
+        let mut rng = StdRng::seed_from_u64(0x9B);
+        for sym in 0..17 {
+            assert_eq!(code.encode_packed(sym).to_bools(), code.encode(sym));
+            let mut w = code.encode(sym);
+            for b in w.iter_mut() {
+                if !*b && rng.gen_bool(0.2) {
+                    *b = true;
+                }
+            }
+            let packed = PackedBits::from_bools(&w);
+            for metric in [BitMetric::Hamming, BitMetric::ZUp, BitMetric::ZDown] {
+                assert_eq!(code.decode(&w, metric), code.decode_packed(&packed, metric));
+            }
+        }
     }
 
     #[test]

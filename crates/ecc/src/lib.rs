@@ -93,4 +93,29 @@ pub trait SymbolCode: std::fmt::Debug {
     ///
     /// Panics if `received.len() != self.codeword_len()`.
     fn decode(&self, received: &[bool], metric: BitMetric) -> usize;
+
+    /// Encodes `symbol` straight into packed form.
+    ///
+    /// Codes that store packed codewords internally (the random and
+    /// constant-weight codes) override this to hand out a limb copy with
+    /// no per-bit unpack/repack; the default round-trips through
+    /// [`SymbolCode::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol >= self.alphabet_size()`.
+    fn encode_packed(&self, symbol: usize) -> bits::PackedBits {
+        bits::PackedBits::from_bools(&self.encode(symbol))
+    }
+
+    /// Decodes an already-packed received word — the hot-path form used
+    /// by the owners phase, which accumulates heard bits packed and must
+    /// not unpack them per decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len() != self.codeword_len()`.
+    fn decode_packed(&self, received: &bits::PackedBits, metric: BitMetric) -> usize {
+        self.decode(&received.to_bools(), metric)
+    }
 }

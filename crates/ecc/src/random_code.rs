@@ -67,11 +67,15 @@ impl RandomCode {
         );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut codewords: Vec<PackedBits> = Vec::with_capacity(alphabet_size);
+        // Duplicate rejection via set membership: the draws (and therefore
+        // the resulting code) are identical to the old O(q²) linear scan,
+        // construction is just O(q log q) comparisons instead.
+        let mut seen = std::collections::BTreeSet::new();
         let mut attempts = 0usize;
         while codewords.len() < alphabet_size {
             let bits_vec: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
             let cw = PackedBits::from_bools(&bits_vec);
-            if codewords.contains(&cw) {
+            if !seen.insert(cw.clone()) {
                 attempts += 1;
                 assert!(
                     attempts < 10_000,
@@ -111,21 +115,29 @@ impl SymbolCode for RandomCode {
     }
 
     fn encode(&self, symbol: usize) -> Vec<bool> {
+        self.encode_packed(symbol).to_bools()
+    }
+
+    fn decode(&self, received: &[bool], metric: BitMetric) -> usize {
+        assert_eq!(received.len(), self.len, "wrong word length");
+        self.decode_packed(&PackedBits::from_bools(received), metric)
+    }
+
+    fn encode_packed(&self, symbol: usize) -> PackedBits {
         assert!(
             symbol < self.q,
             "symbol {symbol} outside alphabet of {}",
             self.q
         );
-        self.codewords[symbol].to_bools()
+        self.codewords[symbol].clone()
     }
 
-    fn decode(&self, received: &[bool], metric: BitMetric) -> usize {
+    fn decode_packed(&self, received: &PackedBits, metric: BitMetric) -> usize {
         assert_eq!(received.len(), self.len, "wrong word length");
-        let packed = PackedBits::from_bools(received);
         let mut best = 0usize;
         let mut best_cost = u64::MAX;
         for (sym, cw) in self.codewords.iter().enumerate() {
-            let cost = metric.cost(cw, &packed);
+            let cost = metric.cost(cw, received);
             if cost < best_cost {
                 best_cost = cost;
                 best = sym;
@@ -213,6 +225,26 @@ mod tests {
             failures <= trials / 20,
             "Z-channel decode failed {failures}/{trials} times"
         );
+    }
+
+    #[test]
+    fn packed_paths_match_bool_paths() {
+        let code = RandomCode::new(33, 8, 42);
+        let mut rng = StdRng::seed_from_u64(0x9A);
+        for sym in 0..33 {
+            assert_eq!(code.encode_packed(sym).to_bools(), code.encode(sym));
+            // Noisy word: both decode entry points must agree bit for bit.
+            let mut w = code.encode(sym);
+            for b in w.iter_mut() {
+                if rng.gen_bool(0.2) {
+                    *b = !*b;
+                }
+            }
+            let packed = PackedBits::from_bools(&w);
+            for metric in [BitMetric::Hamming, BitMetric::ZUp, BitMetric::ZDown] {
+                assert_eq!(code.decode(&w, metric), code.decode_packed(&packed, metric));
+            }
+        }
     }
 
     #[test]

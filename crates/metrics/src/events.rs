@@ -118,6 +118,14 @@ impl EventLog {
         self.buf.is_empty()
     }
 
+    /// Forgets every event in place (retained and counted alike),
+    /// returning the log to the state of [`EventLog::with_capacity`]
+    /// with the same capacity, keeping the ring's allocation.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.recorded = 0;
+    }
+
     /// Appends every retained event of `other` (in `other`'s order) and
     /// carries over its evicted-event count. Callers who need
     /// determinism must fix the merge order themselves (the trial runner
@@ -166,6 +174,21 @@ mod tests {
         assert_eq!(a.dropped(), 3);
         let rounds: Vec<(String, u64)> = a.iter().map(|e| (e.label.clone(), e.round)).collect();
         assert_eq!(rounds, [("a".into(), 0), ("b".into(), 3), ("b".into(), 4)]);
+    }
+
+    #[test]
+    fn reset_empties_but_keeps_capacity() {
+        let mut log = EventLog::with_capacity(3);
+        for i in 0..5u64 {
+            log.push("t", i, 0);
+        }
+        log.reset();
+        assert_eq!(log, EventLog::with_capacity(3));
+        for i in 0..5u64 {
+            log.push("t", i, 0);
+        }
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.dropped(), 2);
     }
 
     #[test]

@@ -122,6 +122,17 @@ impl Histogram {
             .map(|(i, &c)| (i, c))
     }
 
+    /// Forgets every observation in place, returning the histogram to
+    /// the state of [`Histogram::new`] without reallocating — the
+    /// scratch-reuse path of the trial runner resets between trials.
+    pub fn reset(&mut self) {
+        self.buckets = [0; BUCKETS];
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
     /// Adds every observation of `other` into `self` (element-wise; the
     /// operation is commutative and associative).
     pub fn merge_from(&mut self, other: &Histogram) {
@@ -186,6 +197,19 @@ mod tests {
         assert_eq!(ab.count(), 6);
         assert_eq!(ab.min(), Some(0));
         assert_eq!(ab.max(), Some(100));
+    }
+
+    #[test]
+    fn reset_returns_to_fresh() {
+        let mut h = Histogram::new();
+        h.observe(5);
+        h.observe(1000);
+        h.reset();
+        assert_eq!(h, Histogram::new());
+        h.observe(3);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(3));
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

@@ -241,6 +241,29 @@ impl MetricsRegistry {
         self.wall.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Zeroes every measurement in place while keeping interned counter
+    /// slots, histogram keys, and all allocations — so a scratch
+    /// registry reused across trials records each trial exactly as a
+    /// fresh registry would, minus the per-trial allocation.
+    ///
+    /// Observational equivalence to a fresh registry: counters reset to
+    /// 0 (an interned-but-zero counter merges and compares identically
+    /// to an absent one once the key exists anywhere in the aggregate),
+    /// histograms and wall timings empty in place, and the event ring
+    /// restarts at zero recorded with its capacity unchanged.
+    pub fn reset(&mut self) {
+        for v in &mut self.counter_values {
+            *v = 0;
+        }
+        for h in self.histograms.values_mut() {
+            h.reset();
+        }
+        self.events.reset();
+        for t in self.wall.values_mut() {
+            *t = WallTiming::default();
+        }
+    }
+
     // --- aggregation ------------------------------------------------
 
     /// Folds every measurement of `other` into `self`.
@@ -382,6 +405,50 @@ mod tests {
         assert_eq!(a, b, "wall timings must not affect determinism checks");
         b.inc("c", 1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn reset_then_refill_aggregates_like_fresh_registries() {
+        let record = |m: &mut MetricsRegistry, salt: u64| {
+            m.inc("c", salt);
+            if salt.is_multiple_of(2) {
+                m.inc("even", 1);
+            }
+            m.observe("h", salt * 3);
+            m.event("e", salt, 1);
+            m.time("w", || ());
+        };
+        let mut fresh_merged = MetricsRegistry::new();
+        for salt in 1..=4 {
+            let mut fresh = MetricsRegistry::new();
+            record(&mut fresh, salt);
+            fresh_merged.merge_from(&fresh);
+        }
+        let mut scratch = MetricsRegistry::new();
+        let mut reset_merged = MetricsRegistry::new();
+        for salt in 1..=4 {
+            scratch.reset();
+            record(&mut scratch, salt);
+            reset_merged.merge_from(&scratch);
+        }
+        assert_eq!(fresh_merged, reset_merged);
+        // Event order, not just totals.
+        let a: Vec<_> = fresh_merged.events().iter().collect();
+        let b: Vec<_> = reset_merged.events().iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_keeps_interned_handles_valid() {
+        let mut m = MetricsRegistry::new();
+        let h = m.counter_handle("c");
+        m.inc_handle(h, 5);
+        m.observe("hist", 9);
+        m.reset();
+        assert_eq!(m.counter("c"), 0);
+        assert_eq!(m.histogram("hist").unwrap().count(), 0);
+        m.inc_handle(h, 2);
+        assert_eq!(m.counter("c"), 2);
     }
 
     #[test]

@@ -15,10 +15,14 @@
 //!   lowercase dot-separated under a family documented in
 //!   EXPERIMENTS.md, and `#[deprecated]` APIs slated for 0.2.0 removal
 //!   must not gain new call sites.
-//! * **Performance** (`hot-path-alloc`) — the executor's round loop is
-//!   the innermost loop of every simulation; no `format!`/`String`
-//!   allocation may creep back into it (metric names are interned as
-//!   `CounterHandle`s up front instead, DESIGN.md §9).
+//! * **Performance** (`hot-path-alloc`, `trial-scope-precompute`) — the
+//!   executor's round loop is the innermost loop of every simulation; no
+//!   `format!`/`String` allocation may creep back into it (metric names
+//!   are interned as `CounterHandle`s up front instead, DESIGN.md §9).
+//!   Likewise, code-table construction is trial-invariant work: building
+//!   it inside a `TrialRunner` per-trial closure repeats the same
+//!   expensive precomputation once per trial instead of once per
+//!   experiment (hoist it, or attach a shared `CodeCache`).
 //!
 //! A meta-rule, `suppression`, polices the suppression mechanism
 //! itself (unknown rule IDs, missing justifications, unused allows).
@@ -50,6 +54,8 @@ pub enum RuleId {
     DeprecatedApi,
     /// `format!` / `String` allocation in the executor's round loop.
     HotPathAlloc,
+    /// Code-table construction inside a `TrialRunner` per-trial closure.
+    TrialScopePrecompute,
     /// Malformed, unknown, or unused `beeps-lint: allow(…)` comments.
     Suppression,
 }
@@ -66,6 +72,7 @@ impl RuleId {
         RuleId::MetricKeyFormat,
         RuleId::DeprecatedApi,
         RuleId::HotPathAlloc,
+        RuleId::TrialScopePrecompute,
         RuleId::Suppression,
     ];
 
@@ -83,6 +90,7 @@ impl RuleId {
             RuleId::MetricKeyFormat => "metric-key-format",
             RuleId::DeprecatedApi => "deprecated-api",
             RuleId::HotPathAlloc => "hot-path-alloc",
+            RuleId::TrialScopePrecompute => "trial-scope-precompute",
             RuleId::Suppression => "suppression",
         }
     }
@@ -128,6 +136,12 @@ impl RuleId {
                 "the executor round loop runs once per channel round; \
                  format!/String allocation there dominates profiles — \
                  intern beeps_metrics::CounterHandle up front instead"
+            }
+            RuleId::TrialScopePrecompute => {
+                "code-table construction inside a TrialRunner per-trial \
+                 closure repeats trial-invariant precomputation every \
+                 trial; hoist it before the runner call or attach a \
+                 shared CodeCache to the SimulatorConfig"
             }
             RuleId::Suppression => {
                 "beeps-lint: allow(…) comments must name known rules, carry \
@@ -181,6 +195,30 @@ const HOT_PATH_ALLOC_PATTERNS: &[&str] = &[
     ".to_owned(",
     "String::from(",
     "String::new(",
+];
+
+/// Directory (relative-path fragment) whose files hold the experiment
+/// binaries: the only place `TrialRunner` per-trial closures live, and
+/// the scope of the `trial-scope-precompute` rule.
+const TRIAL_BIN_DIR: &str = "crates/bench/src/bin/";
+
+/// `TrialRunner` entry points whose closure argument runs once per
+/// trial. Matched as suffixes of the code up to an opening paren, so
+/// `Executor::run(` (no dot) never opens a region.
+const TRIAL_RUN_MARKERS: &[&str] = &[
+    ".run(",
+    ".run_records(",
+    ".run_with_metrics(",
+    ".run_with_scratch(",
+];
+
+/// Trial-invariant precomputation that must not run inside a per-trial
+/// closure: code-table construction is the dominant fixed cost of a
+/// simulator, and the same table is rebuilt identically every trial.
+const TRIAL_PRECOMPUTE_PATTERNS: &[&str] = &[
+    "build_code(",
+    "RandomCode::with_length(",
+    "ConstantWeightCode::new(",
 ];
 
 /// Cross-file facts gathered before per-line checks run.
@@ -302,6 +340,7 @@ pub fn check(files: &[SourceFile], facts: &Facts, out: &mut Vec<Finding>) {
         check_metric_keys(file, &rel, facts, out);
         check_deprecated(file, &rel, facts, out);
         check_hot_path_alloc(file, &rel, out);
+        check_trial_scope_precompute(file, &rel, out);
     }
 }
 
@@ -550,6 +589,61 @@ fn check_hot_path_alloc(file: &SourceFile, rel: &str, out: &mut Vec<Finding>) {
                         "`{pat}…)` allocates inside the executor hot path; intern a \
                          `beeps_metrics::CounterHandle` before the round loop (or hoist \
                          the allocation out of this file)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Flags trial-invariant code-table construction inside the argument
+/// list (in practice: the per-trial closure) of a [`TRIAL_RUN_MARKERS`]
+/// call in an experiment binary. Regions are tracked by paren depth
+/// across lines: a marker opens a region at its paren depth, and the
+/// region closes when the depth drops back below it, so hoisted builds
+/// before the runner call never fire.
+fn check_trial_scope_precompute(file: &SourceFile, rel: &str, out: &mut Vec<Finding>) {
+    if !rel.contains(TRIAL_BIN_DIR) {
+        return;
+    }
+    let mut depth: i64 = 0;
+    // Paren depths at which an (possibly nested) runner call is open.
+    let mut regions: Vec<i64> = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = line.code.as_str();
+        for (pos, c) in code.char_indices() {
+            match c {
+                '(' => {
+                    depth += 1;
+                    let head = &code[..pos + c.len_utf8()];
+                    if TRIAL_RUN_MARKERS.iter().any(|m| head.ends_with(m)) {
+                        regions.push(depth);
+                    }
+                }
+                ')' => {
+                    depth -= 1;
+                    while regions.last().is_some_and(|&open| depth < open) {
+                        regions.pop();
+                    }
+                }
+                _ => {}
+            }
+            if regions.is_empty() {
+                continue;
+            }
+            if let Some(pat) = TRIAL_PRECOMPUTE_PATTERNS
+                .iter()
+                .find(|p| code[pos..].starts_with(**p))
+            {
+                let name = pat.trim_end_matches('(');
+                out.push(finding(
+                    RuleId::TrialScopePrecompute,
+                    rel,
+                    idx,
+                    format!(
+                        "`{name}` inside a per-trial closure rebuilds the same \
+                         code table every trial; hoist it before the TrialRunner \
+                         call or attach a shared `CodeCache` to the config"
                     ),
                 ));
             }

@@ -1,0 +1,3 @@
+pub fn helper(runner: &TrialRunner, config: &SimulatorConfig) -> usize {
+    runner.run(1, 2, |_t| config.build_code().codeword_len()).len()
+}

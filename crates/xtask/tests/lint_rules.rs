@@ -132,6 +132,39 @@ fn hot_path_alloc_fires_in_executor_non_test_code_only() {
 }
 
 #[test]
+fn trial_scope_precompute_fires_inside_trial_closures_only() {
+    let report = run("trial_scope_precompute");
+    assert_eq!(
+        rules_of(&report),
+        [
+            RuleId::TrialScopePrecompute,
+            RuleId::TrialScopePrecompute,
+            RuleId::TrialScopePrecompute
+        ]
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.path.ends_with("fig9_sweep.rs")),
+        "runner closures outside crates/bench/src/bin must not fire: {:?}",
+        report.findings
+    );
+    // The hoisted build_code on line 4 never fires; the three
+    // constructors inside the two runner closures do.
+    assert_eq!(report.findings[0].line, 6);
+    assert!(report.findings[0].message.contains("build_code"));
+    assert_eq!(report.findings[1].line, 7);
+    assert!(report.findings[1]
+        .message
+        .contains("RandomCode::with_length"));
+    assert_eq!(report.findings[2].line, 11);
+    assert!(report.findings[2]
+        .message
+        .contains("ConstantWeightCode::new"));
+}
+
+#[test]
 fn suppressions_require_known_rule_and_justification() {
     let report = run("suppressed");
     assert_eq!(
@@ -196,6 +229,7 @@ fn cli_exit_codes_reflect_findings() {
         "metric_key",
         "deprecated",
         "hot_path_alloc",
+        "trial_scope_precompute",
     ] {
         let out = exit(case);
         assert_eq!(

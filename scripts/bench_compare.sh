@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Regression gate for the pinned hot-path benchmarks.
+#
+#   scripts/bench_compare.sh [--smoke]
+#
+# Re-runs bench_hotpaths against the checked-in BENCH_hotpaths.json and
+# fails when any benchmark regresses by more than BEEPS_BENCH_TOLERANCE
+# percent (default 25, i.e. speedup < 0.75 relative to the pinned
+# numbers). --smoke runs the 1-iteration harness instead: it exercises
+# the harness and the comparison plumbing end to end but skips the
+# threshold check, because 1-iteration numbers are noise — that is the
+# mode tier1.sh and CI run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${BEEPS_BENCH_TOLERANCE:-25}"
+SMOKE=""
+[[ "${1:-}" == "--smoke" ]] && SMOKE="--smoke"
+
+BASELINE=BENCH_hotpaths.json
+OUT=target/BENCH_compare.json
+
+# shellcheck disable=SC2086 # SMOKE is intentionally empty or one flag
+cargo run --release -q -p beeps-bench --bin bench_hotpaths -- \
+  ${SMOKE} --baseline "$BASELINE" --out "$OUT"
+
+# The harness embeds per-benchmark speedups (pinned ns / current ns) as
+# a flat "speedup":{"name":float,…} object — the last section of the
+# file, with no nested braces.
+SPEEDUPS=$(sed -n 's/.*"speedup":{\([^}]*\)}.*/\1/p' "$OUT")
+if [[ -z "$SPEEDUPS" ]]; then
+  echo "bench_compare: no speedup section in $OUT (is $BASELINE readable?)" >&2
+  exit 1
+fi
+
+if [[ -n "$SMOKE" ]]; then
+  echo "bench_compare: smoke mode — harness and comparison plumbing OK, thresholds skipped"
+  exit 0
+fi
+
+FLOOR=$(awk -v t="$TOLERANCE" 'BEGIN { printf "%.4f", 1.0 - t / 100.0 }')
+STATUS=0
+IFS=',' read -ra ENTRIES <<<"$SPEEDUPS"
+for entry in "${ENTRIES[@]}"; do
+  name="${entry%%:*}"
+  name="${name//\"/}"
+  value="${entry##*:}"
+  ok=$(awk -v v="$value" -v f="$FLOOR" 'BEGIN { print (v >= f) ? 1 : 0 }')
+  if [[ "$ok" != 1 ]]; then
+    echo "bench_compare: $name regressed: speedup ${value}x < ${FLOOR}x (tolerance ${TOLERANCE}%)" >&2
+    STATUS=1
+  fi
+done
+if [[ "$STATUS" == 0 ]]; then
+  echo "bench_compare: all benchmarks within ${TOLERANCE}% of $BASELINE"
+fi
+exit "$STATUS"

@@ -5,8 +5,8 @@
 #
 # Runs the release build, the full test suite, clippy with warnings
 # denied, the beeps-lint static-analysis pass, the formatting check,
-# and a one-iteration smoke run of the hot-path benchmark harness —
-# the same sequence CI runs.
+# and a one-iteration smoke run of the hot-path benchmark harness plus
+# its baseline-comparison plumbing — the same sequence CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,8 +15,9 @@ cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo xtask lint
 cargo fmt --check
-# Smoke-run the pinned benchmark harness (1 iteration, tiny rounds):
-# catches bit-rot in the bench binary without measuring anything.
-cargo run --release -q -p beeps-bench --bin bench_hotpaths -- \
-  --smoke --out target/BENCH_hotpaths_smoke.json
+# Smoke-run the pinned benchmark harness (1 iteration, tiny rounds)
+# through the regression-gate script: catches bit-rot in the bench
+# binary and the comparison plumbing without measuring anything. Run
+# `scripts/bench_compare.sh` without --smoke for the real >25% gate.
+scripts/bench_compare.sh --smoke
 echo "tier-1: all green"
