@@ -9,8 +9,15 @@
 //! * [`Executor::run`] / [`Executor::run_with_metrics`] round throughput
 //!   under `Independent` and `Correlated` noise (the inner loop of every
 //!   experiment binary);
+//! * the bit-sliced lane engine (`executor.lanes.*`): the same striding
+//!   workload through [`LaneExecutor`], 64 trial-lanes per word, with
+//!   ops counted per *trial-round* so the numbers are directly
+//!   comparable to the scalar `executor.run.*` rows;
 //! * one full scheme per family (`repetition`, `rewind`, `one_to_zero`)
-//!   end to end;
+//!   end to end, plus the batch path of the two lane-sliced schemes
+//!   (`scheme.repetition.n64.batch`, `scheme.rewind.batch`) driving
+//!   `simulate_batch` over one full 64-seed lane group against scalar
+//!   twins on the same workload;
 //! * the cross-trial layer: skewed Monte Carlo fan-out through the
 //!   [`TrialRunner`] scratch arenas (`runner.skewed`), the shared
 //!   owners-code table cache (`code_cache`), and the packed
@@ -23,19 +30,27 @@
 //! everything so CI can keep the harness compiling and running without
 //! paying measurement-grade iteration counts.
 //!
+//! Independently of `--baseline`, the output always carries a flat
+//! `"lanes"` object pairing each lane-sliced benchmark with its scalar
+//! twin *from the same run* — `{scalar name: scalar ns ÷ lane ns}` —
+//! which `scripts/bench_compare.sh` gates at ≥ 4× in full mode.
+//!
 //! Timing uses the sanctioned [`Stopwatch`] wrapper; everything else in
 //! the harness is seed-deterministic, so two runs measure the same work.
 
 use std::path::PathBuf;
 
 use beeps_bench::{Json, TrialRunner};
-use beeps_channel::{Channel, Executor, NoiseModel, Party, StochasticChannel};
+use beeps_channel::{
+    Channel, Executor, LaneChannel, LaneExecutor, LaneParty, NoiseModel, Party, StochasticChannel,
+    LANES,
+};
 use beeps_core::{
     CodeCache, OneToZeroSimulator, RepetitionSimulator, RewindSimulator, SimulatorConfig,
 };
 use beeps_ecc::{BitMetric, RandomCode, SymbolCode};
 use beeps_metrics::{MetricsRegistry, Stopwatch};
-use beeps_protocols::InputSet;
+use beeps_protocols::{InputSet, RollCall};
 
 /// Parties attached to the executor/channel benchmarks.
 const PARTIES: usize = 64;
@@ -121,6 +136,50 @@ fn striders(n: usize) -> Vec<Strider> {
             stride: 2 + (i % 7),
             round: 0,
             last: false,
+        })
+        .collect()
+}
+
+/// Lane-sliced benchmarks paired with their scalar twins: the `"lanes"`
+/// section of the output reports `scalar ns_per_op ÷ lane ns_per_op`
+/// under each scalar name. Both sides count ops per trial-round
+/// (executor rows) or per trial (scheme rows), so the ratio is the
+/// honest per-trial speedup of the bit-sliced path.
+const LANE_PAIRS: [(&str, &str); 3] = [
+    ("executor.run.correlated", "executor.lanes.correlated"),
+    ("scheme.repetition.n64", "scheme.repetition.n64.batch"),
+    ("scheme.rewind", "scheme.rewind.batch"),
+];
+
+/// The word-level [`Strider`]: same stride schedule, but beeping on all
+/// 64 trial-lanes of the word at once.
+struct WordStrider {
+    stride: usize,
+    round: usize,
+    last: u64,
+}
+
+impl LaneParty for WordStrider {
+    fn beep_word(&mut self) -> u64 {
+        if self.round.is_multiple_of(self.stride) {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+
+    fn hear_word(&mut self, heard: u64) {
+        self.round += 1;
+        self.last = heard;
+    }
+}
+
+fn word_striders(n: usize) -> Vec<WordStrider> {
+    (0..n)
+        .map(|i| WordStrider {
+            stride: 2 + (i % 7),
+            round: 0,
+            last: 0,
         })
         .collect()
 }
@@ -226,6 +285,31 @@ fn executor_benches(suite: &mut Suite) {
     });
 }
 
+fn lane_benches(suite: &mut Suite) {
+    // The word-level twin of executor.run.*: the same PARTIES striders,
+    // but every word round advances 64 trials at once. Ops count
+    // trial-rounds (rounds × LANES), so ns/op here and ns/op on the
+    // scalar rows measure the same unit of work.
+    let rounds = suite.args.rounds;
+    let seeds: Vec<u64> = (0..LANES as u64).map(|l| 7 + l).collect();
+    let models: [(&str, NoiseModel); 2] = [
+        ("executor.lanes.noiseless", NoiseModel::Noiseless),
+        (
+            "executor.lanes.correlated",
+            NoiseModel::Correlated { epsilon: EPS },
+        ),
+    ];
+    for (name, model) in models {
+        suite.bench(name, || {
+            let mut parties = word_striders(PARTIES);
+            let mut ch = LaneChannel::shared(model, &seeds).expect("shared model");
+            let stats = LaneExecutor::run(&mut parties, &mut ch, rounds);
+            std::hint::black_box(stats.energy);
+            rounds * LANES
+        });
+    }
+}
+
 fn scheme_benches(suite: &mut Suite) {
     let n = 8usize;
     let trials = suite.args.scheme_trials;
@@ -235,6 +319,12 @@ fn scheme_benches(suite: &mut Suite) {
     let down = NoiseModel::OneSidedOneToZero { epsilon: 1.0 / 3.0 };
     let config = SimulatorConfig::builder(n).model(two).build();
 
+    // The batch benches push one full lane group (64 seeds) through
+    // simulate_batch; per-trial ops keep them comparable to the scalar
+    // per-seed loops above. --smoke shrinks the group, which is fine:
+    // smoke numbers are plumbing checks, not measurements.
+    let batch_seeds: Vec<u64> = (0..if suite.args.smoke { 8 } else { LANES } as u64).collect();
+
     let rep = RepetitionSimulator::new(&protocol, config.clone());
     suite.bench("scheme.repetition", || {
         for seed in 0..trials as u64 {
@@ -243,6 +333,32 @@ fn scheme_benches(suite: &mut Suite) {
         }
         trials
     });
+
+    // The repetition lane pair runs RollCall at n = 64 — cheap beeps
+    // and allocation-free outputs, so the pair measures the simulation
+    // harness rather than per-trial protocol-output construction, and
+    // the n-scaling regime where the lane engine's payoff lives.
+    let wide = 64usize;
+    let wide_protocol = RollCall::new(wide);
+    let wide_inputs: Vec<bool> = (0..wide).map(|i| i % 3 != 0).collect();
+    let wide_config = SimulatorConfig::builder(wide).model(two).build();
+    let wide_rep = RepetitionSimulator::new(&wide_protocol, wide_config);
+    suite.bench("scheme.repetition.n64", || {
+        for seed in 0..trials as u64 {
+            let out = wide_rep
+                .simulate(&wide_inputs, two, seed)
+                .expect("fixed length");
+            std::hint::black_box(out.stats().energy);
+        }
+        trials
+    });
+    suite.bench("scheme.repetition.n64.batch", || {
+        let outs = wide_rep.simulate_batch(&wide_inputs, two, &batch_seeds);
+        for out in outs {
+            std::hint::black_box(out.expect("fixed length").stats().energy);
+        }
+        batch_seeds.len()
+    });
     let rew = RewindSimulator::new(&protocol, config);
     suite.bench("scheme.rewind", || {
         for seed in 0..trials as u64 {
@@ -250,6 +366,13 @@ fn scheme_benches(suite: &mut Suite) {
             std::hint::black_box(out.ok().map_or(0, |o| o.stats().energy));
         }
         trials
+    });
+    suite.bench("scheme.rewind.batch", || {
+        let outs = rew.simulate_batch(&inputs, two, &batch_seeds);
+        for out in outs {
+            std::hint::black_box(out.ok().map_or(0, |o| o.stats().energy));
+        }
+        batch_seeds.len()
     });
     let z = OneToZeroSimulator::new(&protocol, 2, 32.0);
     suite.bench("scheme.one_to_zero", || {
@@ -298,11 +421,29 @@ fn crosstrial_benches(suite: &mut Suite) {
         trials
     });
 
+    // --- runner.batch: the TrialRunner's lane-group dispatch — dynamic
+    // chunks claimed as 64-seed groups and pushed through
+    // simulate_batch, merged in trial-index order. Pins the end-to-end
+    // Monte Carlo fan-out an experiment binary pays per sweep point.
+    let batch_trials = if suite.args.smoke { 8 } else { 192 };
+    let n = 8usize;
+    let protocol = InputSet::new(n);
+    let inputs: Vec<usize> = (0..n).map(|i| (5 * i + 3) % (2 * n)).collect();
+    let two = NoiseModel::Correlated { epsilon: 0.1 };
+    let config = SimulatorConfig::builder(n).model(two).build();
+    let rep = RepetitionSimulator::new(&protocol, config);
+    suite.bench("runner.batch", || {
+        let runner = TrialRunner::new(4);
+        let outs = runner.run_simulations(0xBA7C, batch_trials, &rep, &inputs, two);
+        let ok = outs.iter().filter(|r| r.is_ok()).count();
+        std::hint::black_box(ok);
+        batch_trials
+    });
+
     // --- code_cache: the owners-phase code table an experiment's config
     // describes, requested once per trial (as the rewind/hierarchical
     // simulators do per simulate() call).
     let builds = (suite.args.rounds / 2_000).max(2);
-    let two = NoiseModel::Correlated { epsilon: 0.1 };
     suite.bench("code_cache", || {
         // One cache per experiment run: the first request builds the
         // table, every later trial gets the shared Arc back.
@@ -385,6 +526,7 @@ pub fn main() {
 
     channel_benches(&mut suite);
     executor_benches(&mut suite);
+    lane_benches(&mut suite);
     scheme_benches(&mut suite);
     crosstrial_benches(&mut suite);
 
@@ -406,6 +548,27 @@ pub fn main() {
         .set("smoke", suite.args.smoke);
     root.set("config", cfg);
     root.set("results", results);
+
+    // Lane-vs-scalar ratios from this run (independent of --baseline):
+    // keyed by the scalar benchmark name, gated by bench_compare.sh.
+    let ns_of = |name: &str| {
+        suite
+            .results
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, ns, _)| ns)
+    };
+    let mut lanes = Json::object();
+    println!();
+    for (scalar, lane) in LANE_PAIRS {
+        if let (Some(s), Some(l)) = (ns_of(scalar), ns_of(lane)) {
+            if l > 0.0 {
+                lanes.set(scalar, s / l);
+                println!("{scalar:<40} lanes {:>8.2}x", s / l);
+            }
+        }
+    }
+    root.set("lanes", lanes);
 
     if let Some(base) = baseline {
         let mut before = Json::object();

@@ -24,6 +24,8 @@
 //! ([`TrialRunner::from_args`]), the `BEEPS_THREADS` environment
 //! variable, and finally [`std::thread::available_parallelism`].
 
+use beeps_channel::NoiseModel;
+use beeps_core::{SimError, SimOutcome, SimulationRecorder, Simulator};
 use beeps_metrics::MetricsRegistry;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -273,6 +275,187 @@ impl TrialRunner {
             .enumerate()
             .map(|(i, r)| r.unwrap_or_else(|| panic!("trial {i} produced no result")))
             .collect()
+    }
+
+    /// Runs `trials` Monte Carlo trials of `sim` through the
+    /// lane-sliced batch path: each dynamically claimed chunk of trial
+    /// indices becomes one [`Simulator::simulate_batch`] lane-group
+    /// (seeded by [`trial_seed`] exactly as the per-trial path would
+    /// be), and results are merged back in trial-index order.
+    ///
+    /// Because every `simulate_batch` override is bitwise identical to
+    /// per-trial [`Simulator::simulate`], the returned vector is
+    /// identical for every thread count *and* to a plain
+    /// `run(.., |t| sim.simulate(inputs, model, t.seed))` loop — only
+    /// faster for schemes with a lane engine.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the simulator.
+    pub fn run_simulations<I, O, S>(
+        &self,
+        base_seed: u64,
+        trials: usize,
+        sim: &S,
+        inputs: &[I],
+        model: NoiseModel,
+    ) -> Vec<Result<SimOutcome<O>, SimError>>
+    where
+        S: Simulator<I, O> + Sync + ?Sized,
+        I: Sync,
+        O: Send,
+    {
+        let chunk_seeds = |start: usize, end: usize| -> Vec<u64> {
+            (start..end)
+                .map(|i| trial_seed(base_seed, i as u64))
+                .collect()
+        };
+        let workers = self.threads.min(trials.max(1));
+        if workers <= 1 {
+            return sim.simulate_batch(inputs, model, &chunk_seeds(0, trials));
+        }
+
+        let chunk = Self::chunk_size(trials, workers);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        // One shard per claimed chunk: its starting trial index plus the
+        // batch results for that index range.
+        type Shard<O> = (usize, Vec<Result<SimOutcome<O>, SimError>>);
+        let shards: Vec<Vec<Shard<O>>> = std::thread::scope(|scope| {
+            let next = &next;
+            let chunk_seeds = &chunk_seeds;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                            if start >= trials {
+                                break;
+                            }
+                            let end = (start + chunk).min(trials);
+                            let batch = sim.simulate_batch(inputs, model, &chunk_seeds(start, end));
+                            debug_assert_eq!(batch.len(), end - start);
+                            out.push((start, batch));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation worker panicked"))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<Result<SimOutcome<O>, SimError>>> =
+            (0..trials).map(|_| None).collect();
+        for (start, batch) in shards.into_iter().flatten() {
+            for (offset, result) in batch.into_iter().enumerate() {
+                debug_assert!(slots[start + offset].is_none(), "trial ran twice");
+                slots[start + offset] = Some(result);
+            }
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("trial {i} produced no result")))
+            .collect()
+    }
+
+    /// [`TrialRunner::run_simulations`] plus metrics: every trial's
+    /// outcome is folded into a `sim.<name>.*` registry through a
+    /// [`SimulationRecorder`] interned once per worker chunk (not once
+    /// per trial), and the per-chunk registries are merged in
+    /// trial-index order, so the aggregate is bitwise identical for
+    /// every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the simulator.
+    pub fn run_simulations_with_metrics<I, O, S>(
+        &self,
+        base_seed: u64,
+        trials: usize,
+        sim: &S,
+        inputs: &[I],
+        model: NoiseModel,
+    ) -> (Vec<Result<SimOutcome<O>, SimError>>, MetricsRegistry)
+    where
+        S: Simulator<I, O> + Sync + ?Sized,
+        I: Sync,
+        O: Send,
+    {
+        let chunk_seeds = |start: usize, end: usize| -> Vec<u64> {
+            (start..end)
+                .map(|i| trial_seed(base_seed, i as u64))
+                .collect()
+        };
+        let workers = self.threads.min(trials.max(1));
+        if workers <= 1 {
+            let mut merged = MetricsRegistry::new();
+            let recorder = SimulationRecorder::new(sim.name(), &mut merged);
+            let results = sim.simulate_batch(inputs, model, &chunk_seeds(0, trials));
+            for result in &results {
+                recorder.record(result, &mut merged);
+            }
+            return (results, merged);
+        }
+
+        let chunk = Self::chunk_size(trials, workers);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        type Shard<O> = (usize, Vec<Result<SimOutcome<O>, SimError>>, MetricsRegistry);
+        let shards: Vec<Vec<Shard<O>>> = std::thread::scope(|scope| {
+            let next = &next;
+            let chunk_seeds = &chunk_seeds;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                            if start >= trials {
+                                break;
+                            }
+                            let end = (start + chunk).min(trials);
+                            let batch = sim.simulate_batch(inputs, model, &chunk_seeds(start, end));
+                            let mut metrics = MetricsRegistry::new();
+                            let recorder = SimulationRecorder::new(sim.name(), &mut metrics);
+                            for result in &batch {
+                                recorder.record(result, &mut metrics);
+                            }
+                            out.push((start, batch, metrics));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation worker panicked"))
+                .collect()
+        });
+
+        // Chunks are contiguous index ranges, so merging the per-chunk
+        // registries sorted by start index reproduces the per-trial
+        // merge order exactly.
+        let mut chunks: Vec<Shard<O>> = shards.into_iter().flatten().collect();
+        chunks.sort_by_key(|(start, _, _)| *start);
+        let mut merged = MetricsRegistry::new();
+        let mut slots: Vec<Option<Result<SimOutcome<O>, SimError>>> =
+            (0..trials).map(|_| None).collect();
+        for (start, batch, metrics) in chunks {
+            merged.merge_from(&metrics);
+            for (offset, result) in batch.into_iter().enumerate() {
+                debug_assert!(slots[start + offset].is_none(), "trial ran twice");
+                slots[start + offset] = Some(result);
+            }
+        }
+        let results = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("trial {i} produced no result")))
+            .collect();
+        (results, merged)
     }
 
     /// [`TrialRunner::run`] for the common record shape: runs the

@@ -165,6 +165,79 @@ fn merged_registries_survive_adversarial_cost_skew_up_to_64_threads() {
     }
 }
 
+/// The lane-grouped batch path: for every scheme and every noise
+/// regime, `run_simulations_with_metrics` must return per-trial results
+/// bitwise equal to scalar `simulate` calls with the same derived
+/// seeds, and a merged registry that is identical at 1, 2, and 8
+/// threads (chunk boundaries become lane-group boundaries, which must
+/// not be observable).
+#[test]
+fn batch_dispatch_matches_per_trial_at_every_thread_count() {
+    let p = InputSet::new(N);
+    let owned_p = RollCall::new(N);
+    let two = NoiseModel::Correlated { epsilon: 0.05 };
+    let config = || SimulatorConfig::builder(N).model(two).build();
+
+    let naked = NakedSimulator::new(&p);
+    let repetition = RepetitionSimulator::new(&p, config());
+    let rewind = RewindSimulator::new(&p, config());
+    let hierarchical = HierarchicalSimulator::new(&p, config());
+    let one_to_zero = OneToZeroSimulator::new(&p, 2, 32.0);
+    let owned = OwnedRoundsSimulator::new(&owned_p, SimulatorConfig::builder(N).model(two).build());
+
+    let models = [
+        NoiseModel::Noiseless,
+        NoiseModel::Correlated { epsilon: 0.1 },
+        NoiseModel::OneSidedZeroToOne { epsilon: 0.2 },
+        NoiseModel::OneSidedOneToZero { epsilon: 0.2 },
+        NoiseModel::Independent { epsilon: 0.05 },
+    ];
+    let base = trial_seed(0xBA7C, 1);
+    let trials = TRIALS * 8; // spans several parallel chunks
+
+    let inputs: Vec<usize> = vec![3, 0, 8, 8, 11, 5];
+    let generic: [&(dyn Simulator<usize, std::collections::BTreeSet<usize>> + Sync); 5] =
+        [&naked, &repetition, &rewind, &hierarchical, &one_to_zero];
+    for sim in generic {
+        for model in models {
+            let reference: Vec<_> = (0..trials)
+                .map(|i| sim.simulate(&inputs, model, trial_seed(base, i as u64)))
+                .collect();
+            let (serial, serial_metrics) =
+                TrialRunner::new(1).run_simulations_with_metrics(base, trials, sim, &inputs, model);
+            assert_eq!(
+                serial,
+                reference,
+                "{} over {model}: batch diverged from per-trial simulate",
+                sim.name()
+            );
+            for threads in [2, 8] {
+                let (parallel, metrics) = TrialRunner::new(threads)
+                    .run_simulations_with_metrics(base, trials, sim, &inputs, model);
+                assert_eq!(parallel, reference, "{} {threads} threads", sim.name());
+                assert_eq!(
+                    metrics,
+                    serial_metrics,
+                    "{} over {model}: merged registry moved at {threads} threads",
+                    sim.name()
+                );
+            }
+        }
+    }
+
+    let inputs: Vec<bool> = vec![true, false, true, true, false, false];
+    for model in models {
+        let reference: Vec<_> = (0..trials)
+            .map(|i| Simulator::simulate(&owned, &inputs, model, trial_seed(base, i as u64)))
+            .collect();
+        for threads in [1, 2, 8] {
+            let (results, _) = TrialRunner::new(threads)
+                .run_simulations_with_metrics(base, trials, &owned, &inputs, model);
+            assert_eq!(results, reference, "owned_rounds {threads} threads");
+        }
+    }
+}
+
 /// At ε = 0 no round is ever corrupted, so every scheme reports zero
 /// `corrupted_rounds` and zero `rewinds`.
 #[test]
@@ -197,5 +270,22 @@ fn epsilon_zero_runs_report_zero_flip_and_rewind_counters() {
             merged.counter(&format!("sim.{name}.failures.budget_exhausted")),
             0
         );
+
+        // The lane-grouped batch path must report the same quiet
+        // channel: zero flips and zero rewinds through simulate_batch.
+        let inputs: Vec<usize> = vec![1, 4, 9, 2, 0, 7];
+        let (_, batch_merged) = TrialRunner::new(2).run_simulations_with_metrics(
+            trial_seed(0xD37, N as u64),
+            TRIALS,
+            sim,
+            &inputs,
+            quiet,
+        );
+        assert_eq!(
+            batch_merged.counter(&format!("sim.{name}.corrupted_rounds")),
+            0,
+            "{name}: quiet batch path must corrupt nothing"
+        );
+        assert_eq!(batch_merged.counter(&format!("sim.{name}.rewinds")), 0);
     }
 }

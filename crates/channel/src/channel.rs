@@ -22,7 +22,7 @@ const BLOCK_ROUNDS: usize = 64;
 /// Bernoulli(ε) stream: geometric on `{0, 1, …}` with
 /// `P(k) = ε(1−ε)^k`, via inversion of one uniform draw. Returns
 /// `u64::MAX` ("never") for ε ≤ 0 without consuming randomness.
-fn geometric_gap(epsilon: f64, rng: &mut StdRng) -> u64 {
+pub(crate) fn geometric_gap(epsilon: f64, rng: &mut StdRng) -> u64 {
     if epsilon <= 0.0 {
         return u64::MAX;
     }
@@ -119,6 +119,27 @@ pub trait Channel {
     /// round counts as corrupted if *any* party's copy differs from the
     /// true OR.
     fn corrupted_rounds(&self) -> usize;
+}
+
+/// Mutable references are channels too, so channel-generic drivers like
+/// [`run_protocol_over`](crate::run_protocol_over) accept a
+/// `&mut dyn Channel` handed through an object-safe trait method.
+impl<C: Channel + ?Sized> Channel for &mut C {
+    fn num_parties(&self) -> usize {
+        (**self).num_parties()
+    }
+
+    fn transmit(&mut self, true_or: bool) -> Delivery {
+        (**self).transmit(true_or)
+    }
+
+    fn rounds(&self) -> usize {
+        (**self).rounds()
+    }
+
+    fn corrupted_rounds(&self) -> usize {
+        (**self).corrupted_rounds()
+    }
 }
 
 /// The standard stochastic channel: applies a [`NoiseModel`] with a seeded

@@ -1,0 +1,440 @@
+//! Bit-sliced 64-lane noise sampling and execution.
+//!
+//! One `u64` word carries one round of up to [`LANES`] *independent
+//! trials*: lane `l` (bit `l`) is trial `l` of a batch. Because the
+//! channel output is an OR of beep bits plus noise flips — pure bitwise
+//! structure — a single word OR/XOR executes one round of 64 trials at
+//! once. This module provides the channel side of that layout:
+//!
+//! * [`LaneChannel`] — per-lane shared-noise sampling. Each lane owns
+//!   its own geometric skip-sampler seeded from that trial's splitmix
+//!   seed, reproducing the *exact* RNG draw sequence of a scalar
+//!   [`StochasticChannel`](crate::StochasticChannel) built from the
+//!   same seed. Lane-sliced execution is therefore bitwise identical
+//!   to 64 scalar executions (pinned by the equivalence tests below
+//!   and by `tests/packed_equivalence.rs` in `beeps-core`).
+//! * [`LaneParty`] / [`LaneExecutor`] — the word-level analogue of
+//!   [`Party`](crate::Party) / [`Executor`](crate::Executor): parties
+//!   beep and hear whole words, one bit per trial-lane.
+//!
+//! Independent noise is out of scope: per-party divergent deliveries
+//! break the one-bit-per-trial collapse, so [`LaneChannel::shared`]
+//! returns `None` and callers fall back to the scalar path.
+//!
+//! # Seed discipline
+//!
+//! Every lane must draw all of its randomness from the per-trial
+//! splitmix seed stream handed to [`LaneChannel::shared`]; seeding an
+//! RNG anywhere else in lane-sliced code silently decouples lanes from
+//! their scalar twins. The `lane-seed-discipline` beeps-lint rule
+//! enforces this: the constructor below is the single sanctioned
+//! seeding site.
+
+use crate::channel::geometric_gap;
+use crate::noise::NoiseModel;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Trial-lanes per transcript word.
+pub const LANES: usize = 64;
+
+/// Per-lane shared-noise state: the same `{rng, skip}` pair a scalar
+/// [`StochasticChannel`](crate::StochasticChannel)'s shared sampler
+/// carries, advanced in the same draw order.
+#[derive(Debug)]
+struct LaneNoise {
+    rng: StdRng,
+    /// Eligible rounds remaining before this lane's next flip.
+    skip: u64,
+}
+
+/// A shared-noise channel carrying up to [`LANES`] independent trials,
+/// one bit-lane each.
+///
+/// Construct with [`LaneChannel::shared`]; advance either one round at
+/// a time across all lanes ([`LaneChannel::transmit_word`]), one round
+/// on one lane ([`LaneChannel::step`]), or a whole constant-OR span on
+/// one lane ([`LaneChannel::flips_in_span`]). All three consume each
+/// lane's RNG in exactly the order the scalar channel would.
+#[derive(Debug)]
+pub struct LaneChannel {
+    model: NoiseModel,
+    epsilon: f64,
+    lanes: Vec<LaneNoise>,
+    corrupted: Vec<u64>,
+}
+
+impl LaneChannel {
+    /// Creates a lane channel for `seeds.len()` trials under a *shared*
+    /// noise model, lane `l` seeded with `seeds[l]` exactly as
+    /// `StochasticChannel::new(n, model, seeds[l])` would seed its
+    /// sampler.
+    ///
+    /// Returns `None` for [`NoiseModel::Independent`] (per-party
+    /// deliveries do not bit-slice) and for models whose ε fails
+    /// validation — callers fall back to the scalar per-trial path,
+    /// which reports the failure per trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty or holds more than [`LANES`] seeds.
+    #[must_use]
+    pub fn shared(model: NoiseModel, seeds: &[u64]) -> Option<Self> {
+        assert!(
+            !seeds.is_empty() && seeds.len() <= LANES,
+            "need 1..={LANES} lane seeds, got {}",
+            seeds.len()
+        );
+        if matches!(model, NoiseModel::Independent { .. }) || model.validate().is_err() {
+            return None;
+        }
+        let epsilon = model.epsilon();
+        let lanes = seeds
+            .iter()
+            .map(|&seed| {
+                // The one sanctioned lane seeding site: each lane replays
+                // the scalar channel's construction for its trial seed.
+                // beeps-lint: allow(lane-seed-discipline) -- lanes are seeded here, and only here, from the per-trial splitmix seeds
+                let mut rng = StdRng::seed_from_u64(seed);
+                let skip = geometric_gap(epsilon, &mut rng);
+                LaneNoise { rng, skip }
+            })
+            .collect();
+        Some(Self {
+            model,
+            epsilon,
+            lanes,
+            corrupted: vec![0; seeds.len()],
+        })
+    }
+
+    /// Number of active trial-lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The noise model applied to every lane.
+    #[must_use]
+    pub fn model(&self) -> NoiseModel {
+        self.model
+    }
+
+    /// Corrupted (flipped) rounds delivered on `lane` so far.
+    #[must_use]
+    pub fn corrupted(&self, lane: usize) -> u64 {
+        self.corrupted[lane]
+    }
+
+    /// Whether a round with true OR `true_or` can flip at all — the
+    /// one-sided regimes only consume their countdown on rounds where a
+    /// flip is possible (mirrors the scalar shared sampler).
+    fn eligible(&self, true_or: bool) -> bool {
+        match self.model {
+            NoiseModel::Noiseless => false,
+            NoiseModel::Correlated { .. } => true,
+            NoiseModel::OneSidedZeroToOne { .. } => !true_or,
+            NoiseModel::OneSidedOneToZero { .. } => true_or,
+            NoiseModel::Independent { .. } => {
+                unreachable!("lane channel is shared-noise only")
+            }
+        }
+    }
+
+    /// Delivers one round on one lane: returns the bit the lane's
+    /// parties hear (`true_or ^ flip`).
+    pub fn step(&mut self, lane: usize, true_or: bool) -> bool {
+        if !self.eligible(true_or) {
+            return true_or;
+        }
+        let state = &mut self.lanes[lane];
+        let flip = if state.skip == 0 {
+            state.skip = geometric_gap(self.epsilon, &mut state.rng);
+            true
+        } else {
+            state.skip -= 1;
+            false
+        };
+        if flip {
+            self.corrupted[lane] += 1;
+        }
+        true_or ^ flip
+    }
+
+    /// Delivers `rounds` consecutive rounds with constant true OR
+    /// `true_or` on one lane, returning the number of flipped rounds.
+    ///
+    /// Consumes the lane's RNG in exactly the per-round order: the
+    /// geometric countdown decrements once per eligible round and
+    /// redraws on each flip, so interleaving spans with [`step`] calls
+    /// stays bitwise faithful to the scalar channel.
+    ///
+    /// [`step`]: LaneChannel::step
+    pub fn flips_in_span(&mut self, lane: usize, rounds: u64, true_or: bool) -> u64 {
+        if rounds == 0 || !self.eligible(true_or) {
+            return 0;
+        }
+        let state = &mut self.lanes[lane];
+        let mut flips = 0u64;
+        let mut rem = rounds;
+        let mut pos = state.skip;
+        // A flip with `pos` clean rounds ahead of it consumes pos + 1
+        // rounds of the span and forces a redraw.
+        while pos < rem {
+            flips += 1;
+            rem -= pos + 1;
+            pos = geometric_gap(self.epsilon, &mut state.rng);
+        }
+        state.skip = pos - rem;
+        self.corrupted[lane] += flips;
+        flips
+    }
+
+    /// Delivers one round across all lanes: bit `l` of `or_word` is
+    /// lane `l`'s true OR, bit `l` of the result is what lane `l`'s
+    /// parties hear. Bits at or above [`LaneChannel::lanes`] must be
+    /// zero and are delivered as zero.
+    pub fn transmit_word(&mut self, or_word: u64) -> u64 {
+        let mut heard = 0u64;
+        for lane in 0..self.lanes.len() {
+            let true_or = or_word >> lane & 1 == 1;
+            if self.step(lane, true_or) {
+                heard |= 1u64 << lane;
+            }
+        }
+        heard
+    }
+}
+
+/// A stateful participant in a lane-sliced execution: the word-level
+/// analogue of [`Party`](crate::Party), carrying one trial per bit.
+pub trait LaneParty {
+    /// The beep bits this party sends in the upcoming round, one per
+    /// trial-lane. Bits of inactive lanes must be zero.
+    fn beep_word(&mut self) -> u64;
+
+    /// Delivery of the channel output for the round just sent, one bit
+    /// per trial-lane.
+    fn hear_word(&mut self, heard: u64);
+}
+
+/// Statistics of one lane-sliced execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LaneStats {
+    /// Rounds executed (each advancing every lane once).
+    pub rounds: usize,
+    /// Total 1-bits sent across all parties, rounds, *and lanes* — the
+    /// summed energy of all trials in the batch.
+    pub energy: u64,
+}
+
+/// Drives a set of [`LaneParty`] state machines over a [`LaneChannel`],
+/// one word OR per round for the whole batch of trials.
+#[derive(Debug)]
+pub struct LaneExecutor;
+
+impl LaneExecutor {
+    /// Runs `rounds` rounds of the batch defined by `parties` over
+    /// `channel`. Per-lane corruption counts accumulate on the channel
+    /// ([`LaneChannel::corrupted`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the party slice is empty.
+    pub fn run<P: LaneParty>(
+        parties: &mut [P],
+        channel: &mut LaneChannel,
+        rounds: usize,
+    ) -> LaneStats {
+        assert!(!parties.is_empty(), "need at least one party");
+        let mut energy = 0u64;
+        for _ in 0..rounds {
+            let mut or_word = 0u64;
+            for party in parties.iter_mut() {
+                let word = party.beep_word();
+                energy += u64::from(word.count_ones());
+                or_word |= word;
+            }
+            let heard = channel.transmit_word(or_word);
+            for party in parties.iter_mut() {
+                party.hear_word(heard);
+            }
+        }
+        LaneStats { rounds, energy }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Channel, StochasticChannel};
+    use crate::executor::{Executor, Party};
+
+    fn shared_models() -> [NoiseModel; 4] {
+        [
+            NoiseModel::Noiseless,
+            NoiseModel::Correlated { epsilon: 0.3 },
+            NoiseModel::OneSidedZeroToOne { epsilon: 0.25 },
+            NoiseModel::OneSidedOneToZero { epsilon: 0.25 },
+        ]
+    }
+
+    #[test]
+    fn step_matches_scalar_channel_per_lane() {
+        let seeds: Vec<u64> = (0..7).map(|i| 0xACE1 + 13 * i).collect();
+        for model in shared_models() {
+            let mut lanes = LaneChannel::shared(model, &seeds).expect("shared model");
+            let mut scalars: Vec<StochasticChannel> = seeds
+                .iter()
+                .map(|&s| StochasticChannel::new(3, model, s))
+                .collect();
+            for round in 0..500 {
+                let true_or = round % 3 != 0;
+                for (lane, scalar) in scalars.iter_mut().enumerate() {
+                    let want = scalar.transmit(true_or).shared().expect("shared delivery");
+                    let got = lanes.step(lane, true_or);
+                    assert_eq!(got, want, "{model} lane {lane} round {round}");
+                }
+            }
+            for (lane, scalar) in scalars.iter().enumerate() {
+                assert_eq!(lanes.corrupted(lane), scalar.corrupted_rounds() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn span_flips_match_per_round_steps() {
+        // Interleave constant-OR spans with single steps; the batched
+        // countdown must flip exactly the rounds the scalar channel
+        // flips, in the same RNG draw order.
+        let spans: [(u64, bool); 8] = [
+            (5, true),
+            (1, false),
+            (64, true),
+            (3, false),
+            (200, false),
+            (7, true),
+            (0, true),
+            (129, true),
+        ];
+        for model in shared_models() {
+            let mut batched = LaneChannel::shared(model, &[42]).expect("shared model");
+            let mut scalar = StochasticChannel::new(2, model, 42);
+            for &(rounds, true_or) in &spans {
+                let flips = batched.flips_in_span(0, rounds, true_or);
+                let mut want = 0u64;
+                for _ in 0..rounds {
+                    let heard = scalar.transmit(true_or).shared().expect("shared delivery");
+                    want += u64::from(heard != true_or);
+                }
+                assert_eq!(flips, want, "{model} span of {rounds} (or={true_or})");
+                // One scalar step keeps the interleaving honest.
+                let heard = scalar.transmit(true_or).shared().expect("shared delivery");
+                assert_eq!(batched.step(0, true_or), heard, "{model} post-span step");
+            }
+            assert_eq!(batched.corrupted(0), scalar.corrupted_rounds() as u64);
+        }
+    }
+
+    #[test]
+    fn independent_noise_is_rejected() {
+        assert!(LaneChannel::shared(NoiseModel::Independent { epsilon: 0.1 }, &[1, 2]).is_none());
+        assert!(LaneChannel::shared(NoiseModel::Correlated { epsilon: 2.0 }, &[1]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "lane seeds")]
+    fn empty_seed_slice_panics() {
+        let _ = LaneChannel::shared(NoiseModel::Noiseless, &[]);
+    }
+
+    /// Counts rounds; beeps on multiples of its stride (all lanes in
+    /// lockstep, so lane 0 of the word run replays a scalar Strider).
+    struct WordStrider {
+        stride: usize,
+        round: usize,
+        lanes_mask: u64,
+        heard: Vec<u64>,
+    }
+
+    impl LaneParty for WordStrider {
+        fn beep_word(&mut self) -> u64 {
+            if self.round.is_multiple_of(self.stride) {
+                self.lanes_mask
+            } else {
+                0
+            }
+        }
+
+        fn hear_word(&mut self, heard: u64) {
+            self.round += 1;
+            self.heard.push(heard);
+        }
+    }
+
+    struct Strider {
+        stride: usize,
+        round: usize,
+        heard: Vec<bool>,
+    }
+
+    impl Party for Strider {
+        fn beep(&mut self) -> bool {
+            self.round.is_multiple_of(self.stride)
+        }
+
+        fn hear(&mut self, heard: bool) {
+            self.round += 1;
+            self.heard.push(heard);
+        }
+    }
+
+    #[test]
+    fn lane_executor_matches_scalar_executor_per_lane() {
+        let seeds = [11u64, 22, 33];
+        let rounds = 300;
+        for model in shared_models() {
+            let mut word_parties: Vec<WordStrider> = [2usize, 3, 5]
+                .iter()
+                .map(|&stride| WordStrider {
+                    stride,
+                    round: 0,
+                    lanes_mask: (1u64 << seeds.len()) - 1,
+                    heard: Vec::new(),
+                })
+                .collect();
+            let mut lane_channel = LaneChannel::shared(model, &seeds).expect("shared model");
+            let stats = LaneExecutor::run(&mut word_parties, &mut lane_channel, rounds);
+
+            for (lane, &seed) in seeds.iter().enumerate() {
+                let mut parties: Vec<Strider> = [2usize, 3, 5]
+                    .iter()
+                    .map(|&stride| Strider {
+                        stride,
+                        round: 0,
+                        heard: Vec::new(),
+                    })
+                    .collect();
+                let mut channel = StochasticChannel::new(3, model, seed);
+                let scalar = Executor::run(&mut parties, &mut channel, rounds);
+                assert_eq!(
+                    lane_channel.corrupted(lane),
+                    scalar.corrupted_rounds as u64,
+                    "{model} lane {lane} corruption count"
+                );
+                let lane_heard: Vec<bool> = word_parties[0]
+                    .heard
+                    .iter()
+                    .map(|w| w >> lane & 1 == 1)
+                    .collect();
+                assert_eq!(
+                    lane_heard, parties[0].heard,
+                    "{model} lane {lane} transcript"
+                );
+            }
+            // All lanes beep identically here, so energy is per-trial
+            // energy times the lane count.
+            assert_eq!(stats.rounds, rounds);
+            assert!(stats.energy.is_multiple_of(seeds.len() as u64));
+        }
+    }
+}

@@ -66,6 +66,7 @@ pub mod bits;
 pub mod burst;
 pub mod channel;
 pub mod executor;
+pub mod lanes;
 pub mod multiplication;
 pub mod noise;
 pub mod protocol;
@@ -76,6 +77,7 @@ pub use bits::BitVec;
 pub use burst::BurstNoiseChannel;
 pub use channel::{Channel, ReducedTwoSidedChannel, ScriptedChannel, StochasticChannel};
 pub use executor::{ExecutionStats, Executor, Party};
+pub use lanes::{LaneChannel, LaneExecutor, LaneParty, LaneStats, LANES};
 pub use multiplication::MultiplicationChannel;
 pub use noise::{Delivery, NoiseModel};
 pub use protocol::{

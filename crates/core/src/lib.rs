@@ -55,6 +55,7 @@
 #![deny(missing_docs)]
 
 mod driver;
+mod lanes;
 
 pub mod code_cache;
 pub mod hierarchical;
@@ -76,4 +77,4 @@ pub use owners::{run_owners_phase, OwnersOutcome};
 pub use params::{ResolvedParams, SimulatorConfig, SimulatorConfigBuilder};
 pub use repetition::RepetitionSimulator;
 pub use rewind::RewindSimulator;
-pub use simulator::{record_simulation, NakedSimulator, Simulator};
+pub use simulator::{record_simulation, NakedSimulator, SimulationRecorder, Simulator};

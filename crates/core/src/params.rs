@@ -17,10 +17,7 @@ use beeps_info::tail;
 ///
 /// Build one with [`SimulatorConfig::builder`]: pick the party count,
 /// optionally the channel the parameters should be sized for, and any
-/// overrides, then [`build`](SimulatorConfigBuilder::build). The former
-/// entry points [`SimulatorConfig::for_parties`] and
-/// [`SimulatorConfig::for_channel`] survive as thin deprecated wrappers
-/// over the builder.
+/// overrides, then [`build`](SimulatorConfigBuilder::build).
 ///
 /// # Examples
 ///
@@ -249,37 +246,6 @@ impl SimulatorConfig {
         }
     }
 
-    /// Paper defaults for `n` parties: parameters sized for the correlated
-    /// two-sided channel at the paper's exposition noise rate `ε = 1/3`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SimulatorConfig::builder(n).build()`; \
-                this wrapper will be removed in 0.2.0"
-    )]
-    pub fn for_parties(n: usize) -> Self {
-        Self::builder(n).build()
-    }
-
-    /// Parameters sized for `n` parties over a specific noise model, with
-    /// a per-decision error target of `1 / (20 · L · log₂ n)`-ish — enough
-    /// for the rewind mechanism to make steady progress.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0` or the model's ε is invalid.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `SimulatorConfig::builder(n).model(model).build()`; \
-                this wrapper will be removed in 0.2.0"
-    )]
-    pub fn for_channel(n: usize, model: NoiseModel) -> Self {
-        Self::builder(n).model(model).build()
-    }
-
     /// Re-sizes repetition counts and codeword lengths of an existing
     /// config for a custom per-decision error target — the post-hoc
     /// form of [`SimulatorConfigBuilder::target_error`]. The explicit
@@ -450,22 +416,6 @@ pub struct ResolvedParams {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_builder() {
-        assert_eq!(
-            // beeps-lint: allow(deprecated-api) -- this test IS the contract that the wrapper stays equivalent until 0.2.0
-            SimulatorConfig::for_parties(16),
-            SimulatorConfig::builder(16).build()
-        );
-        let model = NoiseModel::OneSidedZeroToOne { epsilon: 0.2 };
-        assert_eq!(
-            // beeps-lint: allow(deprecated-api) -- this test IS the contract that the wrapper stays equivalent until 0.2.0
-            SimulatorConfig::for_channel(16, model),
-            SimulatorConfig::builder(16).model(model).build()
-        );
-    }
 
     #[test]
     fn builder_overrides_apply_after_sizing() {

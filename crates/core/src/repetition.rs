@@ -78,6 +78,39 @@ impl<'a, P: Protocol> RepetitionSimulator<'a, P> {
         self.simulate_over(inputs, model, &mut channel)
     }
 
+    /// Runs one trial per seed, lane-sliced: up to 64 trials share each
+    /// channel word, with per-lane noise drawn from each trial's own
+    /// seed stream so every result is bitwise identical to
+    /// [`RepetitionSimulator::simulate`] with that seed.
+    ///
+    /// Independent noise (and invalid ε) falls back to the scalar
+    /// per-trial loop — per-party deliveries diverge there, so the
+    /// shared-transcript collapse the lane engine relies on does not
+    /// hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != protocol.num_parties()`.
+    pub fn simulate_batch(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seeds: &[u64],
+    ) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
+        if model.validate().is_err() || matches!(model, NoiseModel::Independent { .. }) {
+            return seeds
+                .iter()
+                .map(|&seed| self.simulate(inputs, model, seed))
+                .collect();
+        }
+        seeds
+            .chunks(beeps_channel::LANES)
+            .flat_map(|group| {
+                crate::lanes::repetition_lanes(self.protocol, &self.config, inputs, model, group)
+            })
+            .collect()
+    }
+
     /// Runs the simulation over a caller-supplied channel — the hook for
     /// failure injection and channel-equivalence tests (same shape as
     /// [`crate::RewindSimulator::simulate_over`]).

@@ -35,8 +35,10 @@
 //! }
 //! ```
 
-use beeps_channel::{run_protocol, NoiseModel, Protocol, UniquelyOwned};
-use beeps_metrics::{MetricsRegistry, Stopwatch};
+use beeps_channel::{
+    run_protocol, run_protocol_over, Channel, NoiseModel, NoisyExecution, Protocol, UniquelyOwned,
+};
+use beeps_metrics::{CounterHandle, MetricsRegistry, Stopwatch};
 
 use crate::outcome::{PhaseRounds, SimError, SimOutcome, SimStats};
 use crate::{
@@ -65,6 +67,54 @@ pub trait Simulator<I, O> {
 
     /// A short stable identifier for tables and logs (e.g. `"rewind"`).
     fn name(&self) -> &'static str;
+
+    /// Simulates the wrapped protocol over a **caller-supplied**
+    /// channel instead of a freshly seeded stochastic one, so harnesses
+    /// can inject scripted failures, traces, or adversaries through any
+    /// `&dyn Simulator` without downcasting to the concrete scheme.
+    ///
+    /// `model` still names the noise regime the channel implements: the
+    /// schemes use it to pick decode thresholds and owner metrics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::simulate`]. The default body
+    /// rejects every model with [`SimError::UnsupportedNoise`]; all
+    /// schemes in this crate override it with their real
+    /// channel-generic path.
+    fn simulate_over(
+        &self,
+        inputs: &[I],
+        model: NoiseModel,
+        channel: &mut dyn Channel,
+    ) -> Result<SimOutcome<O>, SimError> {
+        let _ = (inputs, model, channel);
+        Err(SimError::UnsupportedNoise {
+            reason: "scheme does not support caller-supplied channels",
+        })
+    }
+
+    /// Runs one independent trial per seed and returns the outcomes in
+    /// seed order.
+    ///
+    /// The default body loops [`Simulator::simulate`]. Schemes with a
+    /// lane-sliced engine (repetition, rewind) override it to run up to
+    /// [`beeps_channel::LANES`] trials per channel word; every override
+    /// must keep each trial **bitwise identical** to `simulate` with
+    /// the same seed — transcripts, statistics, and errors alike — a
+    /// contract pinned by the transposition tests in
+    /// `tests/packed_equivalence.rs`.
+    fn simulate_batch(
+        &self,
+        inputs: &[I],
+        model: NoiseModel,
+        seeds: &[u64],
+    ) -> Vec<Result<SimOutcome<O>, SimError>> {
+        seeds
+            .iter()
+            .map(|&seed| self.simulate(inputs, model, seed))
+            .collect()
+    }
 
     /// Like [`Simulator::simulate`], but records the attempt into
     /// `metrics` under the `sim.<name>.*` namespace (see
@@ -109,39 +159,103 @@ pub fn record_simulation<O>(
     result: &Result<SimOutcome<O>, SimError>,
     metrics: &mut MetricsRegistry,
 ) {
-    let key = |suffix: &str| format!("sim.{scheme}.{suffix}");
-    metrics.inc(&key("runs"), 1);
-    match result {
-        Ok(outcome) => {
-            let stats = outcome.stats();
-            metrics.inc(&key("rounds.chunk"), stats.phase_rounds.chunk as u64);
-            metrics.inc(&key("rounds.owners"), stats.phase_rounds.owners as u64);
-            metrics.inc(&key("rounds.verify"), stats.phase_rounds.verify as u64);
-            metrics.inc(&key("rounds.total"), stats.channel_rounds as u64);
-            metrics.inc(&key("protocol_rounds"), stats.protocol_rounds as u64);
-            metrics.inc(&key("chunks_committed"), stats.chunks_committed as u64);
-            metrics.inc(&key("rewinds"), stats.rewinds as u64);
-            metrics.inc(&key("energy"), stats.energy as u64);
-            metrics.inc(&key("corrupted_rounds"), stats.corrupted_rounds as u64);
-            if !stats.agreement {
-                metrics.inc(&key("disagreements"), 1);
-            }
-            metrics.observe(&key("rounds"), stats.channel_rounds as u64);
-            metrics.observe(&key("rewinds"), stats.rewinds as u64);
-            metrics.observe(&key("energy"), stats.energy as u64);
-            if stats.rewinds > 0 {
-                metrics.event(
-                    key("rewind_storm"),
-                    stats.channel_rounds as u64,
-                    stats.rewinds as u64,
-                );
-            }
+    SimulationRecorder::new(scheme, metrics).record(result, metrics);
+}
+
+/// The `sim.<scheme>.*` key set of [`record_simulation`], interned once.
+///
+/// Building counter keys with `format!` on every trial dominated the
+/// recording cost in tight trial loops; a recorder resolves each key to
+/// a [`CounterHandle`] up front and reuses it for every result.
+/// Handles stay valid across [`MetricsRegistry::reset`], so one
+/// recorder can serve a scratch registry for an entire trial batch.
+#[derive(Debug, Clone)]
+pub struct SimulationRecorder {
+    runs: CounterHandle,
+    rounds_chunk: CounterHandle,
+    rounds_owners: CounterHandle,
+    rounds_verify: CounterHandle,
+    rounds_total: CounterHandle,
+    protocol_rounds: CounterHandle,
+    chunks_committed: CounterHandle,
+    rewinds: CounterHandle,
+    energy: CounterHandle,
+    corrupted_rounds: CounterHandle,
+    disagreements: CounterHandle,
+    budget_exhausted: CounterHandle,
+    unsupported_noise: CounterHandle,
+    rounds_hist: String,
+    rewinds_hist: String,
+    energy_hist: String,
+    rewind_storm: String,
+}
+
+impl SimulationRecorder {
+    /// Interns every `sim.<scheme>.*` counter of [`record_simulation`]
+    /// in `metrics` and keeps the handles.
+    pub fn new(scheme: &str, metrics: &mut MetricsRegistry) -> Self {
+        let mut handle = |suffix: &str| metrics.counter_handle(&format!("sim.{scheme}.{suffix}"));
+        Self {
+            runs: handle("runs"),
+            rounds_chunk: handle("rounds.chunk"),
+            rounds_owners: handle("rounds.owners"),
+            rounds_verify: handle("rounds.verify"),
+            rounds_total: handle("rounds.total"),
+            protocol_rounds: handle("protocol_rounds"),
+            chunks_committed: handle("chunks_committed"),
+            rewinds: handle("rewinds"),
+            energy: handle("energy"),
+            corrupted_rounds: handle("corrupted_rounds"),
+            disagreements: handle("disagreements"),
+            budget_exhausted: handle("failures.budget_exhausted"),
+            unsupported_noise: handle("failures.unsupported_noise"),
+            rounds_hist: format!("sim.{scheme}.rounds"),
+            rewinds_hist: format!("sim.{scheme}.rewinds"),
+            energy_hist: format!("sim.{scheme}.energy"),
+            rewind_storm: format!("sim.{scheme}.rewind_storm"),
         }
-        Err(SimError::BudgetExhausted { .. }) => {
-            metrics.inc(&key("failures.budget_exhausted"), 1);
-        }
-        Err(SimError::UnsupportedNoise { .. }) => {
-            metrics.inc(&key("failures.unsupported_noise"), 1);
+    }
+
+    /// Folds one simulation attempt into `metrics` — identical keys and
+    /// values to [`record_simulation`], without rebuilding any key.
+    pub fn record<O>(
+        &self,
+        result: &Result<SimOutcome<O>, SimError>,
+        metrics: &mut MetricsRegistry,
+    ) {
+        metrics.inc_handle(self.runs, 1);
+        match result {
+            Ok(outcome) => {
+                let stats = outcome.stats();
+                metrics.inc_handle(self.rounds_chunk, stats.phase_rounds.chunk as u64);
+                metrics.inc_handle(self.rounds_owners, stats.phase_rounds.owners as u64);
+                metrics.inc_handle(self.rounds_verify, stats.phase_rounds.verify as u64);
+                metrics.inc_handle(self.rounds_total, stats.channel_rounds as u64);
+                metrics.inc_handle(self.protocol_rounds, stats.protocol_rounds as u64);
+                metrics.inc_handle(self.chunks_committed, stats.chunks_committed as u64);
+                metrics.inc_handle(self.rewinds, stats.rewinds as u64);
+                metrics.inc_handle(self.energy, stats.energy as u64);
+                metrics.inc_handle(self.corrupted_rounds, stats.corrupted_rounds as u64);
+                if !stats.agreement {
+                    metrics.inc_handle(self.disagreements, 1);
+                }
+                metrics.observe(&self.rounds_hist, stats.channel_rounds as u64);
+                metrics.observe(&self.rewinds_hist, stats.rewinds as u64);
+                metrics.observe(&self.energy_hist, stats.energy as u64);
+                if stats.rewinds > 0 {
+                    metrics.event(
+                        self.rewind_storm.clone(),
+                        stats.channel_rounds as u64,
+                        stats.rewinds as u64,
+                    );
+                }
+            }
+            Err(SimError::BudgetExhausted { .. }) => {
+                metrics.inc_handle(self.budget_exhausted, 1);
+            }
+            Err(SimError::UnsupportedNoise { .. }) => {
+                metrics.inc_handle(self.unsupported_noise, 1);
+            }
         }
     }
 }
@@ -159,6 +273,24 @@ impl<P: Protocol> Simulator<P::Input, P::Output> for RepetitionSimulator<'_, P> 
     fn name(&self) -> &'static str {
         "repetition"
     }
+
+    fn simulate_over(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        channel: &mut dyn Channel,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        RepetitionSimulator::simulate_over(self, inputs, model, channel)
+    }
+
+    fn simulate_batch(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seeds: &[u64],
+    ) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
+        RepetitionSimulator::simulate_batch(self, inputs, model, seeds)
+    }
 }
 
 impl<P: Protocol> Simulator<P::Input, P::Output> for RewindSimulator<'_, P> {
@@ -173,6 +305,24 @@ impl<P: Protocol> Simulator<P::Input, P::Output> for RewindSimulator<'_, P> {
 
     fn name(&self) -> &'static str {
         "rewind"
+    }
+
+    fn simulate_over(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        channel: &mut dyn Channel,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        RewindSimulator::simulate_over(self, inputs, model, channel)
+    }
+
+    fn simulate_batch(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seeds: &[u64],
+    ) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
+        RewindSimulator::simulate_batch(self, inputs, model, seeds)
     }
 }
 
@@ -189,6 +339,15 @@ impl<P: Protocol> Simulator<P::Input, P::Output> for HierarchicalSimulator<'_, P
     fn name(&self) -> &'static str {
         "hierarchical"
     }
+
+    fn simulate_over(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        channel: &mut dyn Channel,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        HierarchicalSimulator::simulate_over(self, inputs, model, channel)
+    }
 }
 
 impl<P: Protocol> Simulator<P::Input, P::Output> for OneToZeroSimulator<'_, P> {
@@ -204,6 +363,15 @@ impl<P: Protocol> Simulator<P::Input, P::Output> for OneToZeroSimulator<'_, P> {
     fn name(&self) -> &'static str {
         "one_to_zero"
     }
+
+    fn simulate_over(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        channel: &mut dyn Channel,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        OneToZeroSimulator::simulate_over(self, inputs, model, channel)
+    }
 }
 
 impl<P: UniquelyOwned> Simulator<P::Input, P::Output> for OwnedRoundsSimulator<'_, P> {
@@ -218,6 +386,15 @@ impl<P: UniquelyOwned> Simulator<P::Input, P::Output> for OwnedRoundsSimulator<'
 
     fn name(&self) -> &'static str {
         "owned_rounds"
+    }
+
+    fn simulate_over(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        channel: &mut dyn Channel,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        OwnedRoundsSimulator::simulate_over(self, inputs, model, channel)
     }
 }
 
@@ -241,23 +418,13 @@ impl<'a, P: Protocol> NakedSimulator<'a, P> {
     pub fn new(protocol: &'a P) -> Self {
         Self { protocol }
     }
-}
 
-impl<P: Protocol> Simulator<P::Input, P::Output> for NakedSimulator<'_, P> {
-    fn simulate(
-        &self,
-        inputs: &[P::Input],
-        model: NoiseModel,
-        seed: u64,
-    ) -> Result<SimOutcome<P::Output>, SimError> {
-        if model.validate().is_err() {
-            return Err(SimError::UnsupportedNoise {
-                reason: "noise parameter outside [0, 1)",
-            });
-        }
+    /// Shapes a noisy execution into the uncoded-baseline outcome:
+    /// party 0's view is the "transcript" and every round is a chunk
+    /// round.
+    fn outcome(&self, execution: NoisyExecution<P::Output>) -> SimOutcome<P::Output> {
         let n = self.protocol.num_parties();
         let t = self.protocol.length();
-        let execution = run_protocol(self.protocol, inputs, model, seed);
         let agreement = (1..n).all(|i| execution.views().view(i) == execution.views().view(0));
         let stats = SimStats {
             channel_rounds: t,
@@ -275,11 +442,41 @@ impl<P: Protocol> Simulator<P::Input, P::Output> for NakedSimulator<'_, P> {
         };
         let transcript = execution.views().view(0).to_vec();
         let outputs = execution.into_outputs();
-        Ok(SimOutcome::new(transcript, outputs, stats))
+        SimOutcome::new(transcript, outputs, stats)
+    }
+}
+
+impl<P: Protocol> Simulator<P::Input, P::Output> for NakedSimulator<'_, P> {
+    fn simulate(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seed: u64,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        if model.validate().is_err() {
+            return Err(SimError::UnsupportedNoise {
+                reason: "noise parameter outside [0, 1)",
+            });
+        }
+        Ok(self.outcome(run_protocol(self.protocol, inputs, model, seed)))
     }
 
     fn name(&self) -> &'static str {
         "naked"
+    }
+
+    fn simulate_over(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        mut channel: &mut dyn Channel,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
+        if model.validate().is_err() {
+            return Err(SimError::UnsupportedNoise {
+                reason: "noise parameter outside [0, 1)",
+            });
+        }
+        Ok(self.outcome(run_protocol_over(self.protocol, inputs, &mut channel)))
     }
 }
 

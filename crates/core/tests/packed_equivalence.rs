@@ -187,6 +187,98 @@ fn owned_rounds_scheme_matches_roundtrip() {
     }
 }
 
+/// Transposition proof for the lane-sliced repetition engine: a 64-lane
+/// batch must be bitwise equal, trial by trial, to the scalar path.
+#[test]
+fn repetition_batch_matches_per_trial() {
+    let p = InputSet::new(5);
+    let inputs = [2, 9, 0, 0, 4];
+    let config = SimulatorConfig::builder(5)
+        .model(NoiseModel::Correlated { epsilon: 0.1 })
+        .build();
+    let sim = RepetitionSimulator::new(&p, config);
+    let seeds: Vec<u64> = (0..9).map(|i| i * 1_000_003 + 17).collect();
+    for model in models() {
+        let batch = sim.simulate_batch(&inputs, model, &seeds);
+        assert_eq!(batch.len(), seeds.len());
+        for (&seed, sliced) in seeds.iter().zip(batch) {
+            let scalar = sim.simulate(&inputs, model, seed).unwrap();
+            let sliced = sliced.unwrap();
+            assert_eq!(
+                scalar.transcript(),
+                sliced.transcript(),
+                "transcript diverged over {model} seed {seed}"
+            );
+            assert_eq!(scalar.outputs(), sliced.outputs());
+            assert_eq!(scalar.stats(), sliced.stats());
+        }
+    }
+}
+
+/// Transposition proof for the lane-sliced rewind engine, including the
+/// `BudgetExhausted` error path (transcripts, stats, and errors must all
+/// be bitwise equal to the scalar path, trial by trial).
+#[test]
+fn rewind_batch_matches_per_trial() {
+    let p = InputSet::new(4);
+    let inputs = [1, 5, 5, 2];
+    let config = SimulatorConfig::builder(4)
+        .model(NoiseModel::Correlated { epsilon: 0.1 })
+        .build();
+    let sim = RewindSimulator::new(&p, config);
+    let seeds: Vec<u64> = (0..9).map(|i| i * 6_700_417 + 3).collect();
+    for model in models() {
+        let batch = sim.simulate_batch(&inputs, model, &seeds);
+        assert_eq!(batch.len(), seeds.len());
+        for (&seed, sliced) in seeds.iter().zip(batch) {
+            let scalar = sim.simulate(&inputs, model, seed);
+            match (scalar, sliced) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a.transcript(),
+                        b.transcript(),
+                        "transcript diverged over {model} seed {seed}"
+                    );
+                    assert_eq!(a.outputs(), b.outputs());
+                    assert_eq!(a.stats(), b.stats());
+                }
+                (a, b) => assert_eq!(a.err(), b.err(), "error mismatch over {model} seed {seed}"),
+            }
+        }
+    }
+}
+
+/// A rewind batch under a starved budget must reproduce the scalar
+/// path's `BudgetExhausted` errors exactly (rounds and committed count).
+#[test]
+fn rewind_batch_matches_per_trial_when_budget_starved() {
+    let p = InputSet::new(4);
+    let inputs = [1, 5, 5, 2];
+    let config = SimulatorConfig::builder(4)
+        .model(NoiseModel::Correlated { epsilon: 0.2 })
+        .budget_factor(1.0)
+        .build();
+    let sim = RewindSimulator::new(&p, config);
+    let seeds: Vec<u64> = (0..16).collect();
+    let model = NoiseModel::Correlated { epsilon: 0.2 };
+    let batch = sim.simulate_batch(&inputs, model, &seeds);
+    let mut exhausted = 0;
+    for (&seed, sliced) in seeds.iter().zip(batch) {
+        let scalar = sim.simulate(&inputs, model, seed);
+        match (scalar, sliced) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.transcript(), b.transcript(), "seed {seed}");
+                assert_eq!(a.stats(), b.stats());
+            }
+            (a, b) => {
+                assert_eq!(a.err(), b.err(), "error mismatch seed {seed}");
+                exhausted += 1;
+            }
+        }
+    }
+    assert!(exhausted > 0, "starved budget never exhausted: weak test");
+}
+
 #[test]
 fn one_to_zero_scheme_matches_roundtrip() {
     let p = InputSet::new(5);

@@ -13,16 +13,20 @@
 //!   must name a real `Simulator::name()`, experiment IDs must match
 //!   their binary's filename and be unique, metric keys must be
 //!   lowercase dot-separated under a family documented in
-//!   EXPERIMENTS.md, and `#[deprecated]` APIs slated for 0.2.0 removal
-//!   must not gain new call sites.
-//! * **Performance** (`hot-path-alloc`, `trial-scope-precompute`) — the
-//!   executor's round loop is the innermost loop of every simulation; no
-//!   `format!`/`String` allocation may creep back into it (metric names
-//!   are interned as `CounterHandle`s up front instead, DESIGN.md §9).
-//!   Likewise, code-table construction is trial-invariant work: building
-//!   it inside a `TrialRunner` per-trial closure repeats the same
+//!   EXPERIMENTS.md, and `#[deprecated]` APIs slated for removal must
+//!   not gain new call sites.
+//! * **Performance** (`hot-path-alloc`, `trial-scope-precompute`,
+//!   `lane-seed-discipline`) — the executor's round loop is the
+//!   innermost loop of every simulation; no `format!`/`String`
+//!   allocation may creep back into it (metric names are interned as
+//!   `CounterHandle`s up front instead, DESIGN.md §9). Likewise,
+//!   code-table construction is trial-invariant work: building it
+//!   inside a `TrialRunner` per-trial closure repeats the same
 //!   expensive precomputation once per trial instead of once per
-//!   experiment (hoist it, or attach a shared `CodeCache`).
+//!   experiment (hoist it, or attach a shared `CodeCache`). And
+//!   lane-sliced executor code (DESIGN.md §10) must draw every lane's
+//!   noise from the per-trial splitmix seed stream — direct RNG seeding
+//!   there would break bitwise identity with the scalar path.
 //!
 //! A meta-rule, `suppression`, polices the suppression mechanism
 //! itself (unknown rule IDs, missing justifications, unused allows).
@@ -56,6 +60,8 @@ pub enum RuleId {
     HotPathAlloc,
     /// Code-table construction inside a `TrialRunner` per-trial closure.
     TrialScopePrecompute,
+    /// Direct RNG seeding inside lane-sliced executor code.
+    LaneSeedDiscipline,
     /// Malformed, unknown, or unused `beeps-lint: allow(…)` comments.
     Suppression,
 }
@@ -73,6 +79,7 @@ impl RuleId {
         RuleId::DeprecatedApi,
         RuleId::HotPathAlloc,
         RuleId::TrialScopePrecompute,
+        RuleId::LaneSeedDiscipline,
         RuleId::Suppression,
     ];
 
@@ -91,6 +98,7 @@ impl RuleId {
             RuleId::DeprecatedApi => "deprecated-api",
             RuleId::HotPathAlloc => "hot-path-alloc",
             RuleId::TrialScopePrecompute => "trial-scope-precompute",
+            RuleId::LaneSeedDiscipline => "lane-seed-discipline",
             RuleId::Suppression => "suppression",
         }
     }
@@ -129,8 +137,8 @@ impl RuleId {
                  documented in EXPERIMENTS.md's schema section"
             }
             RuleId::DeprecatedApi => {
-                "first-party #[deprecated] APIs slated for 0.2.0 removal \
-                 must not gain call sites"
+                "first-party #[deprecated] APIs slated for removal must \
+                 not gain call sites"
             }
             RuleId::HotPathAlloc => {
                 "the executor round loop runs once per channel round; \
@@ -142,6 +150,12 @@ impl RuleId {
                  closure repeats trial-invariant precomputation every \
                  trial; hoist it before the runner call or attach a \
                  shared CodeCache to the SimulatorConfig"
+            }
+            RuleId::LaneSeedDiscipline => {
+                "lane-sliced executor code must draw every lane's noise \
+                 from the per-trial splitmix seed stream; a direct \
+                 StdRng::seed_from_u64 there silently breaks per-trial \
+                 bitwise identity with the scalar path"
             }
             RuleId::Suppression => {
                 "beeps-lint: allow(…) comments must name known rules, carry \
@@ -220,6 +234,17 @@ const TRIAL_PRECOMPUTE_PATTERNS: &[&str] = &[
     "RandomCode::with_length(",
     "ConstantWeightCode::new(",
 ];
+
+/// Files holding lane-sliced (bit-sliced, 64-trials-per-word) executor
+/// code. Every lane's randomness must come from that trial's splitmix
+/// seed via the one sanctioned seeding site in `LaneChannel::shared`;
+/// any other direct seeding would let two lanes share (or skew) a
+/// stream and break bitwise identity with the per-trial scalar path.
+const LANE_SLICED_FILES: &[&str] = &["crates/channel/src/lanes.rs", "crates/core/src/lanes.rs"];
+
+/// RNG seeding constructors banned in lane-sliced files outside the
+/// sanctioned site.
+const LANE_SEED_PATTERNS: &[&str] = &["seed_from_u64(", "SeedableRng::from_seed("];
 
 /// Cross-file facts gathered before per-line checks run.
 #[derive(Debug, Default)]
@@ -341,6 +366,7 @@ pub fn check(files: &[SourceFile], facts: &Facts, out: &mut Vec<Finding>) {
         check_deprecated(file, &rel, facts, out);
         check_hot_path_alloc(file, &rel, out);
         check_trial_scope_precompute(file, &rel, out);
+        check_lane_seed_discipline(file, &rel, out);
     }
 }
 
@@ -596,6 +622,37 @@ fn check_hot_path_alloc(file: &SourceFile, rel: &str, out: &mut Vec<Finding>) {
     }
 }
 
+/// Flags direct RNG seeding in lane-sliced executor files. The one
+/// sanctioned site (`LaneChannel::shared`, which fans the per-trial
+/// splitmix seeds out to lanes) carries a justified suppression; any
+/// new seeding must either route through it or argue its case in a
+/// suppression comment.
+fn check_lane_seed_discipline(file: &SourceFile, rel: &str, out: &mut Vec<Finding>) {
+    if !LANE_SLICED_FILES.contains(&rel) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue; // tests may seed scalar reference channels freely
+        }
+        for pat in LANE_SEED_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(finding(
+                    RuleId::LaneSeedDiscipline,
+                    rel,
+                    idx,
+                    format!(
+                        "`{pat}…)` seeds an RNG inside lane-sliced executor code; draw \
+                         lane randomness from the per-trial splitmix seed stream via \
+                         `LaneChannel::shared` so lanes stay bitwise identical to \
+                         per-trial runs"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 /// Flags trial-invariant code-table construction inside the argument
 /// list (in practice: the per-trial closure) of a [`TRIAL_RUN_MARKERS`]
 /// call in an experiment binary. Regions are tracked by paren depth
@@ -697,8 +754,8 @@ mod tests {
     #[test]
     fn fn_ident_extraction() {
         assert_eq!(
-            fn_ident("    pub fn for_parties(n: usize) -> Self {"),
-            Some("for_parties".to_string())
+            fn_ident("    pub fn old_entry_point(n: usize) -> Self {"),
+            Some("old_entry_point".to_string())
         );
         assert_eq!(fn_ident("let often = 3;"), None);
         assert_eq!(fn_ident("fn x()"), Some("x".to_string()));

@@ -1,0 +1,15 @@
+pub fn bad_lane_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ 0xABCD)
+}
+
+pub fn sanctioned_fan_out(trial_seed: u64) -> StdRng {
+    // beeps-lint: allow(lane-seed-discipline) -- the one sanctioned fan-out from per-trial splitmix seeds
+    StdRng::seed_from_u64(trial_seed)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn scalar_reference(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+}

@@ -1,0 +1,3 @@
+pub fn trial_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

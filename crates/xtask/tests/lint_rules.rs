@@ -165,6 +165,24 @@ fn trial_scope_precompute_fires_inside_trial_closures_only() {
 }
 
 #[test]
+fn lane_seed_discipline_fires_outside_sanctioned_site_only() {
+    let report = run("lane_seed");
+    assert_eq!(rules_of(&report), [RuleId::LaneSeedDiscipline]);
+    assert_eq!(
+        report.findings[0].path, "crates/channel/src/lanes.rs",
+        "seeding outside the lane-sliced files must not fire: {:?}",
+        report.findings
+    );
+    assert_eq!(report.findings[0].line, 2);
+    assert!(report.findings[0].message.contains("seed_from_u64"));
+    assert_eq!(
+        report.suppressed, 1,
+        "the justified sanctioned-site allow silences its finding"
+    );
+    // The cfg(test) scalar-reference seeding never fires.
+}
+
+#[test]
 fn suppressions_require_known_rule_and_justification() {
     let report = run("suppressed");
     assert_eq!(
@@ -230,6 +248,7 @@ fn cli_exit_codes_reflect_findings() {
         "deprecated",
         "hot_path_alloc",
         "trial_scope_precompute",
+        "lane_seed",
     ] {
         let out = exit(case);
         assert_eq!(

@@ -65,10 +65,11 @@ fn facts_discovered_from_live_workspace() {
             facts.metric_families
         );
     }
+    // The 0.2.0 release removed the last deprecated wrappers; nothing
+    // in the workspace should carry `#[deprecated]` now.
     assert!(
-        facts.deprecated.contains_key("for_parties")
-            && facts.deprecated.contains_key("for_channel"),
-        "deprecated 0.2.0-removal wrappers not discovered: {:?}",
+        facts.deprecated.is_empty(),
+        "unexpected deprecated functions: {:?}",
         facts.deprecated
     );
     // The linter must never scan itself or the vendored deps.

@@ -6,9 +6,13 @@
 # Re-runs bench_hotpaths against the checked-in BENCH_hotpaths.json and
 # fails when any benchmark regresses by more than BEEPS_BENCH_TOLERANCE
 # percent (default 25, i.e. speedup < 0.75 relative to the pinned
-# numbers). --smoke runs the 1-iteration harness instead: it exercises
-# the harness and the comparison plumbing end to end but skips the
-# threshold check, because 1-iteration numbers are noise — that is the
+# numbers). The harness also emits a "lanes" section — the bit-sliced
+# engine's per-trial speedup over its scalar twin, measured within the
+# same run — and full mode fails when any lane ratio drops below
+# BEEPS_LANES_FLOOR (default 4). --smoke runs the 1-iteration harness
+# instead: it exercises the harness and the comparison plumbing end to
+# end (including the presence of the lanes section) but skips both
+# threshold checks, because 1-iteration numbers are noise — that is the
 # mode tier1.sh and CI run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,8 +37,16 @@ if [[ -z "$SPEEDUPS" ]]; then
   exit 1
 fi
 
+# The lane gate reads the same-run "lanes" section (scalar ns ÷ lane
+# ns per scalar benchmark name) — also flat, no nested braces.
+LANES_SECTION=$(sed -n 's/.*"lanes":{\([^}]*\)}.*/\1/p' "$OUT")
+if [[ -z "$LANES_SECTION" ]]; then
+  echo "bench_compare: no lanes section in $OUT (bench_hotpaths too old?)" >&2
+  exit 1
+fi
+
 if [[ -n "$SMOKE" ]]; then
-  echo "bench_compare: smoke mode — harness and comparison plumbing OK, thresholds skipped"
+  echo "bench_compare: smoke mode — harness, lanes section, and comparison plumbing OK, thresholds skipped"
   exit 0
 fi
 
@@ -51,7 +63,20 @@ for entry in "${ENTRIES[@]}"; do
     STATUS=1
   fi
 done
+LANE_FLOOR="${BEEPS_LANES_FLOOR:-4}"
+IFS=',' read -ra LANE_ENTRIES <<<"$LANES_SECTION"
+for entry in "${LANE_ENTRIES[@]}"; do
+  name="${entry%%:*}"
+  name="${name//\"/}"
+  value="${entry##*:}"
+  ok=$(awk -v v="$value" -v f="$LANE_FLOOR" 'BEGIN { print (v >= f) ? 1 : 0 }')
+  if [[ "$ok" != 1 ]]; then
+    echo "bench_compare: lane engine on $name only ${value}x vs scalar, floor ${LANE_FLOOR}x" >&2
+    STATUS=1
+  fi
+done
+
 if [[ "$STATUS" == 0 ]]; then
-  echo "bench_compare: all benchmarks within ${TOLERANCE}% of $BASELINE"
+  echo "bench_compare: all benchmarks within ${TOLERANCE}% of $BASELINE; lane ratios >= ${LANE_FLOOR}x"
 fi
 exit "$STATUS"

@@ -17,7 +17,9 @@ cargo xtask lint
 cargo fmt --check
 # Smoke-run the pinned benchmark harness (1 iteration, tiny rounds)
 # through the regression-gate script: catches bit-rot in the bench
-# binary and the comparison plumbing without measuring anything. Run
-# `scripts/bench_compare.sh` without --smoke for the real >25% gate.
+# binary and the comparison plumbing — including the bit-sliced
+# "lanes" section the lane gate reads — without measuring anything.
+# Run `scripts/bench_compare.sh` without --smoke for the real >25%
+# regression gate plus the >=4x lane-engine floor.
 scripts/bench_compare.sh --smoke
 echo "tier-1: all green"
