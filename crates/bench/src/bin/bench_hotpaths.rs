@@ -40,7 +40,7 @@
 
 use std::path::PathBuf;
 
-use beeps_bench::{Json, TrialRunner};
+use beeps_bench::{Json, Observation, TrialRunner};
 use beeps_channel::{
     Channel, Executor, LaneChannel, LaneExecutor, LaneParty, NoiseModel, Party, StochasticChannel,
     LANES,
@@ -64,6 +64,8 @@ struct Args {
     smoke: bool,
     out: PathBuf,
     baseline: Option<PathBuf>,
+    progress: bool,
+    profile: Option<PathBuf>,
 }
 
 impl Args {
@@ -75,6 +77,8 @@ impl Args {
             smoke: false,
             out: PathBuf::from("BENCH_hotpaths.json"),
             baseline: None,
+            progress: false,
+            profile: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
@@ -92,11 +96,15 @@ impl Args {
                     args.baseline =
                         Some(PathBuf::from(it.next().expect("--baseline needs a path")));
                 }
+                "--progress" => args.progress = true,
+                "--profile" => {
+                    args.profile = Some(PathBuf::from(it.next().expect("--profile needs a path")));
+                }
                 other => {
                     eprintln!("unknown argument {other}");
                     eprintln!(
                         "usage: bench_hotpaths [--smoke] [--iters N] [--rounds N] \
-                         [--out FILE] [--baseline FILE]"
+                         [--out FILE] [--baseline FILE] [--progress] [--profile FILE]"
                     );
                     std::process::exit(2);
                 }
@@ -204,9 +212,19 @@ fn measure(iters: usize, mut work: impl FnMut() -> usize) -> (f64, usize) {
 struct Suite {
     args: Args,
     results: Vec<(String, f64, usize)>,
+    observer: Option<std::sync::Arc<dyn beeps_observe::Observer>>,
 }
 
 impl Suite {
+    /// A `threads`-wide runner carrying the suite's observer stack (if
+    /// `--progress` / `--profile` asked for one).
+    fn runner(&self, threads: usize) -> TrialRunner {
+        match &self.observer {
+            Some(obs) => TrialRunner::new(threads).with_observer(std::sync::Arc::clone(obs)),
+            None => TrialRunner::new(threads),
+        }
+    }
+
     fn bench(&mut self, name: &str, work: impl FnMut() -> usize) {
         let (ns_per_op, ops) = measure(self.args.iters, work);
         println!("{name:<40} {ns_per_op:>12.1} ns/op  ({ops} ops/iter)");
@@ -390,8 +408,8 @@ fn crosstrial_benches(suite: &mut Suite) {
     // 8..=800), driven through the TrialRunner. Pins the cross-trial
     // scheduling + per-trial buffer story.
     let trials = if suite.args.smoke { 16 } else { 256 };
+    let runner = suite.runner(4);
     suite.bench("runner.skewed", || {
-        let runner = TrialRunner::new(4);
         let out =
             runner.run_with_scratch(0xBEE5, trials, Vec::new, |t, states: &mut Vec<Vec<u64>>| {
                 // 100x cost skew: index 0 simulates 800 parties, most
@@ -432,8 +450,8 @@ fn crosstrial_benches(suite: &mut Suite) {
     let two = NoiseModel::Correlated { epsilon: 0.1 };
     let config = SimulatorConfig::builder(n).model(two).build();
     let rep = RepetitionSimulator::new(&protocol, config);
+    let runner = suite.runner(4);
     suite.bench("runner.batch", || {
-        let runner = TrialRunner::new(4);
         let outs = runner.run_simulations(0xBA7C, batch_trials, &rep, &inputs, two);
         let ok = outs.iter().filter(|r| r.is_ok()).count();
         std::hint::black_box(ok);
@@ -519,9 +537,21 @@ fn read_baseline(path: &PathBuf) -> Vec<(String, f64)> {
 pub fn main() {
     let args = Args::parse();
     let baseline = args.baseline.as_ref().map(read_baseline);
+    let mut obs_args: Vec<String> = Vec::new();
+    if args.progress {
+        obs_args.push("--progress".into());
+    }
+    if let Some(p) = &args.profile {
+        obs_args.push(format!("--profile={}", p.display()));
+    }
+    let observation = Observation::from_args("bench_hotpaths", 0xBEE5, &obs_args);
+    // Instrumented code outside the TrialRunner (direct Executor /
+    // simulate_batch benches) reports through the ambient install.
+    let ambient = observation.install_ambient();
     let mut suite = Suite {
         args,
         results: Vec::new(),
+        observer: observation.observer(),
     };
 
     channel_benches(&mut suite);
@@ -529,6 +559,9 @@ pub fn main() {
     lane_benches(&mut suite);
     scheme_benches(&mut suite);
     crosstrial_benches(&mut suite);
+
+    drop(ambient);
+    observation.finish(None);
 
     let mut results = Json::object();
     for (name, ns, ops) in &suite.results {

@@ -11,7 +11,7 @@
 //! its own `(base_seed, n, trial)` stream, so results are identical for
 //! any thread count.
 
-use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
 use beeps_core::{CodeCache, RewindSimulator, Simulator, SimulatorConfig};
 use beeps_metrics::MetricsRegistry;
@@ -24,6 +24,8 @@ pub fn main() {
     let trials = 32usize;
     let base_seed = 0xF161u64;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("fig1_upper_bound_overhead", base_seed);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         &format!("E1: rewind-scheme overhead on InputSet_n, correlated eps={eps}"),
         &[
@@ -97,4 +99,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

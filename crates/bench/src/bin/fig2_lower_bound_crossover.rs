@@ -12,7 +12,7 @@
 //! channel noise from its own `(base_seed, n, trial)` streams, so the
 //! measured rates are identical for any thread count.
 
-use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_lowerbound::{min_repetitions_exact, MeasuredCrossover};
 use beeps_metrics::MetricsRegistry;
 
@@ -22,6 +22,8 @@ pub fn main() {
     let trials = 100usize;
     let base_seed = 0xF162u64;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("fig2_lower_bound_crossover", base_seed);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         &format!(
             "E2: minimum repetition overhead for InputSet_n, one-sided eps=1/3, target {target}"
@@ -89,4 +91,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

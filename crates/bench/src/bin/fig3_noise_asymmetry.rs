@@ -14,7 +14,7 @@
 //! `(base_seed, n, trial)` alone, so results are thread-count
 //! independent.
 
-use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{f3, linear_fit, trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
 use beeps_core::{OneToZeroSimulator, RewindSimulator, Simulator, SimulatorConfig};
 use beeps_metrics::MetricsRegistry;
@@ -26,6 +26,8 @@ pub fn main() {
     let trials = 8usize;
     let base_seed = 0xF163u64;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("fig3_noise_asymmetry", base_seed);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         "E3: overhead by noise direction at eps=1/3 (InputSet_n)",
         &[
@@ -116,4 +118,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

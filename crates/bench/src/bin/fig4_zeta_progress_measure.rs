@@ -16,7 +16,7 @@
 //! `(base_seed, r, sample)` alone, so the table is thread-count
 //! independent.
 
-use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::{run_protocol, NoiseModel, Protocol};
 use beeps_lowerbound::ZetaAnalyzer;
 use beeps_metrics::MetricsRegistry;
@@ -30,6 +30,8 @@ pub fn main() {
     let samples = 120usize;
     let base_seed = 0xF164u64;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("fig4_zeta_progress_measure", base_seed);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         &format!(
             "E5: zeta on sampled executions vs Theorem C.2 ceiling (n={n}, eps=1/3, {samples} samples)"
@@ -137,4 +139,5 @@ pub fn main() {
         .table(&audit_table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

@@ -11,7 +11,7 @@
 //! `BEEPS_THREADS`) with per-trial `(base_seed, n, trial)` seed streams,
 //! so results are thread-count independent.
 
-use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
 use beeps_core::{RewindSimulator, Simulator, SimulatorConfig};
 use beeps_metrics::MetricsRegistry;
@@ -24,6 +24,8 @@ pub fn main() {
     let trials = 10usize;
     let base_seed = 0xF165u64;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("fig5_independent_noise", base_seed);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         &format!("E8: rewind scheme over independent noise (eps={eps})"),
         &["n", "overhead", "success", "agreement"],
@@ -80,4 +82,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

@@ -15,7 +15,7 @@
 //! `BEEPS_THREADS`) with per-trial `(base_seed, n, trial)` seed streams,
 //! so the breakdown is thread-count independent.
 
-use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::{NoiseModel, Protocol};
 use beeps_core::{RewindSimulator, Simulator, SimulatorConfig};
 use beeps_metrics::MetricsRegistry;
@@ -27,6 +27,8 @@ pub fn main() {
     let trials = 6usize;
     let base_seed = 0xE13u64;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("fig6_phase_breakdown", base_seed);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         "E13: rewind-scheme rounds by phase, InputSet_n at eps=0.1 (per protocol round)",
         &["n", "chunk sim", "owners", "verify", "owners share"],
@@ -85,4 +87,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

@@ -13,7 +13,7 @@
 //! per-trial `(base_seed, factor, trial)` seed streams, so the sweep is
 //! thread-count independent.
 
-use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel};
 use beeps_core::{CodeCache, RewindSimulator, Simulator, SimulatorConfig};
 use beeps_metrics::MetricsRegistry;
@@ -27,6 +27,8 @@ pub fn main() {
     let trials = 8usize;
     let base_seed = 0xE14u64;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("fig7_chunk_sweep", base_seed);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         &format!("E14: chunk-length sweep, MultiOr n={n} T={t_len}, eps=0.1"),
         &["L/n", "L", "overhead", "rewinds/run", "success"],
@@ -101,4 +103,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

@@ -12,7 +12,7 @@
 //! and each trial its own bit-matrix and channel streams, so the counts
 //! are thread-count independent.
 
-use beeps_bench::{trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::NoiseModel;
 use beeps_core::run_owners_phase;
 use beeps_info::tail;
@@ -25,6 +25,8 @@ pub fn main() {
     let trials = 200usize;
     let base_seed = 0xAB1u64;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("tab1_owners_phase", base_seed);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         "E4: owners-phase failures / trials vs codeword length (one-sided eps=1/3)",
         &[
@@ -76,4 +78,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

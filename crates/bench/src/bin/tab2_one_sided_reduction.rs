@@ -12,7 +12,7 @@
 //! summed in index order — so every reported rate is thread-count
 //! independent.
 
-use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::{
     run_noiseless, run_protocol, run_protocol_over, Channel, NoiseModel, Protocol,
     ReducedTwoSidedChannel, StochasticChannel,
@@ -56,6 +56,8 @@ fn flip_rate(
 pub fn main() {
     let runner = TrialRunner::from_cli();
     let base_seed = 0xE6u64;
+    let observation = Observation::from_cli("tab2_one_sided_reduction", base_seed);
+    let runner = observation.attach(runner);
     let trials = FLIP_SHARDS * FLIP_PER_SHARD as usize;
     let mut table = Table::new(
         "E6: reduced channel (A.1.2) vs native eps=1/4 channel",
@@ -212,4 +214,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

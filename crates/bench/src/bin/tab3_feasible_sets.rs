@@ -12,7 +12,7 @@
 //! `BEEPS_THREADS`) with per-sample `(base_seed, r, sample)` seed
 //! streams, so the averages are thread-count independent.
 
-use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::{run_protocol, NoiseModel, Protocol};
 use beeps_info::lemmas;
 use beeps_lowerbound::ZetaAnalyzer;
@@ -27,6 +27,8 @@ pub fn main() {
     let samples = 150usize;
     let base_seed = 0xE7u64;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("tab3_feasible_sets", base_seed);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         &format!("E7: feasible sets and good players vs protocol length (n={n}, eps=1/3)"),
         &[
@@ -121,4 +123,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

@@ -12,7 +12,7 @@
 //! length, so every `r` in a column sees the same inputs and channel
 //! seeds — a paired sweep — and the rates are thread-count independent.
 
-use beeps_bench::{trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel};
 use beeps_core::{RepetitionSimulator, Simulator, SimulatorConfig};
 use beeps_metrics::MetricsRegistry;
@@ -55,6 +55,8 @@ pub fn main() {
     let short = 2 * n;
     let long = n * n;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("tab4_repetition_scheme", 0x7AB4);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         &format!("E9: repetition-scheme success vs r at eps=1/3 (n={n}; T={short} and T={long})"),
         &["r", "success (T=2n)", "success (T=n^2)"],
@@ -79,4 +81,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

@@ -18,7 +18,7 @@
 //! within a trial (a paired comparison), with all randomness derived
 //! from `(base_seed, n, eps, trial)` — thread-count independent.
 
-use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
 use beeps_core::{CodeCache, HierarchicalSimulator, RewindSimulator, Simulator, SimulatorConfig};
 use beeps_metrics::MetricsRegistry;
@@ -53,6 +53,8 @@ pub fn main() {
     let trials = 8usize;
     let base_seed = 0xAB7Au64;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("tab5_scheme_ablation", base_seed);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         "E10: rewind vs hierarchical (Appendix D.2) implementations of Theorem 1.2",
         &[
@@ -138,4 +140,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

@@ -17,7 +17,7 @@
 //! seed within a trial, with randomness derived from
 //! `(base_seed, n, trial)` — thread-count independent.
 
-use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
 use beeps_core::{
     OneToZeroSimulator, RepetitionSimulator, RewindSimulator, Simulator, SimulatorConfig,
@@ -30,6 +30,8 @@ pub fn main() {
     let trials = 6usize;
     let base_seed = 0xE11Eu64;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("tab6_energy", base_seed);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         "E11: energy (total beeps) per simulated protocol round, InputSet_n",
         &[
@@ -116,4 +118,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

@@ -16,7 +16,7 @@
 //! seed within a trial, with randomness derived from
 //! `(base_seed, n, trial)` — thread-count independent.
 
-use beeps_bench::{f3, trial_seed, ExperimentLog, Table, TrialRunner};
+use beeps_bench::{f3, trial_seed, ExperimentLog, Observation, Table, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol};
 use beeps_core::{OwnedRoundsSimulator, RewindSimulator, Simulator, SimulatorConfig};
 use beeps_metrics::MetricsRegistry;
@@ -28,6 +28,8 @@ pub fn main() {
     let trials = 8usize;
     let base_seed = 0xE12u64;
     let runner = TrialRunner::from_cli();
+    let observation = Observation::from_cli("tab7_owned_rounds", base_seed);
+    let runner = observation.attach(runner);
     let mut table = Table::new(
         "E12: owned-rounds (EKS18-style) vs general rewind scheme on RollCall_n (eps=0.1)",
         &[
@@ -104,4 +106,5 @@ pub fn main() {
         .table(&table)
         .metrics(&all_metrics);
     log.save();
+    observation.finish(Some(&all_metrics));
 }

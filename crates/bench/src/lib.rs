@@ -3,16 +3,19 @@
 //! `EXPERIMENTS.md`, and for the Criterion micro-benchmarks in `benches/`.
 //!
 //! The experiment engine lives in [`runner`] (seed-deterministic
-//! parallel trial execution) and [`json`] (dependency-free experiment
-//! logs under `target/experiments/`).
+//! parallel trial execution), [`json`] (dependency-free experiment
+//! logs under `target/experiments/`), and [`observe`] (the
+//! `--progress` / `--profile` observer stack from `beeps-observe`).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod json;
+pub mod observe;
 pub mod runner;
 
 pub use json::{metrics_json, ExperimentLog, Json};
+pub use observe::Observation;
 pub use runner::{trial_seed, Summary, Trial, TrialRecord, TrialRunner};
 
 use std::fmt::Display;

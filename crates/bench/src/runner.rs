@@ -23,10 +23,21 @@
 //! [`TrialRunner::new`], the `--threads N` CLI flag
 //! ([`TrialRunner::from_args`]), the `BEEPS_THREADS` environment
 //! variable, and finally [`std::thread::available_parallelism`].
+//!
+//! An [`Observer`] attached via [`TrialRunner::with_observer`] receives
+//! run / chunk / lane-group lifecycle hooks and is ambiently installed
+//! on every worker (so deep instrumentation points — the executor's
+//! transmit loop, the lane engines' phases — report to it too). Hooks
+//! are observation-only and carry no data back into the engine; with no
+//! observer attached every hook site is skipped and the run takes the
+//! exact same code path as before the hooks existed.
+
+use std::sync::Arc;
 
 use beeps_channel::NoiseModel;
 use beeps_core::{SimError, SimOutcome, SimulationRecorder, Simulator};
 use beeps_metrics::MetricsRegistry;
+use beeps_observe::{ambient, Observer, RunInfo, MAIN_WORKER};
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::json::Json;
@@ -92,9 +103,19 @@ impl Trial {
 /// let parallel = TrialRunner::new(4).run(0xBEE, 8, |t| t.seed);
 /// assert_eq!(serial, parallel);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct TrialRunner {
     threads: usize,
+    observer: Option<Arc<dyn Observer>>,
+}
+
+impl std::fmt::Debug for TrialRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrialRunner")
+            .field("threads", &self.threads)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl TrialRunner {
@@ -103,7 +124,25 @@ impl TrialRunner {
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            observer: None,
         }
+    }
+
+    /// Attaches an [`Observer`] that receives run / chunk / lane-group
+    /// hooks and is ambiently installed on every worker thread for the
+    /// duration of each run. Observation-only: attaching one never
+    /// changes results or metrics (pinned by
+    /// `tests/metrics_determinism.rs`).
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<dyn Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The attached observer, if any.
+    #[must_use]
+    pub fn observer(&self) -> Option<&Arc<dyn Observer>> {
+        self.observer.as_ref()
     }
 
     /// A runner sized from `BEEPS_THREADS`, falling back to
@@ -224,13 +263,40 @@ impl TrialRunner {
         F: Fn(Trial, &mut S) -> R + Sync,
     {
         let workers = self.threads.min(trials.max(1));
+        let observer = self.observer.as_ref();
         if workers <= 1 {
             let mut scratch = make_scratch();
-            return (0..trials)
-                .map(|i| trial_fn(Trial::new(base_seed, i), &mut scratch))
-                .collect();
+            let Some(obs) = observer else {
+                return (0..trials)
+                    .map(|i| trial_fn(Trial::new(base_seed, i), &mut scratch))
+                    .collect();
+            };
+            // Observed serial run: same trial order, but iterated in
+            // chunk-sized groups so the chunk hooks fire with real
+            // granularity. Identical iteration order ⇒ identical
+            // results (pinned by tests/metrics_determinism.rs).
+            obs.on_run_start(RunInfo { trials, workers: 1 });
+            let guard = ambient::install(Arc::clone(obs), MAIN_WORKER);
+            let chunk = Self::chunk_size(trials, 1);
+            let mut out = Vec::with_capacity(trials);
+            let mut start = 0;
+            while start < trials {
+                let end = (start + chunk).min(trials);
+                obs.on_chunk_claimed(MAIN_WORKER, start, end - start);
+                for i in start..end {
+                    out.push(trial_fn(Trial::new(base_seed, i), &mut scratch));
+                }
+                obs.on_chunk_completed(MAIN_WORKER, start, end - start);
+                start = end;
+            }
+            drop(guard);
+            obs.on_run_end(RunInfo { trials, workers: 1 });
+            return out;
         }
 
+        if let Some(obs) = observer {
+            obs.on_run_start(RunInfo { trials, workers });
+        }
         // Deterministic dynamic scheduling: workers claim contiguous
         // chunks of trial indices from a shared counter. Which worker
         // runs which chunk varies run to run; the (index, result) pairs
@@ -242,8 +308,9 @@ impl TrialRunner {
             let make_scratch = &make_scratch;
             let next = &next;
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     scope.spawn(move || {
+                        let _ambient = observer.map(|obs| ambient::install(Arc::clone(obs), w));
                         let mut scratch = make_scratch();
                         let mut out = Vec::new();
                         loop {
@@ -251,8 +318,15 @@ impl TrialRunner {
                             if start >= trials {
                                 break;
                             }
-                            for i in start..(start + chunk).min(trials) {
+                            let end = (start + chunk).min(trials);
+                            if let Some(obs) = observer {
+                                obs.on_chunk_claimed(w, start, end - start);
+                            }
+                            for i in start..end {
                                 out.push((i, trial_fn(Trial::new(base_seed, i), &mut scratch)));
+                            }
+                            if let Some(obs) = observer {
+                                obs.on_chunk_completed(w, start, end - start);
                             }
                         }
                         out
@@ -265,16 +339,24 @@ impl TrialRunner {
                 .collect()
         });
 
+        let merge_guard = observer.map(|obs| ambient::install(Arc::clone(obs), MAIN_WORKER));
+        let merge_span = ambient::phase("runner.merge");
         let mut slots: Vec<Option<R>> = (0..trials).map(|_| None).collect();
         for (index, result) in shards.into_iter().flatten() {
             debug_assert!(slots[index].is_none(), "trial {index} ran twice");
             slots[index] = Some(result);
         }
-        slots
+        let merged: Vec<R> = slots
             .into_iter()
             .enumerate()
             .map(|(i, r)| r.unwrap_or_else(|| panic!("trial {i} produced no result")))
-            .collect()
+            .collect();
+        drop(merge_span);
+        drop(merge_guard);
+        if let Some(obs) = observer {
+            obs.on_run_end(RunInfo { trials, workers });
+        }
+        merged
     }
 
     /// Runs `trials` Monte Carlo trials of `sim` through the
@@ -311,10 +393,35 @@ impl TrialRunner {
                 .collect()
         };
         let workers = self.threads.min(trials.max(1));
+        let observer = self.observer.as_ref();
         if workers <= 1 {
-            return sim.simulate_batch(inputs, model, &chunk_seeds(0, trials));
+            let Some(obs) = observer else {
+                return sim.simulate_batch(inputs, model, &chunk_seeds(0, trials));
+            };
+            // Observed serial run: dispatch chunk-sized lane groups so
+            // progress is visible. Batch boundaries are unobservable in
+            // the output (`simulate_batch` ≡ per-trial `simulate`).
+            obs.on_run_start(RunInfo { trials, workers: 1 });
+            let guard = ambient::install(Arc::clone(obs), MAIN_WORKER);
+            let chunk = Self::chunk_size(trials, 1);
+            let mut out = Vec::with_capacity(trials);
+            let mut start = 0;
+            while start < trials {
+                let end = (start + chunk).min(trials);
+                obs.on_chunk_claimed(MAIN_WORKER, start, end - start);
+                obs.on_lane_group(MAIN_WORKER, end - start);
+                out.extend(sim.simulate_batch(inputs, model, &chunk_seeds(start, end)));
+                obs.on_chunk_completed(MAIN_WORKER, start, end - start);
+                start = end;
+            }
+            drop(guard);
+            obs.on_run_end(RunInfo { trials, workers: 1 });
+            return out;
         }
 
+        if let Some(obs) = observer {
+            obs.on_run_start(RunInfo { trials, workers });
+        }
         let chunk = Self::chunk_size(trials, workers);
         let next = std::sync::atomic::AtomicUsize::new(0);
         // One shard per claimed chunk: its starting trial index plus the
@@ -324,8 +431,9 @@ impl TrialRunner {
             let next = &next;
             let chunk_seeds = &chunk_seeds;
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     scope.spawn(move || {
+                        let _ambient = observer.map(|obs| ambient::install(Arc::clone(obs), w));
                         let mut out = Vec::new();
                         loop {
                             let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
@@ -333,8 +441,15 @@ impl TrialRunner {
                                 break;
                             }
                             let end = (start + chunk).min(trials);
+                            if let Some(obs) = observer {
+                                obs.on_chunk_claimed(w, start, end - start);
+                                obs.on_lane_group(w, end - start);
+                            }
                             let batch = sim.simulate_batch(inputs, model, &chunk_seeds(start, end));
                             debug_assert_eq!(batch.len(), end - start);
+                            if let Some(obs) = observer {
+                                obs.on_chunk_completed(w, start, end - start);
+                            }
                             out.push((start, batch));
                         }
                         out
@@ -347,6 +462,8 @@ impl TrialRunner {
                 .collect()
         });
 
+        let merge_guard = observer.map(|obs| ambient::install(Arc::clone(obs), MAIN_WORKER));
+        let merge_span = ambient::phase("runner.merge");
         let mut slots: Vec<Option<Result<SimOutcome<O>, SimError>>> =
             (0..trials).map(|_| None).collect();
         for (start, batch) in shards.into_iter().flatten() {
@@ -355,11 +472,17 @@ impl TrialRunner {
                 slots[start + offset] = Some(result);
             }
         }
-        slots
+        let merged: Vec<Result<SimOutcome<O>, SimError>> = slots
             .into_iter()
             .enumerate()
             .map(|(i, r)| r.unwrap_or_else(|| panic!("trial {i} produced no result")))
-            .collect()
+            .collect();
+        drop(merge_span);
+        drop(merge_guard);
+        if let Some(obs) = observer {
+            obs.on_run_end(RunInfo { trials, workers });
+        }
+        merged
     }
 
     /// [`TrialRunner::run_simulations`] plus metrics: every trial's
@@ -391,16 +514,49 @@ impl TrialRunner {
                 .collect()
         };
         let workers = self.threads.min(trials.max(1));
+        let observer = self.observer.as_ref();
         if workers <= 1 {
+            let Some(obs) = observer else {
+                let mut merged = MetricsRegistry::new();
+                let recorder = SimulationRecorder::new(sim.name(), &mut merged);
+                let results = sim.simulate_batch(inputs, model, &chunk_seeds(0, trials));
+                for result in &results {
+                    recorder.record(result, &mut merged);
+                }
+                return (results, merged);
+            };
+            // Observed serial run: per-chunk registries merged in index
+            // order reproduce the single-recorder registry exactly
+            // (same equivalence the parallel path already relies on).
+            obs.on_run_start(RunInfo { trials, workers: 1 });
+            let guard = ambient::install(Arc::clone(obs), MAIN_WORKER);
+            let chunk = Self::chunk_size(trials, 1);
             let mut merged = MetricsRegistry::new();
-            let recorder = SimulationRecorder::new(sim.name(), &mut merged);
-            let results = sim.simulate_batch(inputs, model, &chunk_seeds(0, trials));
-            for result in &results {
-                recorder.record(result, &mut merged);
+            let mut results = Vec::with_capacity(trials);
+            let mut start = 0;
+            while start < trials {
+                let end = (start + chunk).min(trials);
+                obs.on_chunk_claimed(MAIN_WORKER, start, end - start);
+                obs.on_lane_group(MAIN_WORKER, end - start);
+                let batch = sim.simulate_batch(inputs, model, &chunk_seeds(start, end));
+                let mut metrics = MetricsRegistry::new();
+                let recorder = SimulationRecorder::new(sim.name(), &mut metrics);
+                for result in &batch {
+                    recorder.record(result, &mut metrics);
+                }
+                merged.merge_from(&metrics);
+                results.extend(batch);
+                obs.on_chunk_completed(MAIN_WORKER, start, end - start);
+                start = end;
             }
+            drop(guard);
+            obs.on_run_end(RunInfo { trials, workers: 1 });
             return (results, merged);
         }
 
+        if let Some(obs) = observer {
+            obs.on_run_start(RunInfo { trials, workers });
+        }
         let chunk = Self::chunk_size(trials, workers);
         let next = std::sync::atomic::AtomicUsize::new(0);
         type Shard<O> = (usize, Vec<Result<SimOutcome<O>, SimError>>, MetricsRegistry);
@@ -408,8 +564,9 @@ impl TrialRunner {
             let next = &next;
             let chunk_seeds = &chunk_seeds;
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     scope.spawn(move || {
+                        let _ambient = observer.map(|obs| ambient::install(Arc::clone(obs), w));
                         let mut out = Vec::new();
                         loop {
                             let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
@@ -417,11 +574,18 @@ impl TrialRunner {
                                 break;
                             }
                             let end = (start + chunk).min(trials);
+                            if let Some(obs) = observer {
+                                obs.on_chunk_claimed(w, start, end - start);
+                                obs.on_lane_group(w, end - start);
+                            }
                             let batch = sim.simulate_batch(inputs, model, &chunk_seeds(start, end));
                             let mut metrics = MetricsRegistry::new();
                             let recorder = SimulationRecorder::new(sim.name(), &mut metrics);
                             for result in &batch {
                                 recorder.record(result, &mut metrics);
+                            }
+                            if let Some(obs) = observer {
+                                obs.on_chunk_completed(w, start, end - start);
                             }
                             out.push((start, batch, metrics));
                         }
@@ -438,6 +602,8 @@ impl TrialRunner {
         // Chunks are contiguous index ranges, so merging the per-chunk
         // registries sorted by start index reproduces the per-trial
         // merge order exactly.
+        let merge_guard = observer.map(|obs| ambient::install(Arc::clone(obs), MAIN_WORKER));
+        let merge_span = ambient::phase("runner.merge");
         let mut chunks: Vec<Shard<O>> = shards.into_iter().flatten().collect();
         chunks.sort_by_key(|(start, _, _)| *start);
         let mut merged = MetricsRegistry::new();
@@ -455,6 +621,11 @@ impl TrialRunner {
             .enumerate()
             .map(|(i, r)| r.unwrap_or_else(|| panic!("trial {i} produced no result")))
             .collect();
+        drop(merge_span);
+        drop(merge_guard);
+        if let Some(obs) = observer {
+            obs.on_run_end(RunInfo { trials, workers });
+        }
         (results, merged)
     }
 
@@ -499,24 +670,55 @@ impl TrialRunner {
             let mut scratch = MetricsRegistry::new();
             let mut merged = MetricsRegistry::new();
             let mut results = Vec::with_capacity(trials);
-            for i in 0..trials {
-                scratch.reset();
-                results.push(trial_fn(Trial::new(base_seed, i), &mut scratch));
-                merged.merge_from(&scratch);
+            let Some(obs) = self.observer.as_ref() else {
+                for i in 0..trials {
+                    scratch.reset();
+                    results.push(trial_fn(Trial::new(base_seed, i), &mut scratch));
+                    merged.merge_from(&scratch);
+                }
+                return (results, merged);
+            };
+            // Observed serial run: same per-trial reset/record/merge
+            // sequence, iterated in chunk-sized groups for the hooks.
+            obs.on_run_start(RunInfo { trials, workers: 1 });
+            let guard = ambient::install(Arc::clone(obs), MAIN_WORKER);
+            let chunk = Self::chunk_size(trials, 1);
+            let mut start = 0;
+            while start < trials {
+                let end = (start + chunk).min(trials);
+                obs.on_chunk_claimed(MAIN_WORKER, start, end - start);
+                for i in start..end {
+                    scratch.reset();
+                    results.push(trial_fn(Trial::new(base_seed, i), &mut scratch));
+                    merged.merge_from(&scratch);
+                }
+                obs.on_chunk_completed(MAIN_WORKER, start, end - start);
+                start = end;
             }
+            drop(guard);
+            obs.on_run_end(RunInfo { trials, workers: 1 });
             return (results, merged);
         }
+        // Run/chunk hooks (and per-worker ambient installation) fire
+        // inside `run`; only the extra registry merge is added here.
         let pairs = self.run(base_seed, trials, |trial| {
             let mut metrics = MetricsRegistry::new();
             let result = trial_fn(trial, &mut metrics);
             (result, metrics)
         });
+        let merge_guard = self
+            .observer
+            .as_ref()
+            .map(|obs| ambient::install(Arc::clone(obs), MAIN_WORKER));
+        let merge_span = ambient::phase("runner.merge");
         let mut merged = MetricsRegistry::new();
         let mut results = Vec::with_capacity(pairs.len());
         for (result, metrics) in pairs {
             merged.merge_from(&metrics);
             results.push(result);
         }
+        drop(merge_span);
+        drop(merge_guard);
         (results, merged)
     }
 }

@@ -2,6 +2,10 @@
 //! [`MetricsRegistry`] a [`TrialRunner`] produces must be bitwise
 //! identical at any thread count, for every simulation scheme; and
 //! noise-free runs must report zero corruption and zero rewinds.
+//! Attaching the full observer stack (progress + profiler + run log)
+//! must not move a single bit of either results or metrics.
+
+use std::sync::Arc;
 
 use beeps_bench::{trial_seed, TrialRunner};
 use beeps_channel::NoiseModel;
@@ -235,6 +239,141 @@ fn batch_dispatch_matches_per_trial_at_every_thread_count() {
                 .run_simulations_with_metrics(base, trials, &owned, &inputs, model);
             assert_eq!(results, reference, "owned_rounds {threads} threads");
         }
+    }
+}
+
+/// The full production observer stack: progress tracker + phase
+/// profiler + run log writing to an in-memory sink, fanned out exactly
+/// like `--progress --profile` builds it.
+fn full_observer_stack() -> Arc<dyn beeps_observe::Observer> {
+    use beeps_observe::{MultiObserver, Observer, PhaseProfiler, ProgressTracker, RunLog, RunMeta};
+
+    let meta = RunMeta {
+        run_id: "determinism_check".to_owned(),
+        config_digest: beeps_observe::config_digest(&["determinism_check"]),
+        base_seed: 0,
+    };
+    let runlog = RunLog::to_writer(Box::new(std::io::sink()), &meta);
+    Arc::new(
+        MultiObserver::new()
+            .with(Arc::new(ProgressTracker::new()) as Arc<dyn Observer>)
+            .with(Arc::new(PhaseProfiler::new()) as Arc<dyn Observer>)
+            .with(Arc::new(runlog) as Arc<dyn Observer>),
+    )
+}
+
+/// Observing a run is a pure side channel: for every scheme, per-trial
+/// results AND the merged registry from a fully observed runner
+/// (progress + profiler + run log) are bitwise identical to the
+/// unobserved ones at 1, 2, and 8 threads — through both the scalar
+/// metrics path and the lane-grouped batch path.
+#[test]
+fn observed_runs_are_bitwise_identical_to_unobserved_runs() {
+    let p = InputSet::new(N);
+    let owned_p = RollCall::new(N);
+    let two = NoiseModel::Correlated { epsilon: 0.05 };
+    let config = || SimulatorConfig::builder(N).model(two).build();
+
+    let naked = NakedSimulator::new(&p);
+    let repetition = RepetitionSimulator::new(&p, config());
+    let rewind = RewindSimulator::new(&p, config());
+    let hierarchical = HierarchicalSimulator::new(&p, config());
+    let one_to_zero = OneToZeroSimulator::new(&p, 2, 32.0);
+    let owned = OwnedRoundsSimulator::new(&owned_p, SimulatorConfig::builder(N).model(two).build());
+    let down = NoiseModel::OneSidedOneToZero { epsilon: 1.0 / 3.0 };
+
+    let base = trial_seed(0x0B5E, 7);
+    let trials = TRIALS * 4;
+    let inputs: Vec<usize> = vec![3, 0, 8, 8, 11, 5];
+
+    let generic: [(
+        &(dyn Simulator<usize, std::collections::BTreeSet<usize>> + Sync),
+        NoiseModel,
+    ); 5] = [
+        (&naked, two),
+        (&repetition, two),
+        (&rewind, two),
+        (&hierarchical, two),
+        (&one_to_zero, down),
+    ];
+    for (sim, model) in generic {
+        // Scalar per-trial path, unobserved baseline at one thread.
+        let scalar = |threads: usize, observed: bool| {
+            let mut runner = TrialRunner::new(threads);
+            if observed {
+                runner = runner.with_observer(full_observer_stack());
+            }
+            runner.run_with_metrics(base, trials, |trial, m| {
+                let mut rng = trial.sub_rng(0);
+                let trial_inputs = input_set_gen(&mut rng);
+                sim.simulate_with_metrics(&trial_inputs, model, trial.seed, m)
+                    .map(|out| out.outputs().to_vec())
+                    .ok()
+            })
+        };
+        let (base_results, base_metrics) = scalar(1, false);
+        for threads in [1, 2, 8] {
+            let (results, metrics) = scalar(threads, true);
+            assert_eq!(
+                results,
+                base_results,
+                "{}: observed scalar results moved at {threads} threads",
+                sim.name()
+            );
+            assert_eq!(
+                metrics,
+                base_metrics,
+                "{}: observed scalar metrics moved at {threads} threads",
+                sim.name()
+            );
+        }
+
+        // Lane-grouped batch path.
+        let batch = |threads: usize, observed: bool| {
+            let mut runner = TrialRunner::new(threads);
+            if observed {
+                runner = runner.with_observer(full_observer_stack());
+            }
+            runner.run_simulations_with_metrics(base, trials, sim, &inputs, model)
+        };
+        let (batch_results, batch_metrics) = batch(1, false);
+        for threads in [1, 2, 8] {
+            let (results, metrics) = batch(threads, true);
+            assert_eq!(
+                results,
+                batch_results,
+                "{}: observed batch results moved at {threads} threads",
+                sim.name()
+            );
+            assert_eq!(
+                metrics,
+                batch_metrics,
+                "{}: observed batch metrics moved at {threads} threads",
+                sim.name()
+            );
+        }
+    }
+
+    // The sixth scheme has a distinct input type; same contract.
+    let bool_inputs: Vec<bool> = vec![true, false, true, true, false, false];
+    let owned_batch = |threads: usize, observed: bool| {
+        let mut runner = TrialRunner::new(threads);
+        if observed {
+            runner = runner.with_observer(full_observer_stack());
+        }
+        runner.run_simulations_with_metrics(base, trials, &owned, &bool_inputs, two)
+    };
+    let (owned_results, owned_metrics) = owned_batch(1, false);
+    for threads in [1, 2, 8] {
+        let (results, metrics) = owned_batch(threads, true);
+        assert_eq!(
+            results, owned_results,
+            "owned_rounds: observed results moved at {threads} threads"
+        );
+        assert_eq!(
+            metrics, owned_metrics,
+            "owned_rounds: observed metrics moved at {threads} threads"
+        );
     }
 }
 

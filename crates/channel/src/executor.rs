@@ -83,6 +83,7 @@ impl Executor {
             channel.num_parties(),
             "channel sized for wrong number of parties"
         );
+        let _span = beeps_observe::phase("channel.transmit");
         let corrupted_before = channel.corrupted_rounds();
         let mut energy = 0usize;
         for _ in 0..rounds {
@@ -149,6 +150,7 @@ impl Executor {
             channel.num_parties(),
             "channel sized for wrong number of parties"
         );
+        let _span = beeps_observe::phase("channel.transmit");
         let corrupted_before = channel.corrupted_rounds();
         // Intern every counter before the round loop: the loop itself
         // performs no name lookups, formatting, or allocation (enforced

@@ -70,6 +70,7 @@ pub(crate) fn repetition_lanes<P: Protocol>(
     // lanes with equal prefixes shares one protocol evaluation — under
     // majority decode most lanes sit on the same transcript, collapsing
     // the n beep() calls per round to (nearly) one set per batch.
+    let span = beeps_observe::phase("sim.repetition.chunk");
     for round in 0..t {
         let mut prev: Option<(usize, bool)> = None;
         for lane in 0..transcripts.len() {
@@ -91,6 +92,7 @@ pub(crate) fn repetition_lanes<P: Protocol>(
             energy[lane] += r * beeps;
         }
     }
+    drop(span);
 
     transcripts
         .into_iter()
@@ -281,6 +283,7 @@ fn rewind_one_lane<P: Protocol>(
         );
 
         // --- Chunk phase: `len` simulated rounds, R channel rounds each.
+        let chunk_span = beeps_observe::phase("sim.rewind.chunk");
         let mut bits: Vec<bool> = Vec::with_capacity(len);
         let mut my_bits: Vec<Vec<bool>> = vec![Vec::with_capacity(len); p.n];
         for _ in 0..len {
@@ -303,8 +306,10 @@ fn rewind_one_lane<P: Protocol>(
             run.rounds += p.r;
             run.phase_rounds.chunk += p.r;
         }
+        drop(chunk_span);
 
         // --- Owners phase: `len + n` codeword iterations.
+        let owners_span = beeps_observe::phase("sim.rewind.owners");
         let mut claimed = vec![false; len];
         let mut chunk_owners: Vec<Option<usize>> = vec![None; len];
         let mut turn = 0usize;
@@ -342,8 +347,10 @@ fn rewind_one_lane<P: Protocol>(
             run.rounds += p.code_len;
             run.phase_rounds.owners += p.code_len;
         }
+        drop(owners_span);
 
         // --- Verification: V rounds of the flag OR.
+        let verify_span = beeps_observe::phase("sim.rewind.verify");
         if p.budget - run.rounds < p.v {
             return Err(exhausted(&run));
         }
@@ -366,9 +373,11 @@ fn rewind_one_lane<P: Protocol>(
         run.energy += p.v * flags;
         run.rounds += p.v;
         run.phase_rounds.verify += p.v;
+        drop(verify_span);
 
         if failed {
             run.rewinds += 1;
+            beeps_observe::mark("sim.rewind.rewind");
             // Discard the pending chunk and pop one committed chunk.
             if let Some(popped) = run.chunk_lens.pop() {
                 let new_len = run.committed_bits.len() - popped;

@@ -180,15 +180,50 @@ impl MetricsRegistry {
             let _ = writeln!(out, "beeps_{metric}_sum {}", h.sum());
             let _ = writeln!(out, "beeps_{metric}_count {}", h.count());
         }
+        // The event-ring totals are always present, even at zero: a
+        // counter that only appears once events flow breaks rate() and
+        // "did we drop anything?" alerts on scrapes taken before the
+        // first storm.
         let ev = self.events();
-        if ev.recorded() > 0 {
-            out.push_str("# TYPE beeps_events_recorded_total counter\n");
-            let _ = writeln!(out, "beeps_events_recorded_total {}", ev.recorded());
-            out.push_str("# TYPE beeps_events_dropped_total counter\n");
-            let _ = writeln!(out, "beeps_events_dropped_total {}", ev.dropped());
+        out.push_str("# TYPE beeps_events_recorded_total counter\n");
+        let _ = writeln!(out, "beeps_events_recorded_total {}", ev.recorded());
+        out.push_str("# TYPE beeps_events_dropped_total counter\n");
+        let _ = writeln!(out, "beeps_events_dropped_total {}", ev.dropped());
+        if !ev.is_empty() {
+            let mut by_label: std::collections::BTreeMap<&str, u64> =
+                std::collections::BTreeMap::new();
+            for e in ev.iter() {
+                *by_label.entry(e.label.as_str()).or_insert(0) += 1;
+            }
+            out.push_str("# TYPE beeps_events_retained gauge\n");
+            for (label, count) in by_label {
+                let _ = writeln!(
+                    out,
+                    "beeps_events_retained{{label=\"{}\"}} {count}",
+                    prom_label_value(label),
+                );
+            }
         }
         out
     }
+}
+
+/// Escapes a string for use inside a Prometheus label value: the text
+/// exposition format requires `\` → `\\`, `"` → `\"`, and a literal
+/// newline → `\n` (carriage returns ride along as `\r` so values stay
+/// one line).
+fn prom_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Sanitises a dotted metric name into a Prometheus-safe snake name.
@@ -253,6 +288,50 @@ mod tests {
         assert!(s.contains("beeps_sim_rewind_rounds_bucket{le=\"+Inf\"} 1"));
         assert!(s.contains("beeps_sim_rewind_rounds_sum 150"));
         assert!(s.contains("beeps_events_recorded_total 1"));
+        assert!(s.contains("beeps_events_dropped_total 0"));
+        assert!(s.contains("beeps_events_retained{label=\"sim.rewind.rewind_storm\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_event_totals_present_even_when_empty() {
+        let s = MetricsRegistry::new().render_prometheus();
+        assert!(s.contains("beeps_events_recorded_total 0"));
+        assert!(s.contains("beeps_events_dropped_total 0"));
+        assert!(
+            !s.contains("beeps_events_retained{"),
+            "no series at zero: {s}"
+        );
+    }
+
+    #[test]
+    fn prometheus_event_drop_accounting_survives_ring_eviction() {
+        let mut m = MetricsRegistry::new();
+        for i in 0..2000u64 {
+            m.event("storm", i, 1);
+        }
+        let s = m.render_prometheus();
+        assert!(s.contains("beeps_events_recorded_total 2000"));
+        assert!(s.contains("beeps_events_dropped_total 976"), "{s}");
+        assert!(s.contains("beeps_events_retained{label=\"storm\"} 1024"));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let mut m = MetricsRegistry::new();
+        // Built outside the call so the lint's literal-key charset check
+        // doesn't read this deliberately hostile label as a metric key.
+        let hostile = "weird\"label\\with\nnewline\rcr".to_owned();
+        m.event(hostile, 0, 1);
+        let s = m.render_prometheus();
+        assert!(
+            s.contains(r#"beeps_events_retained{label="weird\"label\\with\nnewline\rcr"} 1"#),
+            "{s}"
+        );
+        assert_eq!(
+            s.matches("beeps_events_retained{").count(),
+            1,
+            "one series, not split by the raw newline: {s}"
+        );
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! The single sanctioned wall-clock module of the observability stack.
+//!
+//! The workspace-wide determinism contract bans wall-clock reads from
+//! simulation code (beeps-lint `wall-clock`, clippy
+//! `disallowed-methods`): elapsed time must never flow into
+//! deterministic state. Observability legitimately needs the clock —
+//! for throughput, ETA, phase spans, and run-log timestamps — so this
+//! module is the one place in `beeps-observe` allowed to read it, the
+//! same pattern as `beeps_metrics::Stopwatch` for the metrics crate.
+//! Everything else in the crate calls through these two functions, and
+//! the lint allowlists exactly this file.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-lifetime origin for the monotonic microsecond clock: fixed
+/// on first read so every span and trace event shares one timebase.
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic microseconds since the first clock read of this process.
+///
+/// All spans, marks, and trace events are stamped on this timebase, so
+/// a Chrome trace's `ts` values are directly comparable across workers.
+#[allow(clippy::disallowed_methods)] // the one sanctioned clock site
+#[must_use]
+pub fn monotonic_micros() -> u64 {
+    let origin = *ORIGIN.get_or_init(Instant::now);
+    Instant::now().duration_since(origin).as_micros() as u64
+}
+
+/// Milliseconds since the Unix epoch — for run-log timestamps only
+/// (never compared, never deterministic). Returns 0 if the system
+/// clock sits before the epoch.
+#[allow(clippy::disallowed_methods)] // the one sanctioned clock site
+#[must_use]
+pub fn wall_unix_millis() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_never_decreases() {
+        let a = monotonic_micros();
+        let b = monotonic_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_clock_is_past_2020() {
+        // 2020-01-01 in unix millis; a sane system clock is later.
+        assert!(wall_unix_millis() > 1_577_836_800_000);
+    }
+}

@@ -1,0 +1,339 @@
+//! Structured JSONL run logs.
+//!
+//! A [`RunLog`] is an [`Observer`] that writes one JSON object per
+//! line: a `meta` header (run id, config digest, base seed, wall-clock
+//! stamp), a `run_start` / `run_end` pair per runner invocation, a
+//! `chunk` line per completed chunk (worker, trial range, wall-clock
+//! micros), and a final `summary` line carrying the trial total and the
+//! metrics event-ring drop counters. The format is line-oriented so a
+//! truncated log (crashed run) still parses up to the cut.
+//!
+//! Writes are serialized behind a mutex and I/O errors are deferred:
+//! hooks fire on worker threads where a `Result` has nowhere to go, so
+//! the first error is stashed and surfaced by [`RunLog::finish`].
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::clock;
+use crate::emit::escape_json;
+use crate::observer::{Observer, RunInfo};
+
+/// Stable digest of a run configuration: FNV-1a over the parts, joined
+/// with `\x1f` separators so `("ab", "c")` and `("a", "bc")` differ.
+/// Rendered as 16 lowercase hex digits.
+#[must_use]
+pub fn config_digest(parts: &[&str]) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for part in parts {
+        for byte in part.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash ^= 0x1f;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    format!("{hash:016x}")
+}
+
+/// Identity written as the run log's `meta` header line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Experiment / run identifier (e.g. `fig6_phase_breakdown`).
+    pub run_id: String,
+    /// Digest of the run configuration, via [`config_digest`].
+    pub config_digest: String,
+    /// Base RNG seed the trial seeds derive from.
+    pub base_seed: u64,
+}
+
+/// Totals written as the run log's final `summary` line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Trials completed across all logged runner invocations.
+    pub trials_done: u64,
+    /// Events offered to the metrics event ring (0 when unused).
+    pub events_recorded: u64,
+    /// Events the ring dropped at capacity (0 when unused).
+    pub events_dropped: u64,
+}
+
+struct Inner {
+    out: Box<dyn Write + Send>,
+    error: Option<io::Error>,
+    /// Per-worker claim timestamp for the currently open chunk.
+    open_chunks: BTreeMap<usize, u64>,
+    trials_done: u64,
+}
+
+impl Inner {
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// JSONL run-log writer; see the module docs.
+pub struct RunLog {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for RunLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunLog").finish_non_exhaustive()
+    }
+}
+
+impl RunLog {
+    /// Opens a run log at `path` (creating parent directories) and
+    /// writes the `meta` header line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the file.
+    pub fn create(path: &Path, meta: &RunMeta) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let out = BufWriter::new(File::create(path)?);
+        Ok(Self::to_writer(Box::new(out), meta))
+    }
+
+    /// A run log over an arbitrary writer (for tests); writes the
+    /// `meta` header line immediately.
+    #[must_use]
+    pub fn to_writer(out: Box<dyn Write + Send>, meta: &RunMeta) -> Self {
+        let log = Self {
+            inner: Mutex::new(Inner {
+                out,
+                error: None,
+                open_chunks: BTreeMap::new(),
+                trials_done: 0,
+            }),
+        };
+        let line = format!(
+            "{{\"type\":\"meta\",\"run_id\":\"{}\",\"config_digest\":\"{}\",\"base_seed\":{},\"unix_ms\":{}}}",
+            escape_json(&meta.run_id),
+            escape_json(&meta.config_digest),
+            meta.base_seed,
+            clock::wall_unix_millis(),
+        );
+        log.lock().write_line(&line);
+        log
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Trials completed according to the chunk lines logged so far.
+    #[must_use]
+    pub fn trials_done(&self) -> u64 {
+        self.lock().trials_done
+    }
+
+    /// Writes the final `summary` line and flushes, surfacing any I/O
+    /// error deferred from the hook paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred write error, or the error from the
+    /// summary write / flush itself.
+    pub fn finish(&self, summary: &RunSummary) -> io::Result<()> {
+        let mut inner = self.lock();
+        let line = format!(
+            "{{\"type\":\"summary\",\"trials_done\":{},\"events_recorded\":{},\"events_dropped\":{},\"unix_ms\":{}}}",
+            summary.trials_done,
+            summary.events_recorded,
+            summary.events_dropped,
+            clock::wall_unix_millis(),
+        );
+        inner.write_line(&line);
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        inner.out.flush()
+    }
+}
+
+impl Observer for RunLog {
+    fn on_run_start(&self, info: RunInfo) {
+        let line = format!(
+            "{{\"type\":\"run_start\",\"trials\":{},\"workers\":{},\"at_us\":{}}}",
+            info.trials,
+            info.workers,
+            clock::monotonic_micros(),
+        );
+        self.lock().write_line(&line);
+    }
+
+    fn on_run_end(&self, info: RunInfo) {
+        let line = format!(
+            "{{\"type\":\"run_end\",\"trials\":{},\"workers\":{},\"at_us\":{}}}",
+            info.trials,
+            info.workers,
+            clock::monotonic_micros(),
+        );
+        self.lock().write_line(&line);
+    }
+
+    fn on_chunk_claimed(&self, worker: usize, _start: usize, _len: usize) {
+        let now = clock::monotonic_micros();
+        self.lock().open_chunks.insert(worker, now);
+    }
+
+    fn on_chunk_completed(&self, worker: usize, start: usize, len: usize) {
+        let now = clock::monotonic_micros();
+        let mut inner = self.lock();
+        let micros = inner
+            .open_chunks
+            .remove(&worker)
+            .map_or(0, |claimed| now.saturating_sub(claimed));
+        inner.trials_done += len as u64;
+        let line = format!(
+            "{{\"type\":\"chunk\",\"worker\":{worker},\"start\":{start},\"len\":{len},\"micros\":{micros}}}",
+        );
+        inner.write_line(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A `Write` handing bytes to a shared buffer the test can read.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            run_id: "test_run".into(),
+            config_digest: config_digest(&["scheme=rewind", "n=16"]),
+            base_seed: 42,
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_separator_sensitive() {
+        assert_eq!(config_digest(&["a", "b"]), config_digest(&["a", "b"]));
+        assert_ne!(config_digest(&["ab"]), config_digest(&["a", "b"]));
+        assert_ne!(config_digest(&["ab", "c"]), config_digest(&["a", "bc"]));
+        assert_eq!(config_digest(&["x"]).len(), 16);
+    }
+
+    #[test]
+    fn log_lines_are_one_json_object_each() {
+        let buf = SharedBuf::default();
+        let log = RunLog::to_writer(Box::new(buf.clone()), &meta());
+        log.on_run_start(RunInfo {
+            trials: 8,
+            workers: 2,
+        });
+        log.on_chunk_claimed(0, 0, 4);
+        log.on_chunk_completed(0, 0, 4);
+        log.on_chunk_claimed(1, 4, 4);
+        log.on_chunk_completed(1, 4, 4);
+        log.on_run_end(RunInfo {
+            trials: 8,
+            workers: 2,
+        });
+        log.finish(&RunSummary {
+            trials_done: log.trials_done(),
+            events_recorded: 10,
+            events_dropped: 3,
+        })
+        .unwrap();
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6, "{text}");
+        assert!(lines[0].starts_with("{\"type\":\"meta\""), "{text}");
+        assert!(lines[0].contains("\"run_id\":\"test_run\""));
+        assert!(lines[0].contains("\"base_seed\":42"));
+        assert!(lines[1].starts_with("{\"type\":\"run_start\""));
+        assert!(lines[2].contains("\"type\":\"chunk\""));
+        assert!(lines[2].contains("\"worker\":0"));
+        assert!(lines[2].contains("\"start\":0"));
+        assert!(lines[3].contains("\"worker\":1"));
+        assert!(lines[4].starts_with("{\"type\":\"run_end\""));
+        assert!(lines[5].contains("\"type\":\"summary\""));
+        assert!(lines[5].contains("\"trials_done\":8"));
+        assert!(lines[5].contains("\"events_dropped\":3"));
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn run_id_is_json_escaped() {
+        let buf = SharedBuf::default();
+        let tricky = RunMeta {
+            run_id: "we\"ird\nid".into(),
+            config_digest: "0".into(),
+            base_seed: 0,
+        };
+        let log = RunLog::to_writer(Box::new(buf.clone()), &tricky);
+        log.finish(&RunSummary::default()).unwrap();
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("we\\\"ird\\nid"), "{text}");
+        // Still exactly one object per line despite the raw newline in
+        // the id.
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn write_errors_are_deferred_to_finish() {
+        struct FailingWriter;
+
+        impl Write for FailingWriter {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let log = RunLog::to_writer(Box::new(FailingWriter), &meta());
+        // Hooks must not panic even though every write fails.
+        log.on_run_start(RunInfo {
+            trials: 1,
+            workers: 1,
+        });
+        log.on_chunk_claimed(0, 0, 1);
+        log.on_chunk_completed(0, 0, 1);
+        let err = log.finish(&RunSummary::default()).unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+    }
+}

@@ -1,0 +1,278 @@
+//! Minimal JSON syntax validation for `cargo xtask observe-check`.
+//!
+//! The observability layer writes two machine-readable artifacts — a
+//! Chrome trace-event file (`--profile`) and a JSONL run log — and the
+//! tier-1 smoke must prove both actually parse. The workspace is
+//! dependency-free by design, so this is a small hand-rolled
+//! recursive-descent syntax checker: it accepts exactly the RFC 8259
+//! grammar (objects, arrays, strings with escapes, numbers, literals)
+//! and reports the byte offset of the first violation. It validates
+//! syntax only; semantic checks (required keys, line framing) live in
+//! the `observe-check` subcommand.
+
+use std::fmt;
+
+/// A syntax violation at a byte offset of the validated text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+/// Validates that `text` is exactly one JSON value (plus surrounding
+/// whitespace).
+///
+/// # Errors
+///
+/// Returns the offset and description of the first syntax violation.
+pub fn validate(text: &str) -> Result<(), JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after the JSON value"));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.error("expected a JSON value")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), JsonError> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), JsonError> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), JsonError> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => {
+                                        return Err(
+                                            self.error("expected 4 hex digits after \\u in string")
+                                        )
+                                    }
+                                }
+                            }
+                        }
+                        _ => return Err(self.error("invalid escape in string")),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.error("raw control character in string"));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(c) if c.is_ascii_digit() => self.digits(),
+            _ => return Err(self.error("expected a digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            match self.peek() {
+                Some(c) if c.is_ascii_digit() => self.digits(),
+                _ => return Err(self.error("expected a digit after the decimal point")),
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            match self.peek() {
+                Some(c) if c.is_ascii_digit() => self.digits(),
+                _ => return Err(self.error("expected a digit in the exponent")),
+            }
+        }
+        Ok(())
+    }
+
+    fn digits(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            " false ",
+            "0",
+            "-12.5e+3",
+            r#""a \"quoted\" string with \\ and ÿ""#,
+            r#"{"traceEvents":[{"name":"x","ts":1,"dur":2,"args":{"k":[1,2]}}],"other":null}"#,
+            "{\n  \"a\": [1, 2, 3],\n  \"b\": {\"c\": \"d\"}\n}",
+        ] {
+            assert_eq!(validate(doc), Ok(()), "{doc}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{} {}",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "{'single': 1}",
+            "\"raw\ncontrol\"",
+        ] {
+            assert!(validate(doc).is_err(), "must reject: {doc:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = validate("[1, 2, x]").unwrap_err();
+        assert_eq!(err.offset, 7);
+        assert!(err.message.contains("expected a JSON value"));
+    }
+}

@@ -24,6 +24,7 @@
 //! `scan::collect_sources`).
 
 pub mod baseline;
+pub mod jsonck;
 pub mod rules;
 pub mod scan;
 

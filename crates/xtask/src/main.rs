@@ -3,11 +3,13 @@
 //! * `lint` — run the beeps-lint static-analysis pass (DESIGN.md §8)
 //!   over every first-party source file. Exits nonzero on any
 //!   unsuppressed finding.
+//! * `observe-check` — validate the artifacts a `--progress --profile`
+//!   run produces: the Chrome trace-event JSON and the JSONL run log.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtask::{lint_workspace, Baseline, RuleId};
+use xtask::{jsonck, lint_workspace, Baseline, RuleId};
 
 /// Default baseline filename, resolved relative to the lint root.
 const BASELINE_FILE: &str = "xtask-lint.baseline";
@@ -16,6 +18,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("observe-check") => observe_check(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -39,6 +42,13 @@ Options:
   --write-baseline    rewrite the baseline to grandfather current findings
   --list-rules        print every rule ID with its rationale
   -h, --help          this help
+
+cargo xtask observe-check <trace.json> <runlog.jsonl>
+
+Validates the observability artifacts of a `--progress --profile` run:
+the Chrome trace-event file must be one well-formed JSON object with a
+`traceEvents` array, and every run-log line must be a well-formed JSON
+object framed by a `meta` first line and a `summary` last line.
 ";
 
 fn lint(args: &[String]) -> ExitCode {
@@ -122,4 +132,63 @@ fn lint(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn observe_check(args: &[String]) -> ExitCode {
+    let [trace_path, runlog_path] = args else {
+        eprintln!("xtask observe-check: expected <trace.json> <runlog.jsonl>\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    match check_trace(Path::new(trace_path)) {
+        Ok(events) => println!("observe-check: trace OK ({trace_path}, {events} event(s))"),
+        Err(e) => {
+            eprintln!("xtask observe-check: trace {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match check_runlog(Path::new(runlog_path)) {
+        Ok(lines) => println!("observe-check: run log OK ({runlog_path}, {lines} line(s))"),
+        Err(e) => {
+            eprintln!("xtask observe-check: run log {runlog_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Validates a Chrome trace-event file and returns how many events its
+/// `traceEvents` array carries (counted by phase markers).
+fn check_trace(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    jsonck::validate(&text).map_err(|e| e.to_string())?;
+    if !text.trim_start().starts_with('{') {
+        return Err("top-level value must be an object".to_owned());
+    }
+    if !text.contains("\"traceEvents\"") {
+        return Err("missing the `traceEvents` key".to_owned());
+    }
+    Ok(text.matches("\"ph\":").count())
+}
+
+/// Validates a JSONL run log (one object per line, `meta` first,
+/// `summary` last) and returns the line count.
+fn check_runlog(path: &Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return Err("empty run log".to_owned());
+    }
+    for (i, line) in lines.iter().enumerate() {
+        jsonck::validate(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if !line.starts_with('{') {
+            return Err(format!("line {}: not a JSON object", i + 1));
+        }
+    }
+    if !lines[0].contains("\"type\":\"meta\"") {
+        return Err("first line must be the `meta` record".to_owned());
+    }
+    if !lines[lines.len() - 1].contains("\"type\":\"summary\"") {
+        return Err("last line must be the `summary` record (run not sealed?)".to_owned());
+    }
+    Ok(lines.len())
 }

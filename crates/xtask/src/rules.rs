@@ -108,8 +108,9 @@ impl RuleId {
     pub fn rationale(self) -> &'static str {
         match self {
             RuleId::WallClock => {
-                "wall-clock reads outside beeps-metrics' span module break \
-                 bitwise-identical output; use MetricsRegistry wall spans"
+                "wall-clock reads outside beeps-metrics' span module and \
+                 beeps-observe's clock module break bitwise-identical \
+                 output; use MetricsRegistry wall spans or observe::clock"
             }
             RuleId::EntropyRng => {
                 "entropy-seeded RNGs make trials unreproducible; derive all \
@@ -178,9 +179,15 @@ impl fmt::Display for RuleId {
 }
 
 /// Files (relative, `/`-separated) where wall-clock reads are legal:
-/// the metrics span module is the one sanctioned home for
-/// `Instant::now` (see `beeps_metrics::Stopwatch`).
-const WALL_CLOCK_ALLOWED: &[&str] = &["crates/metrics/src/registry.rs"];
+/// the metrics span module (see `beeps_metrics::Stopwatch`) and the
+/// observability clock module (`beeps_observe::clock`, the single
+/// timestamp source for progress, profiles, and run logs). Everything
+/// else — including the rest of `crates/observe` — must go through
+/// those two.
+const WALL_CLOCK_ALLOWED: &[&str] = &[
+    "crates/metrics/src/registry.rs",
+    "crates/observe/src/clock.rs",
+];
 
 /// Substrings that indicate a wall-clock read. Matched against the
 /// comment-stripped, string-blanked code view.

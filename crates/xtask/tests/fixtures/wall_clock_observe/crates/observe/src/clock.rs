@@ -1,0 +1,5 @@
+pub fn sanctioned_origin() {
+    let t = std::time::Instant::now(); // the observability clock module
+    let w = std::time::SystemTime::now();
+    let _ = (t, w);
+}

@@ -1,0 +1,6 @@
+pub fn smuggled_clock() {
+    let t = std::time::Instant::now();
+    let _ = t;
+}
+/// Prose mentioning SystemTime::now() must not fire.
+pub fn prose_only() {}

@@ -36,6 +36,19 @@ fn wall_clock_fires_outside_span_module_only() {
 }
 
 #[test]
+fn wall_clock_sanctions_exactly_one_observe_module() {
+    let report = run("wall_clock_observe");
+    assert_eq!(rules_of(&report), [RuleId::WallClock]);
+    assert_eq!(
+        report.findings[0].path, "crates/observe/src/progress.rs",
+        "only observe/src/clock.rs is exempt; the rest of the observe \
+         crate must go through it: {:?}",
+        report.findings
+    );
+    assert_eq!(report.findings[0].line, 2);
+}
+
+#[test]
 fn entropy_rng_fires_on_entropy_seeding_only() {
     let report = run("entropy_rng");
     assert_eq!(rules_of(&report), [RuleId::EntropyRng, RuleId::EntropyRng]);
@@ -239,6 +252,7 @@ fn cli_exit_codes_reflect_findings() {
     };
     for case in [
         "wall_clock",
+        "wall_clock_observe",
         "entropy_rng",
         "hash_collections",
         "env_read",

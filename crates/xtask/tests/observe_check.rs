@@ -1,0 +1,115 @@
+//! CLI contract of `cargo xtask observe-check`: well-formed artifacts
+//! pass, malformed or unsealed ones fail with a nonzero exit.
+
+use std::path::PathBuf;
+use std::process::Output;
+
+fn temp_dir(case: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("beeps_observe_check_{case}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn run(trace: &PathBuf, runlog: &PathBuf) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("observe-check")
+        .arg(trace)
+        .arg(runlog)
+        .output()
+        .expect("xtask binary runs")
+}
+
+const GOOD_TRACE: &str = concat!(
+    "{\"traceEvents\":[",
+    "{\"name\":\"runner.chunk\",\"cat\":\"beeps\",\"pid\":1,\"tid\":1,",
+    "\"ts\":10,\"ph\":\"X\",\"dur\":25,\"args\":{\"start\":0,\"len\":8}},",
+    "{\"name\":\"sim.rewind.rewind\",\"cat\":\"beeps\",\"pid\":1,\"tid\":2,",
+    "\"ts\":40,\"ph\":\"i\",\"s\":\"t\"}",
+    "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":\"0\"}}"
+);
+
+const GOOD_RUNLOG: &str = "\
+{\"type\":\"meta\",\"run_id\":\"t\",\"config_digest\":\"00\",\"base_seed\":1,\"unix_ms\":5}
+{\"type\":\"run_start\",\"trials\":8,\"workers\":2,\"at_us\":1}
+{\"type\":\"chunk\",\"worker\":0,\"start\":0,\"len\":8,\"micros\":9}
+{\"type\":\"run_end\",\"at_us\":12}
+{\"type\":\"summary\",\"trials_done\":8,\"events_recorded\":0,\"events_dropped\":0}
+";
+
+#[test]
+fn accepts_well_formed_artifacts() {
+    let dir = temp_dir("ok");
+    let trace = dir.join("trace.json");
+    let runlog = dir.join("run.runlog.jsonl");
+    std::fs::write(&trace, GOOD_TRACE).unwrap();
+    std::fs::write(&runlog, GOOD_RUNLOG).unwrap();
+    let out = run(&trace, &runlog);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace OK"), "{stdout}");
+    assert!(stdout.contains("2 event(s)"), "{stdout}");
+    assert!(stdout.contains("run log OK"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejects_truncated_trace() {
+    let dir = temp_dir("bad_trace");
+    let trace = dir.join("trace.json");
+    let runlog = dir.join("run.runlog.jsonl");
+    std::fs::write(&trace, &GOOD_TRACE[..GOOD_TRACE.len() - 10]).unwrap();
+    std::fs::write(&runlog, GOOD_RUNLOG).unwrap();
+    let out = run(&trace, &runlog);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("invalid JSON"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejects_unsealed_runlog() {
+    let dir = temp_dir("unsealed");
+    let trace = dir.join("trace.json");
+    let runlog = dir.join("run.runlog.jsonl");
+    std::fs::write(&trace, GOOD_TRACE).unwrap();
+    // Drop the summary line: the run was never sealed.
+    let unsealed: String = GOOD_RUNLOG
+        .lines()
+        .filter(|l| !l.contains("summary"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(&runlog, unsealed).unwrap();
+    let out = run(&trace, &runlog);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("summary"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rejects_missing_file_and_bad_usage() {
+    let dir = temp_dir("missing");
+    let trace = dir.join("nope.json");
+    let runlog = dir.join("nope.jsonl");
+    let out = run(&trace, &runlog);
+    assert_eq!(out.status.code(), Some(1));
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["observe-check", "only-one-arg"])
+        .output()
+        .expect("xtask binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}

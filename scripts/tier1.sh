@@ -22,4 +22,14 @@ cargo fmt --check
 # Run `scripts/bench_compare.sh` without --smoke for the real >25%
 # regression gate plus the >=4x lane-engine floor.
 scripts/bench_compare.sh --smoke
+# Observability smoke: a real experiment run under --progress --profile
+# must produce a loadable Chrome trace and a sealed JSONL run log
+# (validated by the dependency-free observe-check parser).
+BEEPS_EXPERIMENTS_DIR=target/observe-smoke \
+  cargo run --release -q -p beeps-bench --bin fig6_phase_breakdown -- \
+  --threads 2 --progress --profile target/observe-smoke/fig6.trace.json \
+  >/dev/null
+cargo xtask observe-check \
+  target/observe-smoke/fig6.trace.json \
+  target/observe-smoke/fig6_phase_breakdown.runlog.jsonl
 echo "tier-1: all green"

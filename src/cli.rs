@@ -13,7 +13,7 @@
 //! `beeps-bench`'s seed-deterministic [`TrialRunner`], so `--threads`
 //! changes wall-clock time but never the report.
 
-use beeps_bench::{Trial, TrialRunner};
+use beeps_bench::{Observation, Trial, TrialRunner};
 use beeps_channel::{run_noiseless, NoiseModel, Protocol, UniquelyOwned};
 use beeps_core::{
     HierarchicalSimulator, NakedSimulator, OneToZeroSimulator, OwnedRoundsSimulator,
@@ -102,12 +102,31 @@ pub struct Scenario {
     pub metrics: bool,
     /// Rendering for the metrics view (`--metrics-format table|prom`).
     pub metrics_format: MetricsFormat,
+    /// Render a live progress line to stderr (`--progress`, or the
+    /// `BEEPS_PROGRESS` environment variable).
+    pub progress: bool,
+    /// Write a Chrome trace-event profile to this path (`--profile`).
+    pub profile: Option<String>,
 }
 
 impl Scenario {
     fn runner(&self) -> TrialRunner {
         self.threads
             .map_or_else(TrialRunner::from_env, TrialRunner::new)
+    }
+
+    /// The observer stack this scenario's flags (plus `BEEPS_PROGRESS`)
+    /// ask for; inert when none do. Observation never changes the
+    /// report or the metrics view.
+    fn observation(&self) -> Observation {
+        let mut flags: Vec<String> = Vec::new();
+        if self.progress {
+            flags.push("--progress".into());
+        }
+        if let Some(path) = &self.profile {
+            flags.push(format!("--profile={path}"));
+        }
+        Observation::from_args("beeps_cli", self.seed, &flags)
     }
 }
 
@@ -143,10 +162,16 @@ options:
                             results are identical for any value)
   --metrics                print counters/histograms after the report
   --metrics-format table|prom                        (default table)
+  --progress               live trials/s + ETA line on stderr (also
+                           enabled by BEEPS_PROGRESS=1)
+  --profile <path>         write a Chrome trace-event JSON profile of
+                           the run (load in chrome://tracing, speedscope,
+                           or Perfetto) plus a phase summary table
 
 The metrics view contains only deterministic aggregates: it is
 byte-identical for any --threads value. Wall-clock timings are never
-part of it.
+part of it. --progress and --profile observe on the side: they never
+change the report or the metrics view.
 ";
 
 /// Parses `args` (without the program name) into a [`Scenario`].
@@ -174,10 +199,16 @@ pub fn parse(args: &[String]) -> Result<Scenario, ParseError> {
     let mut threads = None;
     let mut metrics = command == CommandKind::Metrics;
     let mut metrics_format = MetricsFormat::Table;
+    let mut progress = false;
+    let mut profile = None;
 
     while let Some(flag) = it.next() {
         if flag == "--metrics" {
             metrics = true;
+            continue;
+        }
+        if flag == "--progress" {
+            progress = true;
             continue;
         }
         let value = it
@@ -249,6 +280,7 @@ pub fn parse(args: &[String]) -> Result<Scenario, ParseError> {
                     other => return Err(ParseError(format!("unknown metrics format `{other}`"))),
                 };
             }
+            "--profile" => profile = Some(value.clone()),
             other => return Err(ParseError(format!("unknown flag `{other}`"))),
         }
     }
@@ -276,6 +308,8 @@ pub fn parse(args: &[String]) -> Result<Scenario, ParseError> {
         threads,
         metrics,
         metrics_format,
+        progress,
+        profile,
     })
 }
 
@@ -454,7 +488,8 @@ where
     P: Protocol + Sync,
     G: Fn(&mut StdRng) -> Vec<P::Input> + Sync,
 {
-    let runner = scenario.runner();
+    let observation = scenario.observation();
+    let runner = observation.attach(scenario.runner());
     let (outcomes, merged) = runner.run_with_metrics(
         scenario.seed,
         scenario.trials as usize,
@@ -472,6 +507,7 @@ where
             }
         },
     );
+    observation.finish(Some(&merged));
 
     let mut exact = 0u64;
     let mut overhead_sum = 0.0f64;
@@ -564,6 +600,23 @@ mod tests {
         assert!(s.metrics, "the metrics subcommand implies --metrics");
 
         assert!(parse(&args("run --metrics-format csv")).is_err());
+    }
+
+    #[test]
+    fn parses_observation_flags() {
+        let s = parse(&args("run --n 4")).unwrap();
+        assert!(!s.progress);
+        assert_eq!(s.profile, None);
+
+        let s = parse(&args("run --progress --profile out/trace.json --n 4")).unwrap();
+        assert!(s.progress);
+        assert_eq!(s.profile.as_deref(), Some("out/trace.json"));
+        assert_eq!(s.n, 4);
+
+        assert!(
+            parse(&args("run --profile")).is_err(),
+            "--profile needs a path"
+        );
     }
 
     #[test]
