@@ -300,7 +300,9 @@ impl TrialRunner {
         // Deterministic dynamic scheduling: workers claim contiguous
         // chunks of trial indices from a shared counter. Which worker
         // runs which chunk varies run to run; the (index, result) pairs
-        // and the index-ordered merge below do not.
+        // and the index-ordered merge below do not. Claim counters use
+        // acquire/release per the workspace atomics policy (beeps-lint
+        // `atomic-ordering`): Relaxed is reserved for inert telemetry.
         let chunk = Self::chunk_size(trials, workers);
         let next = std::sync::atomic::AtomicUsize::new(0);
         let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
@@ -314,7 +316,7 @@ impl TrialRunner {
                         let mut scratch = make_scratch();
                         let mut out = Vec::new();
                         loop {
-                            let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                            let start = next.fetch_add(chunk, std::sync::atomic::Ordering::AcqRel);
                             if start >= trials {
                                 break;
                             }
@@ -436,7 +438,7 @@ impl TrialRunner {
                         let _ambient = observer.map(|obs| ambient::install(Arc::clone(obs), w));
                         let mut out = Vec::new();
                         loop {
-                            let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                            let start = next.fetch_add(chunk, std::sync::atomic::Ordering::AcqRel);
                             if start >= trials {
                                 break;
                             }
@@ -569,7 +571,7 @@ impl TrialRunner {
                         let _ambient = observer.map(|obs| ambient::install(Arc::clone(obs), w));
                         let mut out = Vec::new();
                         loop {
-                            let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                            let start = next.fetch_add(chunk, std::sync::atomic::Ordering::AcqRel);
                             if start >= trials {
                                 break;
                             }

@@ -446,6 +446,11 @@ impl Channel for ReducedTwoSidedChannel {
         self.inner.num_parties()
     }
 
+    /// # Panics
+    ///
+    /// Panics if the inner channel returns a private delivery — impossible
+    /// by construction, since `new` wraps a one-sided (shared-delivery)
+    /// `StochasticChannel`.
     fn transmit(&mut self, true_or: bool) -> Delivery {
         let heard = self
             .inner

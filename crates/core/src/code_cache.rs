@@ -88,10 +88,12 @@ impl CodeCache {
         );
         let mut tables = self.tables.lock().expect("code cache lock poisoned");
         if let Some(code) = tables.get(&key) {
+            // beeps-lint: allow(atomic-ordering) -- inert monotone stats counter; hits/builds feed diagnostics only and never publish or gate data (the table itself travels under the mutex)
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(code);
         }
         let code = config.build_code_uncached();
+        // beeps-lint: allow(atomic-ordering) -- inert monotone stats counter; see the hits counter above
         self.builds.fetch_add(1, Ordering::Relaxed);
         tables.insert(key, Arc::clone(&code));
         code
@@ -109,11 +111,13 @@ impl CodeCache {
 
     /// Total cache misses, i.e. tables actually built.
     pub fn builds(&self) -> u64 {
+        // beeps-lint: allow(atomic-ordering) -- inert diagnostic load: the count is advisory and monotone, no data depends on it
         self.builds.load(Ordering::Relaxed)
     }
 
     /// Total cache hits served without rebuilding.
     pub fn hits(&self) -> u64 {
+        // beeps-lint: allow(atomic-ordering) -- inert diagnostic load: the count is advisory and monotone, no data depends on it
         self.hits.load(Ordering::Relaxed)
     }
 }

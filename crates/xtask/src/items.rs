@@ -1,0 +1,438 @@
+//! Item discovery over the token tree: fn / impl / mod spans,
+//! attribute tracking, and exact `#[cfg(test)]` regions.
+//!
+//! The v1 lexer could only brace-track the idiomatic trailing
+//! `#[cfg(test)] mod tests { … }`. Walking the token forest instead
+//! gives every item its real span, so test regions are exact for
+//! `#[cfg(test)]`/`#[test]` functions, impls, and nested modules too —
+//! and the semantic passes get the structure they need: which fn body
+//! a token sits in, whether that fn documents a `# Panics` contract,
+//! and which impl blocks implement `Observer`.
+
+use crate::lexer::{Delim, Lexed, Tok, Token};
+use crate::tokens::{self, Tree};
+
+/// A discovered `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// 0-based line span of the body braces, inclusive (`None` for
+    /// body-less signatures in traits / extern blocks).
+    pub body_lines: Option<(usize, usize)>,
+    /// True under `#[cfg(test)]` / `#[test]` (directly or inherited).
+    pub is_test: bool,
+    /// True when the doc comment above declares a `# Panics` section.
+    pub docs_panics: bool,
+}
+
+/// A discovered `impl` block.
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    /// Trait being implemented (`Observer` for `impl Observer for X`),
+    /// `None` for inherent impls.
+    pub trait_name: Option<String>,
+    /// 0-based line of the `impl` keyword.
+    pub line: usize,
+    /// Token-index span of the body brace group, inclusive of braces.
+    pub body_tokens: (usize, usize),
+    /// 0-based line span of the body braces, inclusive.
+    pub body_lines: (usize, usize),
+    /// True under `#[cfg(test)]` (directly or inherited).
+    pub is_test: bool,
+}
+
+/// Everything the item pass discovered in one file.
+#[derive(Debug, Default)]
+pub struct Items {
+    /// All `fn` items, in source order (including nested ones).
+    pub fns: Vec<FnItem>,
+    /// All `impl` blocks, in source order.
+    pub impls: Vec<ImplItem>,
+    /// Per-line test flags (0-indexed, same length as the file).
+    pub test_lines: Vec<bool>,
+}
+
+impl Items {
+    /// Walks the token forest of `lexed` and discovers items.
+    #[must_use]
+    pub fn discover(lexed: &Lexed) -> Self {
+        let forest = tokens::build(&lexed.tokens);
+        let mut w = Walker {
+            lexed,
+            items: Items {
+                test_lines: vec![false; lexed.lines.len()],
+                ..Items::default()
+            },
+        };
+        w.walk(&forest, false);
+        w.items
+    }
+
+    /// True when some non-test enclosing fn body containing 0-based
+    /// `line` documents a `# Panics` contract.
+    #[must_use]
+    pub fn docs_panics_at(&self, line: usize) -> bool {
+        self.fns.iter().any(|f| {
+            f.docs_panics
+                && f.body_lines
+                    .is_some_and(|(lo, hi)| (lo..=hi).contains(&line))
+        })
+    }
+}
+
+fn is_test_attr(flat: &str) -> bool {
+    flat == "test"
+        || flat == "cfg(test)"
+        || flat.starts_with("cfg(test,")
+        || flat.starts_with("cfg(all(test")
+        || flat.starts_with("cfg(any(test")
+}
+
+/// Item keywords whose body (brace group) inherits the pending
+/// `#[cfg(test)]` flag and gets recursed into.
+const BLOCK_ITEM_KEYWORDS: &[&str] = &["mod", "struct", "enum", "union", "trait"];
+
+struct Walker<'a> {
+    lexed: &'a Lexed,
+    items: Items,
+}
+
+impl Walker<'_> {
+    fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    fn mark_test(&mut self, from: usize, to: usize) {
+        for l in &mut self.items.test_lines[from..=to.min(self.lexed.lines.len() - 1)] {
+            *l = true;
+        }
+    }
+
+    /// Walks one sibling level of the forest. `inherited` is true when
+    /// an enclosing item is already a test region.
+    fn walk(&mut self, trees: &[Tree], inherited: bool) {
+        let mut pending_test = false;
+        // First attribute line of the current attr run (for doc-comment
+        // lookup and test-span starts).
+        let mut attr_line: Option<usize> = None;
+        let mut k = 0;
+        while k < trees.len() {
+            match &trees[k] {
+                Tree::Leaf(ti) => {
+                    let tok = &self.tokens()[*ti];
+                    if tok.tok.is_punct('#') {
+                        // `#[…]` / `#![…]` attribute.
+                        let mut j = k + 1;
+                        if let Some(Tree::Leaf(b)) = trees.get(j) {
+                            if self.tokens()[*b].tok.is_punct('!') {
+                                j += 1;
+                            }
+                        }
+                        if let Some(Tree::Group(g)) = trees.get(j) {
+                            if g.delim == Delim::Bracket {
+                                if is_test_attr(&tokens::flatten(self.tokens(), g)) {
+                                    pending_test = true;
+                                }
+                                attr_line.get_or_insert(tok.line);
+                                k = j + 1;
+                                continue;
+                            }
+                        }
+                    }
+                    match tok.tok.ident() {
+                        Some("fn") => {
+                            k = self.item_fn(trees, k, *ti, inherited || pending_test, attr_line);
+                            pending_test = false;
+                            attr_line = None;
+                            continue;
+                        }
+                        Some("impl") => {
+                            k = self.item_impl(trees, k, *ti, inherited || pending_test, attr_line);
+                            pending_test = false;
+                            attr_line = None;
+                            continue;
+                        }
+                        Some(kw) if BLOCK_ITEM_KEYWORDS.contains(&kw) => {
+                            k = self.item_block(
+                                trees,
+                                k,
+                                *ti,
+                                inherited || pending_test,
+                                attr_line,
+                            );
+                            pending_test = false;
+                            attr_line = None;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    if tok.tok.is_punct(';') {
+                        // End of a non-block item (`use …;`, `struct X;`):
+                        // any pending attribute applied to it, not to
+                        // whatever comes next.
+                        pending_test = false;
+                        attr_line = None;
+                    }
+                }
+                Tree::Group(g) => {
+                    // Non-item group (expression block, match body, …):
+                    // recurse for nested items, inheriting the flag.
+                    self.walk(&g.children, inherited);
+                }
+            }
+            k += 1;
+        }
+    }
+
+    /// Consumes `fn name(…) … { … }` (or `fn name(…);`). Returns the
+    /// sibling index just past the item.
+    fn item_fn(
+        &mut self,
+        trees: &[Tree],
+        k: usize,
+        fn_tok: usize,
+        is_test: bool,
+        attr_line: Option<usize>,
+    ) -> usize {
+        let fn_line = self.tokens()[fn_tok].line;
+        let name = trees[k + 1..]
+            .iter()
+            .find_map(|t| match t {
+                Tree::Leaf(i) => self.tokens()[*i].tok.ident().map(str::to_string),
+                Tree::Group(_) => None,
+            })
+            .unwrap_or_default();
+        let mut body = None;
+        let mut next = trees.len();
+        for (off, t) in trees[k + 1..].iter().enumerate() {
+            match t {
+                Tree::Leaf(i) if self.tokens()[*i].tok.is_punct(';') => {
+                    next = k + 1 + off + 1;
+                    break;
+                }
+                Tree::Group(g) if g.delim == Delim::Brace => {
+                    body = Some(g.clone());
+                    next = k + 1 + off + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let docs_panics = self.docs_panics_above(attr_line.unwrap_or(fn_line));
+        let body_lines = body
+            .as_ref()
+            .map(|g| (self.tokens()[g.open].line, self.tokens()[g.close].line));
+        if is_test {
+            let end = body_lines.map_or(fn_line, |(_, hi)| hi);
+            self.mark_test(attr_line.unwrap_or(fn_line), end);
+        }
+        self.items.fns.push(FnItem {
+            name,
+            line: fn_line,
+            body_lines,
+            is_test,
+            docs_panics,
+        });
+        if let Some(g) = body {
+            self.walk(&g.children, is_test);
+        }
+        next
+    }
+
+    /// Consumes `impl … { … }`. Returns the sibling index past it.
+    fn item_impl(
+        &mut self,
+        trees: &[Tree],
+        k: usize,
+        impl_tok: usize,
+        is_test: bool,
+        attr_line: Option<usize>,
+    ) -> usize {
+        let impl_line = self.tokens()[impl_tok].line;
+        let mut body = None;
+        let mut next = trees.len();
+        let mut header: Vec<usize> = Vec::new();
+        for (off, t) in trees[k + 1..].iter().enumerate() {
+            match t {
+                Tree::Group(g) if g.delim == Delim::Brace => {
+                    body = Some(g.clone());
+                    next = k + 1 + off + 1;
+                    break;
+                }
+                Tree::Leaf(i) => header.push(*i),
+                Tree::Group(_) => {}
+            }
+        }
+        let Some(g) = body else {
+            return next;
+        };
+        // Trait name: the last identifier before a depth-0 `for` in the
+        // header (angle-bracket depth tracked so generic bounds like
+        // `impl<C: Channel> Channel for &mut C` resolve to `Channel`).
+        let mut depth = 0i32;
+        let mut last_ident: Option<&str> = None;
+        let mut trait_name = None;
+        let mut prev_minus = false;
+        for &i in &header {
+            match &self.tokens()[i].tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') if !prev_minus => depth -= 1,
+                Tok::Ident(s) if depth <= 0 => {
+                    if s == "for" {
+                        trait_name = last_ident.map(str::to_string);
+                        break;
+                    }
+                    last_ident = Some(s);
+                }
+                _ => {}
+            }
+            prev_minus = self.tokens()[i].tok.is_punct('-');
+        }
+        let body_lines = (self.tokens()[g.open].line, self.tokens()[g.close].line);
+        if is_test {
+            self.mark_test(attr_line.unwrap_or(impl_line), body_lines.1);
+        }
+        self.items.impls.push(ImplItem {
+            trait_name,
+            line: impl_line,
+            body_tokens: (g.open, g.close),
+            body_lines,
+            is_test,
+        });
+        self.walk(&g.children, is_test);
+        next
+    }
+
+    /// Consumes `mod`/`struct`/`enum`/`union`/`trait` items (brace body
+    /// or `;`-terminated). Returns the sibling index past the item.
+    fn item_block(
+        &mut self,
+        trees: &[Tree],
+        k: usize,
+        kw_tok: usize,
+        is_test: bool,
+        attr_line: Option<usize>,
+    ) -> usize {
+        let kw_line = self.tokens()[kw_tok].line;
+        for (off, t) in trees[k + 1..].iter().enumerate() {
+            match t {
+                Tree::Leaf(i) if self.tokens()[*i].tok.is_punct(';') => {
+                    if is_test {
+                        self.mark_test(attr_line.unwrap_or(kw_line), self.tokens()[*i].line);
+                    }
+                    return k + 1 + off + 1;
+                }
+                Tree::Group(g) if g.delim == Delim::Brace => {
+                    if is_test {
+                        let hi = self.tokens()[g.close].line;
+                        self.mark_test(attr_line.unwrap_or(kw_line), hi);
+                    }
+                    let children = g.children.clone();
+                    self.walk(&children, is_test);
+                    return k + 1 + off + 1;
+                }
+                _ => {}
+            }
+        }
+        trees.len()
+    }
+
+    /// True when the contiguous doc-comment/attribute run above 0-based
+    /// `line` contains a `# Panics` heading.
+    fn docs_panics_above(&self, mut line: usize) -> bool {
+        while line > 0 {
+            line -= 1;
+            let l = &self.lexed.lines[line];
+            if let Some(doc) = &l.doc {
+                if doc.contains("# Panics") {
+                    return true;
+                }
+                continue;
+            }
+            // Keep climbing through blank lines, plain comments, and
+            // attribute lines; stop at real code.
+            if !l.has_code || l.raw.starts_with("#[") {
+                continue;
+            }
+            break;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn discover(src: &str) -> Items {
+        Items::discover(&lexer::lex(src))
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_region() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn after() {}\n";
+        let items = discover(src);
+        assert!(!items.test_lines[0]);
+        assert!(items.test_lines[2]);
+        assert!(items.test_lines[3]);
+        assert!(items.test_lines[4]);
+        assert!(!items.test_lines[5]);
+    }
+
+    #[test]
+    fn cfg_test_fn_marks_exactly_that_fn() {
+        let src = "#[cfg(test)]\nfn helper() {\n    boom();\n}\nfn live() {}\n";
+        let items = discover(src);
+        assert!(items.test_lines[0]);
+        assert!(items.test_lines[2]);
+        assert!(!items.test_lines[4]);
+    }
+
+    #[test]
+    fn test_attr_fn_is_test() {
+        let items = discover("#[test]\nfn check() { assert!(true); }\n");
+        assert!(items.fns.iter().any(|f| f.name == "check" && f.is_test));
+        assert!(items.test_lines[1]);
+    }
+
+    #[test]
+    fn impl_trait_name_with_generics() {
+        let src = "impl<C: Channel> Channel for &mut C {\n    fn go(&mut self) {}\n}\n\
+                   impl Widget {\n    fn new() {}\n}\n\
+                   impl beeps_observe::Observer for Probe {\n    fn on_run_start(&self) {}\n}\n";
+        let items = discover(src);
+        let traits: Vec<_> = items.impls.iter().map(|i| i.trait_name.clone()).collect();
+        assert_eq!(
+            traits,
+            vec![
+                Some("Channel".to_string()),
+                None,
+                Some("Observer".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn panics_doc_detected_through_attrs() {
+        let src = "/// Runs it.\n///\n/// # Panics\n/// Panics on empty input.\n#[inline]\npub fn run(v: &[u32]) {\n    v[0];\n}\n";
+        let items = discover(src);
+        let f = items.fns.iter().find(|f| f.name == "run").expect("run fn");
+        assert!(f.docs_panics);
+        assert!(items.docs_panics_at(6));
+        assert!(!items.docs_panics_at(0));
+    }
+
+    #[test]
+    fn nested_fn_inherits_test_flag() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    mod inner {\n        fn deep() { bad(); }\n    }\n}\n";
+        let items = discover(src);
+        assert!(items.test_lines[3]);
+        assert!(items.fns.iter().all(|f| f.is_test));
+    }
+}

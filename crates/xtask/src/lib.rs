@@ -24,18 +24,36 @@
 //! `scan::collect_sources`).
 
 pub mod baseline;
+pub mod items;
 pub mod jsonck;
+pub mod lexer;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
+pub mod tokens;
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::time::Duration;
 
 pub use baseline::Baseline;
 pub use rules::RuleId;
+
+/// Wall-clock helper for `lint --timings`. This is diagnostic output
+/// about the linter itself — per-pass wall time never feeds lint
+/// results, reports, or exit codes, so the workspace's `Instant::now`
+/// ban does not apply (the same carve-out as `beeps_observe::clock`).
+mod timing {
+    use std::time::Instant;
+
+    #[allow(clippy::disallowed_methods)] // diagnostic-only --timings clock
+    pub fn now() -> Instant {
+        Instant::now()
+    }
+}
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +92,11 @@ pub struct LintReport {
     /// Baseline entries for every unsuppressed finding (what
     /// `--write-baseline` persists, including currently-baselined ones).
     pub baseline_entries: Vec<(String, String, String)>,
+    /// Per-rule wall time, in pass order (shown by `lint --timings`;
+    /// never part of lint results or exit codes).
+    pub timings: Vec<(&'static str, Duration)>,
+    /// Wall time of the scan + lex + item-discovery phase.
+    pub scan_time: Duration,
 }
 
 impl LintReport {
@@ -90,12 +113,19 @@ impl LintReport {
 ///
 /// Propagates I/O errors from the source walk and file reads.
 pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<LintReport> {
+    let scan_start = timing::now();
     let files = scan::collect_sources(root)?;
     let experiments_md = fs::read_to_string(root.join("EXPERIMENTS.md")).ok();
     let facts = rules::Facts::gather(&files, experiments_md.as_deref());
+    let scan_time = scan_start.elapsed();
 
     let mut raw_findings = Vec::new();
-    rules::check(&files, &facts, &mut raw_findings);
+    let mut timings = Vec::new();
+    for pass in rules::passes() {
+        let start = timing::now();
+        (pass.run)(&files, &facts, &mut raw_findings);
+        timings.push((pass.rule.as_str(), start.elapsed()));
+    }
 
     let by_path: BTreeMap<String, &scan::SourceFile> = files
         .iter()
@@ -104,6 +134,7 @@ pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<LintReport
 
     let mut report = LintReport {
         files_scanned: files.len(),
+        scan_time,
         ..LintReport::default()
     };
 
@@ -133,6 +164,7 @@ pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<LintReport
     }
 
     // Police the suppression mechanism itself.
+    let suppression_start = timing::now();
     for file in &files {
         let rel = file.path.to_string_lossy().replace('\\', "/");
         for (idx, line) in file.lines.iter().enumerate() {
@@ -189,6 +221,9 @@ pub fn lint_workspace(root: &Path, baseline: &Baseline) -> io::Result<LintReport
             }
         }
     }
+
+    timings.push((RuleId::Suppression.as_str(), suppression_start.elapsed()));
+    report.timings = timings;
 
     report
         .findings

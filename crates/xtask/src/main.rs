@@ -9,7 +9,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtask::{jsonck, lint_workspace, Baseline, RuleId};
+use xtask::{jsonck, lint_workspace, sarif, Baseline, LintReport, RuleId};
 
 /// Default baseline filename, resolved relative to the lint root.
 const BASELINE_FILE: &str = "xtask-lint.baseline";
@@ -40,6 +40,9 @@ Options:
   --root <dir>        lint this tree instead of the workspace root
   --baseline <file>   baseline file (default: <root>/xtask-lint.baseline)
   --write-baseline    rewrite the baseline to grandfather current findings
+  --format <fmt>      output format: text (default) or sarif (SARIF
+                      2.1.0 on stdout; summary moves to stderr)
+  --timings           print per-rule wall time to stderr
   --list-rules        print every rule ID with its rationale
   -h, --help          this help
 
@@ -55,12 +58,26 @@ fn lint(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut write_baseline = false;
+    let mut format = Format::Text;
+    let mut timings = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => root = it.next().map(PathBuf::from),
             "--baseline" => baseline_path = it.next().map(PathBuf::from),
             "--write-baseline" => write_baseline = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!(
+                        "xtask lint: --format expects `text` or `sarif`, got {:?}\n\n{USAGE}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--timings" => timings = true,
             "--list-rules" => {
                 for rule in RuleId::ALL {
                     println!("{:<18} {}", rule.as_str(), rule.rationale());
@@ -117,21 +134,59 @@ fn lint(args: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    for finding in &report.findings {
-        println!("{finding}");
-    }
-    println!(
+    let summary = format!(
         "beeps-lint: {} finding(s), {} suppressed, {} baselined, {} files scanned",
         report.findings.len(),
         report.suppressed,
         report.baselined,
         report.files_scanned
     );
+    match format {
+        Format::Text => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            println!("{summary}");
+        }
+        Format::Sarif => {
+            // SARIF goes to stdout (so `> lint.sarif` captures exactly
+            // the document); the human summary moves to stderr.
+            print!("{}", sarif::render(&report));
+            eprintln!("{summary}");
+        }
+    }
+    if timings {
+        print_timings(&report);
+    }
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Output format for `lint`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Sarif,
+}
+
+/// Prints the per-rule wall-time table to stderr, in pass order.
+fn print_timings(report: &LintReport) {
+    eprintln!("beeps-lint timings:");
+    eprintln!(
+        "  {:<24} {:>9.3} ms  (walk + lex + item discovery)",
+        "scan",
+        ms(report.scan_time)
+    );
+    for (rule, dur) in &report.timings {
+        eprintln!("  {rule:<24} {:>9.3} ms", ms(*dur));
+    }
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
 }
 
 fn observe_check(args: &[String]) -> ExitCode {

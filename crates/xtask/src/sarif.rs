@@ -1,0 +1,146 @@
+//! Hand-rolled SARIF 2.1.0 emitter for `cargo xtask lint --format
+//! sarif`.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the schema CI
+//! services ingest for inline PR annotations. Like every serializer in
+//! this workspace the emitter is dependency-free and deterministic:
+//! rules appear in [`RuleId::ALL`] order, results in the engine's
+//! sorted (path, line, rule) order, and no timestamps or absolute
+//! paths are embedded — the same findings always produce byte-identical
+//! output. Conformance is pinned by validating against the in-repo
+//! RFC 8259 validator ([`crate::jsonck`]).
+
+use crate::rules::RuleId;
+use crate::{Finding, LintReport};
+
+/// Escapes `s` into a JSON string body (no surrounding quotes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn rule_object(rule: RuleId) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\
+         \"defaultConfiguration\":{{\"level\":\"error\"}}}}",
+        escape(rule.as_str()),
+        escape(rule.rationale())
+    )
+}
+
+fn result_object(f: &Finding) -> String {
+    let rule_index = RuleId::ALL
+        .iter()
+        .position(|r| *r == f.rule)
+        .unwrap_or_default();
+    format!(
+        "{{\"ruleId\":\"{}\",\"ruleIndex\":{rule_index},\"level\":\"error\",\
+         \"message\":{{\"text\":\"{}\"}},\"locations\":[{{\"physicalLocation\":\
+         {{\"artifactLocation\":{{\"uri\":\"{}\",\"uriBaseId\":\"SRCROOT\"}},\
+         \"region\":{{\"startLine\":{}}}}}}}]}}",
+        escape(f.rule.as_str()),
+        escape(&f.message),
+        escape(&f.path),
+        f.line
+    )
+}
+
+/// Renders `report` as a complete SARIF 2.1.0 log (one run, one result
+/// per unsuppressed finding).
+#[must_use]
+pub fn render(report: &LintReport) -> String {
+    let rules: Vec<String> = RuleId::ALL.iter().map(|r| rule_object(*r)).collect();
+    let results: Vec<String> = report.findings.iter().map(result_object).collect();
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\
+         \"name\":\"beeps-lint\",\"informationUri\":\
+         \"https://github.com/noisy-beeps/noisy-beeps\",\
+         \"version\":\"{}\",\"rules\":[{}]}}}},\
+         \"originalUriBaseIds\":{{\"SRCROOT\":{{\"uri\":\"file:///\"}}}},\
+         \"results\":[{}]}}]}}\n",
+        escape(env!("CARGO_PKG_VERSION")),
+        rules.join(","),
+        results.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jsonck;
+
+    fn sample_report() -> LintReport {
+        LintReport {
+            findings: vec![
+                Finding {
+                    rule: RuleId::AtomicOrdering,
+                    path: "crates/bench/src/runner.rs".to_string(),
+                    line: 317,
+                    message: "`Ordering::Relaxed` on `next.fetch_add` needs \"AcqRel\"".to_string(),
+                },
+                Finding {
+                    rule: RuleId::HashCollections,
+                    path: "src/weird\\path.rs".to_string(),
+                    line: 1,
+                    message: "tab\there\nnewline".to_string(),
+                },
+            ],
+            files_scanned: 2,
+            ..LintReport::default()
+        }
+    }
+
+    #[test]
+    fn sarif_is_valid_json_per_jsonck() {
+        let text = render(&sample_report());
+        jsonck::validate(&text).expect("SARIF output must be RFC 8259 valid");
+        // Empty report too.
+        let empty = render(&LintReport::default());
+        jsonck::validate(&empty).expect("empty SARIF output must be valid");
+    }
+
+    #[test]
+    fn sarif_carries_schema_rules_and_results() {
+        let text = render(&sample_report());
+        assert!(text.contains("\"version\":\"2.1.0\""));
+        assert!(text.contains("sarif-2.1.0.json"));
+        assert!(text.contains("\"name\":\"beeps-lint\""));
+        // Every rule is declared.
+        for rule in RuleId::ALL {
+            assert!(text.contains(&format!("\"id\":\"{}\"", rule.as_str())));
+        }
+        assert!(text.contains("\"startLine\":317"));
+        assert!(text.contains("\"uri\":\"crates/bench/src/runner.rs\""));
+        // ruleIndex points into the declared rules array.
+        let idx = RuleId::ALL
+            .iter()
+            .position(|r| *r == RuleId::AtomicOrdering)
+            .unwrap();
+        assert!(text.contains(&format!("\"ruleIndex\":{idx}")));
+    }
+
+    #[test]
+    fn sarif_escapes_hostile_strings() {
+        let text = render(&sample_report());
+        assert!(text.contains("weird\\\\path.rs"));
+        assert!(text.contains("tab\\there\\nnewline"));
+        assert!(text.contains("\\\"AcqRel\\\""));
+    }
+
+    #[test]
+    fn sarif_is_deterministic() {
+        assert_eq!(render(&sample_report()), render(&sample_report()));
+    }
+}

@@ -1,0 +1,184 @@
+//! The token-tree layer: brace/bracket/paren matching over the flat
+//! [`crate::lexer`] token stream.
+//!
+//! A token tree is what the semantic passes walk: `Leaf` nodes index
+//! into the token stream, `Group` nodes own a matched delimiter pair
+//! and their children. The builder is tolerant of unbalanced input —
+//! a stray close delimiter becomes a leaf, an unclosed group is closed
+//! at end of file — because the linter must keep working on source
+//! that does not (yet) compile.
+
+use crate::lexer::{Delim, Tok, Token};
+
+/// One node of the token tree.
+#[derive(Debug, Clone)]
+pub enum Tree {
+    /// A non-delimiter token; the index points into the token stream.
+    Leaf(usize),
+    /// A matched delimiter pair and everything inside it.
+    Group(Group),
+}
+
+/// A matched `( … )` / `[ … ]` / `{ … }` group.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Delimiter kind.
+    pub delim: Delim,
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the closing delimiter (index of the last token in
+    /// the stream when the group is unclosed at EOF).
+    pub close: usize,
+    /// Child nodes, in source order.
+    pub children: Vec<Tree>,
+}
+
+/// One open group on the builder stack: its delimiter and open-token
+/// index (`None` for the bottom layer, which is the top-level forest)
+/// plus the children collected so far.
+type OpenLayer = (Option<(Delim, usize)>, Vec<Tree>);
+
+/// Builds the token forest for `tokens`.
+#[must_use]
+pub fn build(tokens: &[Token]) -> Vec<Tree> {
+    // Stack of open groups; the bottom layer is the top-level forest.
+    let mut stack: Vec<OpenLayer> = vec![(None, Vec::new())];
+    for (i, t) in tokens.iter().enumerate() {
+        match t.tok {
+            Tok::Open(d) => stack.push((Some((d, i)), Vec::new())),
+            Tok::Close(d) => {
+                let matches_top = matches!(stack.last(), Some((Some((top, _)), _)) if *top == d);
+                if matches_top {
+                    let (meta, children) = stack.pop().expect("non-empty stack");
+                    let (delim, open) = meta.expect("matched above");
+                    let group = Tree::Group(Group {
+                        delim,
+                        open,
+                        close: i,
+                        children,
+                    });
+                    stack.last_mut().expect("root layer").1.push(group);
+                } else {
+                    // Mismatched close: keep it as a leaf so later
+                    // delimiters can still pair up.
+                    stack.last_mut().expect("root layer").1.push(Tree::Leaf(i));
+                }
+            }
+            _ => stack.last_mut().expect("root layer").1.push(Tree::Leaf(i)),
+        }
+    }
+    // Close any unterminated groups at EOF.
+    let eof = tokens.len().saturating_sub(1);
+    while stack.len() > 1 {
+        let (meta, children) = stack.pop().expect("len checked");
+        let (delim, open) = meta.expect("non-root layers always have meta");
+        let group = Tree::Group(Group {
+            delim,
+            open,
+            close: eof,
+            children,
+        });
+        stack.last_mut().expect("root layer").1.push(group);
+    }
+    stack.pop().expect("root layer").1
+}
+
+/// Finds the index of the close delimiter matching the open delimiter
+/// at `open_idx` (which must be an `Open` token), scanning the flat
+/// stream with depth counting. Returns the last token index if the
+/// group never closes.
+#[must_use]
+pub fn matching_close(tokens: &[Token], open_idx: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        match t.tok {
+            Tok::Open(_) => depth += 1,
+            Tok::Close(_) => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Flattens a group's contents into a compact text form —
+/// `cfg(test)`-style, no spaces — for attribute matching.
+#[must_use]
+pub fn flatten(tokens: &[Token], group: &Group) -> String {
+    let mut out = String::new();
+    flatten_into(tokens, &group.children, &mut out);
+    out
+}
+
+fn flatten_into(tokens: &[Token], trees: &[Tree], out: &mut String) {
+    for t in trees {
+        match t {
+            Tree::Leaf(i) => match &tokens[*i].tok {
+                Tok::Ident(s) => out.push_str(s),
+                Tok::Lifetime(s) => {
+                    out.push('\'');
+                    out.push_str(s);
+                }
+                Tok::Int(s) | Tok::Float(s) => out.push_str(s),
+                Tok::Str(_) => out.push('"'),
+                Tok::Char => out.push('\''),
+                Tok::Punct(c) => out.push(*c),
+                Tok::Open(_) | Tok::Close(_) => {}
+            },
+            Tree::Group(g) => {
+                let (o, c) = match g.delim {
+                    Delim::Paren => ('(', ')'),
+                    Delim::Bracket => ('[', ']'),
+                    Delim::Brace => ('{', '}'),
+                };
+                out.push(o);
+                flatten_into(tokens, &g.children, out);
+                out.push(c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    #[test]
+    fn groups_match_across_lines() {
+        let lx = lexer::lex("fn f() {\n    g(1, [2, 3]);\n}\n");
+        let forest = build(&lx.tokens);
+        // fn, f, (), {}
+        let braces = forest
+            .iter()
+            .filter(|t| matches!(t, Tree::Group(g) if g.delim == Delim::Brace))
+            .count();
+        assert_eq!(braces, 1);
+    }
+
+    #[test]
+    fn tolerates_unbalanced_input() {
+        let lx = lexer::lex("fn f( {\n");
+        let forest = build(&lx.tokens);
+        assert!(!forest.is_empty());
+        let lx2 = lexer::lex(") } fn g() {}\n");
+        let forest2 = build(&lx2.tokens);
+        assert!(forest2
+            .iter()
+            .any(|t| matches!(t, Tree::Group(g) if g.delim == Delim::Brace)));
+    }
+
+    #[test]
+    fn flatten_renders_attribute_args() {
+        let lx = lexer::lex("#[cfg(test)]\n");
+        let forest = build(&lx.tokens);
+        let Some(Tree::Group(g)) = forest.iter().find(|t| matches!(t, Tree::Group(_))) else {
+            panic!("expected bracket group");
+        };
+        assert_eq!(flatten(&lx.tokens, g), "cfg(test)");
+    }
+}

@@ -1,0 +1,23 @@
+pub fn claim(next: &AtomicUsize, chunk: usize) -> usize {
+    next.fetch_add(chunk, Ordering::Relaxed)
+}
+
+pub fn peek(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+}
+
+pub fn stat(hits: &AtomicU64) -> u64 {
+    // beeps-lint: allow(atomic-ordering) -- inert diagnostics counter, never synchronizes data
+    hits.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn scratch(n: &AtomicUsize) -> usize {
+        n.load(Ordering::Relaxed)
+    }
+}

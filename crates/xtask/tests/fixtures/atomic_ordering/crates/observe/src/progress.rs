@@ -1,0 +1,3 @@
+pub fn tick(trials_done: &AtomicU64) {
+    trials_done.fetch_add(1, Ordering::Relaxed);
+}

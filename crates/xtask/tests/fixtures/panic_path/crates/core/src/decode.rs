@@ -1,0 +1,34 @@
+/// Looks up the first table entry.
+///
+/// # Panics
+///
+/// Panics when the table is empty.
+pub fn documented(t: &[u32]) -> u32 {
+    *t.first().expect("table must be non-empty")
+}
+
+pub fn site_one(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn site_two(x: Option<u32>) -> u32 {
+    x.expect("checked by caller")
+}
+
+pub fn site_three(n: u32) -> u32 {
+    if n > 3 {
+        panic!("bad n");
+    }
+    n
+}
+
+pub fn site_four() {
+    unreachable!(); // beeps-lint: allow(panic-path) -- fixture: justified overflow site
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn scratch(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}

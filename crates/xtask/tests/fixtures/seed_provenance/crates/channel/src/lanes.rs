@@ -1,0 +1,7 @@
+pub fn lanes(trial_seed: u64) -> (StdRng, StdRng) {
+    // beeps-lint: allow(lane-seed-discipline) -- fixture fan-out site
+    let a = StdRng::seed_from_u64(trial_seed);
+    // beeps-lint: allow(lane-seed-discipline) -- fixture fan-out site
+    let b = StdRng::seed_from_u64(trial_seed);
+    (a, b)
+}

@@ -1,0 +1,22 @@
+pub fn trial_seed(base: u64, trial: u64) -> u64 {
+    base ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+pub fn good(base: u64, trial: u64) -> StdRng {
+    StdRng::seed_from_u64(trial_seed(base, trial))
+}
+
+pub fn literal() -> StdRng {
+    StdRng::seed_from_u64(0xDEAD_BEEF)
+}
+
+pub fn untraced(round: u64) -> StdRng {
+    StdRng::seed_from_u64(round * 3)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn scratch() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+}

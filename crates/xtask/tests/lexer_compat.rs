@@ -1,0 +1,65 @@
+//! Lexer-equivalence property test: the v2 token-tree lexer must
+//! reproduce the superseded v1 line-oriented lexer's per-line views on
+//! every first-party source file in the live workspace. The rules were
+//! ported from v1 semantics, so any divergence here is a lexer bug
+//! (or an intentional change that must be argued in this test).
+
+use std::path::PathBuf;
+
+use xtask::{items::Items, lexer, scan};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn v2_reproduces_v1_line_views_on_every_workspace_file() {
+    let root = workspace_root();
+    let paths = scan::collect_paths(&root).expect("workspace walk");
+    assert!(paths.len() > 50, "suspiciously few files: {}", paths.len());
+
+    let mut checked_lines = 0usize;
+    for rel in &paths {
+        let content = std::fs::read_to_string(root.join(rel)).expect("source readable");
+        let v1 = scan::v1::lex(&content);
+        let v2 = lexer::lex(&content);
+        // in_test lives in the item-discovery layer, not the lexer
+        // (scan::SourceFile::lex copies it back onto the lines).
+        let test_lines = Items::discover(&v2).test_lines;
+        assert_eq!(
+            v1.len(),
+            v2.lines.len(),
+            "{}: line count diverges",
+            rel.display()
+        );
+        for (idx, (a, b)) in v1.iter().zip(&v2.lines).enumerate() {
+            let at = format!("{}:{}", rel.display(), idx + 1);
+            assert_eq!(a.raw, b.raw, "{at}: raw view diverges");
+            assert_eq!(a.code, b.code, "{at}: code view diverges");
+            assert_eq!(a.strings, b.strings, "{at}: string literals diverge");
+            assert_eq!(a.has_code, b.has_code, "{at}: has_code diverges");
+            // `doc` is deliberately not compared: it is a v2-only view
+            // (v1 folded doc comments into plain comment text).
+            assert_eq!(
+                a.suppressions, b.suppressions,
+                "{at}: suppression parse diverges"
+            );
+            // v2 marks strictly more test lines than v1's `#[cfg(test)]
+            // mod` brace tracker (it also sees `#[test]` fns and
+            // cfg(test) attrs on non-mod items), so containment — not
+            // equality — is the contract.
+            assert!(
+                !a.in_test || test_lines[idx],
+                "{at}: line is in_test under v1 but not under v2"
+            );
+            checked_lines += 1;
+        }
+    }
+    assert!(
+        checked_lines > 10_000,
+        "suspiciously small corpus: {checked_lines} lines"
+    );
+}

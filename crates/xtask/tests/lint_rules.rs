@@ -196,6 +196,101 @@ fn lane_seed_discipline_fires_outside_sanctioned_site_only() {
 }
 
 #[test]
+fn atomic_ordering_polices_relaxed_outside_observe_counters() {
+    let report = run("atomic_ordering");
+    assert_eq!(
+        rules_of(&report),
+        [RuleId::AtomicOrdering, RuleId::AtomicOrdering]
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.path == "crates/core/src/cache.rs"),
+        "the observe progress counter must stay exempt: {:?}",
+        report.findings
+    );
+    // fetch_add is a read-modify-write: the fix direction is AcqRel.
+    assert_eq!(report.findings[0].line, 2);
+    assert!(report.findings[0].message.contains("`next.fetch_add`"));
+    assert!(report.findings[0].message.contains("Ordering::AcqRel"));
+    // A bare load needs Acquire.
+    assert_eq!(report.findings[1].line, 6);
+    assert!(report.findings[1].message.contains("`flag.load`"));
+    assert!(report.findings[1].message.contains("Ordering::Acquire"));
+    // The Release store, the documented-inert allow, and the cfg(test)
+    // scratch access never fire.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn seed_provenance_requires_trial_seed_lineage() {
+    let report = run("seed_provenance");
+    assert_eq!(
+        rules_of(&report),
+        [
+            RuleId::SeedProvenance, // cross-lane reuse
+            RuleId::SeedProvenance, // integer-literal seed
+            RuleId::SeedProvenance  // untraced expression
+        ]
+    );
+    assert_eq!(report.findings[0].path, "crates/channel/src/lanes.rs");
+    assert_eq!(report.findings[0].line, 5);
+    assert!(report.findings[0].message.contains("already feeds"));
+    assert_eq!(report.findings[1].path, "crates/core/src/rng.rs");
+    assert!(report.findings[1].message.contains("literal seed"));
+    assert!(
+        report.findings[2].message.contains("does not trace"),
+        "{}",
+        report.findings[2].message
+    );
+    assert!(
+        report.findings[2].message.contains("trial_seed"),
+        "message lists the Facts-discovered seed fns: {}",
+        report.findings[2].message
+    );
+    // seed_from_u64(trial_seed(base, trial)) and the cfg(test) scratch
+    // seed never fire; the two lane-seed allows count as suppressions.
+    assert_eq!(report.suppressed, 2);
+}
+
+#[test]
+fn observer_purity_scans_impls_and_hook_args_only() {
+    let report = run("observer_purity");
+    assert_eq!(
+        rules_of(&report),
+        [
+            RuleId::ObserverPurity, // simulate_once in the Observer impl
+            RuleId::ObserverPurity, // RNG type in the Observer impl
+            RuleId::ObserverPurity  // simulate_once in the phase callsite args
+        ]
+    );
+    assert!(report.findings[0].message.contains("simulate_once"));
+    assert!(report.findings[0].message.contains("Observer"));
+    assert!(report.findings[1].message.contains("StdRng"));
+    assert_eq!(report.findings[2].line, 17);
+    assert!(report.findings[2].message.contains("callsite"));
+    // The registry write *outside* the hook args, the empty Quiet impl,
+    // and the cfg(test) probe impl never fire.
+}
+
+#[test]
+fn panic_path_budget_exempts_documented_and_test_sites() {
+    let report = run("panic_path");
+    assert_eq!(rules_of(&report), [RuleId::PanicPath]);
+    assert_eq!(report.findings[0].line, 20);
+    assert!(report.findings[0].message.contains("`panic!`"));
+    assert!(
+        report.findings[0].message.contains("site #3"),
+        "the # Panics-documented expect must not consume budget: {}",
+        report.findings[0].message
+    );
+    // Site #4 carries a justified allow; the documented and cfg(test)
+    // sites are exempt rather than suppressed.
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
 fn suppressions_require_known_rule_and_justification() {
     let report = run("suppressed");
     assert_eq!(
@@ -263,6 +358,10 @@ fn cli_exit_codes_reflect_findings() {
         "hot_path_alloc",
         "trial_scope_precompute",
         "lane_seed",
+        "atomic_ordering",
+        "seed_provenance",
+        "observer_purity",
+        "panic_path",
     ] {
         let out = exit(case);
         assert_eq!(

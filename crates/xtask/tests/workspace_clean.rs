@@ -65,6 +65,13 @@ fn facts_discovered_from_live_workspace() {
             facts.metric_families
         );
     }
+    // seed-provenance needs the seed-deriving fns to be discoverable,
+    // or every seeding site would demand an inline allow.
+    assert!(
+        facts.seed_fns.contains("trial_seed"),
+        "per-trial splitmix derivation fn not discovered; found {:?}",
+        facts.seed_fns
+    );
     // The 0.2.0 release removed the last deprecated wrappers; nothing
     // in the workspace should carry `#[deprecated]` now.
     assert!(

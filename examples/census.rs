@@ -22,6 +22,7 @@ fn main() {
 
     println!("== census: estimate network size n = {n} ==");
 
+    // beeps-lint: allow(seed-provenance) -- fixed demo seed keeps this example's printed output stable across runs; not a TrialRunner path, so per-trial derivation does not apply
     let mut rng = StdRng::seed_from_u64(0xCE25);
     let mut clean_sum = 0usize;
     let mut naked_sum = 0usize;

@@ -14,6 +14,9 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 cargo xtask lint
+# Same findings as SARIF: proves the emitter stays valid on every run
+# (CI uploads this file for PR annotations).
+cargo xtask lint --format sarif > target/beeps-lint.sarif
 cargo fmt --check
 # Smoke-run the pinned benchmark harness (1 iteration, tiny rounds)
 # through the regression-gate script: catches bit-rot in the bench
