@@ -33,7 +33,13 @@
 //! Independently of `--baseline`, the output always carries a flat
 //! `"lanes"` object pairing each lane-sliced benchmark with its scalar
 //! twin *from the same run* — `{scalar name: scalar ns ÷ lane ns}` —
-//! which `scripts/bench_compare.sh` gates at ≥ 4× in full mode.
+//! which `scripts/bench_compare.sh` gates at ≥ 4× in full mode, and a
+//! flat `"soa"` object doing the same for the scaling pairs
+//! (`party.soa.*` collapsed-vs-scalar, `channel.sparse.*`
+//! sparse-vs-dense), gated at ≥ 3×. The `scheme.rewind.n1e5` row pins
+//! the collapsed engine's wall-clock at fig_scale's scale regime. The
+//! `config` block records the host's core count and `BEEPS_THREADS` so
+//! the comparison script can flag cross-hardware baselines.
 //!
 //! Timing uses the sanctioned [`Stopwatch`] wrapper; everything else in
 //! the harness is seed-deterministic, so two runs measure the same work.
@@ -47,10 +53,11 @@ use beeps_channel::{
 };
 use beeps_core::{
     CodeCache, OneToZeroSimulator, RepetitionSimulator, RewindSimulator, SimulatorConfig,
+    SoaScratch,
 };
 use beeps_ecc::{BitMetric, RandomCode, SymbolCode};
 use beeps_metrics::{MetricsRegistry, Stopwatch};
-use beeps_protocols::{InputSet, RollCall};
+use beeps_protocols::{Broadcast, InputSet, RollCall};
 
 /// Parties attached to the executor/channel benchmarks.
 const PARTIES: usize = 64;
@@ -159,6 +166,19 @@ const LANE_PAIRS: [(&str, &str); 3] = [
     ("scheme.rewind", "scheme.rewind.batch"),
 ];
 
+/// Scaling benchmarks paired with their pre-scaling twins: the `"soa"`
+/// section reports `slow ns_per_op ÷ fast ns_per_op` under the slow
+/// (baseline) name, and `scripts/bench_compare.sh` gates each ratio at
+/// ≥ 3× in full mode. Per-party round ops on the soa pair and transmit
+/// ops on the channel pair keep both ratios honest per-unit-of-work.
+const SOA_PAIRS: [(&str, &str); 2] = [
+    ("party.soa.scalar.n1e4", "party.soa.collapsed.n1e4"),
+    (
+        "channel.dense.transmit.n1e4",
+        "channel.sparse.transmit.n1e4",
+    ),
+];
+
 /// The word-level [`Strider`]: same stride schedule, but beeping on all
 /// 64 trial-lanes of the word at once.
 struct WordStrider {
@@ -226,7 +246,14 @@ impl Suite {
     }
 
     fn bench(&mut self, name: &str, work: impl FnMut() -> usize) {
-        let (ns_per_op, ops) = measure(self.args.iters, work);
+        self.bench_with_iters(name, self.args.iters, work);
+    }
+
+    /// [`Suite::bench`] with an explicit iteration count — for the few
+    /// deliberately slow baselines (the scalar twin of the collapsed
+    /// engine) where the default count would dominate the whole suite.
+    fn bench_with_iters(&mut self, name: &str, iters: usize, work: impl FnMut() -> usize) {
+        let (ns_per_op, ops) = measure(iters, work);
         println!("{name:<40} {ns_per_op:>12.1} ns/op  ({ops} ops/iter)");
         self.results.push((name.to_owned(), ns_per_op, ops));
     }
@@ -377,10 +404,17 @@ fn scheme_benches(suite: &mut Suite) {
         }
         batch_seeds.len()
     });
+    // The rewind scalar twin drives an explicit channel through
+    // `simulate_over`, which is pinned to the per-party engine: the
+    // `simulate` front door now routes shared-noise models through the
+    // collapsed engine, and the lane gate's job is to keep the
+    // bit-sliced batch path ≥ 4× the *per-party* path it slices.
+    // The collapsed front door is pinned separately (`party.soa.*`).
     let rew = RewindSimulator::new(&protocol, config);
     suite.bench("scheme.rewind", || {
         for seed in 0..trials as u64 {
-            let out = rew.simulate(&inputs, two, seed);
+            let mut ch = StochasticChannel::new(n, two, seed);
+            let out = rew.simulate_over(&inputs, two, &mut ch);
             std::hint::black_box(out.ok().map_or(0, |o| o.stats().energy));
         }
         trials
@@ -399,6 +433,105 @@ fn scheme_benches(suite: &mut Suite) {
             std::hint::black_box(out.ok().map_or(0, |o| o.stats().energy));
         }
         trials
+    });
+}
+
+fn soa_benches(suite: &mut Suite) {
+    // --- party.soa.*: the collapsed struct-of-arrays rewind engine
+    // against the per-party scalar path on the same workload — a short
+    // fixed-length broadcast at n = 10^4 (256 in smoke), where the
+    // owners phase is the cost: the scalar path steps all n party
+    // structs every channel round (n^2·W work per chunk) while the
+    // collapsed engine keeps one shared decode state (n·W). Ops count
+    // per-party rounds (channel rounds × n) on both sides, so the
+    // "soa" ratio is the per-party round cost improvement.
+    // A full run's owners phase is (2+n)·W ≈ 4·10^5 channel rounds —
+    // minutes through the scalar path at n = 10^4 — so the pair runs
+    // budget-truncated: both engines execute the identical round
+    // prefix (budget errors are part of the bitwise-equivalence pin)
+    // and report the same rounds_used, keeping the ratio honest while
+    // the bench stays seconds.
+    let n = if suite.args.smoke { 256 } else { 10_000 };
+    let width = 2usize;
+    let model = NoiseModel::Correlated { epsilon: 0.1 };
+    let protocol = Broadcast::new(n, 0, width);
+    let config = SimulatorConfig::builder(n)
+        .model(model)
+        .chunk_len(width)
+        .budget_factor(0.01)
+        .build();
+    let sim = RewindSimulator::new(&protocol, config);
+    let mut inputs = vec![0usize; n];
+    inputs[0] = 0b10;
+    let party_rounds = |res: Result<beeps_core::SimOutcome<usize>, beeps_core::SimError>| match res
+    {
+        Ok(out) => out.stats().channel_rounds * n,
+        Err(beeps_core::SimError::BudgetExhausted { rounds_used, .. }) => rounds_used * n,
+        Err(e) => panic!("unexpected simulation error: {e}"),
+    };
+    let scalar_iters = suite.args.iters.min(2);
+    suite.bench_with_iters("party.soa.scalar.n1e4", scalar_iters, || {
+        let mut ch = StochasticChannel::new(n, model, 0x50A);
+        party_rounds(sim.simulate_over(&inputs, model, &mut ch))
+    });
+    let mut scratch = SoaScratch::default();
+    suite.bench("party.soa.collapsed.n1e4", || {
+        party_rounds(sim.simulate_with_scratch(&inputs, model, 0x50A, &mut scratch))
+    });
+
+    // --- channel.sparse.*: independent-noise transmit at n = 10^4,
+    // consumed the way the schemes consume it — uniform() fast path,
+    // per-party reads only on corrupted rounds. At eps = 10^-5 almost
+    // every round is clean: the sparse path hands out the (empty)
+    // skip-sampled flip bucket and classifies it O(1), while the dense
+    // twin (set_dense_deliveries) materializes and then scans an
+    // n/64-word row per round. The flip *sampling* cost is identical
+    // on both sides, so the ratio isolates the representation.
+    let rounds = suite.args.rounds;
+    let light = NoiseModel::Independent { epsilon: 1e-5 };
+    let consume = |ch: &mut StochasticChannel, rounds: usize| {
+        let mut sink = 0usize;
+        for r in 0..rounds {
+            let d = ch.transmit(r % 8 == 0);
+            sink += match d.uniform() {
+                Some(bit) => usize::from(bit),
+                None => usize::from(d.heard_by(r % n)),
+            };
+        }
+        std::hint::black_box(sink);
+        rounds
+    };
+    suite.bench("channel.sparse.transmit.n1e4", || {
+        let mut ch = StochasticChannel::new(n, light, 0x5BA);
+        consume(&mut ch, rounds)
+    });
+    suite.bench("channel.dense.transmit.n1e4", || {
+        let mut ch = StochasticChannel::new(n, light, 0x5BA);
+        ch.set_dense_deliveries(true);
+        consume(&mut ch, rounds)
+    });
+
+    // --- scheme.rewind.n1e5: the collapsed engine end to end at
+    // n = 10^5 (10^3 in smoke) — the scale regime fig_scale sweeps,
+    // pinned here so a wall-clock regression at large n shows up in
+    // the diff. No scalar twin: the per-party path at this n is
+    // minutes, which is the point of the collapsed engine.
+    let big_n = if suite.args.smoke { 1_000 } else { 100_000 };
+    let big_protocol = Broadcast::new(big_n, 0, 16);
+    let big_config = SimulatorConfig::builder(big_n)
+        .model(model)
+        .chunk_len(16)
+        .build();
+    let big_sim = RewindSimulator::new(&big_protocol, big_config);
+    let mut big_inputs = vec![0usize; big_n];
+    big_inputs[0] = 0xBEE5;
+    let mut big_scratch = SoaScratch::default();
+    suite.bench("scheme.rewind.n1e5", || {
+        let out = big_sim
+            .simulate_with_scratch(&big_inputs, model, 0x1E5, &mut big_scratch)
+            .expect("within budget");
+        std::hint::black_box(out.stats().energy);
+        out.stats().channel_rounds * big_n
     });
 }
 
@@ -558,6 +691,7 @@ pub fn main() {
     executor_benches(&mut suite);
     lane_benches(&mut suite);
     scheme_benches(&mut suite);
+    soa_benches(&mut suite);
     crosstrial_benches(&mut suite);
 
     drop(ambient);
@@ -573,12 +707,19 @@ pub fn main() {
     let mut root = Json::object();
     root.set("schema", "bench_hotpaths/v1");
     let mut cfg = Json::object();
+    // Host provenance: pinned numbers are only comparable on similar
+    // hardware, so record where they came from. bench_compare.sh warns
+    // (rather than failing) when the baseline's host fields differ.
+    let host_cores = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
+    let beeps_threads = std::env::var("BEEPS_THREADS").unwrap_or_default();
     cfg.set("iters", suite.args.iters)
         .set("rounds", suite.args.rounds)
         .set("scheme_trials", suite.args.scheme_trials)
         .set("parties", PARTIES)
         .set("epsilon", EPS)
-        .set("smoke", suite.args.smoke);
+        .set("smoke", suite.args.smoke)
+        .set("host_cores", host_cores)
+        .set("beeps_threads", beeps_threads.as_str());
     root.set("config", cfg);
     root.set("results", results);
 
@@ -602,6 +743,20 @@ pub fn main() {
         }
     }
     root.set("lanes", lanes);
+
+    // Scaling ratios from this run — the collapsed engine and the
+    // sparse channel against their pre-scaling twins, keyed by the slow
+    // twin's name; bench_compare.sh gates these at >= 3x in full mode.
+    let mut soa = Json::object();
+    for (slow, fast) in SOA_PAIRS {
+        if let (Some(s), Some(f)) = (ns_of(slow), ns_of(fast)) {
+            if f > 0.0 {
+                soa.set(slow, s / f);
+                println!("{slow:<40} soa   {:>8.2}x", s / f);
+            }
+        }
+    }
+    root.set("soa", soa);
 
     if let Some(base) = baseline {
         let mut before = Json::object();

@@ -221,6 +221,7 @@ impl Observation {
                 trials_done: runlog.trials_done(),
                 events_recorded: metrics.map_or(0, |m| m.events().recorded()),
                 events_dropped: metrics.map_or(0, |m| m.events().dropped()),
+                peak_rss_bytes: beeps_observe::clock::peak_rss_bytes(),
             };
             match runlog.finish(&summary) {
                 Ok(()) => {

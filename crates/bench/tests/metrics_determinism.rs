@@ -3,7 +3,9 @@
 //! identical at any thread count, for every simulation scheme; and
 //! noise-free runs must report zero corruption and zero rewinds.
 //! Attaching the full observer stack (progress + profiler + run log)
-//! must not move a single bit of either results or metrics.
+//! must not move a single bit of either results or metrics, and
+//! neither must the scaling knobs (windowed transcript retention, the
+//! sparse flip-list channel).
 
 use std::sync::Arc;
 
@@ -123,6 +125,43 @@ fn merged_registries_are_thread_count_invariant_under_independent_noise() {
                 "scheme {} threads {threads} under independent noise",
                 sim.name()
             );
+        }
+    }
+}
+
+/// The scaling knobs — a minimal committed-transcript retention window
+/// (heavy rematerialization) and the sparse flip-list channel under
+/// independent noise — must not open any thread-count dependence: the
+/// merged registry stays bitwise identical at 1, 2, and 8 threads with
+/// either knob engaged, for both collapsed-engine schemes that honor
+/// the window.
+#[test]
+fn merged_registries_are_thread_count_invariant_with_scaling_knobs() {
+    let p = InputSet::new(N);
+    let two = NoiseModel::Correlated { epsilon: 0.05 };
+    let indep = NoiseModel::Independent { epsilon: 0.05 };
+    let windowed = |model: NoiseModel| {
+        SimulatorConfig::builder(N)
+            .model(model)
+            .verify_window(1)
+            .build()
+    };
+
+    let rewind_windowed = RewindSimulator::new(&p, windowed(two));
+    let hier_windowed = HierarchicalSimulator::new(&p, windowed(two));
+    let rewind_sparse = RewindSimulator::new(&p, windowed(indep));
+
+    type SetSim<'a> = &'a (dyn Simulator<usize, std::collections::BTreeSet<usize>> + Sync);
+    let cases: [(SetSim, NoiseModel, &str); 3] = [
+        (&rewind_windowed, two, "rewind window=1"),
+        (&hier_windowed, two, "hierarchical window=1"),
+        (&rewind_sparse, indep, "rewind sparse channel"),
+    ];
+    for (sim, model, label) in cases {
+        let serial = merged_registry(sim, model, &input_set_gen, 1);
+        for threads in [2, 8] {
+            let parallel = merged_registry(sim, model, &input_set_gen, threads);
+            assert_eq!(serial, parallel, "{label} threads {threads}");
         }
     }
 }

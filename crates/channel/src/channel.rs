@@ -10,9 +10,17 @@
 //! tests against the reference samplers in [`crate::noise`]), but the
 //! *stream* of RNG draws differs, so seeded golden numbers change when
 //! switching between the two.
+//!
+//! Independent-noise flips land in per-round *buckets* of flipped-party
+//! indices, delivered as [`Delivery::Sparse`] when a round's flip count
+//! stays below [`sparse_crossover`] and expanded to a dense
+//! [`Delivery::PerParty`] row above it — so both delivery work and
+//! memory traffic scale with `εn` instead of `n` in the common lightly
+//! corrupted round.
 
 use crate::bits::BitVec;
 use crate::noise::{Delivery, NoiseModel};
+use crate::sparse::{sparse_crossover, SparseDelivery};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Rounds covered by one independent-noise mask block.
@@ -47,6 +55,39 @@ fn next_flip_position(pos: u64, epsilon: f64, rng: &mut StdRng) -> u64 {
     }
 }
 
+/// Files party `p`'s next flip (an absolute round index) into the
+/// calendar under the block it lands in. `u64::MAX` means "never" and
+/// files nothing; a position that saturated near `u64::MAX` is likewise
+/// unreachable in any real run.
+fn calendar_insert(
+    calendar: &mut std::collections::BTreeMap<u64, Vec<(u32, u8)>>,
+    p: u32,
+    abs_round: u64,
+) {
+    if abs_round == u64::MAX {
+        return;
+    }
+    calendar
+        .entry(abs_round / BLOCK_ROUNDS as u64)
+        .or_default()
+        .push((p, (abs_round % BLOCK_ROUNDS as u64) as u8));
+}
+
+/// Draws each party's first flip round — ascending party order, exactly
+/// one geometric draw per party, the construction-time RNG contract —
+/// and files them into a cleared calendar.
+fn seed_calendar(
+    calendar: &mut std::collections::BTreeMap<u64, Vec<(u32, u8)>>,
+    n: usize,
+    eps: f64,
+    rng: &mut StdRng,
+) {
+    calendar.clear();
+    for p in 0..n {
+        calendar_insert(calendar, p as u32, geometric_gap(eps, rng));
+    }
+}
+
 /// Batched noise state of a [`StochasticChannel`].
 #[derive(Debug)]
 enum Sampler {
@@ -60,19 +101,33 @@ enum Sampler {
         skip: u64,
     },
     /// Independent noise: per-party geometric skips expanded into
-    /// round-major 64-round mask blocks.
+    /// 64-round blocks of per-round flipped-party buckets.
     Independent {
-        /// `block[r * words_per_round + w]`: flip mask over parties
-        /// `64w..` for block round `r`.
-        block: Vec<u64>,
-        /// Words per round (`⌈n/64⌉`).
-        words_per_round: usize,
+        /// `buckets[r]`: ascending indices of the parties flipped in
+        /// block round `r`.
+        buckets: Vec<Vec<u32>>,
         /// Next unconsumed round offset in the block; `BLOCK_ROUNDS`
         /// forces a refill.
         offset: usize,
-        /// Per-party rounds remaining (from the current block start)
-        /// until that party's next flip.
-        skips: Vec<u64>,
+        /// Flip calendar: absolute block index → the parties whose
+        /// *next* flip lands in that block, as `(party, round offset
+        /// within the block)`. Each party appears at most once across
+        /// the whole calendar, so a block refill touches only the
+        /// parties that actually flip in it — O(εn) amortized per
+        /// round instead of the O(n) per-block skip walk it replaced.
+        /// The RNG stream is unchanged: gap draws happen exactly when
+        /// a party's position crosses the refilled block, in ascending
+        /// party order, which is precisely when (and in which order)
+        /// the per-party walk drew them.
+        calendar: std::collections::BTreeMap<u64, Vec<(u32, u8)>>,
+        /// Absolute index of the next block to refill.
+        block: u64,
+        /// Scratch row (`⌈n/64⌉` words) for expanding a bucket into a
+        /// dense delivery.
+        dense_row: Vec<u64>,
+        /// Route every delivery through the dense path (see
+        /// [`StochasticChannel::set_dense_deliveries`]).
+        force_dense: bool,
     },
 }
 
@@ -87,12 +142,15 @@ impl Sampler {
                 skip: geometric_gap(eps, rng),
             },
             NoiseModel::Independent { .. } => {
-                let words_per_round = n.div_ceil(64);
+                let mut calendar = std::collections::BTreeMap::new();
+                seed_calendar(&mut calendar, n, eps, rng);
                 Sampler::Independent {
-                    block: vec![0; BLOCK_ROUNDS * words_per_round],
-                    words_per_round,
+                    buckets: vec![Vec::new(); BLOCK_ROUNDS],
                     offset: BLOCK_ROUNDS,
-                    skips: (0..n).map(|_| geometric_gap(eps, rng)).collect(),
+                    calendar,
+                    block: 0,
+                    dense_row: vec![0; n.div_ceil(64)],
+                    force_dense: false,
                 }
             }
         }
@@ -195,15 +253,16 @@ impl StochasticChannel {
 
     /// Returns the channel to the state of [`StochasticChannel::new`]
     /// with the same party count and model but a fresh `seed`, reusing
-    /// the sampler's allocations (the independent-noise mask block and
-    /// per-party skip table) — so a channel kept in a worker's scratch
+    /// the sampler's allocations (the independent-noise flip buckets
+    /// and dense scratch row) — so a channel kept in a worker's scratch
     /// arena can serve many trials without per-trial allocation.
     ///
     /// Behavioral equivalence to a fresh channel is pinned by
     /// `reseeding_matches_a_fresh_channel` below: the RNG restarts from
     /// `seed` and the sampler re-draws its state in the same order as
-    /// construction (the stale mask block is ignored because the reset
-    /// offset forces a zero-filling refill before the first delivery).
+    /// construction (stale buckets are ignored because the reset
+    /// offset forces a bucket-clearing refill before the first
+    /// delivery).
     pub fn reseed(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(seed);
         self.rounds = 0;
@@ -212,41 +271,69 @@ impl StochasticChannel {
         match &mut self.sampler {
             Sampler::Noiseless => {}
             Sampler::Shared { skip } => *skip = geometric_gap(eps, &mut self.rng),
-            Sampler::Independent { offset, skips, .. } => {
+            Sampler::Independent {
+                offset,
+                calendar,
+                block,
+                ..
+            } => {
                 *offset = BLOCK_ROUNDS;
-                for skip in skips.iter_mut() {
-                    *skip = geometric_gap(eps, &mut self.rng);
-                }
+                *block = 0;
+                seed_calendar(calendar, self.n, eps, &mut self.rng);
             }
         }
     }
 
-    /// Rebuilds the current independent-noise mask block from the
-    /// per-party skip counters.
-    fn refill_block(&mut self) {
+    /// Forces every independent-noise delivery through the dense
+    /// [`Delivery::PerParty`] path instead of the sparse flip-list fast
+    /// path. Both representations expand the same skip-sampled flip
+    /// set, so this exists for the equivalence tests and benchmarks
+    /// that pin sparse-vs-dense bitwise identity; it is a no-op for
+    /// shared-noise models, whose deliveries are already a single bit.
+    pub fn set_dense_deliveries(&mut self, dense: bool) {
+        if let Sampler::Independent { force_dense, .. } = &mut self.sampler {
+            *force_dense = dense;
+        }
+    }
+
+    /// Rebuilds the independent-noise flip buckets for the next block
+    /// from the flip calendar.
+    ///
+    /// Only the parties whose next flip lands in this block are
+    /// touched — O(εn) amortized per round — but they are processed in
+    /// ascending party order with chained gap draws, exactly the points
+    /// at which the full per-party skip walk this replaced consumed the
+    /// RNG, so seeded flip sets are bitwise unchanged. Ascending party
+    /// order also leaves every bucket sorted as [`SparseDelivery::new`]
+    /// requires.
+    fn refill_buckets(&mut self) {
         let epsilon = self.model.epsilon();
         let Sampler::Independent {
-            block,
-            words_per_round,
+            buckets,
             offset,
-            skips,
+            calendar,
+            block,
+            ..
         } = &mut self.sampler
         else {
             unreachable!("refill is only reachable from the independent sampler");
         };
-        block.fill(0);
-        for (p, skip) in skips.iter_mut().enumerate() {
-            let mut pos = *skip;
-            while pos < BLOCK_ROUNDS as u64 {
-                block[pos as usize * *words_per_round + p / 64] |= 1u64 << (p % 64);
-                pos = next_flip_position(pos, epsilon, &mut self.rng);
-            }
-            *skip = if pos == u64::MAX {
-                u64::MAX
-            } else {
-                pos - BLOCK_ROUNDS as u64
-            };
+        for bucket in buckets.iter_mut() {
+            bucket.clear();
         }
+        if let Some(mut due) = calendar.remove(&*block) {
+            due.sort_unstable();
+            let base = *block * BLOCK_ROUNDS as u64;
+            for (p, off) in due {
+                let mut pos = u64::from(off);
+                while pos < BLOCK_ROUNDS as u64 {
+                    buckets[pos as usize].push(p);
+                    pos = next_flip_position(pos, epsilon, &mut self.rng);
+                }
+                calendar_insert(calendar, p, base.saturating_add(pos));
+            }
+        }
+        *block += 1;
         *offset = 0;
     }
 }
@@ -260,7 +347,7 @@ impl Channel for StochasticChannel {
         self.rounds += 1;
         if let Sampler::Independent { offset, .. } = &self.sampler {
             if *offset == BLOCK_ROUNDS {
-                self.refill_block();
+                self.refill_buckets();
             }
         }
         match &mut self.sampler {
@@ -291,17 +378,32 @@ impl Channel for StochasticChannel {
                 Delivery::Shared(true_or ^ flip)
             }
             Sampler::Independent {
-                block,
-                words_per_round,
+                buckets,
                 offset,
+                dense_row,
+                force_dense,
                 ..
             } => {
-                let row = &block[*offset * *words_per_round..(*offset + 1) * *words_per_round];
+                let bucket = &mut buckets[*offset];
                 *offset += 1;
-                if row.iter().any(|&w| w != 0) {
+                if !bucket.is_empty() {
                     self.corrupted += 1;
                 }
-                Delivery::PerParty(BitVec::from_flips(row, true_or, self.n))
+                if *force_dense || bucket.len() >= sparse_crossover(self.n) {
+                    for word in dense_row.iter_mut() {
+                        *word = 0;
+                    }
+                    for &p in bucket.iter() {
+                        dense_row[p as usize / 64] |= 1u64 << (p as usize % 64);
+                    }
+                    bucket.clear();
+                    Delivery::PerParty(BitVec::from_flips(dense_row, true_or, self.n))
+                } else {
+                    // `mem::take` hands the bucket's buffer to the
+                    // delivery without copying; clean rounds move an
+                    // empty Vec, so the common case allocates nothing.
+                    Delivery::Sparse(SparseDelivery::new(true_or, self.n, std::mem::take(bucket)))
+                }
             }
         }
     }
@@ -579,7 +681,61 @@ mod tests {
         let mut ch = StochasticChannel::new(8, NoiseModel::Independent { epsilon: 0.2 }, 1);
         match ch.transmit(true) {
             Delivery::PerParty(bits) => assert_eq!(bits.len(), 8),
+            Delivery::Sparse(sparse) => assert_eq!(sparse.len(), 8),
             Delivery::Shared(_) => panic!("independent noise must deliver per party"),
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_independent_deliveries_agree() {
+        // The sparse fast path and the dense-forced path expand the same
+        // skip-sampled flip buckets, so deliveries must be bit-identical
+        // round for round (the manual `Delivery` equality compares the
+        // representations semantically).
+        for n in [1usize, 5, 64, 65, 200] {
+            let model = NoiseModel::Independent { epsilon: 0.2 };
+            let mut sparse = StochasticChannel::new(n, model, 42);
+            let mut dense = StochasticChannel::new(n, model, 42);
+            dense.set_dense_deliveries(true);
+            for r in 0..300 {
+                let true_or = r % 3 == 0;
+                let got = sparse.transmit(true_or);
+                let want = dense.transmit(true_or);
+                assert!(
+                    matches!(want, Delivery::PerParty(_)),
+                    "dense-forced channel must deliver PerParty"
+                );
+                assert_eq!(got, want, "n={n} round {r}");
+            }
+            assert_eq!(sparse.corrupted_rounds(), dense.corrupted_rounds());
+        }
+    }
+
+    #[test]
+    fn heavy_corruption_falls_back_to_dense_deliveries() {
+        // At ε = 0.9 nearly every party flips each round, far above the
+        // crossover, so the channel must choose the dense representation
+        // on its own.
+        let mut ch = StochasticChannel::new(64, NoiseModel::Independent { epsilon: 0.9 }, 7);
+        let mut dense_rounds = 0;
+        for _ in 0..100 {
+            if matches!(ch.transmit(false), Delivery::PerParty(_)) {
+                dense_rounds += 1;
+            }
+        }
+        assert!(dense_rounds > 90, "only {dense_rounds}/100 rounds dense");
+    }
+
+    #[test]
+    fn light_corruption_stays_sparse() {
+        // At ε = 0.001 over 200 parties the crossover (12 flips) is
+        // essentially never reached.
+        let mut ch = StochasticChannel::new(200, NoiseModel::Independent { epsilon: 0.001 }, 7);
+        for r in 0..500 {
+            assert!(
+                matches!(ch.transmit(r % 2 == 0), Delivery::Sparse(_)),
+                "round {r} unexpectedly dense"
+            );
         }
     }
 }

@@ -112,6 +112,22 @@ impl Executor {
                         }
                     }
                 }
+                Delivery::Sparse(sparse) => {
+                    if let Some(bit) = sparse.uniform() {
+                        for party in parties.iter_mut() {
+                            party.hear(bit);
+                        }
+                    } else {
+                        // Merge against the sorted flip list with a
+                        // cursor instead of a per-party bit lookup.
+                        let base = sparse.base();
+                        let mut flips = sparse.flips().iter().peekable();
+                        for (i, party) in parties.iter_mut().enumerate() {
+                            let flipped = flips.next_if(|&&p| p as usize == i).is_some();
+                            party.hear(base ^ flipped);
+                        }
+                    }
+                }
             }
         }
         ExecutionStats {
@@ -181,11 +197,23 @@ impl Executor {
                     bit != or
                 }
                 None => {
-                    let Delivery::PerParty(bits) = &delivery else {
-                        unreachable!("shared deliveries are always uniform")
-                    };
-                    for (i, party) in parties.iter_mut().enumerate() {
-                        party.hear(bits.get(i));
+                    match &delivery {
+                        Delivery::PerParty(bits) => {
+                            for (i, party) in parties.iter_mut().enumerate() {
+                                party.hear(bits.get(i));
+                            }
+                        }
+                        Delivery::Sparse(sparse) => {
+                            let base = sparse.base();
+                            let mut flips = sparse.flips().iter().peekable();
+                            for (i, party) in parties.iter_mut().enumerate() {
+                                let flipped = flips.next_if(|&&p| p as usize == i).is_some();
+                                party.hear(base ^ flipped);
+                            }
+                        }
+                        Delivery::Shared(_) => {
+                            unreachable!("shared deliveries are always uniform")
+                        }
                     }
                     // Divergent bits mean both values occurred, so some
                     // party necessarily heard the OR flipped.

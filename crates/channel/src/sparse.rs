@@ -1,0 +1,246 @@
+//! Sparse channel deliveries: a round's per-party bits as a broadcast
+//! base plus a sorted list of flipped parties.
+//!
+//! Under independent noise at realistic ε, almost every party hears the
+//! true OR: a round's delivery is `n` copies of one bit except for a
+//! handful of flips. The dense representation ([`crate::BitVec`]) costs
+//! `⌈n/64⌉` words per round no matter how few flips occurred — at
+//! `n = 10⁶` that is 125 KB per round before a single party reads it.
+//! [`SparseDelivery`] stores only the exceptions, so the per-round cost
+//! scales with the *flip count* (`≈ εn`), and consumers that iterate
+//! parties in order can merge against the sorted flip list with an
+//! amortized O(1) cursor instead of a bit lookup.
+//!
+//! Above [`sparse_crossover`] flips per round the dense form is cheaper
+//! (fewer branches, word-level operations), so the stochastic channel
+//! falls back to [`crate::Delivery::PerParty`] for heavily corrupted
+//! rounds; both forms expand the same skip-sampled flip set, and
+//! [`crate::Delivery`]'s semantic equality lets tests pin the two
+//! representations against each other with `assert_eq!`.
+
+use crate::bits::BitVec;
+
+/// Flip count per round at which the dense per-party representation
+/// overtakes the sparse flip list for `n` parties.
+///
+/// One word of dense delivery covers 64 parties, so a flip list longer
+/// than about `n/16` entries (4 bytes each) outweighs the dense row in
+/// memory and loses its branch-prediction advantage; the floor of 4
+/// keeps tiny channels (where the dense row is a single word anyway)
+/// from bouncing between representations on every flip.
+#[inline]
+#[must_use]
+pub fn sparse_crossover(n: usize) -> usize {
+    (n / 16).max(4)
+}
+
+/// One round's delivery as `base` (the bit broadcast to everyone) plus
+/// the sorted list of parties whose copy was flipped.
+///
+/// # Examples
+///
+/// ```
+/// use beeps_channel::SparseDelivery;
+///
+/// let d = SparseDelivery::new(true, 5, vec![1, 3]);
+/// assert!(d.heard_by(0) && !d.heard_by(1) && !d.heard_by(3));
+/// assert_eq!(d.uniform(), None);
+/// assert_eq!(d.flips(), &[1, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseDelivery {
+    base: bool,
+    n: usize,
+    flips: Vec<u32>,
+}
+
+impl SparseDelivery {
+    /// Wraps a flip list over `n` parties: party `p` hears `!base` iff
+    /// `p` appears in `flips`, everyone else hears `base`.
+    ///
+    /// `flips` must be strictly ascending (sorted, no duplicates) with
+    /// every entry below `n` — debug-asserted, relied upon by the
+    /// cursor-merge consumers and [`SparseDelivery::heard_by`]'s binary
+    /// search.
+    #[must_use]
+    pub fn new(base: bool, n: usize, flips: Vec<u32>) -> Self {
+        debug_assert!(
+            flips.windows(2).all(|w| w[0] < w[1]),
+            "flip list must be strictly ascending"
+        );
+        debug_assert!(
+            flips.last().is_none_or(|&p| (p as usize) < n),
+            "flip index out of range for {n} parties"
+        );
+        Self { base, n, flips }
+    }
+
+    /// Number of parties the round was delivered to.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the delivery covers no parties (channels reject `n = 0`,
+    /// so this is only reachable for hand-built values).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The bit broadcast to every non-flipped party.
+    #[inline]
+    #[must_use]
+    pub fn base(&self) -> bool {
+        self.base
+    }
+
+    /// The sorted indices of parties whose copy was flipped.
+    #[inline]
+    #[must_use]
+    pub fn flips(&self) -> &[u32] {
+        &self.flips
+    }
+
+    /// Whether any party's copy differs from `base`.
+    #[inline]
+    #[must_use]
+    pub fn corrupted(&self) -> bool {
+        !self.flips.is_empty()
+    }
+
+    /// The bit heard by party `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    #[must_use]
+    pub fn heard_by(&self, i: usize) -> bool {
+        assert!(i < self.n, "party {i} out of range for {} parties", self.n);
+        self.base ^ self.flips.binary_search(&(i as u32)).is_ok()
+    }
+
+    /// `Some(bit)` if every party heard `bit`, `None` if copies diverge.
+    #[inline]
+    #[must_use]
+    pub fn uniform(&self) -> Option<bool> {
+        if self.flips.is_empty() {
+            Some(self.base)
+        } else if self.flips.len() == self.n {
+            Some(!self.base)
+        } else {
+            None
+        }
+    }
+}
+
+/// Bit-semantic equality: two sparse deliveries are equal iff every
+/// party hears the same bit — including the degenerate pair of opposite
+/// bases with complementary flip sets.
+impl PartialEq for SparseDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        if self.n != other.n {
+            return false;
+        }
+        if self.base == other.base {
+            return self.flips == other.flips;
+        }
+        // Opposite bases agree iff the flip lists partition `0..n`:
+        // sizes sum to n and the sorted lists never collide.
+        if self.flips.len() + other.flips.len() != self.n {
+            return false;
+        }
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.flips.len() && j < other.flips.len() {
+            match self.flips[i].cmp(&other.flips[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+}
+
+impl Eq for SparseDelivery {}
+
+/// Bit-semantic equality against the dense representation, so tests can
+/// pin the sparse fast path against a dense-forced channel directly.
+impl PartialEq<BitVec> for SparseDelivery {
+    fn eq(&self, bits: &BitVec) -> bool {
+        if bits.len() != self.n {
+            return false;
+        }
+        let mut next = self.flips.iter().peekable();
+        for i in 0..self.n {
+            let flipped = next.next_if(|&&p| p as usize == i).is_some();
+            if bits.get(i) != (self.base ^ flipped) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heard_by_flips_listed_parties() {
+        let d = SparseDelivery::new(false, 200, vec![0, 64, 199]);
+        assert!(d.heard_by(0) && d.heard_by(64) && d.heard_by(199));
+        assert!(!d.heard_by(1) && !d.heard_by(63) && !d.heard_by(198));
+        assert!(d.corrupted());
+        assert_eq!(d.len(), 200);
+    }
+
+    #[test]
+    fn uniform_detects_clean_and_fully_flipped_rounds() {
+        assert_eq!(SparseDelivery::new(true, 8, vec![]).uniform(), Some(true));
+        assert_eq!(
+            SparseDelivery::new(true, 3, vec![0, 1, 2]).uniform(),
+            Some(false)
+        );
+        assert_eq!(SparseDelivery::new(true, 3, vec![1]).uniform(), None);
+    }
+
+    #[test]
+    fn semantic_equality_spans_representations() {
+        let sparse = SparseDelivery::new(true, 5, vec![1, 3]);
+        let dense = BitVec::from_bools(&[true, false, true, false, true]);
+        assert_eq!(sparse, dense);
+        let wrong = BitVec::from_bools(&[true, false, true, false, false]);
+        assert_ne!(sparse, wrong);
+        let short = BitVec::from_bools(&[true, false, true, false]);
+        assert_ne!(sparse, short);
+    }
+
+    #[test]
+    fn opposite_bases_with_complementary_flips_are_equal() {
+        let a = SparseDelivery::new(true, 4, vec![1, 3]);
+        let b = SparseDelivery::new(false, 4, vec![0, 2]);
+        assert_eq!(a, b);
+        let c = SparseDelivery::new(false, 4, vec![0, 1]);
+        assert_ne!(a, c);
+        let overlapping = SparseDelivery::new(false, 4, vec![1, 2]);
+        assert_ne!(a, overlapping);
+    }
+
+    #[test]
+    fn crossover_scales_with_parties() {
+        assert_eq!(sparse_crossover(1), 4);
+        assert_eq!(sparse_crossover(64), 4);
+        assert_eq!(sparse_crossover(1_000), 62);
+        assert_eq!(sparse_crossover(1_000_000), 62_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn heard_by_rejects_out_of_range_party() {
+        let _ = SparseDelivery::new(false, 2, vec![1]).heard_by(2);
+    }
+}

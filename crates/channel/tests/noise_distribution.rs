@@ -2,7 +2,7 @@
 //! reference samplers.
 //!
 //! The stochastic channel draws noise in batches — geometric skip-sampling
-//! for shared/one-sided flips, 64-round packed mask blocks for independent
+//! for shared/one-sided flips, 64-round flip buckets for independent
 //! noise — instead of one RNG draw per round. The batched draws consume
 //! the seed stream differently, so transcripts are **not** expected to be
 //! byte-identical to the old per-round code; what must hold is that the
@@ -31,6 +31,7 @@ fn channel_corruptions(
             match ch.transmit(or) {
                 Delivery::Shared(bit) => bit != or,
                 Delivery::PerParty(bits) => bits.uniform() != Some(or),
+                Delivery::Sparse(sparse) => sparse.uniform() != Some(or),
             }
         })
         .collect()
@@ -208,6 +209,13 @@ fn independent_per_party_flip_rates_match_reference() {
                     *c += usize::from(bits.get(i));
                 }
             }
+            Delivery::Sparse(sparse) => {
+                // Sent OR is false, so heard 1s are exactly the flips.
+                assert!(!sparse.base());
+                for &p in sparse.flips() {
+                    per_party[p as usize] += 1;
+                }
+            }
         }
     }
 
@@ -239,7 +247,7 @@ fn independent_per_party_flip_rates_match_reference() {
 
 #[test]
 fn independent_flips_land_on_every_block_offset() {
-    // The mask blocks cover 64 rounds at a time; a refill bug would bias
+    // The flip buckets cover 64 rounds at a time; a refill bug would bias
     // flips toward particular offsets within a block. Chi-squared of flip
     // positions mod 64 against uniform: df = 63, 0.001 critical 103.4.
     let n = 8;
@@ -250,11 +258,14 @@ fn independent_flips_land_on_every_block_offset() {
     let mut by_offset = vec![0f64; 64];
     let mut total = 0f64;
     for r in 0..rounds {
-        if let Delivery::PerParty(bits) = ch.transmit(false) {
-            let flips = bits.count_ones() as f64;
-            by_offset[r % 64] += flips;
-            total += flips;
-        }
+        let flips = match ch.transmit(false) {
+            // Sent OR is false, so heard 1s are exactly the flips.
+            Delivery::PerParty(bits) => bits.count_ones() as f64,
+            Delivery::Sparse(sparse) => sparse.flips().len() as f64,
+            Delivery::Shared(_) => panic!("independent noise must deliver per party"),
+        };
+        by_offset[r % 64] += flips;
+        total += flips;
     }
     let exp = total / 64.0;
     let stat: f64 = by_offset.iter().map(|&o| (o - exp).powi(2) / exp).sum();

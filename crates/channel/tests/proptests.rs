@@ -120,6 +120,7 @@ proptest! {
         );
         match indep.transmit(or) {
             Delivery::PerParty(bits) => prop_assert_eq!(bits.len(), n),
+            Delivery::Sparse(sparse) => prop_assert_eq!(sparse.len(), n),
             Delivery::Shared(_) => prop_assert!(false, "independent must be per-party"),
         }
     }

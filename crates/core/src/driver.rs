@@ -62,6 +62,21 @@ pub(crate) fn drive<P: SimParty>(
                     }
                 }
             }
+            Delivery::Sparse(sparse) => {
+                if let Some(bit) = sparse.uniform() {
+                    for party in parties.iter_mut() {
+                        party.hear(bit);
+                    }
+                } else {
+                    // Cursor-merge against the sorted flip list.
+                    let base = sparse.base();
+                    let mut flips = sparse.flips().iter().peekable();
+                    for (i, party) in parties.iter_mut().enumerate() {
+                        let flipped = flips.next_if(|&&p| p as usize == i).is_some();
+                        party.hear(base ^ flipped);
+                    }
+                }
+            }
         }
         rounds += 1;
     }

@@ -95,11 +95,46 @@ impl<'a, P: Protocol> HierarchicalSimulator<'a, P> {
         model: NoiseModel,
         seed: u64,
     ) -> Result<SimOutcome<P::Output>, SimError> {
+        self.simulate_with_scratch(inputs, model, seed, &mut crate::soa::SoaScratch::default())
+    }
+
+    /// [`HierarchicalSimulator::simulate`] with a caller-owned scratch
+    /// arena: shared-delivery models run on the collapsed
+    /// struct-of-arrays engine (see [`crate::soa`]), whose buffers live
+    /// in `scratch` so a worker thread can run many trials
+    /// allocation-free. Results are bitwise identical to
+    /// [`HierarchicalSimulator::simulate`] (which is this method with a
+    /// throwaway scratch).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HierarchicalSimulator::simulate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != protocol.num_parties()`.
+    pub fn simulate_with_scratch(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seed: u64,
+        scratch: &mut crate::soa::SoaScratch,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
         let n = self.protocol.num_parties();
         if model.validate().is_err() {
             return Err(SimError::UnsupportedNoise {
                 reason: "noise parameter outside [0, 1)",
             });
+        }
+        if model.is_shared() {
+            return crate::soa::hierarchical_collapsed(
+                self.protocol,
+                &self.config,
+                inputs,
+                model,
+                seed,
+                scratch,
+            );
         }
         let mut channel = StochasticChannel::new(n, model, seed);
         self.simulate_over(inputs, model, &mut channel)

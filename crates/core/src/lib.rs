@@ -67,6 +67,7 @@ pub mod params;
 pub mod repetition;
 pub mod rewind;
 pub mod simulator;
+pub mod soa;
 
 pub use code_cache::CodeCache;
 pub use hierarchical::HierarchicalSimulator;
@@ -78,3 +79,4 @@ pub use params::{ResolvedParams, SimulatorConfig, SimulatorConfigBuilder};
 pub use repetition::RepetitionSimulator;
 pub use rewind::RewindSimulator;
 pub use simulator::{record_simulation, NakedSimulator, SimulationRecorder, Simulator};
+pub use soa::SoaScratch;

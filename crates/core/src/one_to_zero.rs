@@ -29,7 +29,7 @@
 
 use crate::driver::{drive, SimParty};
 use crate::outcome::{PhaseRounds, SimError, SimOutcome, SimStats};
-use beeps_channel::{NoiseModel, Protocol, StochasticChannel};
+use beeps_channel::{NoiseModel, Protocol};
 
 /// Constant-overhead simulator for the one-sided `1→0` noise regime.
 ///
@@ -96,14 +96,52 @@ impl<'a, P: Protocol> OneToZeroSimulator<'a, P> {
         model: NoiseModel,
         seed: u64,
     ) -> Result<SimOutcome<P::Output>, SimError> {
+        self.simulate_with_scratch(inputs, model, seed, &mut crate::soa::SoaScratch::default())
+    }
+
+    /// [`OneToZeroSimulator::simulate`] with a caller-owned scratch
+    /// arena, running on the collapsed struct-of-arrays engine (see
+    /// [`crate::soa`]) — bitwise identical to the scalar path. (Both
+    /// accepted models deliver shared bits, so there is no scalar
+    /// fallback here.)
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`OneToZeroSimulator::simulate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != protocol.num_parties()`.
+    pub fn simulate_with_scratch(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seed: u64,
+        scratch: &mut crate::soa::SoaScratch,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
         let n = self.protocol.num_parties();
         if model.validate().is_err() {
             return Err(SimError::UnsupportedNoise {
                 reason: "noise parameter outside [0, 1)",
             });
         }
-        let mut channel = StochasticChannel::new(n, model, seed);
-        self.simulate_over(inputs, model, &mut channel)
+        assert_eq!(inputs.len(), n, "need one input per party");
+        match model {
+            NoiseModel::OneSidedOneToZero { .. } | NoiseModel::Noiseless => {
+                crate::soa::one_to_zero_collapsed(
+                    self.protocol,
+                    self.base,
+                    self.budget_factor,
+                    inputs,
+                    model,
+                    seed,
+                    scratch,
+                )
+            }
+            _ => Err(SimError::UnsupportedNoise {
+                reason: "the constant-overhead scheme requires 1->0-only noise",
+            }),
+        }
     }
 
     /// Runs over a caller-supplied channel (failure injection). The

@@ -58,6 +58,13 @@ pub struct SimulatorConfig {
     pub code_weight: Option<usize>,
     /// Per-decision failure probability the parameters were sized for.
     pub target_error: f64,
+    /// Committed chunks whose verification bitsets the collapsed
+    /// struct-of-arrays engine keeps exact (one `n`-bit word row per
+    /// chunk); older chunks are evicted to a digest and recomputed from
+    /// the transcript only if a rewind storm pops past the window. A
+    /// pure memory knob: every value produces bitwise-identical results
+    /// (values below 1 behave as 1; `usize::MAX` retains everything).
+    pub verify_window: usize,
     /// Experiment-scoped cache consulted by
     /// [`build_code`](SimulatorConfig::build_code); `None` rebuilds the
     /// table on every call. Private so equality and the cache stay
@@ -79,6 +86,7 @@ impl PartialEq for SimulatorConfig {
             && self.code_seed == other.code_seed
             && self.code_weight == other.code_weight
             && self.target_error == other.target_error
+            && self.verify_window == other.verify_window
     }
 }
 
@@ -120,6 +128,7 @@ pub struct SimulatorConfigBuilder {
     budget_factor: Option<f64>,
     code_seed: Option<u64>,
     code_weight: Option<usize>,
+    verify_window: Option<usize>,
     code_cache: Option<std::sync::Arc<crate::code_cache::CodeCache>>,
 }
 
@@ -166,6 +175,15 @@ impl SimulatorConfigBuilder {
     /// [`SimulatorConfig::code_weight`].
     pub fn code_weight(mut self, weight: usize) -> Self {
         self.code_weight = Some(weight);
+        self
+    }
+
+    /// Overrides the committed-chunk verification window of the
+    /// collapsed engine (default 8). See
+    /// [`SimulatorConfig::verify_window`]; results are bitwise
+    /// identical for every value — only peak memory changes.
+    pub fn verify_window(mut self, window: usize) -> Self {
+        self.verify_window = Some(window);
         self
     }
 
@@ -219,6 +237,9 @@ impl SimulatorConfigBuilder {
         if let Some(weight) = self.code_weight {
             config.code_weight = Some(weight);
         }
+        if let Some(window) = self.verify_window {
+            config.verify_window = window;
+        }
         if let Some(cache) = self.code_cache {
             config.code_cache = Some(cache);
         }
@@ -242,6 +263,7 @@ impl SimulatorConfig {
             budget_factor: None,
             code_seed: None,
             code_weight: None,
+            verify_window: None,
             code_cache: None,
         }
     }
@@ -303,6 +325,7 @@ impl SimulatorConfig {
             code_seed: 0x0B_EE_50_0D,
             code_weight: None,
             target_error: target,
+            verify_window: 8,
             code_cache: None,
         }
     }

@@ -45,6 +45,15 @@ impl Channel for RoundtripChannel {
                 assert_eq!(bits, bools, "packed bits disagree with bool view");
                 Delivery::PerParty(BitVec::from_bools(&bools))
             }
+            Delivery::Sparse(sparse) => {
+                // Expand the flip list through the boolean reference
+                // representation, so consumers of this channel exercise
+                // the dense path on bits the sparse path produced.
+                let bools: Vec<bool> = (0..sparse.len()).map(|i| sparse.heard_by(i)).collect();
+                let dense = BitVec::from_bools(&bools);
+                assert_eq!(sparse, dense, "sparse delivery disagrees with dense view");
+                Delivery::PerParty(dense)
+            }
         }
     }
 
@@ -273,6 +282,214 @@ fn rewind_batch_matches_per_trial_when_budget_starved() {
             (a, b) => {
                 assert_eq!(a.err(), b.err(), "error mismatch seed {seed}");
                 exhausted += 1;
+            }
+        }
+    }
+    assert!(exhausted > 0, "starved budget never exhausted: weak test");
+}
+
+/// Degenerate party counts: a single party (every delivery word is all
+/// tail) and 65 parties (one bit past a word boundary, so the packed
+/// path straddles two words). The rewind scheme must stay bitwise
+/// identical between the packed and roundtrip representations at both,
+/// in every noise regime.
+#[test]
+fn degenerate_party_counts_match_roundtrip() {
+    for n in [1usize, 65] {
+        let p = InputSet::new(n);
+        let inputs: Vec<usize> = (0..n).map(|i| (7 * i + 1) % (2 * n)).collect();
+        let config = SimulatorConfig::builder(n)
+            .model(NoiseModel::Correlated { epsilon: 0.1 })
+            .build();
+        let sim = RewindSimulator::new(&p, config);
+        for model in models() {
+            for seed in 0..2 {
+                let packed = sim.simulate(&inputs, model, seed);
+                let mut rt = RoundtripChannel::new(n, model, seed);
+                let unpacked = sim.simulate_over(&inputs, model, &mut rt);
+                match (packed, unpacked) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.transcript(), b.transcript(), "n={n} {model} seed {seed}");
+                        assert_eq!(a.outputs(), b.outputs());
+                        assert_eq!(a.stats(), b.stats());
+                    }
+                    (a, b) => assert_eq!(
+                        a.is_err(),
+                        b.is_err(),
+                        "error mismatch n={n} over {model} seed {seed}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Sparse flip lists and forced-dense rows are two encodings of the
+/// same delivery: round by round they must compare equal (the semantic
+/// `Delivery` equality) in every regime and at the degenerate party
+/// counts. The saturated case drives noise hard enough that rounds
+/// where *every* party's bit flips occur, forcing the sparse→dense
+/// fallback — both encodings must agree through the crossover too.
+#[test]
+fn sparse_and_forced_dense_deliveries_agree_across_regimes() {
+    let mut cases = models();
+    cases.push(NoiseModel::Independent { epsilon: 0.97 });
+    for n in [1usize, 65] {
+        for &model in &cases {
+            let mut sparse = StochasticChannel::new(n, model, 0xD15E);
+            let mut dense = StochasticChannel::new(n, model, 0xD15E);
+            dense.set_dense_deliveries(true);
+            let mut fallbacks = 0usize;
+            let mut all_flipped = 0usize;
+            for round in 0..400 {
+                let or = round % 3 == 0;
+                let a = sparse.transmit(or);
+                let b = dense.transmit(or);
+                assert_eq!(a, b, "n={n} round {round} over {model}");
+                if let Delivery::PerParty(_) = a {
+                    fallbacks += 1;
+                }
+                if (0..n).all(|i| a.heard_by(i) != or) {
+                    all_flipped += 1;
+                }
+            }
+            if n == 65 && matches!(model, NoiseModel::Independent { epsilon } if epsilon > 0.5) {
+                assert!(
+                    fallbacks > 0,
+                    "saturated noise never tripped the dense fallback"
+                );
+                assert!(
+                    all_flipped > 0,
+                    "saturated noise never flipped all parties in one round"
+                );
+            }
+        }
+    }
+}
+
+/// Windowed committed-transcript retention is a pure memory
+/// optimization: sweeping the verification window from its minimum to
+/// effectively unbounded must not move a bit of any collapsed scheme's
+/// transcript, outputs, or stats relative to the default window, in any
+/// regime.
+#[test]
+fn windowed_retention_matches_full_for_every_scheme() {
+    let p = InputSet::new(4);
+    let inputs = [1, 5, 5, 2];
+    let owned_p = RollCall::new(8);
+    let owned_inputs = [true, false, true, true, false, false, true, false];
+    let config = |window: Option<usize>| {
+        let mut b = SimulatorConfig::builder(4).model(NoiseModel::Correlated { epsilon: 0.1 });
+        if let Some(w) = window {
+            b = b.verify_window(w);
+        }
+        b.build()
+    };
+    for model in models() {
+        for seed in 0..2 {
+            let reference = RewindSimulator::new(&p, config(None)).simulate(&inputs, model, seed);
+            let hier_ref =
+                HierarchicalSimulator::new(&p, config(None)).simulate(&inputs, model, seed);
+            for window in [1usize, 2, usize::MAX] {
+                let windowed =
+                    RewindSimulator::new(&p, config(Some(window))).simulate(&inputs, model, seed);
+                match (&reference, &windowed) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a.transcript(),
+                            b.transcript(),
+                            "rewind window {window} over {model} seed {seed}"
+                        );
+                        assert_eq!(a.outputs(), b.outputs());
+                        assert_eq!(a.stats(), b.stats());
+                    }
+                    (a, b) => assert_eq!(a.is_err(), b.is_err(), "window {window} over {model}"),
+                }
+                let hier = HierarchicalSimulator::new(&p, config(Some(window)))
+                    .simulate(&inputs, model, seed);
+                match (&hier_ref, &hier) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a.transcript(),
+                            b.transcript(),
+                            "hierarchical window {window} over {model} seed {seed}"
+                        );
+                        assert_eq!(a.stats(), b.stats());
+                    }
+                    (a, b) => assert_eq!(a.is_err(), b.is_err(), "window {window} over {model}"),
+                }
+            }
+            let owned_config = |window: Option<usize>| {
+                let mut b =
+                    SimulatorConfig::builder(8).model(NoiseModel::Correlated { epsilon: 0.1 });
+                if let Some(w) = window {
+                    b = b.verify_window(w);
+                }
+                b.build()
+            };
+            let owned_ref = OwnedRoundsSimulator::new(&owned_p, owned_config(None)).simulate(
+                &owned_inputs,
+                model,
+                seed,
+            );
+            for window in [1usize, usize::MAX] {
+                let owned = OwnedRoundsSimulator::new(&owned_p, owned_config(Some(window)))
+                    .simulate(&owned_inputs, model, seed);
+                match (&owned_ref, &owned) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a.transcript(),
+                            b.transcript(),
+                            "owned_rounds window {window} over {model} seed {seed}"
+                        );
+                        assert_eq!(a.stats(), b.stats());
+                    }
+                    (a, b) => assert_eq!(a.is_err(), b.is_err(), "window {window} over {model}"),
+                }
+            }
+        }
+    }
+}
+
+/// A starved budget must exhaust at the identical round regardless of
+/// the retention window: `BudgetExhausted { rounds_used, committed }`
+/// is part of the bitwise contract, and rematerializing evicted window
+/// entries must not perturb it.
+#[test]
+fn windowed_retention_matches_full_when_budget_starved() {
+    let p = InputSet::new(4);
+    let inputs = [1, 5, 5, 2];
+    let model = NoiseModel::Correlated { epsilon: 0.2 };
+    let config = |window: Option<usize>| {
+        let mut b = SimulatorConfig::builder(4).model(model).budget_factor(1.0);
+        if let Some(w) = window {
+            b = b.verify_window(w);
+        }
+        b.build()
+    };
+    let mut exhausted = 0usize;
+    for seed in 0..16 {
+        let reference = RewindSimulator::new(&p, config(None)).simulate(&inputs, model, seed);
+        if reference.is_err() {
+            exhausted += 1;
+        }
+        for window in [1usize, usize::MAX] {
+            let windowed =
+                RewindSimulator::new(&p, config(Some(window))).simulate(&inputs, model, seed);
+            match (&reference, &windowed) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a.transcript(),
+                        b.transcript(),
+                        "window {window} seed {seed}"
+                    );
+                    assert_eq!(a.stats(), b.stats());
+                }
+                (a, b) => assert_eq!(
+                    a.as_ref().err(),
+                    b.as_ref().err(),
+                    "budget error mismatch window {window} seed {seed}"
+                ),
             }
         }
     }

@@ -40,6 +40,33 @@ pub fn wall_unix_millis() -> u64 {
         .unwrap_or(0)
 }
 
+/// Peak resident set size of this process in bytes, or 0 when the
+/// platform doesn't expose it.
+///
+/// Linux publishes the high-water mark as the `VmHWM` line of
+/// `/proc/self/status` (in kB); other platforms report 0 rather than
+/// guessing. Like the clocks above this is observability-only: the
+/// value goes into run-log summaries and experiment memory columns,
+/// never into deterministic state.
+#[must_use]
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,5 +82,16 @@ mod tests {
     fn wall_clock_is_past_2020() {
         // 2020-01-01 in unix millis; a sane system clock is later.
         assert!(wall_unix_millis() > 1_577_836_800_000);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // A running test binary has at least a page resident.
+            assert!(rss > 0, "VmHWM parse returned 0 on linux");
+        }
+        // Reading twice never decreases (it's a high-water mark).
+        assert!(peak_rss_bytes() >= rss);
     }
 }

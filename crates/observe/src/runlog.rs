@@ -61,6 +61,9 @@ pub struct RunSummary {
     pub events_recorded: u64,
     /// Events the ring dropped at capacity (0 when unused).
     pub events_dropped: u64,
+    /// Peak resident set size of the process in bytes, via
+    /// [`crate::clock::peak_rss_bytes`] (0 when unavailable).
+    pub peak_rss_bytes: u64,
 }
 
 struct Inner {
@@ -159,10 +162,11 @@ impl RunLog {
     pub fn finish(&self, summary: &RunSummary) -> io::Result<()> {
         let mut inner = self.lock();
         let line = format!(
-            "{{\"type\":\"summary\",\"trials_done\":{},\"events_recorded\":{},\"events_dropped\":{},\"unix_ms\":{}}}",
+            "{{\"type\":\"summary\",\"trials_done\":{},\"events_recorded\":{},\"events_dropped\":{},\"peak_rss_bytes\":{},\"unix_ms\":{}}}",
             summary.trials_done,
             summary.events_recorded,
             summary.events_dropped,
+            summary.peak_rss_bytes,
             clock::wall_unix_millis(),
         );
         inner.write_line(&line);
@@ -270,6 +274,7 @@ mod tests {
             trials_done: log.trials_done(),
             events_recorded: 10,
             events_dropped: 3,
+            peak_rss_bytes: 4096,
         })
         .unwrap();
         let bytes = buf.0.lock().unwrap().clone();
@@ -288,6 +293,7 @@ mod tests {
         assert!(lines[5].contains("\"type\":\"summary\""));
         assert!(lines[5].contains("\"trials_done\":8"));
         assert!(lines[5].contains("\"events_dropped\":3"));
+        assert!(lines[5].contains("\"peak_rss_bytes\":4096"));
         for line in &lines {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }

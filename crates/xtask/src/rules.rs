@@ -16,12 +16,15 @@
 //!   lowercase dot-separated under a family documented in
 //!   EXPERIMENTS.md, and `#[deprecated]` APIs slated for removal must
 //!   not gain new call sites.
-//! * **Performance** (`hot-path-alloc`, `trial-scope-precompute`,
-//!   `lane-seed-discipline`) — the executor's round loop is the
-//!   innermost loop of every simulation; no `format!`/`String`
-//!   allocation may creep back into it, code-table construction must
-//!   not run per-trial, and lane-sliced code must draw every lane's
-//!   noise from the per-trial splitmix stream (DESIGN.md §9–§10).
+//! * **Performance** (`hot-path-alloc`, `party-loop-alloc`,
+//!   `trial-scope-precompute`, `lane-seed-discipline`) — the
+//!   executor's round loop is the innermost loop of every simulation;
+//!   no `format!`/`String` allocation may creep back into it, the
+//!   per-round per-party loops of the scaling engines must stay
+//!   heap-allocation-free (scratch arenas and pooled rows only),
+//!   code-table construction must not run per-trial, and lane-sliced
+//!   code must draw every lane's noise from the per-trial splitmix
+//!   stream (DESIGN.md §9–§10, §12).
 //! * **Semantic** (`atomic-ordering`, `seed-provenance`,
 //!   `observer-purity`, `panic-path`) — token-tree passes the old
 //!   line lexer could not express: every `Ordering::*` use classified
@@ -62,6 +65,8 @@ pub enum RuleId {
     DeprecatedApi,
     /// `format!` / `String` allocation in the executor's round loop.
     HotPathAlloc,
+    /// Heap allocation in the scaling engines' per-round party loops.
+    PartyLoopAlloc,
     /// Code-table construction inside a `TrialRunner` per-trial closure.
     TrialScopePrecompute,
     /// Direct RNG seeding inside lane-sliced executor code.
@@ -90,6 +95,7 @@ impl RuleId {
         RuleId::MetricKeyFormat,
         RuleId::DeprecatedApi,
         RuleId::HotPathAlloc,
+        RuleId::PartyLoopAlloc,
         RuleId::TrialScopePrecompute,
         RuleId::LaneSeedDiscipline,
         RuleId::AtomicOrdering,
@@ -113,6 +119,7 @@ impl RuleId {
             RuleId::MetricKeyFormat => "metric-key-format",
             RuleId::DeprecatedApi => "deprecated-api",
             RuleId::HotPathAlloc => "hot-path-alloc",
+            RuleId::PartyLoopAlloc => "party-loop-alloc",
             RuleId::TrialScopePrecompute => "trial-scope-precompute",
             RuleId::LaneSeedDiscipline => "lane-seed-discipline",
             RuleId::AtomicOrdering => "atomic-ordering",
@@ -165,6 +172,13 @@ impl RuleId {
                 "the executor round loop runs once per channel round; \
                  format!/String allocation there dominates profiles — \
                  intern beeps_metrics::CounterHandle up front instead"
+            }
+            RuleId::PartyLoopAlloc => {
+                "the collapsed engines and the sparse channel run their \
+                 loops once per party per round at n up to 10^6; any \
+                 heap constructor there turns O(1) amortized rounds \
+                 into allocator traffic — reuse the SoaScratch arenas \
+                 or the sampler's pooled rows instead"
             }
             RuleId::TrialScopePrecompute => {
                 "code-table construction inside a TrialRunner per-trial \
@@ -258,6 +272,29 @@ const HOT_PATH_ALLOC_PATTERNS: &[&str] = &[
     ".to_owned(",
     "String::from(",
     "String::new(",
+];
+
+/// Files holding the per-round per-party loops of the scaling path:
+/// the collapsed struct-of-arrays engines and the sparse delivery
+/// representation. Steady-state simulation there must reuse scratch
+/// arenas (`SoaScratch`, the sampler's pooled rows) — a heap
+/// constructor inside these files runs up to `n = 10^6` times per
+/// round.
+const PARTY_LOOP_FILES: &[&str] = &["crates/core/src/soa.rs", "crates/channel/src/sparse.rs"];
+
+/// Heap-allocating constructors banned in party-loop files. Broader
+/// than the hot-path list: `Vec` growth is the dominant allocator in
+/// these loops, not `String` formatting. Matched against the
+/// comment-stripped code view of non-test lines.
+const PARTY_LOOP_ALLOC_PATTERNS: &[&str] = &[
+    "vec![",
+    ".to_vec(",
+    ".collect(",
+    "format!(",
+    ".to_string(",
+    ".to_owned(",
+    "String::",
+    "Box::new(",
 ];
 
 /// Directory (relative-path fragment) whose files hold the experiment
@@ -502,6 +539,10 @@ pub fn passes() -> Vec<Pass> {
         Pass {
             rule: RuleId::HotPathAlloc,
             run: pass_hot_path_alloc,
+        },
+        Pass {
+            rule: RuleId::PartyLoopAlloc,
+            run: pass_party_loop_alloc,
         },
         Pass {
             rule: RuleId::TrialScopePrecompute,
@@ -845,6 +886,40 @@ fn pass_hot_path_alloc(files: &[SourceFile], _facts: &Facts, out: &mut Vec<Findi
                             "`{pat}…)` allocates inside the executor hot path; intern a \
                              `beeps_metrics::CounterHandle` before the round loop (or hoist \
                              the allocation out of this file)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Flags heap-allocating constructors in the files holding per-round
+/// per-party loops (`PARTY_LOOP_FILES`). File-scoped like
+/// `hot-path-alloc` rather than loop-scoped: these files exist *for*
+/// their party loops, and setup-time allocation belongs in the
+/// `SoaScratch` constructors that live elsewhere, so a whole-file ban
+/// is both simpler and the invariant we actually want.
+fn pass_party_loop_alloc(files: &[SourceFile], _facts: &Facts, out: &mut Vec<Finding>) {
+    for file in files {
+        let rel = rel_path(file);
+        if !PARTY_LOOP_FILES.contains(&rel.as_str()) {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue; // unit tests may build expected-value vectors freely
+            }
+            for pat in PARTY_LOOP_ALLOC_PATTERNS {
+                if line.code.contains(pat) {
+                    out.push(finding(
+                        RuleId::PartyLoopAlloc,
+                        &rel,
+                        idx,
+                        format!(
+                            "`{pat}…` allocates inside a per-round per-party file; reuse \
+                             the SoaScratch arenas / pooled sampler rows, or hoist the \
+                             allocation into setup code outside this file"
                         ),
                     ));
                 }

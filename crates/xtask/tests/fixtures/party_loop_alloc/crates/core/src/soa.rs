@@ -1,0 +1,14 @@
+pub fn owners_round(scratch: &mut Vec<Vec<u64>>, n: usize) {
+    let row = vec![0u64; n.div_ceil(64)];
+    scratch.push(row);
+    let flips: Vec<u64> = (0..n as u64).collect();
+    scratch.push(flips);
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn expected_rows() {
+        let expected = vec![0u64; 4];
+        assert_eq!(expected.len(), 4);
+    }
+}

@@ -1,0 +1,3 @@
+pub fn setup_inputs(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}

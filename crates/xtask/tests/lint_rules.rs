@@ -145,6 +145,26 @@ fn hot_path_alloc_fires_in_executor_non_test_code_only() {
 }
 
 #[test]
+fn party_loop_alloc_fires_in_scaling_files_non_test_code_only() {
+    let report = run("party_loop_alloc");
+    assert_eq!(
+        rules_of(&report),
+        [RuleId::PartyLoopAlloc, RuleId::PartyLoopAlloc]
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.path == "crates/core/src/soa.rs"),
+        "allocation outside the party-loop files must not fire: {:?}",
+        report.findings
+    );
+    assert!(report.findings[0].message.contains("vec!["));
+    assert!(report.findings[1].message.contains(".collect"));
+    // The cfg(test) vec! and the lib.rs collect never fire.
+}
+
+#[test]
 fn trial_scope_precompute_fires_inside_trial_closures_only() {
     let report = run("trial_scope_precompute");
     assert_eq!(
@@ -356,6 +376,7 @@ fn cli_exit_codes_reflect_findings() {
         "metric_key",
         "deprecated",
         "hot_path_alloc",
+        "party_loop_alloc",
         "trial_scope_precompute",
         "lane_seed",
         "atomic_ordering",

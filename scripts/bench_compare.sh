@@ -9,11 +9,18 @@
 # numbers). The harness also emits a "lanes" section — the bit-sliced
 # engine's per-trial speedup over its scalar twin, measured within the
 # same run — and full mode fails when any lane ratio drops below
-# BEEPS_LANES_FLOOR (default 4). --smoke runs the 1-iteration harness
-# instead: it exercises the harness and the comparison plumbing end to
-# end (including the presence of the lanes section) but skips both
-# threshold checks, because 1-iteration numbers are noise — that is the
-# mode tier1.sh and CI run.
+# BEEPS_LANES_FLOOR (default 4); likewise a "soa" section — the
+# collapsed struct-of-arrays engine and the sparse channel against
+# their pre-scaling twins — gated at BEEPS_SOA_FLOOR (default 3).
+# When the baseline was pinned on different hardware (the config
+# block's host_cores / beeps_threads fields differ from this run's),
+# the speedup comparison warns instead of failing: cross-machine
+# ns/op deltas are provenance, not regressions. --smoke runs the
+# 1-iteration harness instead: it exercises the harness and the
+# comparison plumbing end to end (including the presence of the lanes
+# and soa sections) but skips the threshold checks, because
+# 1-iteration numbers are noise — that is the mode tier1.sh and CI
+# run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,8 +52,30 @@ if [[ -z "$LANES_SECTION" ]]; then
   exit 1
 fi
 
+# Same shape for the "soa" section: collapsed-engine and sparse-channel
+# ratios over their pre-scaling twins, measured within the same run.
+SOA_SECTION=$(sed -n 's/.*"soa":{\([^}]*\)}.*/\1/p' "$OUT")
+if [[ -z "$SOA_SECTION" ]]; then
+  echo "bench_compare: no soa section in $OUT (bench_hotpaths too old?)" >&2
+  exit 1
+fi
+
+# Provenance check, not a gate: if the pinned baseline came from a
+# different machine (core count) or thread setting, absolute ns/op are
+# not comparable — say so loudly, but let the tolerance gate decide.
+host_field() { sed -n "s/.*\"$2\":\"\{0,1\}\([^\",}]*\)\"\{0,1\}[,}].*/\1/p" "$1" | head -n1; }
+BASE_CORES=$(host_field "$BASELINE" host_cores)
+BASE_THREADS=$(host_field "$BASELINE" beeps_threads)
+CUR_CORES=$(host_field "$OUT" host_cores)
+CUR_THREADS=$(host_field "$OUT" beeps_threads)
+if [[ -z "$BASE_CORES" ]]; then
+  echo "bench_compare: WARNING: $BASELINE has no host provenance (host_cores/beeps_threads); speedup deltas may reflect hardware, not code" >&2
+elif [[ "$BASE_CORES" != "$CUR_CORES" || "$BASE_THREADS" != "$CUR_THREADS" ]]; then
+  echo "bench_compare: WARNING: baseline pinned on host_cores=$BASE_CORES beeps_threads='$BASE_THREADS', this run has host_cores=$CUR_CORES beeps_threads='$CUR_THREADS'; speedup deltas may reflect hardware, not code" >&2
+fi
+
 if [[ -n "$SMOKE" ]]; then
-  echo "bench_compare: smoke mode — harness, lanes section, and comparison plumbing OK, thresholds skipped"
+  echo "bench_compare: smoke mode — harness, lanes and soa sections, and comparison plumbing OK, thresholds skipped"
   exit 0
 fi
 
@@ -75,8 +104,20 @@ for entry in "${LANE_ENTRIES[@]}"; do
     STATUS=1
   fi
 done
+SOA_FLOOR="${BEEPS_SOA_FLOOR:-3}"
+IFS=',' read -ra SOA_ENTRIES <<<"$SOA_SECTION"
+for entry in "${SOA_ENTRIES[@]}"; do
+  name="${entry%%:*}"
+  name="${name//\"/}"
+  value="${entry##*:}"
+  ok=$(awk -v v="$value" -v f="$SOA_FLOOR" 'BEGIN { print (v >= f) ? 1 : 0 }')
+  if [[ "$ok" != 1 ]]; then
+    echo "bench_compare: scaling path on $name only ${value}x vs its twin, floor ${SOA_FLOOR}x" >&2
+    STATUS=1
+  fi
+done
 
 if [[ "$STATUS" == 0 ]]; then
-  echo "bench_compare: all benchmarks within ${TOLERANCE}% of $BASELINE; lane ratios >= ${LANE_FLOOR}x"
+  echo "bench_compare: all benchmarks within ${TOLERANCE}% of $BASELINE; lane ratios >= ${LANE_FLOOR}x; soa ratios >= ${SOA_FLOOR}x"
 fi
 exit "$STATUS"

@@ -5,8 +5,9 @@
 #
 # Runs the release build, the full test suite, clippy with warnings
 # denied, the beeps-lint static-analysis pass, the formatting check,
-# and a one-iteration smoke run of the hot-path benchmark harness plus
-# its baseline-comparison plumbing — the same sequence CI runs.
+# a one-iteration smoke run of the hot-path benchmark harness plus
+# its baseline-comparison plumbing, and observed smoke runs of
+# fig6_phase_breakdown and fig_scale — the same sequence CI runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,4 +36,15 @@ BEEPS_EXPERIMENTS_DIR=target/observe-smoke \
 cargo xtask observe-check \
   target/observe-smoke/fig6.trace.json \
   target/observe-smoke/fig6_phase_breakdown.runlog.jsonl
+# Scaling smoke: fig_scale's --smoke sweep (n up to 10^4) exercises the
+# collapsed struct-of-arrays engines, the sparse channel, and windowed
+# transcript retention end to end; the sealed run log (with the
+# peak_rss_bytes summary field) must validate like any other.
+BEEPS_EXPERIMENTS_DIR=target/observe-smoke \
+  cargo run --release -q -p beeps-bench --bin fig_scale -- \
+  --smoke --threads 2 --progress \
+  --profile target/observe-smoke/fig_scale.trace.json >/dev/null
+cargo xtask observe-check \
+  target/observe-smoke/fig_scale.trace.json \
+  target/observe-smoke/fig_scale.runlog.jsonl
 echo "tier-1: all green"
