@@ -88,6 +88,105 @@ fn seed_calendar(
     }
 }
 
+/// The independent-noise skip sampler: per-party geometric skips
+/// expanded into 64-round blocks of per-round flipped-party buckets.
+///
+/// Extracted from the [`StochasticChannel`] so the lane-sliced channel
+/// ([`crate::lanes::IndependentLaneChannel`]) can run one of these per
+/// lane with the *exact* construction-time and refill-time RNG draw
+/// order of the scalar channel — the bitwise-equivalence contract every
+/// lane engine is pinned against.
+#[derive(Debug)]
+pub(crate) struct IndependentSampler {
+    /// `buckets[r]`: ascending indices of the parties flipped in
+    /// block round `r`.
+    buckets: Vec<Vec<u32>>,
+    /// Next unconsumed round offset in the block; `BLOCK_ROUNDS`
+    /// forces a refill.
+    offset: usize,
+    /// Flip calendar: absolute block index → the parties whose
+    /// *next* flip lands in that block, as `(party, round offset
+    /// within the block)`. Each party appears at most once across
+    /// the whole calendar, so a block refill touches only the
+    /// parties that actually flip in it — O(εn) amortized per
+    /// round instead of the O(n) per-block skip walk it replaced.
+    /// The RNG stream is unchanged: gap draws happen exactly when
+    /// a party's position crosses the refilled block, in ascending
+    /// party order, which is precisely when (and in which order)
+    /// the per-party walk drew them.
+    calendar: std::collections::BTreeMap<u64, Vec<(u32, u8)>>,
+    /// Absolute index of the next block to refill.
+    block: u64,
+}
+
+impl IndependentSampler {
+    /// Seeds the flip calendar with one geometric draw per party — the
+    /// construction-time RNG contract of `StochasticChannel::new` under
+    /// independent noise.
+    pub(crate) fn new(n: usize, epsilon: f64, rng: &mut StdRng) -> Self {
+        let mut calendar = std::collections::BTreeMap::new();
+        seed_calendar(&mut calendar, n, epsilon, rng);
+        Self {
+            buckets: vec![Vec::new(); BLOCK_ROUNDS],
+            offset: BLOCK_ROUNDS,
+            calendar,
+            block: 0,
+        }
+    }
+
+    /// Returns the sampler to its just-constructed state (drawing from
+    /// `rng` in construction order) while reusing the bucket
+    /// allocations. Stale buckets are ignored because the reset offset
+    /// forces a bucket-clearing refill before the first delivery.
+    pub(crate) fn restart(&mut self, n: usize, epsilon: f64, rng: &mut StdRng) {
+        self.offset = BLOCK_ROUNDS;
+        self.block = 0;
+        seed_calendar(&mut self.calendar, n, epsilon, rng);
+    }
+
+    /// Advances one round and returns the bucket of parties flipped in
+    /// it (ascending). The caller may `mem::take` the bucket; a taken
+    /// bucket is simply replaced by an empty one.
+    pub(crate) fn advance(&mut self, epsilon: f64, rng: &mut StdRng) -> &mut Vec<u32> {
+        if self.offset == BLOCK_ROUNDS {
+            self.refill(epsilon, rng);
+        }
+        let bucket = &mut self.buckets[self.offset];
+        self.offset += 1;
+        bucket
+    }
+
+    /// Rebuilds the flip buckets for the next block from the flip
+    /// calendar.
+    ///
+    /// Only the parties whose next flip lands in this block are
+    /// touched — O(εn) amortized per round — but they are processed in
+    /// ascending party order with chained gap draws, exactly the points
+    /// at which the full per-party skip walk this replaced consumed the
+    /// RNG, so seeded flip sets are bitwise unchanged. Ascending party
+    /// order also leaves every bucket sorted as [`SparseDelivery::new`]
+    /// requires.
+    fn refill(&mut self, epsilon: f64, rng: &mut StdRng) {
+        for bucket in self.buckets.iter_mut() {
+            bucket.clear();
+        }
+        if let Some(mut due) = self.calendar.remove(&self.block) {
+            due.sort_unstable();
+            let base = self.block * BLOCK_ROUNDS as u64;
+            for (p, off) in due {
+                let mut pos = u64::from(off);
+                while pos < BLOCK_ROUNDS as u64 {
+                    self.buckets[pos as usize].push(p);
+                    pos = next_flip_position(pos, epsilon, rng);
+                }
+                calendar_insert(&mut self.calendar, p, base.saturating_add(pos));
+            }
+        }
+        self.block += 1;
+        self.offset = 0;
+    }
+}
+
 /// Batched noise state of a [`StochasticChannel`].
 #[derive(Debug)]
 enum Sampler {
@@ -100,28 +199,11 @@ enum Sampler {
         /// Eligible rounds remaining before the next flip.
         skip: u64,
     },
-    /// Independent noise: per-party geometric skips expanded into
-    /// 64-round blocks of per-round flipped-party buckets.
+    /// Independent noise: the skip sampler plus the channel-side
+    /// delivery scratch.
     Independent {
-        /// `buckets[r]`: ascending indices of the parties flipped in
-        /// block round `r`.
-        buckets: Vec<Vec<u32>>,
-        /// Next unconsumed round offset in the block; `BLOCK_ROUNDS`
-        /// forces a refill.
-        offset: usize,
-        /// Flip calendar: absolute block index → the parties whose
-        /// *next* flip lands in that block, as `(party, round offset
-        /// within the block)`. Each party appears at most once across
-        /// the whole calendar, so a block refill touches only the
-        /// parties that actually flip in it — O(εn) amortized per
-        /// round instead of the O(n) per-block skip walk it replaced.
-        /// The RNG stream is unchanged: gap draws happen exactly when
-        /// a party's position crosses the refilled block, in ascending
-        /// party order, which is precisely when (and in which order)
-        /// the per-party walk drew them.
-        calendar: std::collections::BTreeMap<u64, Vec<(u32, u8)>>,
-        /// Absolute index of the next block to refill.
-        block: u64,
+        /// Per-round flip buckets behind the skip calendar.
+        skipper: IndependentSampler,
         /// Scratch row (`⌈n/64⌉` words) for expanding a bucket into a
         /// dense delivery.
         dense_row: Vec<u64>,
@@ -141,18 +223,11 @@ impl Sampler {
             | NoiseModel::OneSidedOneToZero { .. } => Sampler::Shared {
                 skip: geometric_gap(eps, rng),
             },
-            NoiseModel::Independent { .. } => {
-                let mut calendar = std::collections::BTreeMap::new();
-                seed_calendar(&mut calendar, n, eps, rng);
-                Sampler::Independent {
-                    buckets: vec![Vec::new(); BLOCK_ROUNDS],
-                    offset: BLOCK_ROUNDS,
-                    calendar,
-                    block: 0,
-                    dense_row: vec![0; n.div_ceil(64)],
-                    force_dense: false,
-                }
-            }
+            NoiseModel::Independent { .. } => Sampler::Independent {
+                skipper: IndependentSampler::new(n, eps, rng),
+                dense_row: vec![0; n.div_ceil(64)],
+                force_dense: false,
+            },
         }
     }
 }
@@ -271,16 +346,7 @@ impl StochasticChannel {
         match &mut self.sampler {
             Sampler::Noiseless => {}
             Sampler::Shared { skip } => *skip = geometric_gap(eps, &mut self.rng),
-            Sampler::Independent {
-                offset,
-                calendar,
-                block,
-                ..
-            } => {
-                *offset = BLOCK_ROUNDS;
-                *block = 0;
-                seed_calendar(calendar, self.n, eps, &mut self.rng);
-            }
+            Sampler::Independent { skipper, .. } => skipper.restart(self.n, eps, &mut self.rng),
         }
     }
 
@@ -295,47 +361,6 @@ impl StochasticChannel {
             *force_dense = dense;
         }
     }
-
-    /// Rebuilds the independent-noise flip buckets for the next block
-    /// from the flip calendar.
-    ///
-    /// Only the parties whose next flip lands in this block are
-    /// touched — O(εn) amortized per round — but they are processed in
-    /// ascending party order with chained gap draws, exactly the points
-    /// at which the full per-party skip walk this replaced consumed the
-    /// RNG, so seeded flip sets are bitwise unchanged. Ascending party
-    /// order also leaves every bucket sorted as [`SparseDelivery::new`]
-    /// requires.
-    fn refill_buckets(&mut self) {
-        let epsilon = self.model.epsilon();
-        let Sampler::Independent {
-            buckets,
-            offset,
-            calendar,
-            block,
-            ..
-        } = &mut self.sampler
-        else {
-            unreachable!("refill is only reachable from the independent sampler");
-        };
-        for bucket in buckets.iter_mut() {
-            bucket.clear();
-        }
-        if let Some(mut due) = calendar.remove(&*block) {
-            due.sort_unstable();
-            let base = *block * BLOCK_ROUNDS as u64;
-            for (p, off) in due {
-                let mut pos = u64::from(off);
-                while pos < BLOCK_ROUNDS as u64 {
-                    buckets[pos as usize].push(p);
-                    pos = next_flip_position(pos, epsilon, &mut self.rng);
-                }
-                calendar_insert(calendar, p, base.saturating_add(pos));
-            }
-        }
-        *block += 1;
-        *offset = 0;
-    }
 }
 
 impl Channel for StochasticChannel {
@@ -345,17 +370,20 @@ impl Channel for StochasticChannel {
 
     fn transmit(&mut self, true_or: bool) -> Delivery {
         self.rounds += 1;
-        if let Sampler::Independent { offset, .. } = &self.sampler {
-            if *offset == BLOCK_ROUNDS {
-                self.refill_buckets();
-            }
-        }
-        match &mut self.sampler {
+        let Self {
+            n,
+            model,
+            rng,
+            sampler,
+            corrupted,
+            ..
+        } = self;
+        match sampler {
             Sampler::Noiseless => Delivery::Shared(true_or),
             Sampler::Shared { skip } => {
                 // One-sided regimes only consume the countdown on rounds
                 // where a flip is possible at all.
-                let eligible = match self.model {
+                let eligible = match model {
                     NoiseModel::Correlated { .. } => true,
                     NoiseModel::OneSidedZeroToOne { .. } => !true_or,
                     NoiseModel::OneSidedOneToZero { .. } => true_or,
@@ -363,7 +391,7 @@ impl Channel for StochasticChannel {
                 };
                 let flip = if eligible {
                     if *skip == 0 {
-                        *skip = geometric_gap(self.model.epsilon(), &mut self.rng);
+                        *skip = geometric_gap(model.epsilon(), rng);
                         true
                     } else {
                         *skip -= 1;
@@ -373,23 +401,20 @@ impl Channel for StochasticChannel {
                     false
                 };
                 if flip {
-                    self.corrupted += 1;
+                    *corrupted += 1;
                 }
                 Delivery::Shared(true_or ^ flip)
             }
             Sampler::Independent {
-                buckets,
-                offset,
+                skipper,
                 dense_row,
                 force_dense,
-                ..
             } => {
-                let bucket = &mut buckets[*offset];
-                *offset += 1;
+                let bucket = skipper.advance(model.epsilon(), rng);
                 if !bucket.is_empty() {
-                    self.corrupted += 1;
+                    *corrupted += 1;
                 }
-                if *force_dense || bucket.len() >= sparse_crossover(self.n) {
+                if *force_dense || bucket.len() >= sparse_crossover(*n) {
                     for word in dense_row.iter_mut() {
                         *word = 0;
                     }
@@ -397,12 +422,12 @@ impl Channel for StochasticChannel {
                         dense_row[p as usize / 64] |= 1u64 << (p as usize % 64);
                     }
                     bucket.clear();
-                    Delivery::PerParty(BitVec::from_flips(dense_row, true_or, self.n))
+                    Delivery::PerParty(BitVec::from_flips(dense_row, true_or, *n))
                 } else {
                     // `mem::take` hands the bucket's buffer to the
                     // delivery without copying; clean rounds move an
                     // empty Vec, so the common case allocates nothing.
-                    Delivery::Sparse(SparseDelivery::new(true_or, self.n, std::mem::take(bucket)))
+                    Delivery::Sparse(SparseDelivery::new(true_or, *n, std::mem::take(bucket)))
                 }
             }
         }

@@ -140,6 +140,39 @@ impl<'a, P: Protocol> HierarchicalSimulator<'a, P> {
         self.simulate_over(inputs, model, &mut channel)
     }
 
+    /// Runs one trial per seed, lane-sliced: up to 64 trials share each
+    /// channel word, every result bitwise identical to
+    /// [`HierarchicalSimulator::simulate`] with that seed (same
+    /// transcripts, statistics, and `BudgetExhausted` errors).
+    ///
+    /// Independent noise (and invalid ε) falls back to the scalar
+    /// per-trial loop — per-party deliveries diverge there, so the
+    /// shared-transcript collapse the lane engine relies on does not
+    /// hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != protocol.num_parties()`.
+    pub fn simulate_batch(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seeds: &[u64],
+    ) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
+        if model.validate().is_err() || !model.is_shared() {
+            return seeds
+                .iter()
+                .map(|&seed| self.simulate(inputs, model, seed))
+                .collect();
+        }
+        seeds
+            .chunks(beeps_channel::LANES)
+            .flat_map(|group| {
+                crate::lanes::hierarchical_lanes(self.protocol, &self.config, inputs, model, group)
+            })
+            .collect()
+    }
+
     /// Runs over a caller-supplied channel (failure injection, reduction
     /// channels); see [`crate::RewindSimulator::simulate_over`].
     ///

@@ -1,4 +1,4 @@
-//! Lane-sliced batch engines for the repetition and rewind schemes.
+//! Lane-sliced batch engines: every scheme, every noise regime.
 //!
 //! A [`LaneChannel`] carries up to 64 independent trials, one bit-lane
 //! each, with every lane's noise drawn from that trial's own seed in
@@ -10,7 +10,10 @@
 //!   bit every round, so all per-party decode state (decoded chunk
 //!   bits, owners bookkeeping, committed prefix) is identical across
 //!   parties. The engines keep *one* copy per lane and decode each
-//!   owners codeword once instead of `n` times.
+//!   owners codeword once instead of `n` times. The hierarchical,
+//!   one-to-zero, and owned-rounds engines reuse the collapsed bodies
+//!   of [`crate::soa`] verbatim, driving them one lane at a time
+//!   through the [`LaneBits`] backend.
 //! * **Span batching** — whenever the true OR is constant over a span
 //!   (an `R`-round repetition block, an idle owners iteration, a
 //!   `V`-round verification vote), the only observable is the number of
@@ -18,17 +21,28 @@
 //!   [`LaneChannel::flips_in_span`] produces that count with RNG work
 //!   proportional to the number of flips, not rounds.
 //!
+//! Independent noise breaks the state collapse (per-party deliveries
+//! diverge) but not the span batching:
+//! [`repetition_lanes_independent`] keeps per-party transcripts and
+//! reads each lane's `R`-round block as a sparse per-party flip list
+//! from [`IndependentLaneChannel::span_flips`], so the work per block
+//! is `O(n + flips)` instead of `O(n · R)`. Only the rewind-family
+//! schemes still fall back to the scalar loop under independent noise
+//! (their owners/verify phases need per-party heard words round by
+//! round).
+//!
 //! The outputs are **bitwise identical** to the per-trial `simulate`
 //! path — same transcripts, outputs, statistics, and errors — which is
 //! pinned scheme-by-scheme by `tests/packed_equivalence.rs`.
-//! Independent noise never reaches these engines (per-party divergent
-//! deliveries break the collapse); the schemes' `simulate_batch` falls
-//! back to the scalar loop for it.
 
 use crate::outcome::{PhaseRounds, SimError, SimOutcome, SimStats};
 use crate::owners::metric_for;
 use crate::params::SimulatorConfig;
-use beeps_channel::{lanes::LaneChannel, NoiseModel, Protocol};
+use crate::soa::{SharedBits, SoaScratch};
+use beeps_channel::{
+    lanes::{IndependentLaneChannel, LaneChannel},
+    NoiseModel, Protocol,
+};
 use beeps_ecc::bits::PackedBits;
 
 /// Heard 1s in a constant-OR span of `span` rounds with `flips` flipped
@@ -39,6 +53,237 @@ fn ones_in_span(span: u64, flips: u64, true_or: bool) -> u64 {
     } else {
         flips
     }
+}
+
+/// One lane of a [`LaneChannel`] exposed as a scalar stream of shared
+/// heard bits, the backend the collapsed engine bodies in
+/// [`crate::soa`] are generic over. Single rounds step the lane;
+/// constant-OR spans batch into [`LaneChannel::flips_in_span`], so a
+/// whole repetition block, verification vote, or idle owners iteration
+/// costs RNG work proportional to its flips, not its rounds.
+struct LaneBits<'a> {
+    channel: &'a mut LaneChannel,
+    lane: usize,
+}
+
+impl SharedBits for LaneBits<'_> {
+    fn bit(&mut self, or: bool) -> bool {
+        self.channel.step(self.lane, or)
+    }
+
+    fn ones(&mut self, span: usize, or: bool) -> usize {
+        let flips = self.channel.flips_in_span(self.lane, span as u64, or);
+        ones_in_span(span as u64, flips, or) as usize
+    }
+
+    fn corrupted(&self) -> usize {
+        self.channel.corrupted(self.lane) as usize
+    }
+}
+
+/// Runs up to 64 hierarchical-scheme trials lane-sliced, bitwise
+/// identical to `HierarchicalSimulator::simulate` per seed: the
+/// collapsed body of [`crate::soa::hierarchical_collapsed`] re-driven
+/// one lane at a time with span-batched noise. All lanes share one
+/// scratch arena (the body resets it per trial).
+///
+/// # Panics
+///
+/// Panics if `model` is not a validated shared-delivery model (the
+/// scheme's `simulate_batch` routes everything else to the scalar
+/// loop) or if `inputs.len() != protocol.num_parties()`.
+pub(crate) fn hierarchical_lanes<P: Protocol>(
+    protocol: &P,
+    config: &SimulatorConfig,
+    inputs: &[P::Input],
+    model: NoiseModel,
+    seeds: &[u64],
+) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
+    let mut channel =
+        LaneChannel::shared(model, seeds).expect("simulate_batch routes only shared models here");
+    let mut scratch = SoaScratch::default();
+    (0..seeds.len())
+        .map(|lane| {
+            crate::soa::hierarchical_collapsed_over(
+                protocol,
+                config,
+                inputs,
+                model,
+                LaneBits {
+                    channel: &mut channel,
+                    lane,
+                },
+                &mut scratch,
+            )
+        })
+        .collect()
+}
+
+/// Runs up to 64 one-to-zero-scheme trials lane-sliced, bitwise
+/// identical to `OneToZeroSimulator::simulate` per seed (same
+/// transcripts, statistics, and `BudgetExhausted` errors), via the
+/// collapsed body of [`crate::soa::one_to_zero_collapsed`].
+///
+/// # Panics
+///
+/// Panics if `model` is not a validated shared-delivery model (the
+/// scheme's `simulate_batch` routes everything else to the scalar
+/// loop) or if `inputs.len() != protocol.num_parties()`.
+pub(crate) fn one_to_zero_lanes<P: Protocol>(
+    protocol: &P,
+    base: usize,
+    budget_factor: f64,
+    inputs: &[P::Input],
+    model: NoiseModel,
+    seeds: &[u64],
+) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
+    let mut channel =
+        LaneChannel::shared(model, seeds).expect("simulate_batch routes only shared models here");
+    let mut scratch = SoaScratch::default();
+    (0..seeds.len())
+        .map(|lane| {
+            crate::soa::one_to_zero_collapsed_over(
+                protocol,
+                base,
+                budget_factor,
+                inputs,
+                LaneBits {
+                    channel: &mut channel,
+                    lane,
+                },
+                &mut scratch,
+            )
+        })
+        .collect()
+}
+
+/// Runs up to 64 owned-rounds-scheme trials lane-sliced, bitwise
+/// identical to `OwnedRoundsSimulator::simulate` per seed, via the
+/// collapsed body of [`crate::soa::owned_rounds_collapsed`].
+///
+/// # Panics
+///
+/// Panics if `model` is not a validated shared-delivery model (the
+/// scheme's `simulate_batch` routes everything else to the scalar
+/// loop) or if `inputs.len() != protocol.num_parties()`.
+pub(crate) fn owned_rounds_lanes<P: beeps_channel::UniquelyOwned>(
+    protocol: &P,
+    config: &SimulatorConfig,
+    inputs: &[P::Input],
+    model: NoiseModel,
+    seeds: &[u64],
+) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
+    let mut channel =
+        LaneChannel::shared(model, seeds).expect("simulate_batch routes only shared models here");
+    let mut scratch = SoaScratch::default();
+    (0..seeds.len())
+        .map(|lane| {
+            crate::soa::owned_rounds_collapsed_over(
+                protocol,
+                config,
+                inputs,
+                model,
+                LaneBits {
+                    channel: &mut channel,
+                    lane,
+                },
+                &mut scratch,
+            )
+        })
+        .collect()
+}
+
+/// Runs up to 64 repetition-scheme trials under **independent** noise,
+/// bitwise identical to `RepetitionSimulator::simulate` per seed.
+///
+/// Per-party deliveries diverge here, so each lane keeps one decoded
+/// transcript *per party* (the scalar path's `RepParty` state). What
+/// stays batched is the noise: each `R`-round repetition block has a
+/// constant true OR per lane, so party `i`'s heard-1 count is
+/// `ones_in_span(R, flips_i, or)` and
+/// [`IndependentLaneChannel::span_flips`] hands back exactly the
+/// parties with `flips_i > 0` as a sparse list — every untouched party
+/// decodes the block's default bit without touching the RNG.
+///
+/// # Panics
+///
+/// Panics if `model` is not a validated independent-noise model (the
+/// scheme's `simulate_batch` routes everything else to the shared lane
+/// engine or the scalar loop) or if
+/// `inputs.len() != protocol.num_parties()`.
+pub(crate) fn repetition_lanes_independent<P: Protocol>(
+    protocol: &P,
+    config: &SimulatorConfig,
+    inputs: &[P::Input],
+    model: NoiseModel,
+    seeds: &[u64],
+) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
+    let n = protocol.num_parties();
+    assert_eq!(inputs.len(), n, "need one input per party");
+    let mut channel = IndependentLaneChannel::new(n, model, seeds)
+        .expect("simulate_batch routes only independent models here");
+    let resolved = config.resolve(model);
+    let r = config.repetitions;
+    let t = protocol.length();
+    let lanes = seeds.len();
+
+    // Lane-major flat table of per-party decoded transcripts.
+    let mut transcripts: Vec<Vec<bool>> = vec![Vec::with_capacity(t); lanes * n];
+    let mut energy = vec![0usize; lanes];
+    let span = beeps_observe::phase("sim.repetition.chunk");
+    for _ in 0..t {
+        for (lane, lane_energy) in energy.iter_mut().enumerate() {
+            let base = lane * n;
+            let mut beeps = 0usize;
+            for i in 0..n {
+                beeps += usize::from(protocol.beep(i, &inputs[i], &transcripts[base + i]));
+            }
+            let or = beeps > 0;
+            // A party whose block had no flips hears `or` R times.
+            let default_bit = ones_in_span(r as u64, 0, or) >= resolved.rep_ones as u64;
+            for i in 0..n {
+                transcripts[base + i].push(default_bit);
+            }
+            for &(party, flips) in channel.span_flips(lane, r as u64) {
+                let ones = ones_in_span(r as u64, flips as u64, or);
+                let slot = transcripts[base + party as usize]
+                    .last_mut()
+                    .expect("pushed this round");
+                *slot = ones >= resolved.rep_ones as u64;
+            }
+            *lane_energy += r * beeps;
+        }
+    }
+    drop(span);
+
+    let mut results = Vec::with_capacity(lanes);
+    for lane in (0..lanes).rev() {
+        let views = transcripts.split_off(lane * n);
+        let outputs = (0..n)
+            .map(|i| protocol.output(i, &inputs[i], &views[i]))
+            .collect();
+        let agreement = views.iter().all(|v| v[..] == views[0][..]);
+        let transcript = views.into_iter().next().expect("n >= 1 parties");
+        results.push(Ok(SimOutcome::new(
+            transcript,
+            outputs,
+            SimStats {
+                channel_rounds: t * r,
+                phase_rounds: PhaseRounds {
+                    chunk: t * r,
+                    ..Default::default()
+                },
+                protocol_rounds: t,
+                chunks_committed: 0,
+                rewinds: 0,
+                agreement,
+                energy: energy[lane],
+                corrupted_rounds: channel.corrupted(lane) as usize,
+            },
+        )));
+    }
+    results.reverse();
+    results
 }
 
 /// Runs up to 64 repetition-scheme trials lane-sliced, bitwise identical

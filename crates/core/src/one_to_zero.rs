@@ -144,6 +144,48 @@ impl<'a, P: Protocol> OneToZeroSimulator<'a, P> {
         }
     }
 
+    /// Runs one trial per seed, lane-sliced: up to 64 trials share each
+    /// channel word, every result bitwise identical to
+    /// [`OneToZeroSimulator::simulate`] with that seed (same
+    /// transcripts, statistics, and `BudgetExhausted` errors).
+    ///
+    /// Models the scheme rejects (and invalid ε) fall back to the
+    /// per-seed loop so the errors match the scalar path exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != protocol.num_parties()`.
+    pub fn simulate_batch(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seeds: &[u64],
+    ) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
+        let supported = matches!(
+            model,
+            NoiseModel::OneSidedOneToZero { .. } | NoiseModel::Noiseless
+        );
+        if model.validate().is_err() || !supported {
+            return seeds
+                .iter()
+                .map(|&seed| self.simulate(inputs, model, seed))
+                .collect();
+        }
+        seeds
+            .chunks(beeps_channel::LANES)
+            .flat_map(|group| {
+                crate::lanes::one_to_zero_lanes(
+                    self.protocol,
+                    self.base,
+                    self.budget_factor,
+                    inputs,
+                    model,
+                    group,
+                )
+            })
+            .collect()
+    }
+
     /// Runs over a caller-supplied channel (failure injection). The
     /// channel must never fabricate beeps — the scheme's detection
     /// guarantees assume it.

@@ -68,14 +68,40 @@ impl<'a, P: Protocol> RepetitionSimulator<'a, P> {
         model: NoiseModel,
         seed: u64,
     ) -> Result<SimOutcome<P::Output>, SimError> {
+        self.simulate_with_scratch(inputs, model, seed, &mut crate::soa::SoaScratch::default())
+    }
+
+    /// [`RepetitionSimulator::simulate`] with a caller-owned scratch
+    /// arena. Shared-delivery models run on the collapsed
+    /// struct-of-arrays engine (see [`crate::soa`]) — bitwise identical
+    /// to the scalar path; independent noise keeps the per-party state
+    /// machines (its deliveries diverge across parties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnsupportedNoise`] if `model` has an invalid ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != protocol.num_parties()`.
+    pub fn simulate_with_scratch(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seed: u64,
+        scratch: &mut crate::soa::SoaScratch,
+    ) -> Result<SimOutcome<P::Output>, SimError> {
         let n = self.protocol.num_parties();
         if model.validate().is_err() {
             return Err(SimError::UnsupportedNoise {
                 reason: "noise parameter outside [0, 1)",
             });
         }
-        let mut channel = StochasticChannel::new(n, model, seed);
-        self.simulate_over(inputs, model, &mut channel)
+        if matches!(model, NoiseModel::Independent { .. }) {
+            let mut channel = StochasticChannel::new(n, model, seed);
+            return self.simulate_over(inputs, model, &mut channel);
+        }
+        crate::soa::repetition_collapsed(self.protocol, &self.config, inputs, model, seed, scratch)
     }
 
     /// Runs one trial per seed, lane-sliced: up to 64 trials share each
@@ -83,10 +109,11 @@ impl<'a, P: Protocol> RepetitionSimulator<'a, P> {
     /// seed stream so every result is bitwise identical to
     /// [`RepetitionSimulator::simulate`] with that seed.
     ///
-    /// Independent noise (and invalid ε) falls back to the scalar
-    /// per-trial loop — per-party deliveries diverge there, so the
-    /// shared-transcript collapse the lane engine relies on does not
-    /// hold.
+    /// Shared-noise models run the shared-transcript lane engine;
+    /// independent noise runs the per-party lane engine (sparse
+    /// span-sampled flips per lane, see
+    /// [`crate::lanes`]); only invalid ε falls back to the scalar
+    /// per-trial loop.
     ///
     /// # Panics
     ///
@@ -97,10 +124,24 @@ impl<'a, P: Protocol> RepetitionSimulator<'a, P> {
         model: NoiseModel,
         seeds: &[u64],
     ) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
-        if model.validate().is_err() || matches!(model, NoiseModel::Independent { .. }) {
+        if model.validate().is_err() {
             return seeds
                 .iter()
                 .map(|&seed| self.simulate(inputs, model, seed))
+                .collect();
+        }
+        if matches!(model, NoiseModel::Independent { .. }) {
+            return seeds
+                .chunks(beeps_channel::LANES)
+                .flat_map(|group| {
+                    crate::lanes::repetition_lanes_independent(
+                        self.protocol,
+                        &self.config,
+                        inputs,
+                        model,
+                        group,
+                    )
+                })
                 .collect();
         }
         seeds

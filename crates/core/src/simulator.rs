@@ -97,13 +97,15 @@ pub trait Simulator<I, O> {
     /// Runs one independent trial per seed and returns the outcomes in
     /// seed order.
     ///
-    /// The default body loops [`Simulator::simulate`]. Schemes with a
-    /// lane-sliced engine (repetition, rewind) override it to run up to
+    /// The default body loops [`Simulator::simulate`]. Every scheme
+    /// with a lane-sliced engine (repetition, rewind, hierarchical,
+    /// owned-rounds, one-to-zero) overrides it to run up to
     /// [`beeps_channel::LANES`] trials per channel word; every override
     /// must keep each trial **bitwise identical** to `simulate` with
     /// the same seed — transcripts, statistics, and errors alike — a
     /// contract pinned by the transposition tests in
-    /// `tests/packed_equivalence.rs`.
+    /// `tests/packed_equivalence.rs` (see DESIGN.md §13 for the full
+    /// scheme × regime engine matrix).
     fn simulate_batch(
         &self,
         inputs: &[I],
@@ -348,6 +350,15 @@ impl<P: Protocol> Simulator<P::Input, P::Output> for HierarchicalSimulator<'_, P
     ) -> Result<SimOutcome<P::Output>, SimError> {
         HierarchicalSimulator::simulate_over(self, inputs, model, channel)
     }
+
+    fn simulate_batch(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seeds: &[u64],
+    ) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
+        HierarchicalSimulator::simulate_batch(self, inputs, model, seeds)
+    }
 }
 
 impl<P: Protocol> Simulator<P::Input, P::Output> for OneToZeroSimulator<'_, P> {
@@ -372,6 +383,15 @@ impl<P: Protocol> Simulator<P::Input, P::Output> for OneToZeroSimulator<'_, P> {
     ) -> Result<SimOutcome<P::Output>, SimError> {
         OneToZeroSimulator::simulate_over(self, inputs, model, channel)
     }
+
+    fn simulate_batch(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seeds: &[u64],
+    ) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
+        OneToZeroSimulator::simulate_batch(self, inputs, model, seeds)
+    }
 }
 
 impl<P: UniquelyOwned> Simulator<P::Input, P::Output> for OwnedRoundsSimulator<'_, P> {
@@ -395,6 +415,15 @@ impl<P: UniquelyOwned> Simulator<P::Input, P::Output> for OwnedRoundsSimulator<'
         channel: &mut dyn Channel,
     ) -> Result<SimOutcome<P::Output>, SimError> {
         OwnedRoundsSimulator::simulate_over(self, inputs, model, channel)
+    }
+
+    fn simulate_batch(
+        &self,
+        inputs: &[P::Input],
+        model: NoiseModel,
+        seeds: &[u64],
+    ) -> Vec<Result<SimOutcome<P::Output>, SimError>> {
+        OwnedRoundsSimulator::simulate_batch(self, inputs, model, seeds)
     }
 }
 

@@ -116,15 +116,62 @@ impl CumEntry {
     }
 }
 
-/// The shared bit of one collapsed-engine channel round.
+/// A shared-delivery channel viewed as a stream of heard OR bits — the
+/// seam between the collapsed engine bodies and their channel backends.
 ///
-/// # Panics
-///
-/// Panics if the channel hands back a per-party delivery: the collapsed
-/// engines only run under shared-noise models, whose deliveries are a
-/// single bit by construction.
-fn shared_bit(channel: &mut StochasticChannel, or: bool) -> bool {
-    channel.transmit(or).shared().expect("shared delivery")
+/// The collapsed engines are generic over this trait so the same
+/// round-for-round body drives both the scalar [`StochasticChannel`]
+/// (one trial) and one lane of a [`beeps_channel::LaneChannel`] (up to
+/// 64 trials per word, see [`crate::lanes`]). Implementations must be
+/// RNG-identical to the scalar channel: `ones(span, or)` must consume
+/// exactly the draws of `span` consecutive `bit(or)` calls, and
+/// `corrupted` must count every flipped delivery either way.
+pub(crate) trait SharedBits {
+    /// One channel round with true OR `or`; returns the heard bit.
+    fn bit(&mut self, or: bool) -> bool;
+
+    /// `span` consecutive rounds with constant true OR `or`; returns
+    /// how many deliveries were heard as 1.
+    fn ones(&mut self, span: usize, or: bool) -> usize;
+
+    /// Corrupted rounds delivered so far.
+    fn corrupted(&self) -> usize;
+}
+
+/// The scalar backend: one freshly seeded [`StochasticChannel`] serving
+/// one trial.
+pub(crate) struct ScalarBits {
+    channel: StochasticChannel,
+}
+
+impl ScalarBits {
+    /// Wraps a channel seeded for this trial.
+    pub(crate) fn new(channel: StochasticChannel) -> Self {
+        Self { channel }
+    }
+}
+
+impl SharedBits for ScalarBits {
+    /// # Panics
+    ///
+    /// Panics if the channel hands back a per-party delivery: the
+    /// collapsed engines only run under shared-noise models, whose
+    /// deliveries are a single bit by construction.
+    fn bit(&mut self, or: bool) -> bool {
+        self.channel.transmit(or).shared().expect("shared delivery")
+    }
+
+    fn ones(&mut self, span: usize, or: bool) -> usize {
+        let mut ones = 0usize;
+        for _ in 0..span {
+            ones += usize::from(self.bit(or));
+        }
+        ones
+    }
+
+    fn corrupted(&self) -> usize {
+        self.channel.corrupted_rounds()
+    }
 }
 
 /// Reusable buffers of the collapsed engines; hand one to
@@ -217,6 +264,27 @@ pub(crate) fn rewind_collapsed<P: Protocol>(
     seed: u64,
     scratch: &mut SoaScratch,
 ) -> Result<SimOutcome<P::Output>, SimError> {
+    let channel = StochasticChannel::new(protocol.num_parties(), model, seed);
+    rewind_collapsed_over(
+        protocol,
+        config,
+        inputs,
+        model,
+        ScalarBits::new(channel),
+        scratch,
+    )
+}
+
+/// [`rewind_collapsed`] generic over the channel backend — the body the
+/// lane engines in [`crate::lanes`] re-drive one lane at a time.
+pub(crate) fn rewind_collapsed_over<P: Protocol, S: SharedBits>(
+    protocol: &P,
+    config: &SimulatorConfig,
+    inputs: &[P::Input],
+    model: NoiseModel,
+    mut source: S,
+    scratch: &mut SoaScratch,
+) -> Result<SimOutcome<P::Output>, SimError> {
     let n = protocol.num_parties();
     assert_eq!(inputs.len(), n, "need one input per party");
     let t = protocol.length();
@@ -238,8 +306,8 @@ pub(crate) fn rewind_collapsed<P: Protocol>(
             + v);
     let budget = (config.budget_factor * ideal as f64).ceil() as usize;
 
-    let mut channel = StochasticChannel::new(n, model, seed);
     scratch.reset();
+    let corrupted_before = source.corrupted();
     let mut rounds = 0usize;
     let mut energy = 0usize;
     let mut phase_rounds = PhaseRounds::default();
@@ -288,11 +356,7 @@ pub(crate) fn rewind_collapsed<P: Protocol>(
                 }
             }
             let or = beeps > 0;
-            let mut ones = 0usize;
-            for _ in 0..r {
-                let heard = shared_bit(&mut channel, or);
-                ones += usize::from(heard);
-            }
+            let ones = source.ones(r, or);
             let bit = ones >= resolved.rep_ones;
             scratch.bits.push(bit);
             scratch.working.push(bit);
@@ -328,7 +392,7 @@ pub(crate) fn rewind_collapsed<P: Protocol>(
                 for idx in 0..code_len {
                     let or = codeword.get(idx);
                     energy += usize::from(or);
-                    word.push(shared_bit(&mut channel, or));
+                    word.push(source.bit(or));
                 }
                 let decoded = code.decode_packed(&word, metric);
                 if decoded == next_symbol {
@@ -340,9 +404,7 @@ pub(crate) fn rewind_collapsed<P: Protocol>(
             } else {
                 // Idle iteration: every party is past its turn, nobody
                 // beeps — but the channel still delivers silent rounds.
-                for _ in 0..code_len {
-                    channel.transmit(false);
-                }
+                let _ = source.ones(code_len, false);
             }
             rounds += code_len;
             phase_rounds.owners += code_len;
@@ -388,10 +450,7 @@ pub(crate) fn rewind_collapsed<P: Protocol>(
         }
         let flag_count = row_count(&scratch.flags);
         let or = flag_count > 0;
-        let mut ones = 0usize;
-        for _ in 0..v {
-            ones += usize::from(shared_bit(&mut channel, or));
-        }
+        let ones = source.ones(v, or);
         let failed = ones >= resolved.verify_ones;
         energy += v * flag_count;
         rounds += v;
@@ -487,7 +546,88 @@ pub(crate) fn rewind_collapsed<P: Protocol>(
         // Shared noise keeps every party's bookkeeping in lockstep.
         agreement: true,
         energy,
-        corrupted_rounds: channel.corrupted_rounds(),
+        corrupted_rounds: source.corrupted() - corrupted_before,
+    };
+    Ok(SimOutcome::new(transcript, outputs, stats))
+}
+
+/// The collapsed repetition engine: every simulated round is `R`
+/// channel rounds decoded by one threshold majority — shared delivery
+/// keeps every party's decoded transcript identical, so one copy
+/// suffices and the per-party state machines of
+/// [`RepetitionSimulator::simulate_over`](crate::RepetitionSimulator::simulate_over)
+/// collapse entirely. Caller guarantees `model` is a validated
+/// shared-delivery model; `Independent` noise must take the scalar path.
+pub(crate) fn repetition_collapsed<P: Protocol>(
+    protocol: &P,
+    config: &SimulatorConfig,
+    inputs: &[P::Input],
+    model: NoiseModel,
+    seed: u64,
+    scratch: &mut SoaScratch,
+) -> Result<SimOutcome<P::Output>, SimError> {
+    let channel = StochasticChannel::new(protocol.num_parties(), model, seed);
+    repetition_collapsed_over(
+        protocol,
+        config,
+        inputs,
+        model,
+        ScalarBits::new(channel),
+        scratch,
+    )
+}
+
+/// [`repetition_collapsed`] generic over the channel backend.
+pub(crate) fn repetition_collapsed_over<P: Protocol, S: SharedBits>(
+    protocol: &P,
+    config: &SimulatorConfig,
+    inputs: &[P::Input],
+    model: NoiseModel,
+    mut source: S,
+    scratch: &mut SoaScratch,
+) -> Result<SimOutcome<P::Output>, SimError> {
+    let n = protocol.num_parties();
+    assert_eq!(inputs.len(), n, "need one input per party");
+    let t = protocol.length();
+    let resolved = config.resolve(model);
+    let r = config.repetitions;
+
+    scratch.reset();
+    let corrupted_before = source.corrupted();
+    let mut energy = 0usize;
+    let chunk_span = beeps_observe::phase("sim.repetition.chunk");
+    for _ in 0..t {
+        let mut beeps = 0usize;
+        for (i, input) in inputs.iter().enumerate() {
+            if protocol.beep(i, input, &scratch.committed_bits) {
+                beeps += 1;
+            }
+        }
+        let or = beeps > 0;
+        let ones = source.ones(r, or);
+        scratch.committed_bits.push(ones >= resolved.rep_ones);
+        energy += r * beeps;
+    }
+    drop(chunk_span);
+
+    let mut transcript = Vec::with_capacity(t);
+    transcript.extend_from_slice(&scratch.committed_bits);
+    let mut outputs = Vec::with_capacity(n);
+    for (i, input) in inputs.iter().enumerate() {
+        outputs.push(protocol.output(i, input, &transcript));
+    }
+    let stats = SimStats {
+        channel_rounds: t * r,
+        phase_rounds: PhaseRounds {
+            chunk: t * r,
+            ..Default::default()
+        },
+        protocol_rounds: t,
+        chunks_committed: 0,
+        rewinds: 0,
+        agreement: true,
+        energy,
+        corrupted_rounds: source.corrupted() - corrupted_before,
     };
     Ok(SimOutcome::new(transcript, outputs, stats))
 }
@@ -506,6 +646,26 @@ pub(crate) fn owned_rounds_collapsed<P: beeps_channel::UniquelyOwned>(
     seed: u64,
     scratch: &mut SoaScratch,
 ) -> Result<SimOutcome<P::Output>, SimError> {
+    let channel = StochasticChannel::new(protocol.num_parties(), model, seed);
+    owned_rounds_collapsed_over(
+        protocol,
+        config,
+        inputs,
+        model,
+        ScalarBits::new(channel),
+        scratch,
+    )
+}
+
+/// [`owned_rounds_collapsed`] generic over the channel backend.
+pub(crate) fn owned_rounds_collapsed_over<P: beeps_channel::UniquelyOwned, S: SharedBits>(
+    protocol: &P,
+    config: &SimulatorConfig,
+    inputs: &[P::Input],
+    model: NoiseModel,
+    mut source: S,
+    scratch: &mut SoaScratch,
+) -> Result<SimOutcome<P::Output>, SimError> {
     let n = protocol.num_parties();
     assert_eq!(inputs.len(), n, "need one input per party");
     let t = protocol.length();
@@ -520,8 +680,8 @@ pub(crate) fn owned_rounds_collapsed<P: beeps_channel::UniquelyOwned>(
     let per_iteration = config.chunk_len * r + v;
     let budget = (config.budget_factor * (chunks_needed * per_iteration) as f64).ceil() as usize;
 
-    let mut channel = StochasticChannel::new(n, model, seed);
     scratch.reset();
+    let corrupted_before = source.corrupted();
     let mut rounds = 0usize;
     let mut energy = 0usize;
     let mut phase_rounds = PhaseRounds::default();
@@ -563,10 +723,7 @@ pub(crate) fn owned_rounds_collapsed<P: beeps_channel::UniquelyOwned>(
                 }
             }
             let or = beeps > 0;
-            let mut ones = 0usize;
-            for _ in 0..r {
-                ones += usize::from(shared_bit(&mut channel, or));
-            }
+            let ones = source.ones(r, or);
             let bit = ones >= resolved.rep_ones;
             scratch.bits.push(bit);
             scratch.owner_beeps.push(owner_beep);
@@ -597,10 +754,7 @@ pub(crate) fn owned_rounds_collapsed<P: beeps_channel::UniquelyOwned>(
         }
         let flag_count = row_count(&scratch.flags);
         let or = flag_count > 0;
-        let mut ones = 0usize;
-        for _ in 0..v {
-            ones += usize::from(shared_bit(&mut channel, or));
-        }
+        let ones = source.ones(v, or);
         let failed = ones >= resolved.verify_ones;
         energy += v * flag_count;
         rounds += v;
@@ -675,7 +829,7 @@ pub(crate) fn owned_rounds_collapsed<P: beeps_channel::UniquelyOwned>(
         rewinds,
         agreement: true,
         energy,
-        corrupted_rounds: channel.corrupted_rounds(),
+        corrupted_rounds: source.corrupted() - corrupted_before,
     };
     Ok(SimOutcome::new(transcript, outputs, stats))
 }
@@ -696,6 +850,28 @@ pub(crate) fn one_to_zero_collapsed<P: Protocol>(
     seed: u64,
     scratch: &mut SoaScratch,
 ) -> Result<SimOutcome<P::Output>, SimError> {
+    let channel = StochasticChannel::new(protocol.num_parties(), model, seed);
+    one_to_zero_collapsed_over(
+        protocol,
+        base,
+        budget_factor,
+        inputs,
+        ScalarBits::new(channel),
+        scratch,
+    )
+}
+
+/// [`one_to_zero_collapsed`] generic over the channel backend. (The
+/// noise model only seeds the channel, so the generic body does not
+/// take it.)
+pub(crate) fn one_to_zero_collapsed_over<P: Protocol, S: SharedBits>(
+    protocol: &P,
+    base: usize,
+    budget_factor: f64,
+    inputs: &[P::Input],
+    mut source: S,
+    scratch: &mut SoaScratch,
+) -> Result<SimOutcome<P::Output>, SimError> {
     let n = protocol.num_parties();
     assert_eq!(inputs.len(), n, "need one input per party");
     let t = protocol.length();
@@ -705,8 +881,8 @@ pub(crate) fn one_to_zero_collapsed<P: Protocol>(
     let final_rounds = base * (max_level + 2);
     let budget = (budget_factor * t.max(1) as f64).ceil() as usize + base * (max_level + 2) * 4;
 
-    let mut channel = StochasticChannel::new(n, model, seed);
     scratch.reset();
+    let corrupted_before = source.corrupted();
     let mut rounds = 0usize;
     let mut energy = 0usize;
     let mut phase_rounds = PhaseRounds::default();
@@ -736,7 +912,7 @@ pub(crate) fn one_to_zero_collapsed<P: Protocol>(
             }
         }
         let or = beeps > 0;
-        let heard = shared_bit(&mut channel, or);
+        let heard = source.bit(or);
         scratch.committed_bits.push(heard);
         if or && !heard {
             // An erasure, witnessed by exactly the parties that beeped.
@@ -783,10 +959,7 @@ pub(crate) fn one_to_zero_collapsed<P: Protocol>(
             }
             let flag_count = row_count(&scratch.flags);
             let or = flag_count > 0;
-            let mut heard_any = false;
-            for _ in 0..rounds_in_level {
-                heard_any |= shared_bit(&mut channel, or);
-            }
+            let heard_any = source.ones(rounds_in_level, or) > 0;
             rounds += rounds_in_level;
             energy += rounds_in_level * flag_count;
             phase_rounds.verify += rounds_in_level;
@@ -831,7 +1004,7 @@ pub(crate) fn one_to_zero_collapsed<P: Protocol>(
         rewinds,
         agreement: true,
         energy,
-        corrupted_rounds: channel.corrupted_rounds(),
+        corrupted_rounds: source.corrupted() - corrupted_before,
     };
     Ok(SimOutcome::new(transcript, outputs, stats))
 }
@@ -998,6 +1171,26 @@ pub(crate) fn hierarchical_collapsed<P: Protocol>(
     seed: u64,
     scratch: &mut SoaScratch,
 ) -> Result<SimOutcome<P::Output>, SimError> {
+    let channel = StochasticChannel::new(protocol.num_parties(), model, seed);
+    hierarchical_collapsed_over(
+        protocol,
+        config,
+        inputs,
+        model,
+        ScalarBits::new(channel),
+        scratch,
+    )
+}
+
+/// [`hierarchical_collapsed`] generic over the channel backend.
+pub(crate) fn hierarchical_collapsed_over<P: Protocol, S: SharedBits>(
+    protocol: &P,
+    config: &SimulatorConfig,
+    inputs: &[P::Input],
+    model: NoiseModel,
+    mut source: S,
+    scratch: &mut SoaScratch,
+) -> Result<SimOutcome<P::Output>, SimError> {
     let n = protocol.num_parties();
     assert_eq!(inputs.len(), n, "need one input per party");
     let t = protocol.length();
@@ -1021,8 +1214,8 @@ pub(crate) fn hierarchical_collapsed<P: Protocol>(
     let budget = (config.budget_factor * (chunks_needed * per_iter) as f64).ceil() as usize
         + v * (max_level + 2) * (max_level + 2) * 4;
 
-    let mut channel = StochasticChannel::new(n, model, seed);
     scratch.reset();
+    let corrupted_before = source.corrupted();
     let mut rounds = 0usize;
     let mut energy = 0usize;
     let mut phase_rounds = PhaseRounds::default();
@@ -1054,10 +1247,7 @@ pub(crate) fn hierarchical_collapsed<P: Protocol>(
             if budget - rounds < vote_len {
                 return Err(exhausted(scratch));
             }
-            let mut ones = 0usize;
-            for _ in 0..vote_len {
-                ones += usize::from(shared_bit(&mut channel, false));
-            }
+            let ones = source.ones(vote_len, false);
             rounds += vote_len;
             phase_rounds.verify += vote_len;
             drop(final_span);
@@ -1082,10 +1272,7 @@ pub(crate) fn hierarchical_collapsed<P: Protocol>(
                 if budget - rounds < vote_len {
                     return Err(exhausted(scratch));
                 }
-                let mut ones = 0usize;
-                for _ in 0..vote_len {
-                    ones += usize::from(shared_bit(&mut channel, or));
-                }
+                let ones = source.ones(vote_len, or);
                 rounds += vote_len;
                 energy += vote_len * flag_count;
                 phase_rounds.verify += vote_len;
@@ -1132,11 +1319,7 @@ pub(crate) fn hierarchical_collapsed<P: Protocol>(
                 }
             }
             let or = beeps > 0;
-            let mut ones = 0usize;
-            for _ in 0..r {
-                let heard = shared_bit(&mut channel, or);
-                ones += usize::from(heard);
-            }
+            let ones = source.ones(r, or);
             let bit = ones >= resolved.rep_ones;
             scratch.bits.push(bit);
             scratch.working.push(bit);
@@ -1169,7 +1352,7 @@ pub(crate) fn hierarchical_collapsed<P: Protocol>(
                 for idx in 0..code_len {
                     let or = codeword.get(idx);
                     energy += usize::from(or);
-                    word.push(shared_bit(&mut channel, or));
+                    word.push(source.bit(or));
                 }
                 let decoded = code.decode_packed(&word, metric);
                 if decoded == next_symbol {
@@ -1179,9 +1362,7 @@ pub(crate) fn hierarchical_collapsed<P: Protocol>(
                     scratch.chunk_owners[decoded] = Some(turn);
                 }
             } else {
-                for _ in 0..code_len {
-                    channel.transmit(false);
-                }
+                let _ = source.ones(code_len, false);
             }
             rounds += code_len;
             phase_rounds.owners += code_len;
@@ -1264,10 +1445,7 @@ pub(crate) fn hierarchical_collapsed<P: Protocol>(
                 if budget - rounds < vote_len {
                     return Err(exhausted(scratch));
                 }
-                let mut ones = 0usize;
-                for _ in 0..vote_len {
-                    ones += usize::from(shared_bit(&mut channel, or));
-                }
+                let ones = source.ones(vote_len, or);
                 rounds += vote_len;
                 energy += vote_len * flag_count;
                 phase_rounds.verify += vote_len;
@@ -1303,7 +1481,7 @@ pub(crate) fn hierarchical_collapsed<P: Protocol>(
         rewinds: truncations,
         agreement: true,
         energy,
-        corrupted_rounds: channel.corrupted_rounds(),
+        corrupted_rounds: source.corrupted() - corrupted_before,
     };
     Ok(SimOutcome::new(transcript, outputs, stats))
 }

@@ -323,14 +323,24 @@ const TRIAL_PRECOMPUTE_PATTERNS: &[&str] = &[
 
 /// Files holding lane-sliced (bit-sliced, 64-trials-per-word) executor
 /// code. Every lane's randomness must come from that trial's splitmix
-/// seed via the one sanctioned seeding site in `LaneChannel::shared`;
+/// seed via the two sanctioned seeding sites — `LaneChannel::shared`
+/// (shared noise) and `IndependentLaneChannel::new` (per-party flip
+/// calendars), each fanning the per-trial splitmix seeds out to lanes;
 /// any other direct seeding would let two lanes share (or skew) a
 /// stream and break bitwise identity with the per-trial scalar path.
 const LANE_SLICED_FILES: &[&str] = &["crates/channel/src/lanes.rs", "crates/core/src/lanes.rs"];
 
 /// RNG seeding constructors banned in lane-sliced files outside the
-/// sanctioned site.
-const LANE_SEED_PATTERNS: &[&str] = &["seed_from_u64(", "SeedableRng::from_seed("];
+/// sanctioned sites. `StochasticChannel::new` is on the list because
+/// constructing a scalar channel seeds a fresh RNG stream internally:
+/// lane engines must draw through `LaneChannel` /
+/// `IndependentLaneChannel` (or take an already-seeded source), never
+/// re-seed per lane themselves.
+const LANE_SEED_PATTERNS: &[&str] = &[
+    "seed_from_u64(",
+    "SeedableRng::from_seed(",
+    "StochasticChannel::new(",
+];
 
 /// The atomics policy table: files whose `Ordering::Relaxed` uses are
 /// sanctioned wholesale. Exactly the observe progress/ambient counters
@@ -928,11 +938,13 @@ fn pass_party_loop_alloc(files: &[SourceFile], _facts: &Facts, out: &mut Vec<Fin
     }
 }
 
-/// Flags direct RNG seeding in lane-sliced executor files. The one
-/// sanctioned site (`LaneChannel::shared`, which fans the per-trial
-/// splitmix seeds out to lanes) carries a justified suppression; any
-/// new seeding must either route through it or argue its case in a
-/// suppression comment.
+/// Flags direct RNG seeding in lane-sliced executor files. The two
+/// sanctioned sites (`LaneChannel::shared` and
+/// `IndependentLaneChannel::new`, which fan the per-trial splitmix
+/// seeds out to lanes) carry justified suppressions; any new seeding —
+/// including indirect seeding via `StochasticChannel::new` — must
+/// either route through them or argue its case in a suppression
+/// comment.
 fn pass_lane_seed_discipline(files: &[SourceFile], _facts: &Facts, out: &mut Vec<Finding>) {
     for file in files {
         let rel = rel_path(file);
@@ -952,8 +964,8 @@ fn pass_lane_seed_discipline(files: &[SourceFile], _facts: &Facts, out: &mut Vec
                         format!(
                             "`{pat}…)` seeds an RNG inside lane-sliced executor code; draw \
                              lane randomness from the per-trial splitmix seed stream via \
-                             `LaneChannel::shared` so lanes stay bitwise identical to \
-                             per-trial runs"
+                             `LaneChannel::shared` / `IndependentLaneChannel::new` so lanes \
+                             stay bitwise identical to per-trial runs"
                         ),
                     ));
                 }

@@ -1,0 +1,15 @@
+pub fn bad_lane_channel(n: usize, seed: u64) -> StochasticChannel {
+    StochasticChannel::new(n, NoiseModel::Noiseless, seed)
+}
+
+pub fn sanctioned_calendar(lane_seed: u64) -> StdRng {
+    // beeps-lint: allow(lane-seed-discipline) -- lanes are seeded here, and only here, from the per-trial splitmix seeds
+    StdRng::seed_from_u64(lane_seed)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn scalar_twin(n: usize, seed: u64) -> StochasticChannel {
+        StochasticChannel::new(n, NoiseModel::Noiseless, seed)
+    }
+}

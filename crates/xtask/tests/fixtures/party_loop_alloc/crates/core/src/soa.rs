@@ -4,6 +4,11 @@ pub fn owners_round(scratch: &mut Vec<Vec<u64>>, n: usize) {
     let flips: Vec<u64> = (0..n as u64).collect();
     scratch.push(flips);
 }
+pub fn repetition_chunk(committed: &[bool]) -> Vec<bool> {
+    // A collapsed engine must extend a scratch-owned transcript, not
+    // clone the committed bits once per chunk.
+    committed.to_vec()
+}
 #[cfg(test)]
 mod tests {
     #[test]

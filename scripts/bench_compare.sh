@@ -15,12 +15,14 @@
 # When the baseline was pinned on different hardware (the config
 # block's host_cores / beeps_threads fields differ from this run's),
 # the speedup comparison warns instead of failing: cross-machine
-# ns/op deltas are provenance, not regressions. --smoke runs the
-# 1-iteration harness instead: it exercises the harness and the
-# comparison plumbing end to end (including the presence of the lanes
-# and soa sections) but skips the threshold checks, because
-# 1-iteration numbers are noise — that is the mode tier1.sh and CI
-# run.
+# ns/op deltas are provenance, not regressions. Every gated ratio key
+# (and its speedup coverage in the pinned baseline) is *required*:
+# a benchmark that disappears from a gated section is a hard failure,
+# not a silent skip, in both modes. --smoke runs the 1-iteration
+# harness instead: it exercises the harness, the comparison plumbing,
+# and the required-key checks end to end but skips the numeric
+# thresholds, because 1-iteration numbers are noise — that is the mode
+# tier1.sh and CI run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,6 +60,48 @@ SOA_SECTION=$(sed -n 's/.*"soa":{\([^}]*\)}.*/\1/p' "$OUT")
 if [[ -z "$SOA_SECTION" ]]; then
   echo "bench_compare: no soa section in $OUT (bench_hotpaths too old?)" >&2
   exit 1
+fi
+
+# Every gated ratio the harness is supposed to emit, by section. A
+# missing key is a hard failure even in smoke mode: if a benchmark row
+# is renamed or dropped, its floor must not silently stop applying.
+REQUIRED_LANES=(
+  executor.run.correlated
+  executor.run.independent
+  scheme.repetition.n64
+  scheme.rewind
+  scheme.hierarchical
+  scheme.one_to_zero
+)
+REQUIRED_SOA=(
+  party.soa.scalar.n1e4
+  channel.dense.transmit.n1e4
+  scheme.repetition.n64
+)
+STATUS=0
+for key in "${REQUIRED_LANES[@]}"; do
+  if [[ "$LANES_SECTION" != *"\"$key\":"* ]]; then
+    echo "bench_compare: required lane ratio '$key' missing from lanes section" >&2
+    STATUS=1
+  fi
+done
+for key in "${REQUIRED_SOA[@]}"; do
+  if [[ "$SOA_SECTION" != *"\"$key\":"* ]]; then
+    echo "bench_compare: required soa ratio '$key' missing from soa section" >&2
+    STATUS=1
+  fi
+done
+# The speedup section must cover every gated scalar row too: a gated
+# benchmark absent from the pinned baseline would otherwise be
+# silently exempt from the regression tolerance.
+for key in "${REQUIRED_LANES[@]}" "${REQUIRED_SOA[@]}" channel.lanes.sparse.n1e4 scheme.repetition.soa; do
+  if [[ "$SPEEDUPS" != *"\"$key\":"* ]]; then
+    echo "bench_compare: '$key' missing from speedup section (not in $BASELINE? re-pin it)" >&2
+    STATUS=1
+  fi
+done
+if [[ "$STATUS" != 0 ]]; then
+  exit "$STATUS"
 fi
 
 # Provenance check, not a gate: if the pinned baseline came from a
